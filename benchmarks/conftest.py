@@ -1,0 +1,68 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's evaluation artifacts
+(Fig. 11a, Fig. 11b, Table II, plus the Section VI-D/VIII analyses) and
+prints the corresponding rows.  By default the workloads are scaled down
+so the whole suite finishes in a few minutes; set ``REPRO_FULL_SCALE=1``
+to run the paper's exact timing (60 ping trials, 30 x 10 s iperf trials —
+expect a long run).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL_SCALE = os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0", "false")
+
+
+@pytest.fixture(scope="session")
+def suppression_config():
+    if FULL_SCALE:
+        return dict(ping_trials=60, iperf_trials=30, iperf_duration_s=10.0,
+                    iperf_gap_s=10.0, warmup_s=30.0)
+    return dict(ping_trials=15, iperf_trials=3, iperf_duration_s=2.0,
+                iperf_gap_s=2.0, warmup_s=5.0)
+
+
+@pytest.fixture(scope="session")
+def suppression_results(suppression_config):
+    """All six (controller, attacked) cells, computed once per session."""
+    from repro.experiments import run_suppression_experiment
+
+    results = {}
+    for controller in ("floodlight", "pox", "ryu"):
+        for attacked in (False, True):
+            results[(controller, attacked)] = run_suppression_experiment(
+                controller, attacked, **suppression_config
+            )
+    return results
+
+
+@pytest.fixture(scope="session")
+def interruption_results():
+    """All six Table II cells, computed once per session."""
+    from repro.dataplane import FailMode
+    from repro.experiments import run_interruption_experiment
+
+    results = {}
+    for controller in ("floodlight", "pox", "ryu"):
+        for mode in (FailMode.STANDALONE, FailMode.SECURE):
+            results[(controller, mode.value)] = run_interruption_experiment(
+                controller, mode
+            )
+    return results
+
+
+def print_table(title, headers, rows):
+    """Render one paper artifact as an aligned text table."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+              for i, h in enumerate(headers)]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print()
+    print(f"=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))

@@ -1,0 +1,51 @@
+"""E5 — Section VII-B's control-plane amplification claim.
+
+"The overhead is significant: for every n packets in the data plane that
+are flow table misses, flow modification suppression may generate up to n
+PACKET_IN messages."  This bench counts control-plane messages with and
+without suppression for the same workload and reports the amplification.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+
+CONTROLLERS = ("floodlight", "ryu")  # POX is a full DoS: no data packets flow
+
+
+def test_packet_in_amplification(benchmark, suppression_results):
+    def collect():
+        rows = []
+        for controller in CONTROLLERS:
+            baseline = suppression_results[(controller, False)]
+            attacked = suppression_results[(controller, True)]
+            amplification = attacked.packet_ins / max(1, baseline.packet_ins)
+            rows.append((
+                controller,
+                baseline.packet_ins,
+                attacked.packet_ins,
+                f"{amplification:.0f}x",
+                attacked.flow_mods_dropped,
+                attacked.total_control_messages,
+            ))
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print_table(
+        "Section VII-B — control-plane amplification under suppression",
+        ("controller", "PACKET_INs base", "PACKET_INs attack",
+         "amplification", "FLOW_MODs dropped", "total ctl msgs"),
+        rows,
+    )
+    for row in rows:
+        benchmark.extra_info[f"{row[0]}_amplification"] = row[3]
+
+    for controller in CONTROLLERS:
+        baseline = suppression_results[(controller, False)]
+        attacked = suppression_results[(controller, True)]
+        # Baseline: a handful of misses install flows, then silence.
+        # Attack: every data packet is a miss -> PACKET_IN storms.
+        assert attacked.packet_ins > 20 * max(1, baseline.packet_ins)
+        # Every PACKET_IN answered produced a (suppressed) FLOW_MOD.
+        assert attacked.flow_mods_dropped > 0
+        assert attacked.flow_mods_dropped == attacked.flow_mods_seen

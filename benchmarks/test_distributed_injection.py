@@ -1,0 +1,88 @@
+"""A2 — Section VIII-C: distributed injection latency/consistency trade-off.
+
+"A guarantee of total ordering may come at the cost of increased latency
+and may inversely affect the attack's results if messages are dependent on
+physical time guarantees."
+
+The bench runs the suppression attack through a two-instance injector
+cluster and sweeps the coordination latency in both modes:
+
+* TOTAL_ORDER pays two coordination hops per interposed message — under
+  suppression every data packet crosses the control plane, so data-plane
+  RTT balloons with the coordination latency;
+* OPTIMISTIC keeps RTT flat regardless of coordination latency, trading
+  global state consistency (replica executors, private storage) for it.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.attacks import flow_mod_suppression_attack
+from repro.controllers import FloodlightController
+from repro.core import AttackModel, SystemModel
+from repro.core.injector import CoordinationMode, DistributedInjection
+from repro.dataplane import Network, Topology
+from repro.sim import SimulationEngine
+
+LATENCIES = (0.0, 0.002, 0.01)
+
+
+def run_cell(mode, latency):
+    engine = SimulationEngine()
+    topo = Topology("dist")
+    topo.add_host("h1")
+    topo.add_host("h2")
+    topo.add_switch("s1", datapath_id=1)
+    topo.add_switch("s2", datapath_id=2)
+    topo.add_link("h1", "s1")
+    topo.add_link("s1", "s2")
+    topo.add_link("h2", "s2")
+    network = Network(engine, topo)
+    controller = FloodlightController(engine)
+    system = SystemModel.from_topology(topo, ["c1"])
+    model = AttackModel.no_tls_everywhere(system)
+    attack = flow_mod_suppression_attack(system.connection_keys())
+    cluster = DistributedInjection(
+        engine, model, attack, ["inj-a", "inj-b"],
+        coordination_latency=latency, mode=mode,
+    )
+    cluster.install_slices(
+        network, {"c1": controller},
+        {"inj-a": [("c1", "s1")], "inj-b": [("c1", "s2")]},
+    )
+    network.start()
+    engine.run(until=5.0)
+    assert network.all_connected()
+    run = network.host("h1").ping(network.host_ip("h2"), count=8)
+    engine.run(until=90.0)
+    assert run.result.received == 8
+    return run.result.median_rtt * 1000  # ms
+
+
+def test_coordination_tradeoff(benchmark):
+    def collect():
+        rows = []
+        for mode in (CoordinationMode.TOTAL_ORDER, CoordinationMode.OPTIMISTIC):
+            row = [mode.value]
+            for latency in LATENCIES:
+                row.append(f"{run_cell(mode, latency):.2f}")
+            rows.append(tuple(row))
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    headers = ("mode",) + tuple(f"L={int(l * 1000)}ms" for l in LATENCIES)
+    print_table(
+        "Section VIII-C — distributed injection: median ping RTT (ms) under "
+        "suppression vs coordination latency",
+        headers, rows,
+    )
+    as_dict = {row[0]: [float(v) for v in row[1:]] for row in rows}
+    total_order = as_dict["total-order"]
+    optimistic = as_dict["optimistic"]
+    # At zero coordination latency the modes agree.
+    assert total_order[0] == pytest.approx(optimistic[0], rel=0.05)
+    # Total ordering pays for coordination; optimistic does not.
+    assert total_order[2] > total_order[0] * 3
+    assert optimistic[2] == pytest.approx(optimistic[0], rel=0.05)
+    for mode, values in as_dict.items():
+        benchmark.extra_info[mode] = values

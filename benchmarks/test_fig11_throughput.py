@@ -1,0 +1,57 @@
+"""E1 — Fig. 11(a): iperf throughput h1 -> h6, baseline vs. suppression.
+
+Reproduced shape: baselines near the 100 Mbps link rate for all three
+controllers; under flow-modification suppression Floodlight and Ryu
+collapse by an order of magnitude or more (every segment pays controller
+round trips) and POX shows the asterisk — zero throughput (denial of
+service), because its l2_learning releases the buffered packet through the
+suppressed FLOW_MOD itself.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+
+CONTROLLERS = ("floodlight", "pox", "ryu")
+
+
+def test_fig11a_throughput(benchmark, suppression_results, suppression_config):
+    def collect():
+        rows = []
+        for controller in CONTROLLERS:
+            baseline = suppression_results[(controller, False)]
+            attacked = suppression_results[(controller, True)]
+            rows.append((
+                controller,
+                f"{baseline.mean_throughput_mbps:.1f}",
+                ("0.0 (*)" if attacked.denial_of_service
+                 else f"{attacked.mean_throughput_mbps:.2f}"),
+                (f"{baseline.mean_throughput_mbps / attacked.mean_throughput_mbps:.0f}x"
+                 if attacked.mean_throughput_mbps else "inf"),
+            ))
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print_table(
+        "Fig. 11(a) — throughput h1->h6 (Mbps), (*) = denial of service",
+        ("controller", "baseline", "under attack", "degradation"),
+        rows,
+    )
+    for controller, baseline_text, attacked_text, _factor in rows:
+        benchmark.extra_info[f"{controller}_baseline_mbps"] = baseline_text
+        benchmark.extra_info[f"{controller}_attacked_mbps"] = attacked_text
+
+    # Shape assertions (who wins / by what factor):
+    for controller in CONTROLLERS:
+        baseline = suppression_results[(controller, False)]
+        assert baseline.mean_throughput_mbps > 60.0
+    pox = suppression_results[("pox", True)]
+    assert pox.denial_of_service  # the asterisk
+    for controller in ("floodlight", "ryu"):
+        attacked = suppression_results[(controller, True)]
+        baseline = suppression_results[(controller, False)]
+        assert 0 < attacked.mean_throughput_mbps < baseline.mean_throughput_mbps / 5
+    # Floodlight's faster service time gives it more surviving throughput
+    # than Ryu under attack.
+    assert (suppression_results[("floodlight", True)].mean_throughput_mbps
+            > suppression_results[("ryu", True)].mean_throughput_mbps)

@@ -1,0 +1,110 @@
+"""A4 — redundancy as a defense: evaluating the many-to-many N_C.
+
+The system model allows a switch to hold connections to multiple
+controllers "for redundancy or fault tolerance" (Section IV-A5).  This
+bench uses the injector to *evaluate that design*: the same
+connection-severing attack is run against single- and dual-controller
+deployments, fail-safe and fail-secure, and the security/availability
+outcomes are compared.  With redundancy the attacked switch never loses
+its control plane, so neither Table II failure mode can occur.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.controllers import FloodlightController
+from repro.core import AttackModel, RuntimeInjector, SystemModel
+from repro.core.lang import (
+    Attack,
+    AttackState,
+    DropMessage,
+    GoToState,
+    PassMessage,
+    Rule,
+    parse_condition,
+)
+from repro.core.model import gamma_no_tls
+from repro.dataplane import FailMode, Network, Topology
+from repro.sim import SimulationEngine
+
+
+def severing_attack(connections):
+    phi1 = Rule("arm", connections, gamma_no_tls(),
+                parse_condition("type = FEATURES_REPLY"),
+                [PassMessage(), GoToState("sigma2")])
+    phi2 = Rule("blackhole", connections, gamma_no_tls(),
+                parse_condition("true"), [DropMessage()])
+    return Attack("sever", [AttackState("sigma1", [phi1]),
+                            AttackState("sigma2", [phi2])], "sigma1")
+
+
+def run_cell(redundant: bool, fail_mode: FailMode):
+    engine = SimulationEngine()
+    topo = Topology("redundancy")
+    topo.add_host("h1")
+    topo.add_host("h2")
+    topo.add_switch("s1", datapath_id=1)
+    topo.add_switch("s2", datapath_id=2)
+    topo.add_link("h1", "s1")
+    topo.add_link("s1", "s2")
+    topo.add_link("h2", "s2")
+    network = Network(engine, topo, fail_mode=fail_mode)
+    controllers = {"c1": FloodlightController(engine, name="c1")}
+    names = ["c1"]
+    if redundant:
+        controllers["c2"] = FloodlightController(engine, name="c2")
+        names.append("c2")
+    system = SystemModel.from_topology(topo, names)
+    model = AttackModel.no_tls_everywhere(system)
+    # The attacker severs every c1 connection (the paper's scenario);
+    # the redundant deployment also has untouched c2 connections.
+    attack = severing_attack([("c1", "s1"), ("c1", "s2")])
+    injector = RuntimeInjector(engine, model, attack)
+    injector.install(network, controllers)
+    network.start()
+    engine.run(until=40.0)  # well past echo timeouts
+    run = network.host("h1").ping(network.host_ip("h2"), count=5)
+    engine.run(until=60.0)
+    s2 = network.switch("s2")
+    return {
+        "control_plane_alive": s2.connected,
+        "standalone": s2.standalone_active,
+        "pings": run.result.received,
+    }
+
+
+def test_redundancy_defeats_connection_severing(benchmark):
+    def collect():
+        rows = []
+        for redundant in (False, True):
+            for fail_mode in (FailMode.STANDALONE, FailMode.SECURE):
+                outcome = run_cell(redundant, fail_mode)
+                rows.append((
+                    "dual (c1+c2)" if redundant else "single (c1)",
+                    fail_mode.value,
+                    "alive" if outcome["control_plane_alive"] else "dead",
+                    str(outcome["standalone"]),
+                    f"{outcome['pings']}/5",
+                ))
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print_table(
+        "Redundant N_C vs the connection-severing attack (all c1 links cut)",
+        ("deployment", "fail mode", "control plane", "standalone engaged",
+         "pings after attack"),
+        rows,
+    )
+    outcomes = {(row[0], row[1]): row for row in rows}
+    # Single controller: attack fully lands.
+    assert outcomes[("single (c1)", "standalone")][2] == "dead"
+    assert outcomes[("single (c1)", "standalone")][3] == "True"
+    assert outcomes[("single (c1)", "standalone")][4] == "5/5"  # learning fallback
+    assert outcomes[("single (c1)", "secure")][4] == "0/5"      # DoS
+    # Dual controllers: the control plane survives in both fail modes and
+    # neither failure manifestation occurs.
+    for fail_mode in ("standalone", "secure"):
+        row = outcomes[("dual (c1+c2)", fail_mode)]
+        assert row[2] == "alive"
+        assert row[3] == "False"
+        assert row[4] == "5/5"

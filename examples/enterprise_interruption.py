@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The Table II connection-interruption experiment, end to end.
+
+Runs the Section VII-C experiment: the three-state Fig. 12 attack severs
+the (c1, s2) control connection after observing the DMZ firewall's drop
+FLOW_MOD for external -> internal traffic.  Each controller runs in both
+fail-safe (standalone) and fail-secure mode, and the four Table II
+reachability probes are evaluated.
+
+Run:  python examples/enterprise_interruption.py
+"""
+
+from repro.dataplane import FailMode
+from repro.experiments import run_interruption_experiment
+
+CONTROLLERS = ("floodlight", "pox", "ryu")
+PROBES = (
+    ("External user -> external host (t=30s)", "external_to_external_t30"),
+    ("Internal user -> external host (t=30s)", "internal_to_external_t30"),
+    ("External user -> internal host (t=50s)", "external_to_internal_t50"),
+    ("Internal user -> external host (t=95s)", "internal_to_external_t95"),
+)
+
+
+def main() -> None:
+    results = {}
+    for controller in CONTROLLERS:
+        for mode in (FailMode.STANDALONE, FailMode.SECURE):
+            results[(controller, mode)] = run_interruption_experiment(controller, mode)
+
+    columns = [(c, m) for c in CONTROLLERS for m in (FailMode.STANDALONE, FailMode.SECURE)]
+    label = {FailMode.STANDALONE: "safe", FailMode.SECURE: "secure"}
+    header = f"{'probe':<42}" + "".join(
+        f"{c[:5]}/{label[m]:<7}" for (c, m) in columns
+    )
+    print(header)
+    print("-" * len(header))
+    for text, attr in PROBES:
+        row = f"{text:<42}"
+        for key in columns:
+            ok = getattr(results[key], attr)
+            row += f"{'yes' if ok else 'no':<13}"
+        print(row)
+    print()
+    for key in columns:
+        result = results[key]
+        notes = []
+        if result.unauthorized_increased_access:
+            notes.append("UNAUTHORIZED INCREASED ACCESS")
+        if result.denial_of_service:
+            notes.append("DENIAL OF SERVICE against legitimate traffic")
+        if not result.interruption_happened:
+            notes.append("attack never reached sigma3 (rule phi2 did not fire)")
+        print(f"{key[0]}/{label[key[1]]}: states={result.attack_states_visited} "
+              f"{'; '.join(notes) if notes else 'interrupted as expected'}")
+    print()
+    print("Ryu's simple_switch builds flow-mod matches from L2 fields only,")
+    print("so phi2's nw_src/nw_dst conditional never fires — the Table II")
+    print("anomaly: its firewall stays up and no denial of service occurs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The build environment has no network access and no ``wheel`` package, so
+PEP 660 editable installs fail; this shim lets ``pip install -e .`` fall
+back to the setuptools develop path.  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""ATTAIN: an attack injection framework for software-defined networking.
+
+A from-scratch reproduction of "ATTAIN: An Attack Injection Framework for
+Software-Defined Networking" (Ujcich, Thakore, Sanders — DSN 2017),
+including every substrate the paper depends on:
+
+* :mod:`repro.sim` — deterministic discrete-event simulation engine;
+* :mod:`repro.netlib` — Ethernet/ARP/IPv4/ICMP/TCP/UDP/LLDP wire formats;
+* :mod:`repro.openflow` — OpenFlow 1.0 protocol library;
+* :mod:`repro.dataplane` — OpenFlow switches, hosts, and links;
+* :mod:`repro.controllers` — Floodlight / POX / Ryu behavioural models;
+* :mod:`repro.core` — ATTAIN itself: attack model, attack language,
+  compiler, runtime injector, and monitors;
+* :mod:`repro.attacks` — the reusable attack library;
+* :mod:`repro.experiments` — the Section VII enterprise case study.
+
+Quickstart::
+
+    from repro.experiments import run_suppression_experiment
+
+    result = run_suppression_experiment("pox", attacked=True,
+                                        ping_trials=10, iperf_trials=2,
+                                        iperf_duration_s=2.0)
+    print(result.row())
+"""
+
+from repro.core import (
+    Attack,
+    AttackModel,
+    AttackState,
+    Capability,
+    CapabilityMap,
+    Rule,
+    RuntimeInjector,
+    SystemModel,
+    gamma_no_tls,
+    gamma_tls,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attack",
+    "AttackModel",
+    "AttackState",
+    "Capability",
+    "CapabilityMap",
+    "Rule",
+    "RuntimeInjector",
+    "SystemModel",
+    "__version__",
+    "gamma_no_tls",
+    "gamma_tls",
+]

@@ -1,0 +1,41 @@
+"""Reusable attack descriptions.
+
+The paper's goal is "modular and reusable control plane attack
+descriptions" — this package is that library: the two evaluation attacks
+(Sections VII-B and VII-C), the Section VIII-A expressiveness examples
+(reordering, replay, flooding), the Section VIII-B modelling-efficiency
+counter idiom, and additional capability demonstrations (delay, fuzzing).
+"""
+
+from repro.attacks.blackhole import blackhole_attack
+from repro.attacks.connection_interruption import connection_interruption_attack
+from repro.attacks.counting import counting_attack_deque, counting_attack_naive
+from repro.attacks.delay import delay_attack
+from repro.attacks.flow_mod_suppression import flow_mod_suppression_attack
+from repro.attacks.fuzzing import fuzzing_attack
+from repro.attacks.library import passthrough_attack
+from repro.attacks.link_fabrication import (
+    forged_lldp_packet_in,
+    link_fabrication_attack,
+)
+from repro.attacks.reordering import reordering_attack
+from repro.attacks.replay import replay_attack
+from repro.attacks.stats_evasion import stats_evasion_attack
+from repro.attacks.stochastic import stochastic_drop_attack
+
+__all__ = [
+    "blackhole_attack",
+    "connection_interruption_attack",
+    "counting_attack_deque",
+    "counting_attack_naive",
+    "delay_attack",
+    "flow_mod_suppression_attack",
+    "forged_lldp_packet_in",
+    "fuzzing_attack",
+    "link_fabrication_attack",
+    "passthrough_attack",
+    "reordering_attack",
+    "replay_attack",
+    "stats_evasion_attack",
+    "stochastic_drop_attack",
+]

@@ -1,0 +1,61 @@
+"""Black-hole routing via MODIFYMESSAGE (the Section II-A4 effect).
+
+Instead of dropping FLOW_MODs (loud: the controller notices nothing gets
+installed and keeps seeing PACKET_INs), this attack *rewrites* their
+output actions to a dead or wrong port before forwarding them.  The
+switch installs the rule, the controller sees the expected flow state,
+subsequent packets match in hardware — and silently vanish.  A far
+stealthier service denial than suppression: no control-plane amplification
+signature at all.
+
+Optionally the attack only activates after ``after_timestamp`` simulated
+seconds (using the extension ``>`` ordering operator), modelling an
+attacker who waits out a commissioning/test window.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.lang.actions import ModifyMessage
+from repro.core.lang.attack import Attack
+from repro.core.lang.parser import parse_condition
+from repro.core.lang.rules import Rule
+from repro.core.lang.states import AttackState
+from repro.core.model.capabilities import gamma_no_tls
+from repro.attacks.library import normalize_connections
+
+
+def blackhole_attack(
+    connections,
+    dead_port: int,
+    after_timestamp: Optional[float] = None,
+) -> Attack:
+    """Rewrite every FLOW_MOD's output actions to ``dead_port``.
+
+    Pick a port with nothing (or the wrong thing) behind it.  With
+    ``after_timestamp`` set, flow mods before that simulated time pass
+    untouched.
+    """
+    bound = normalize_connections(connections)
+    condition = "type = FLOW_MOD"
+    if after_timestamp is not None:
+        condition += f" and timestamp > {after_timestamp}"
+    rule = Rule(
+        name="rewrite_outputs",
+        connections=bound,
+        gamma=gamma_no_tls(),
+        conditional=parse_condition(condition),
+        actions=[ModifyMessage("output_port", dead_port)],
+    )
+    sigma1 = AttackState("sigma1", [rule])
+    return Attack(
+        name="flow-mod-blackhole",
+        states=[sigma1],
+        start="sigma1",
+        description=(
+            f"Rewrite FLOW_MOD output actions to port {dead_port}"
+            + (f" after t={after_timestamp}s" if after_timestamp else "")
+            + "; rules install but traffic silently vanishes."
+        ),
+    )

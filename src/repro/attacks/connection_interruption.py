@@ -1,0 +1,89 @@
+"""The connection-interruption attack (Section VII-C, Fig. 12).
+
+Three states against one control-plane connection (the paper uses
+(c1, s2), the DMZ firewall switch):
+
+* **σ1** waits for the connection-setup message (the switch's HELLO) and
+  transitions to σ2;
+* **σ2** waits for a flow-modification request "related to traffic
+  originating from h2 and destined to an internal network host,
+  H \\ {h1}" — the firewall's drop rule — then drops it and moves to σ3;
+* **σ3** (absorbing) drops every message on the connection, black-holing
+  it until the switch's and controller's liveness checks declare the
+  connection dead and the switch falls back to its fail-safe or
+  fail-secure behaviour (the Table II axis).
+
+The σ2 conditional inspects the flow mod's ``match.nw_src`` /
+``match.nw_dst`` type options.  Controllers whose flow-mod matches omit
+network-layer fields (Ryu's simple_switch) never satisfy it — "the attack
+never entered state σ3".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.core.lang.actions import DropMessage, GoToState, PassMessage
+from repro.core.lang.attack import Attack
+from repro.core.lang.parser import parse_condition
+from repro.core.lang.rules import Rule
+from repro.core.lang.states import AttackState
+from repro.core.model.capabilities import gamma_no_tls
+
+ConnectionKey = Tuple[str, str]
+
+
+def connection_interruption_attack(
+    connection: ConnectionKey,
+    trigger_source_ip: str,
+    protected_destination_ips: Iterable[str],
+) -> Attack:
+    """Build Fig. 12's attack.
+
+    ``trigger_source_ip`` is the external user's address (h2 in the case
+    study) and ``protected_destination_ips`` are the internal hosts whose
+    flow mods trip the attack.
+    """
+    controller, switch = connection
+    destinations = ", ".join(str(ip) for ip in protected_destination_ips)
+
+    phi1 = Rule(
+        name="phi1",
+        connections=connection,
+        gamma=gamma_no_tls(),
+        conditional=parse_condition(f"source = {switch} and type = HELLO"),
+        actions=[PassMessage(), GoToState("sigma2")],
+    )
+    sigma1 = AttackState("sigma1", [phi1])
+
+    phi2 = Rule(
+        name="phi2",
+        connections=connection,
+        gamma=gamma_no_tls(),
+        conditional=parse_condition(
+            f"type = FLOW_MOD and destination = {switch} "
+            f"and opt.match.nw_src = {trigger_source_ip} "
+            f"and opt.match.nw_dst in {{{destinations}}}"
+        ),
+        actions=[DropMessage(), GoToState("sigma3")],
+    )
+    sigma2 = AttackState("sigma2", [phi2])
+
+    phi3 = Rule(
+        name="phi3",
+        connections=connection,
+        gamma=gamma_no_tls(),
+        conditional=parse_condition("true"),
+        actions=[DropMessage()],
+    )
+    sigma3 = AttackState("sigma3", [phi3])
+
+    return Attack(
+        name="connection-interruption",
+        states=[sigma1, sigma2, sigma3],
+        start="sigma1",
+        description=(
+            f"Fig. 12: sever {connection} after observing a firewall flow "
+            f"mod for {trigger_source_ip} -> {{{destinations}}}."
+        ),
+    )

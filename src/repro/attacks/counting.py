@@ -1,0 +1,112 @@
+"""The Section VIII-B modelling-efficiency comparison.
+
+An attack that must see ``n`` instances of a message before acting can be
+modelled two ways:
+
+* **naive**: one attack state per observed message — "similar to a
+  memoryless finite state machine" — requiring O(n) states;
+* **deque counter**: a single state with a length-1 counter deque,
+  incremented via ``PREPEND(δ, SHIFT(δ) + 1)`` and checked with
+  ``EXAMINEFRONT(δ) = n`` — O(1) states.
+
+Both builders produce an attack that, after ``n`` matching messages,
+transitions to an absorbing state that drops all further matching
+messages, so their behaviours are comparable end-to-end.
+"""
+
+from __future__ import annotations
+
+from repro.core.lang.actions import DropMessage, GoToState, PrependAction
+from repro.core.lang.attack import Attack
+from repro.core.lang.conditionals import And, Comparison, Const, ExamineFront, ShiftExpr, Sum
+from repro.core.lang.parser import parse_condition
+from repro.core.lang.rules import Rule
+from repro.core.lang.states import AttackState
+from repro.core.model.capabilities import gamma_no_tls
+from repro.attacks.library import normalize_connections
+
+
+def counting_attack_naive(
+    connections,
+    n: int,
+    condition_text: str = "type = PACKET_IN",
+) -> Attack:
+    """O(n)-state counter: one attack state per observed message."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    bound = normalize_connections(connections)
+    match_text = condition_text
+    states = []
+    for index in range(n):
+        target = f"seen_{index + 1}" if index + 1 < n else "armed"
+        rule = Rule(
+            name=f"advance_{index}",
+            connections=bound,
+            gamma=gamma_no_tls(),
+            conditional=parse_condition(match_text),
+            actions=[GoToState(target)],
+        )
+        name = "seen_0" if index == 0 else f"seen_{index}"
+        states.append(AttackState(name, [rule]))
+    armed_rule = Rule(
+        name="drop_after_count",
+        connections=bound,
+        gamma=gamma_no_tls(),
+        conditional=parse_condition(match_text),
+        actions=[DropMessage()],
+    )
+    states.append(AttackState("armed", [armed_rule]))
+    return Attack(
+        name=f"counting-naive-{n}",
+        states=states,
+        start="seen_0",
+        description=f"Section VIII-B naive FSM counter with {n} counting states.",
+    )
+
+
+def counting_attack_deque(
+    connections,
+    n: int,
+    condition_text: str = "type = PACKET_IN",
+) -> Attack:
+    """O(1)-state counter using the deque idiom of Section VIII-B."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    bound = normalize_connections(connections)
+    match = parse_condition(condition_text)
+    increment = Sum(ShiftExpr("counter"), [("+", Const(1))])
+    count_rule = Rule(
+        name="count",
+        connections=bound,
+        gamma=gamma_no_tls(),
+        conditional=match,
+        actions=[PrependAction("counter", increment)],
+    )
+    arm_rule = Rule(
+        name="arm_when_reached",
+        connections=bound,
+        gamma=gamma_no_tls(),
+        conditional=And(
+            match, Comparison("=", ExamineFront("counter"), Const(n))
+        ),
+        actions=[GoToState("armed")],
+    )
+    counting = AttackState("counting", [count_rule, arm_rule])
+    armed_rule = Rule(
+        name="drop_after_count",
+        connections=bound,
+        gamma=gamma_no_tls(),
+        conditional=match,
+        actions=[DropMessage()],
+    )
+    armed = AttackState("armed", [armed_rule])
+    return Attack(
+        name=f"counting-deque-{n}",
+        states=[counting, armed],
+        start="counting",
+        deque_declarations={"counter": [0]},
+        description=(
+            "Section VIII-B deque counter: "
+            "PREPEND(counter, SHIFT(counter)+1) in one state."
+        ),
+    )

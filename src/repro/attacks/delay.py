@@ -1,0 +1,41 @@
+"""Message-delay attack: DELAYMESSAGE actuation.
+
+Delays every matching message by a fixed amount — useful for probing
+timeout sensitivity (e.g. delaying ECHO_REPLYs toward a switch's liveness
+deadline) and as the DELAYMESSAGE capability demonstration.
+"""
+
+from __future__ import annotations
+
+from repro.core.lang.actions import DelayMessage
+from repro.core.lang.attack import Attack
+from repro.core.lang.parser import parse_condition
+from repro.core.lang.rules import Rule
+from repro.core.lang.states import AttackState
+from repro.core.model.capabilities import gamma_no_tls
+from repro.attacks.library import normalize_connections
+
+
+def delay_attack(
+    connections,
+    condition_text: str = "type = FLOW_MOD",
+    delay_s: float = 0.5,
+) -> Attack:
+    """Delay every matching message by ``delay_s`` seconds."""
+    if delay_s <= 0:
+        raise ValueError("delay must be positive")
+    bound = normalize_connections(connections)
+    rule = Rule(
+        name="delay_matching",
+        connections=bound,
+        gamma=gamma_no_tls(),
+        conditional=parse_condition(condition_text),
+        actions=[DelayMessage(delay_s)],
+    )
+    sigma1 = AttackState("sigma1", [rule])
+    return Attack(
+        name="message-delay",
+        states=[sigma1],
+        start="sigma1",
+        description=f"Delay messages matching {condition_text!r} by {delay_s}s.",
+    )

@@ -1,0 +1,45 @@
+"""The flow-modification-suppression attack (Section VII-B, Fig. 10).
+
+A single absorbing attack state σ1 whose rule φ1 drops every FLOW_MOD on
+the bound connections.  "The attack drops the request, and as a result,
+the switch does not instantiate the corresponding flow entry" — every
+subsequent packet of the flow becomes a table miss and a controller round
+trip, degrading (or, for controllers that release the buffered packet via
+the flow mod itself, denying) data-plane service.
+"""
+
+from __future__ import annotations
+
+from repro.core.lang.actions import DropMessage
+from repro.core.lang.attack import Attack
+from repro.core.lang.parser import parse_condition
+from repro.core.lang.rules import Rule
+from repro.core.lang.states import AttackState
+from repro.core.model.capabilities import gamma_no_tls
+from repro.attacks.library import normalize_connections
+
+
+def flow_mod_suppression_attack(connections) -> Attack:
+    """Build Fig. 10's attack for the given control-plane connections.
+
+    The paper binds φ1 to all four case-study connections
+    {(c1,s1), (c1,s2), (c1,s3), (c1,s4)}; any subset works.
+    """
+    bound = normalize_connections(connections)
+    phi1 = Rule(
+        name="phi1",
+        connections=bound,
+        gamma=gamma_no_tls(),
+        conditional=parse_condition("type = FLOW_MOD"),
+        actions=[DropMessage()],
+    )
+    sigma1 = AttackState("sigma1", [phi1])
+    return Attack(
+        name="flow-mod-suppression",
+        states=[sigma1],
+        start="sigma1",
+        description=(
+            "Fig. 10: drop every FLOW_MOD so switches never instantiate "
+            "flow entries; σ1 is both the start and the absorbing state."
+        ),
+    )

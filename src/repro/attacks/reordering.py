@@ -1,0 +1,86 @@
+"""Message-reordering attack (Section VIII-A).
+
+"Suppose a set of messages M need to be sent in reverse order.  ...the
+attack can store the messages in a deque δ acting like a stack, insert the
+messages using the PREPEND(δ, m) action |M| times, and retrieve and send
+the messages in reverse order using the SHIFT(δ) and PASSMESSAGE actions."
+
+The attack withholds ``batch_size`` consecutive messages matching
+``condition_text``; when the batch is complete, it re-injects them in
+reverse (LIFO) order and returns to collecting.
+"""
+
+from __future__ import annotations
+
+from repro.core.lang.actions import (
+    DropMessage,
+    InjectNewMessage,
+    PrependAction,
+    ShiftAction,
+)
+from repro.core.lang.attack import Attack
+from repro.core.lang.conditionals import (
+    And,
+    Comparison,
+    Const,
+    ExamineFront,
+    MessageRef,
+    ShiftExpr,
+    Sum,
+)
+from repro.core.lang.parser import parse_condition
+from repro.core.lang.rules import Rule
+from repro.core.lang.states import AttackState
+from repro.core.model.capabilities import gamma_no_tls
+from repro.attacks.library import normalize_connections
+
+
+def reordering_attack(
+    connections,
+    condition_text: str = "type = ECHO_REQUEST",
+    batch_size: int = 3,
+) -> Attack:
+    """Reverse the order of each ``batch_size``-message batch."""
+    if batch_size < 2:
+        raise ValueError("a reordering batch needs at least 2 messages")
+    bound = normalize_connections(connections)
+    match = parse_condition(condition_text)
+
+    increment = Sum(ShiftExpr("count"), [("+", Const(1))])
+    collect = Rule(
+        name="collect",
+        connections=bound,
+        gamma=gamma_no_tls(),
+        conditional=match,
+        actions=[
+            PrependAction("stack", MessageRef()),   # stack: newest at front
+            DropMessage(),                          # withhold from the wire
+            PrependAction("count", increment),
+        ],
+    )
+    # When the batch is complete, SHIFT the stack |M| times: front-first
+    # retrieval of a PREPEND-built deque yields reverse arrival order.
+    release_actions = [
+        InjectNewMessage(ShiftExpr("stack")) for _ in range(batch_size)
+    ]
+    # Reset the single-cell counter: remove the old value, store 0.
+    release_actions.append(ShiftAction("count"))
+    release_actions.append(PrependAction("count", Const(0)))
+    release = Rule(
+        name="release_reversed",
+        connections=bound,
+        gamma=gamma_no_tls(),
+        conditional=And(match, Comparison("=", ExamineFront("count"), Const(batch_size))),
+        actions=release_actions,
+    )
+    sigma1 = AttackState("sigma1", [collect, release])
+    return Attack(
+        name="message-reordering",
+        states=[sigma1],
+        start="sigma1",
+        deque_declarations={"count": [0], "stack": []},
+        description=(
+            f"Section VIII-A: batch {batch_size} matching messages in a "
+            "deque used as a stack, then replay them reversed."
+        ),
+    )

@@ -1,0 +1,93 @@
+"""Message replay / flooding attack (Section VIII-A).
+
+"Suppose a set of messages M need to be sent in FIFO order more than once.
+...the attack can store the messages in a deque δ acting like a queue, use
+the DUPLICATEMESSAGE and [APPEND] actions to duplicate and store message
+copies, and sometime later use the [SHIFT] and PASSMESSAGE actions to
+replay the messages in FIFO order.  Flooding can be implemented similarly."
+
+``replay_attack`` records ``batch_size`` matching messages (passing the
+originals through) and then re-injects each recorded message
+``replay_copies`` times in FIFO order, triggered by the next matching
+message — a replay for ``replay_copies=1`` and a flood for larger values.
+"""
+
+from __future__ import annotations
+
+from repro.core.lang.actions import InjectNewMessage, PrependAction, ReadMessage, ShiftAction
+from repro.core.lang.attack import Attack
+from repro.core.lang.conditionals import (
+    And,
+    Comparison,
+    Const,
+    ExamineFront,
+    ShiftExpr,
+    Sum,
+)
+from repro.core.lang.parser import parse_condition
+from repro.core.lang.rules import Rule
+from repro.core.lang.states import AttackState
+from repro.core.model.capabilities import gamma_no_tls
+from repro.attacks.library import normalize_connections
+
+
+def replay_attack(
+    connections,
+    condition_text: str = "type = PACKET_IN",
+    batch_size: int = 2,
+    replay_copies: int = 1,
+) -> Attack:
+    """Record a FIFO batch, then replay (or flood) it."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if replay_copies < 1:
+        raise ValueError("replay_copies must be >= 1")
+    bound = normalize_connections(connections)
+    match = parse_condition(condition_text)
+    increment = Sum(ShiftExpr("count"), [("+", Const(1))])
+
+    # σ1: record matching messages (originals pass through untouched).
+    record = Rule(
+        name="record",
+        connections=bound,
+        gamma=gamma_no_tls(),
+        conditional=And(
+            match,
+            Comparison("!=", ExamineFront("count"), Const(batch_size)),
+        ),
+        actions=[
+            ReadMessage(store_to="queue"),   # queue: FIFO via APPEND
+            PrependAction("count", increment),
+        ],
+    )
+    # Once the batch is full, the next matching message triggers the
+    # replay burst: SHIFT yields the oldest message first (FIFO).
+    replay_actions = []
+    for _ in range(batch_size):
+        # Re-inject each stored message `replay_copies` times: examine the
+        # front for the extra flood copies, then SHIFT consumes the entry.
+        for _copy in range(replay_copies - 1):
+            replay_actions.append(InjectNewMessage(ExamineFront("queue")))
+        replay_actions.append(InjectNewMessage(ShiftExpr("queue")))
+    replay = Rule(
+        name="replay",
+        connections=bound,
+        gamma=gamma_no_tls(),
+        conditional=And(
+            match,
+            Comparison("=", ExamineFront("count"), Const(batch_size)),
+        ),
+        actions=replay_actions
+        + [ShiftAction("count"), PrependAction("count", Const(0))],
+    )
+    sigma1 = AttackState("sigma1", [record, replay])
+    return Attack(
+        name="message-replay" if replay_copies == 1 else "message-flooding",
+        states=[sigma1],
+        start="sigma1",
+        deque_declarations={"count": [0], "queue": []},
+        description=(
+            f"Section VIII-A: store {batch_size} matching messages in a "
+            f"FIFO deque, then re-inject each {replay_copies}x."
+        ),
+    )

@@ -1,0 +1,42 @@
+"""Monitoring-evasion attack: starve the controller's statistics loop.
+
+An attacker who wants its data-plane activity to stay invisible to
+flow-statistics monitoring can simply drop OFPST_FLOW replies on the
+attacked connection: the collector's last snapshot goes stale, and the
+flows created afterwards never appear in any report.  A subtler variant
+drops only the replies while letting requests through, so the controller
+sees a live connection (echoes flow) with a silent statistics pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.core.lang.actions import DropMessage
+from repro.core.lang.attack import Attack
+from repro.core.lang.parser import parse_condition
+from repro.core.lang.rules import Rule
+from repro.core.lang.states import AttackState
+from repro.core.model.capabilities import gamma_no_tls
+from repro.attacks.library import normalize_connections
+
+
+def stats_evasion_attack(connections) -> Attack:
+    """Drop every STATS_REPLY on the bound connections."""
+    bound = normalize_connections(connections)
+    rule = Rule(
+        name="drop_stats_replies",
+        connections=bound,
+        gamma=gamma_no_tls(),
+        conditional=parse_condition("type = STATS_REPLY"),
+        actions=[DropMessage()],
+    )
+    sigma1 = AttackState("sigma1", [rule])
+    return Attack(
+        name="stats-evasion",
+        states=[sigma1],
+        start="sigma1",
+        description=(
+            "Starve flow-statistics monitoring by dropping STATS_REPLY "
+            "messages; the collector's view goes stale while the data "
+            "plane keeps forwarding."
+        ),
+    )

@@ -1,0 +1,48 @@
+"""Stochastic drop attack (the Section VIII-A future-work extension).
+
+Drops each matching message independently with probability ``p`` using the
+language's ``prob(p)`` conditional.  Because the draw comes from the
+executor's seeded random stream, a stochastic attack remains replayable —
+the same seed reproduces the same drop pattern, preserving the framework's
+deterministic-testing story.
+"""
+
+from __future__ import annotations
+
+from repro.core.lang.actions import DropMessage
+from repro.core.lang.attack import Attack
+from repro.core.lang.conditionals import And, Probability
+from repro.core.lang.parser import parse_condition
+from repro.core.lang.rules import Rule
+from repro.core.lang.states import AttackState
+from repro.core.model.capabilities import gamma_no_tls
+from repro.attacks.library import normalize_connections
+
+
+def stochastic_drop_attack(
+    connections,
+    drop_probability: float,
+    condition_text: str = "true",
+) -> Attack:
+    """Drop matching messages with probability ``drop_probability``."""
+    if not 0.0 <= drop_probability <= 1.0:
+        raise ValueError(f"drop probability must be in [0, 1], got {drop_probability!r}")
+    bound = normalize_connections(connections)
+    conditional = And(parse_condition(condition_text), Probability(drop_probability))
+    rule = Rule(
+        name="drop_probabilistically",
+        connections=bound,
+        gamma=gamma_no_tls(),
+        conditional=conditional,
+        actions=[DropMessage()],
+    )
+    sigma1 = AttackState("sigma1", [rule])
+    return Attack(
+        name="stochastic-drop",
+        states=[sigma1],
+        start="sigma1",
+        description=(
+            f"Drop messages matching {condition_text!r} with probability "
+            f"{drop_probability} (seeded, replayable)."
+        ),
+    )

@@ -1,0 +1,204 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro suppression --controller pox
+    python -m repro interruption
+    python -m repro compliance
+    python -m repro compile --system sys.xml --attack-model model.xml \\
+        --attack attack.xml --output attack_module.py
+    python -m repro graph --system sys.xml --attack attack.xml
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+CONTROLLERS = ("floodlight", "pox", "ryu")
+
+
+def _cmd_suppression(args: argparse.Namespace) -> int:
+    from repro.experiments import run_suppression_experiment
+
+    if args.full:
+        config = dict(ping_trials=60, iperf_trials=30, iperf_duration_s=10.0,
+                      iperf_gap_s=10.0, warmup_s=30.0)
+    else:
+        config = dict(ping_trials=args.ping_trials, iperf_trials=args.iperf_trials,
+                      iperf_duration_s=args.iperf_duration, iperf_gap_s=2.0,
+                      warmup_s=5.0)
+    controllers = CONTROLLERS if args.controller == "all" else (args.controller,)
+    header = (f"{'controller':<11} {'mode':<9} {'throughput':>12} "
+              f"{'median RTT':>12} {'loss':>6} {'PACKET_INs':>11}")
+    print(header)
+    print("-" * len(header))
+    for controller in controllers:
+        for attacked in (False, True):
+            result = run_suppression_experiment(controller, attacked, **config)
+            rtt = (f"{result.median_rtt_s * 1000:.2f} ms"
+                   if result.median_rtt_s is not None else "inf (*)")
+            throughput = (f"{result.mean_throughput_mbps:.2f} Mbps"
+                          if not result.denial_of_service else "0.0 (*)")
+            print(f"{controller:<11} {'attack' if attacked else 'baseline':<9} "
+                  f"{throughput:>12} {rtt:>12} {result.ping_loss_rate:>6.0%} "
+                  f"{result.packet_ins:>11}")
+    return 0
+
+
+def _cmd_interruption(args: argparse.Namespace) -> int:
+    from repro.dataplane import FailMode
+    from repro.experiments import run_interruption_experiment
+
+    controllers = CONTROLLERS if args.controller == "all" else (args.controller,)
+    for controller in controllers:
+        for mode in (FailMode.STANDALONE, FailMode.SECURE):
+            result = run_interruption_experiment(controller, mode)
+            row = result.row()
+            notes = []
+            if result.unauthorized_increased_access:
+                notes.append("UNAUTHORIZED ACCESS")
+            if result.denial_of_service:
+                notes.append("DENIAL OF SERVICE")
+            if not result.interruption_happened:
+                notes.append("phi2 never fired")
+            print(f"{controller}/{mode.value}: "
+                  + " ".join(f"{k}={v}" for k, v in row.items()
+                             if k.startswith(("ext", "int")))
+                  + (f"  [{'; '.join(notes)}]" if notes else ""))
+    return 0
+
+
+def _cmd_compliance(args: argparse.Namespace) -> int:
+    from repro.experiments.compliance import run_compliance_suite
+
+    report = run_compliance_suite()
+    print(report.render())
+    return 0 if report.all_passed else 1
+
+
+def _load_system(path: str):
+    from repro.core.compiler import parse_system_model_xml
+
+    with open(path, encoding="utf-8") as handle:
+        return parse_system_model_xml(handle.read())
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.core.compiler import (
+        generate_attack_source,
+        parse_attack_model_xml,
+        parse_attack_states_xml,
+    )
+
+    system = _load_system(args.system)
+    with open(args.attack, encoding="utf-8") as handle:
+        attack = parse_attack_states_xml(handle.read(), system)
+    if args.attack_model:
+        with open(args.attack_model, encoding="utf-8") as handle:
+            model = parse_attack_model_xml(handle.read(), system)
+        attack.validate_against(model)
+        print(f"validated against attacker model "
+              f"({len(model.attacked_connections())} attacked connections)",
+              file=sys.stderr)
+    source = generate_attack_source(attack)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        print(f"wrote executable attack code to {args.output}", file=sys.stderr)
+    else:
+        print(source)
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    from repro.core.compiler import parse_attack_states_xml
+
+    system = _load_system(args.system)
+    with open(args.attack, encoding="utf-8") as handle:
+        attack = parse_attack_states_xml(handle.read(), system)
+    print(attack.graph.to_dot())
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from repro.core.compiler import parse_attack_states_xml
+    from repro.core.lang.render import render_attack_text
+
+    system = _load_system(args.system)
+    with open(args.attack, encoding="utf-8") as handle:
+        attack = parse_attack_states_xml(handle.read(), system)
+    print(render_attack_text(attack))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ATTAIN attack-injection framework (DSN 2017 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    suppression = subparsers.add_parser(
+        "suppression", help="run the Fig. 11 flow-mod suppression experiment"
+    )
+    suppression.add_argument("--controller", default="all",
+                             choices=CONTROLLERS + ("all",))
+    suppression.add_argument("--full", action="store_true",
+                             help="use the paper's full 60-ping/30-iperf timing")
+    suppression.add_argument("--ping-trials", type=int, default=10)
+    suppression.add_argument("--iperf-trials", type=int, default=2)
+    suppression.add_argument("--iperf-duration", type=float, default=2.0)
+    suppression.set_defaults(handler=_cmd_suppression)
+
+    interruption = subparsers.add_parser(
+        "interruption", help="run the Table II connection-interruption experiment"
+    )
+    interruption.add_argument("--controller", default="all",
+                              choices=CONTROLLERS + ("all",))
+    interruption.set_defaults(handler=_cmd_interruption)
+
+    compliance = subparsers.add_parser(
+        "compliance", help="run the OFTest-style switch compliance suite"
+    )
+    compliance.set_defaults(handler=_cmd_compliance)
+
+    compile_cmd = subparsers.add_parser(
+        "compile", help="compile attack XML into executable Python code"
+    )
+    compile_cmd.add_argument("--system", required=True,
+                             help="system-model XML file")
+    compile_cmd.add_argument("--attack", required=True,
+                             help="attack-states XML file")
+    compile_cmd.add_argument("--attack-model",
+                             help="attacker-capabilities XML file (validates)")
+    compile_cmd.add_argument("--output", "-o",
+                             help="write generated code here (default stdout)")
+    compile_cmd.set_defaults(handler=_cmd_compile)
+
+    graph = subparsers.add_parser(
+        "graph", help="render an attack's state graph in Graphviz dot"
+    )
+    graph.add_argument("--system", required=True)
+    graph.add_argument("--attack", required=True)
+    graph.set_defaults(handler=_cmd_graph)
+
+    show = subparsers.add_parser(
+        "show", help="render an attack in the paper's Fig. 10(a) notation"
+    )
+    show.add_argument("--system", required=True)
+    show.add_argument("--attack", required=True)
+    show.set_defaults(handler=_cmd_show)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

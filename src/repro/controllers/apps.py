@@ -1,0 +1,201 @@
+"""Controller applications: pipeline interface and the learning switch.
+
+``LearningSwitchBehavior`` captures the per-controller implementation
+differences (match construction, timeouts, buffered-packet release policy)
+that the paper's evaluation shows to matter; the three controller modules
+instantiate it with their documented parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.netlib.addresses import MacAddress
+from repro.netlib.packet import DecodedPacket
+from repro.openflow.actions import OutputAction
+from repro.openflow.constants import OFP_NO_BUFFER, Port
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    ErrorMessage,
+    FlowMod,
+    FlowRemoved,
+    PacketIn,
+    PacketOut,
+    PortStatus,
+)
+
+
+class ControllerApp:
+    """Base class for controller applications (no-op hooks)."""
+
+    def switch_ready(self, controller, session) -> None:
+        """A switch finished its handshake."""
+
+    def switch_down(self, controller, session) -> None:
+        """A switch connection was lost."""
+
+    def packet_in(self, controller, session, message: PacketIn,
+                  fields: Dict[str, Any], decoded: DecodedPacket) -> bool:
+        """Handle a PACKET_IN; return True to stop the pipeline."""
+        return False
+
+    def flow_removed(self, controller, session, message: FlowRemoved) -> None:
+        """A flow entry expired on a switch."""
+
+    def port_status(self, controller, session, message: PortStatus) -> None:
+        """A switch port changed state."""
+
+    def error_received(self, controller, session, message: ErrorMessage) -> None:
+        """The switch reported an error."""
+
+    def stats_reply(self, controller, session, message) -> None:
+        """The switch answered a statistics request."""
+
+
+@dataclass(frozen=True)
+class LearningSwitchBehavior:
+    """The controller-specific knobs of a learning-switch implementation.
+
+    ``match_granularity`` selects the fields the app puts in its flow-mod
+    matches:
+
+    * ``"full"`` — the exact twelve-tuple extracted from the packet
+      (Floodlight Forwarding, POX l2_learning);
+    * ``"l2"`` — only ``in_port``, ``dl_src``, ``dl_dst`` (Ryu
+      simple_switch) — the difference behind the Table II Ryu anomaly.
+
+    ``release_via`` selects how the buffered packet is released:
+
+    * ``"flow_mod"`` — the FLOW_MOD itself carries the buffer id (POX);
+      when the suppression attack drops the FLOW_MOD, the packet dies with
+      it — the Fig. 11 denial-of-service case;
+    * ``"packet_out"`` — a separate PACKET_OUT carries the buffer id
+      (Floodlight, Ryu); suppression then degrades but does not stop
+      traffic.
+    """
+
+    name: str
+    match_granularity: str = "full"   # "full" | "l2"
+    idle_timeout: int = 5
+    hard_timeout: int = 0
+    priority: int = 1
+    release_via: str = "packet_out"   # "flow_mod" | "packet_out"
+
+    def __post_init__(self) -> None:
+        if self.match_granularity not in ("full", "l2"):
+            raise ValueError(f"bad match_granularity {self.match_granularity!r}")
+        if self.release_via not in ("flow_mod", "packet_out"):
+            raise ValueError(f"bad release_via {self.release_via!r}")
+
+    def build_match(self, fields: Dict[str, Any]) -> Match:
+        """Construct this controller's flow-mod match for a packet."""
+        if self.match_granularity == "l2":
+            return Match(
+                in_port=fields["in_port"],
+                dl_src=fields["dl_src"],
+                dl_dst=fields["dl_dst"],
+            )
+        return Match(
+            in_port=fields["in_port"],
+            dl_src=fields["dl_src"],
+            dl_dst=fields["dl_dst"],
+            dl_vlan=fields["dl_vlan"],
+            dl_vlan_pcp=fields["dl_vlan_pcp"],
+            dl_type=fields["dl_type"],
+            nw_tos=fields["nw_tos"],
+            nw_proto=fields["nw_proto"],
+            nw_src=fields["nw_src"],
+            nw_dst=fields["nw_dst"],
+            tp_src=fields["tp_src"],
+            tp_dst=fields["tp_dst"],
+        )
+
+
+class LearningSwitchApp(ControllerApp):
+    """A per-switch MAC-learning forwarding application.
+
+    Implements the common algorithm of Floodlight's ``Forwarding``, POX's
+    ``forwarding.l2_learning``, and Ryu's ``simple_switch``: learn the
+    source MAC's port; if the destination is known, install a flow and
+    forward; otherwise flood.
+    """
+
+    STATE_KEY = "learning.mac_table"
+
+    def __init__(self, behavior: LearningSwitchBehavior) -> None:
+        self.behavior = behavior
+        self.flows_installed = 0
+        self.floods = 0
+
+    def _mac_table(self, session) -> Dict[MacAddress, int]:
+        return session.app_state.setdefault(self.STATE_KEY, {})
+
+    def packet_in(self, controller, session, message: PacketIn,
+                  fields: Dict[str, Any], decoded: DecodedPacket) -> bool:
+        table = self._mac_table(session)
+        src: MacAddress = fields["dl_src"]
+        dst: MacAddress = fields["dl_dst"]
+        in_port: int = fields["in_port"]
+        table[src] = in_port
+
+        out_port: Optional[int] = table.get(dst)
+        if dst.is_broadcast or dst.is_multicast or out_port is None:
+            self._flood(controller, session, message)
+            return True
+        if out_port == in_port:
+            return True  # destination is behind the ingress port: drop
+
+        behavior = self.behavior
+        actions = [OutputAction(out_port)]
+        flow_buffer = (
+            message.buffer_id if behavior.release_via == "flow_mod" else OFP_NO_BUFFER
+        )
+        controller.stats["flow_mods_sent"] += 1
+        self.flows_installed += 1
+        session.send(
+            FlowMod(
+                behavior.build_match(fields),
+                idle_timeout=behavior.idle_timeout,
+                hard_timeout=behavior.hard_timeout,
+                priority=behavior.priority,
+                buffer_id=flow_buffer,
+                actions=actions,
+            )
+        )
+        if behavior.release_via == "packet_out":
+            controller.stats["packet_outs_sent"] += 1
+            if message.buffer_id != OFP_NO_BUFFER:
+                session.send(
+                    PacketOut(
+                        buffer_id=message.buffer_id,
+                        in_port=in_port,
+                        actions=actions,
+                    )
+                )
+            else:
+                session.send(
+                    PacketOut(
+                        in_port=in_port,
+                        actions=actions,
+                        data=message.data,
+                    )
+                )
+        return True
+
+    def _flood(self, controller, session, message: PacketIn) -> None:
+        self.floods += 1
+        controller.stats["packet_outs_sent"] += 1
+        actions = [OutputAction(Port.FLOOD)]
+        if message.buffer_id != OFP_NO_BUFFER:
+            session.send(
+                PacketOut(buffer_id=message.buffer_id, in_port=message.in_port,
+                          actions=actions)
+            )
+        else:
+            session.send(
+                PacketOut(in_port=message.in_port, actions=actions, data=message.data)
+            )
+
+    def switch_down(self, controller, session) -> None:
+        session.app_state.pop(self.STATE_KEY, None)

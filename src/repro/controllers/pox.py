@@ -1,0 +1,49 @@
+"""POX v0.2.0 behavioural model (``forwarding.l2_learning`` module).
+
+Documented behaviours reproduced here:
+
+* flow-mod matches built with ``ofp_match.from_packet`` — the full
+  twelve-tuple;
+* ``idle_timeout=10``, ``hard_timeout=30`` (the l2_learning defaults);
+* the flow mod itself carries ``buffer_id`` — POX releases the buffered
+  packet *through the flow mod*.  Under the flow-modification-suppression
+  attack the dropped FLOW_MOD therefore takes the data packet with it:
+  this is the denial-of-service case (the asterisk) in Fig. 11;
+* single-threaded CPython runtime — the slowest service time of the three.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.controllers.apps import ControllerApp, LearningSwitchApp, LearningSwitchBehavior
+from repro.controllers.base import Controller
+from repro.sim.engine import SimulationEngine
+
+POX_BEHAVIOR = LearningSwitchBehavior(
+    name="pox-l2-learning",
+    match_granularity="full",
+    idle_timeout=10,
+    hard_timeout=30,
+    priority=1,
+    release_via="flow_mod",
+)
+
+
+class PoxController(Controller):
+    """POX v0.2.0 running ``forwarding.l2_learning``."""
+
+    SERVICE_TIME = 0.0012
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        name: str = "pox",
+        extra_apps: Optional[List[ControllerApp]] = None,
+        behavior: Optional[LearningSwitchBehavior] = None,
+    ) -> None:
+        behavior = behavior or POX_BEHAVIOR
+        apps: List[ControllerApp] = list(extra_apps or [])
+        apps.append(LearningSwitchApp(behavior))
+        super().__init__(engine, name=name, apps=apps)
+        self.behavior = behavior

@@ -1,0 +1,50 @@
+"""Ryu v4.5 behavioural model (``simple_switch`` application).
+
+Documented behaviours reproduced here:
+
+* flow-mod matches carry **only** ``in_port``, ``dl_src``, ``dl_dst`` —
+  ``simple_switch.add_flow`` wildcards everything else.  This is the
+  behaviour behind the paper's Table II anomaly: "Ryu did not trigger
+  rule φ2 since its flow match attributes were specified differently from
+  those of the other two controllers";
+* no idle or hard timeout — entries are permanent;
+* the buffered packet is released with a separate PACKET_OUT carrying the
+  buffer id;
+* CPython/eventlet runtime — service time between Floodlight's and POX's.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.controllers.apps import ControllerApp, LearningSwitchApp, LearningSwitchBehavior
+from repro.controllers.base import Controller
+from repro.sim.engine import SimulationEngine
+
+RYU_BEHAVIOR = LearningSwitchBehavior(
+    name="ryu-simple-switch",
+    match_granularity="l2",
+    idle_timeout=0,
+    hard_timeout=0,
+    priority=1,
+    release_via="packet_out",
+)
+
+
+class RyuController(Controller):
+    """Ryu v4.5 running ``simple_switch``."""
+
+    SERVICE_TIME = 0.0008
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        name: str = "ryu",
+        extra_apps: Optional[List[ControllerApp]] = None,
+        behavior: Optional[LearningSwitchBehavior] = None,
+    ) -> None:
+        behavior = behavior or RYU_BEHAVIOR
+        apps: List[ControllerApp] = list(extra_apps or [])
+        apps.append(LearningSwitchApp(behavior))
+        super().__init__(engine, name=name, apps=apps)
+        self.behavior = behavior

@@ -1,0 +1,29 @@
+"""The ATTAIN compiler (Section VI-B1).
+
+"The compiler converts user-defined files specifying the system model,
+attack model, and attack states into executable code that the attack
+injector can run at runtime."
+
+* :mod:`repro.core.compiler.system_parser` — system-model XML;
+* :mod:`repro.core.compiler.attack_parser` — attack-model (capability map)
+  XML;
+* :mod:`repro.core.compiler.states_parser` — attack-states XML;
+* :mod:`repro.core.compiler.codegen` — the executable-code generator: emit
+  a standalone Python module that rebuilds the attack, and load such
+  modules back.
+"""
+
+from repro.core.compiler.attack_parser import parse_attack_model_xml
+from repro.core.compiler.codegen import compile_attack_source, generate_attack_source
+from repro.core.compiler.errors import CompileError
+from repro.core.compiler.states_parser import parse_attack_states_xml
+from repro.core.compiler.system_parser import parse_system_model_xml
+
+__all__ = [
+    "CompileError",
+    "compile_attack_source",
+    "generate_attack_source",
+    "parse_attack_model_xml",
+    "parse_attack_states_xml",
+    "parse_system_model_xml",
+]

@@ -1,0 +1,87 @@
+"""Attack-model XML parser: the Γ_NC capability map.
+
+Input format::
+
+    <attackmodel>
+      <connection controller="c1" switch="s1" class="no-tls"/>
+      <connection controller="c1" switch="s2" class="tls"/>
+      <connection controller="c1" switch="s3">
+        <capability name="DropMessage"/>
+        <capability name="ReadMessageMetadata"/>
+      </connection>
+    </attackmodel>
+
+``class`` may be ``no-tls`` (Γ), ``tls`` (Γ_TLS), or ``none`` (empty set);
+explicit ``<capability>`` children override the class.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from repro.core.compiler.errors import CompileError
+from repro.core.model.capabilities import (
+    Capability,
+    CapabilityMap,
+    gamma_no_tls,
+    gamma_tls,
+)
+from repro.core.model.system import SystemModel
+from repro.core.model.threat import AttackModel
+
+KIND = "attack-model"
+
+_CLASSES = {
+    "no-tls": gamma_no_tls,
+    "notls": gamma_no_tls,
+    "tls": gamma_tls,
+    "none": frozenset,
+}
+
+
+def parse_attack_model_xml(text: str, system: SystemModel) -> AttackModel:
+    """Parse attack-model XML against a system model."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise CompileError(KIND, f"not well-formed XML: {exc}") from exc
+    if root.tag != "attackmodel":
+        raise CompileError(KIND, f"root element must be <attackmodel>, got <{root.tag}>")
+
+    capability_map = CapabilityMap()
+    known = set(system.connection_keys())
+    for element in root.iterfind("./connection"):
+        controller = element.get("controller")
+        switch = element.get("switch")
+        if not controller or not switch:
+            raise CompileError(KIND, "<connection> needs controller and switch attributes")
+        connection = (controller, switch)
+        if connection not in known:
+            raise CompileError(
+                KIND,
+                f"connection {connection} is not in the system model's N_C",
+            )
+        explicit = [
+            child for child in element.iterfind("./capability")
+        ]
+        if explicit:
+            capabilities = set()
+            for child in explicit:
+                name = child.get("name")
+                if not name:
+                    raise CompileError(KIND, "<capability> needs a name attribute")
+                try:
+                    capabilities.add(Capability.from_name(name))
+                except ValueError as exc:
+                    raise CompileError(KIND, str(exc)) from exc
+            capability_map.assign(connection, capabilities)
+        else:
+            class_name = (element.get("class") or "no-tls").lower()
+            maker = _CLASSES.get(class_name)
+            if maker is None:
+                raise CompileError(
+                    KIND,
+                    f"unknown capability class {class_name!r}; "
+                    f"expected one of {sorted(_CLASSES)}",
+                )
+            capability_map.assign(connection, maker())
+    return AttackModel(system, capability_map)

@@ -1,0 +1,287 @@
+"""The executable-code generator (Section VI-B1).
+
+"Finally, the executable code generator takes the parser data and
+generates an executable code file to be included at the attack's runtime."
+
+``generate_attack_source`` turns a validated :class:`Attack` into a
+standalone Python module (the "executable code file") that rebuilds the
+same attack through the public API; ``compile_attack_source`` executes
+such a module and returns its attack.  The round trip
+``compile(generate(attack))`` is semantics-preserving and is
+property-tested.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.compiler.errors import CompileError
+from repro.core.lang.actions import (
+    AppendAction,
+    AttackAction,
+    DelayMessage,
+    DropMessage,
+    DuplicateMessage,
+    FuzzMessage,
+    GoToState,
+    InjectNewMessage,
+    ModifyMessage,
+    ModifyMessageMetadata,
+    PassMessage,
+    PopAction,
+    PrependAction,
+    ReadMessage,
+    ReadMessageMetadata,
+    ShiftAction,
+    Sleep,
+    SysCmd,
+)
+from repro.core.lang.attack import Attack
+from repro.core.lang.conditionals import (
+    And,
+    Comparison,
+    Condition,
+    Const,
+    ExamineEnd,
+    ExamineFront,
+    Expression,
+    MessageRef,
+    Not,
+    Or,
+    PopExpr,
+    Probability,
+    Property,
+    ShiftExpr,
+    Sum,
+    TrueCondition,
+    TypeOption,
+)
+from repro.core.model.capabilities import gamma_no_tls, gamma_tls
+
+KIND = "codegen"
+
+
+# ---------------------------------------------------------------------- #
+# DSL unparser (expressions and conditions back to parseable text)
+# ---------------------------------------------------------------------- #
+
+_BAREWORD_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.:")
+
+
+def _const_to_text(value) -> str:
+    if isinstance(value, frozenset) or isinstance(value, (set, tuple, list)):
+        inner = ", ".join(sorted(_const_to_text(item) for item in value))
+        return "{" + inner + "}"
+    if isinstance(value, bool):
+        raise CompileError(KIND, "boolean constants are not expressible in the DSL")
+    if isinstance(value, int):
+        return str(value)
+    text = str(value)
+    if text and all(ch in _BAREWORD_OK for ch in text) and not text.isdigit():
+        return text
+    return f"'{text}'"
+
+
+def expression_to_text(expr: Expression) -> str:
+    """Unparse an expression into DSL text accepted by parse_expression."""
+    if isinstance(expr, Const):
+        return _const_to_text(expr.value)
+    if isinstance(expr, Property):
+        return expr.prop.value
+    if isinstance(expr, TypeOption):
+        return f"opt.{expr.path}"
+    if isinstance(expr, MessageRef):
+        return "msg"
+    if isinstance(expr, ExamineFront):
+        return f"front({expr.deque_name})"
+    if isinstance(expr, ExamineEnd):
+        return f"end({expr.deque_name})"
+    if isinstance(expr, ShiftExpr):
+        return f"shift({expr.deque_name})"
+    if isinstance(expr, PopExpr):
+        return f"pop({expr.deque_name})"
+    if isinstance(expr, Sum):
+        parts = [expression_to_text(expr.first)]
+        for op, operand in expr.rest:
+            parts.append(f"{op} {expression_to_text(operand)}")
+        return " ".join(parts)
+    raise CompileError(KIND, f"cannot unparse expression {expr!r}")
+
+
+def condition_to_text(condition: Condition) -> str:
+    """Unparse a condition into DSL text accepted by parse_condition."""
+    if isinstance(condition, TrueCondition):
+        return "true"
+    if isinstance(condition, Probability):
+        return f"prob({condition.p})"
+    if isinstance(condition, Comparison):
+        return (
+            f"{expression_to_text(condition.left)} {condition.op} "
+            f"{expression_to_text(condition.right)}"
+        )
+    if isinstance(condition, And):
+        return "(" + " and ".join(condition_to_text(t) for t in condition.terms) + ")"
+    if isinstance(condition, Or):
+        return "(" + " or ".join(condition_to_text(t) for t in condition.terms) + ")"
+    if isinstance(condition, Not):
+        return f"not ({condition_to_text(condition.term)})"
+    raise CompileError(KIND, f"cannot unparse condition {condition!r}")
+
+
+# ---------------------------------------------------------------------- #
+# Action serialization
+# ---------------------------------------------------------------------- #
+
+
+def _value_arg(value) -> str:
+    if isinstance(value, Expression):
+        return f"parse_expression({expression_to_text(value)!r})"
+    return repr(value)
+
+
+def action_to_source(action: AttackAction) -> str:
+    if isinstance(action, PassMessage):
+        return "PassMessage()"
+    if isinstance(action, DropMessage):
+        return "DropMessage()"
+    if isinstance(action, DelayMessage):
+        return f"DelayMessage({_value_arg(action.seconds)})"
+    if isinstance(action, DuplicateMessage):
+        return f"DuplicateMessage(copies={action.copies})"
+    if isinstance(action, ReadMessageMetadata):
+        return f"ReadMessageMetadata(store_to={action.store_to!r})"
+    if isinstance(action, ModifyMessageMetadata):
+        return (
+            f"ModifyMessageMetadata({action.metadata_field!r}, "
+            f"{_value_arg(action.value)})"
+        )
+    if isinstance(action, FuzzMessage):
+        return (
+            f"FuzzMessage(bit_flips={action.bit_flips}, "
+            f"preserve_header={action.preserve_header})"
+        )
+    if isinstance(action, ReadMessage):
+        return f"ReadMessage(store_to={action.store_to!r})"
+    if isinstance(action, ModifyMessage):
+        return f"ModifyMessage({action.field_path!r}, {_value_arg(action.value)})"
+    if isinstance(action, InjectNewMessage):
+        if not isinstance(action.source, Expression):
+            raise CompileError(
+                KIND,
+                "only expression-sourced InjectNewMessage actions can be "
+                "serialized (factories/literals are runtime-only)",
+            )
+        return (
+            f"InjectNewMessage(parse_expression("
+            f"{expression_to_text(action.source)!r}), "
+            f"direction={action.direction!r})"
+        )
+    if isinstance(action, PrependAction):
+        return f"PrependAction({action.deque_name!r}, {_value_arg(action.value)})"
+    if isinstance(action, AppendAction):
+        return f"AppendAction({action.deque_name!r}, {_value_arg(action.value)})"
+    if isinstance(action, ShiftAction):
+        return f"ShiftAction({action.deque_name!r})"
+    if isinstance(action, PopAction):
+        return f"PopAction({action.deque_name!r})"
+    if isinstance(action, GoToState):
+        return f"GoToState({action.state_name!r})"
+    if isinstance(action, Sleep):
+        return f"Sleep({action.seconds})"
+    if isinstance(action, SysCmd):
+        return f"SysCmd({action.host!r}, {action.command!r})"
+    raise CompileError(KIND, f"cannot serialize action {action!r}")
+
+
+def _gamma_source(gamma: frozenset) -> str:
+    if gamma == gamma_no_tls():
+        return "gamma_no_tls()"
+    if gamma == gamma_tls():
+        return "gamma_tls()"
+    names = ", ".join(
+        f"Capability.{capability.name}" for capability in sorted(gamma, key=lambda c: c.name)
+    )
+    return "{" + names + "}"
+
+
+# ---------------------------------------------------------------------- #
+# Module generation / loading
+# ---------------------------------------------------------------------- #
+
+_HEADER = '''\
+"""Executable attack code generated by the ATTAIN compiler.
+
+Regenerate with repro.core.compiler.generate_attack_source(); load with
+repro.core.compiler.compile_attack_source().
+"""
+
+from repro.core.lang.actions import (
+    AppendAction, DelayMessage, DropMessage, DuplicateMessage, FuzzMessage,
+    GoToState, InjectNewMessage, ModifyMessage, ModifyMessageMetadata,
+    PassMessage, PopAction, PrependAction, ReadMessage, ReadMessageMetadata,
+    ShiftAction, Sleep, SysCmd,
+)
+from repro.core.lang.attack import Attack
+from repro.core.lang.parser import parse_condition, parse_expression
+from repro.core.lang.rules import Rule
+from repro.core.lang.states import AttackState
+from repro.core.model.capabilities import Capability, gamma_no_tls, gamma_tls
+
+
+def build_attack() -> Attack:
+'''
+
+
+def generate_attack_source(attack: Attack) -> str:
+    """Emit the executable Python module for ``attack``."""
+    lines: List[str] = [_HEADER]
+    indent = "    "
+    for state_name in sorted(attack.states):
+        state = attack.states[state_name]
+        var = _state_var(state_name)
+        lines.append(f"{indent}{var}_rules = []")
+        for rule in state.rules:
+            connections = sorted(rule.connections)
+            actions_src = ", ".join(action_to_source(action) for action in rule.actions)
+            lines.append(
+                f"{indent}{var}_rules.append(Rule(\n"
+                f"{indent}    {rule.name!r},\n"
+                f"{indent}    {connections!r},\n"
+                f"{indent}    {_gamma_source(rule.gamma)},\n"
+                f"{indent}    parse_condition({condition_to_text(rule.conditional)!r}),\n"
+                f"{indent}    [{actions_src}],\n"
+                f"{indent}))"
+            )
+        lines.append(f"{indent}{var} = AttackState({state_name!r}, {var}_rules)")
+    state_vars = ", ".join(_state_var(name) for name in sorted(attack.states))
+    lines.append(
+        f"{indent}return Attack(\n"
+        f"{indent}    {attack.name!r},\n"
+        f"{indent}    [{state_vars}],\n"
+        f"{indent}    start={attack.start!r},\n"
+        f"{indent}    deque_declarations={attack.deque_declarations!r},\n"
+        f"{indent}    description={attack.description!r},\n"
+        f"{indent})"
+    )
+    lines.append("")
+    lines.append("ATTACK = build_attack()")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _state_var(state_name: str) -> str:
+    cleaned = "".join(ch if ch.isalnum() else "_" for ch in state_name)
+    return f"state_{cleaned}"
+
+
+def compile_attack_source(source: str) -> Attack:
+    """Execute a generated module and return its ATTACK object."""
+    namespace: dict = {"__name__": "attain_generated_attack"}
+    try:
+        exec(compile(source, "<generated attack>", "exec"), namespace)
+    except Exception as exc:
+        raise CompileError(KIND, f"generated code failed to execute: {exc}") from exc
+    attack = namespace.get("ATTACK")
+    if not isinstance(attack, Attack):
+        raise CompileError(KIND, "generated module did not produce an ATTACK object")
+    return attack

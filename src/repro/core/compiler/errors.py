@@ -1,0 +1,16 @@
+"""Compiler diagnostics."""
+
+from __future__ import annotations
+
+
+class CompileError(Exception):
+    """A user-supplied model/attack file is malformed or inconsistent.
+
+    The message carries the file kind and element context so practitioners
+    can locate the problem in their XML.
+    """
+
+    def __init__(self, kind: str, detail: str) -> None:
+        self.kind = kind
+        self.detail = detail
+        super().__init__(f"{kind}: {detail}")

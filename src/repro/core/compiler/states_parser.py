@@ -1,0 +1,275 @@
+"""Attack-states XML parser.
+
+Input format::
+
+    <attack name="flow-mod-suppression" start="sigma1">
+      <deque name="count"><value type="int">0</value></deque>
+      <state name="sigma1">
+        <rule name="phi1">
+          <connections>
+            <all-connections/>          <!-- or explicit <connection .../> -->
+          </connections>
+          <gamma class="no-tls"/>       <!-- or explicit <capability .../> -->
+          <condition>type = FLOW_MOD</condition>
+          <actions>
+            <drop/>
+          </actions>
+        </rule>
+      </state>
+    </attack>
+
+Supported action elements (Section V-D): ``pass drop delay duplicate
+read-metadata modify-metadata fuzz read modify inject prepend append shift
+pop goto sleep syscmd``.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Any, List
+
+from repro.core.compiler.errors import CompileError
+from repro.core.lang.actions import (
+    AppendAction,
+    AttackAction,
+    DelayMessage,
+    DropMessage,
+    DuplicateMessage,
+    FuzzMessage,
+    GoToState,
+    InjectNewMessage,
+    ModifyMessage,
+    ModifyMessageMetadata,
+    PassMessage,
+    PopAction,
+    PrependAction,
+    ReadMessage,
+    ReadMessageMetadata,
+    ShiftAction,
+    Sleep,
+    SysCmd,
+)
+from repro.core.lang.attack import Attack
+from repro.core.lang.parser import ConditionParseError, parse_condition, parse_expression
+from repro.core.lang.rules import Rule, RuleValidationError
+from repro.core.lang.states import AttackState
+from repro.core.model.capabilities import Capability, gamma_no_tls, gamma_tls
+from repro.core.model.system import SystemModel
+
+KIND = "attack-states"
+
+
+def parse_attack_states_xml(text: str, system: SystemModel) -> Attack:
+    """Parse attack-states XML into a validated :class:`Attack`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise CompileError(KIND, f"not well-formed XML: {exc}") from exc
+    if root.tag != "attack":
+        raise CompileError(KIND, f"root element must be <attack>, got <{root.tag}>")
+    name = root.get("name") or "unnamed-attack"
+    start = root.get("start")
+    if not start:
+        raise CompileError(KIND, "<attack> needs a start attribute")
+
+    deques = {}
+    for element in root.iterfind("./deque"):
+        deque_name = element.get("name")
+        if not deque_name:
+            raise CompileError(KIND, "<deque> needs a name attribute")
+        deques[deque_name] = [_parse_value(child) for child in element.iterfind("./value")]
+
+    states: List[AttackState] = []
+    for state_element in root.iterfind("./state"):
+        state_name = state_element.get("name")
+        if not state_name:
+            raise CompileError(KIND, "<state> needs a name attribute")
+        rules = [
+            _parse_rule(rule_element, system, state_name)
+            for rule_element in state_element.iterfind("./rule")
+        ]
+        states.append(AttackState(state_name, rules))
+    if not states:
+        raise CompileError(KIND, "an attack must declare at least one <state>")
+    try:
+        return Attack(
+            name,
+            states,
+            start=start,
+            deque_declarations=deques,
+            description=root.get("description", ""),
+        )
+    except Exception as exc:
+        raise CompileError(KIND, str(exc)) from exc
+
+
+def _parse_value(element: ET.Element) -> Any:
+    value_type = element.get("type", "str")
+    text = element.text or ""
+    if value_type == "int":
+        return int(text)
+    if value_type == "float":
+        return float(text)
+    if value_type == "str":
+        return text
+    raise CompileError(KIND, f"unknown deque value type {value_type!r}")
+
+
+def _parse_rule(element: ET.Element, system: SystemModel, state_name: str) -> Rule:
+    rule_name = element.get("name") or f"{state_name}-rule"
+    context = f"state {state_name!r} rule {rule_name!r}"
+
+    connections = _parse_connections(element, system, context)
+    gamma = _parse_gamma(element, context)
+
+    condition_element = element.find("./condition")
+    condition_text = (
+        condition_element.text if condition_element is not None else ""
+    ) or ""
+    try:
+        conditional = parse_condition(condition_text)
+    except ConditionParseError as exc:
+        raise CompileError(KIND, f"{context}: bad condition: {exc}") from exc
+
+    actions_element = element.find("./actions")
+    if actions_element is None:
+        raise CompileError(KIND, f"{context}: missing <actions>")
+    actions = [
+        _parse_action(child, context) for child in actions_element
+    ]
+    try:
+        return Rule(rule_name, connections, gamma, conditional, actions)
+    except RuleValidationError as exc:
+        raise CompileError(KIND, f"{context}: {exc}") from exc
+
+
+def _parse_connections(
+    element: ET.Element, system: SystemModel, context: str
+) -> frozenset:
+    container = element.find("./connections")
+    if container is None:
+        raise CompileError(KIND, f"{context}: missing <connections>")
+    if container.find("./all-connections") is not None:
+        return frozenset(system.connection_keys())
+    connections: set = set()
+    for child in container.iterfind("./connection"):
+        controller = child.get("controller")
+        switch = child.get("switch")
+        if not controller or not switch:
+            raise CompileError(
+                KIND, f"{context}: <connection> needs controller and switch"
+            )
+        connections.add((controller, switch))
+    if not connections:
+        raise CompileError(KIND, f"{context}: no connections declared")
+    return frozenset(connections)
+
+
+def _parse_gamma(element: ET.Element, context: str) -> frozenset:
+    gamma_element = element.find("./gamma")
+    if gamma_element is None:
+        return gamma_no_tls()
+    explicit = list(gamma_element.iterfind("./capability"))
+    if explicit:
+        capabilities = set()
+        for child in explicit:
+            name = child.get("name")
+            if not name:
+                raise CompileError(KIND, f"{context}: <capability> needs a name")
+            try:
+                capabilities.add(Capability.from_name(name))
+            except ValueError as exc:
+                raise CompileError(KIND, f"{context}: {exc}") from exc
+        return frozenset(capabilities)
+    class_name = (gamma_element.get("class") or "no-tls").lower()
+    if class_name in ("no-tls", "notls"):
+        return gamma_no_tls()
+    if class_name == "tls":
+        return gamma_tls()
+    raise CompileError(KIND, f"{context}: unknown gamma class {class_name!r}")
+
+
+def _parse_action(element: ET.Element, context: str) -> AttackAction:
+    tag = element.tag.lower()
+    try:
+        if tag == "pass":
+            return PassMessage()
+        if tag == "drop":
+            return DropMessage()
+        if tag == "delay":
+            return DelayMessage(_expr_or_float(element, "seconds"))
+        if tag == "duplicate":
+            return DuplicateMessage(copies=int(element.get("copies", "1")))
+        if tag == "read-metadata":
+            return ReadMessageMetadata(store_to=element.get("store-to"))
+        if tag == "modify-metadata":
+            return ModifyMessageMetadata(
+                _require_attr(element, "field", context),
+                _expr_or_str(element, "value", context),
+            )
+        if tag == "fuzz":
+            return FuzzMessage(
+                bit_flips=int(element.get("bit-flips", "8")),
+                preserve_header=element.get("preserve-header", "false") == "true",
+            )
+        if tag == "read":
+            return ReadMessage(store_to=element.get("store-to"))
+        if tag == "modify":
+            return ModifyMessage(
+                _require_attr(element, "field", context),
+                _expr_or_str(element, "value", context),
+            )
+        if tag == "inject":
+            return InjectNewMessage(
+                parse_expression(_require_attr(element, "from", context))
+            )
+        if tag == "prepend":
+            return PrependAction(
+                _require_attr(element, "deque", context),
+                parse_expression(_require_attr(element, "value", context)),
+            )
+        if tag == "append":
+            return AppendAction(
+                _require_attr(element, "deque", context),
+                parse_expression(_require_attr(element, "value", context)),
+            )
+        if tag == "shift":
+            return ShiftAction(_require_attr(element, "deque", context))
+        if tag == "pop":
+            return PopAction(_require_attr(element, "deque", context))
+        if tag == "goto":
+            return GoToState(_require_attr(element, "state", context))
+        if tag == "sleep":
+            return Sleep(float(_require_attr(element, "seconds", context)))
+        if tag == "syscmd":
+            return SysCmd(
+                _require_attr(element, "host", context),
+                _require_attr(element, "command", context),
+            )
+    except (ConditionParseError, ValueError) as exc:
+        raise CompileError(KIND, f"{context}: bad <{tag}> action: {exc}") from exc
+    raise CompileError(KIND, f"{context}: unknown action element <{tag}>")
+
+
+def _require_attr(element: ET.Element, attr: str, context: str) -> str:
+    value = element.get(attr)
+    if value is None:
+        raise CompileError(
+            KIND, f"{context}: <{element.tag}> missing required attribute {attr!r}"
+        )
+    return value
+
+
+def _expr_or_float(element: ET.Element, attr: str):
+    value = element.get(attr, "0")
+    try:
+        return float(value)
+    except ValueError:
+        return parse_expression(value)
+
+
+def _expr_or_str(element: ET.Element, attr: str, context: str):
+    value = _require_attr(element, attr, context)
+    if value.startswith("expr:"):
+        return parse_expression(value[5:])
+    return value

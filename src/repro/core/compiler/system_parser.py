@@ -1,0 +1,142 @@
+"""System-model XML parser.
+
+Input format::
+
+    <system name="enterprise">
+      <controllers>
+        <controller name="c1" address="10.1.0.1"/>
+      </controllers>
+      <switches>
+        <switch name="s1" dpid="1" ports="1,2,3"/>
+      </switches>
+      <hosts>
+        <host name="h1" mac="00:00:00:00:00:01" ip="10.0.0.1"/>
+      </hosts>
+      <dataplane>
+        <link a="h1" b="s1" b-port="1"/>
+        <link a="s1" a-port="3" b="s2" b-port="1"/>
+      </dataplane>
+      <controlplane>
+        <connection controller="c1" switch="s1"/>
+      </controlplane>
+    </system>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import List, Optional
+
+from repro.netlib.addresses import Ipv4Address, MacAddress
+from repro.core.compiler.errors import CompileError
+from repro.core.model.system import (
+    ControlConnection,
+    ControllerSpec,
+    DataPlaneEdge,
+    HostSpec,
+    SwitchSpec,
+    SystemModel,
+    SystemModelError,
+)
+
+KIND = "system-model"
+
+
+def parse_system_model_xml(text: str) -> SystemModel:
+    """Parse system-model XML text into a validated :class:`SystemModel`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise CompileError(KIND, f"not well-formed XML: {exc}") from exc
+    if root.tag != "system":
+        raise CompileError(KIND, f"root element must be <system>, got <{root.tag}>")
+
+    controllers = [
+        ControllerSpec(
+            name=_require(element, "name"),
+            address=element.get("address", ""),
+        )
+        for element in root.iterfind("./controllers/controller")
+    ]
+    switches = []
+    for element in root.iterfind("./switches/switch"):
+        name = _require(element, "name")
+        ports_attr = element.get("ports", "")
+        try:
+            ports = tuple(
+                int(part, 0) for part in ports_attr.split(",") if part.strip()
+            )
+        except ValueError as exc:
+            raise CompileError(
+                KIND, f"switch {name!r} has a malformed ports list "
+                f"{ports_attr!r}"
+            ) from exc
+        switches.append(
+            SwitchSpec(
+                name=name,
+                datapath_id=_int_attr(element, "dpid", default=len(switches) + 1),
+                ports=ports,
+            )
+        )
+    hosts = []
+    for element in root.iterfind("./hosts/host"):
+        mac = element.get("mac")
+        ip = element.get("ip")
+        try:
+            hosts.append(
+                HostSpec(
+                    name=_require(element, "name"),
+                    mac=MacAddress(mac) if mac else None,
+                    ip=Ipv4Address(ip) if ip else None,
+                )
+            )
+        except ValueError as exc:
+            raise CompileError(KIND, f"bad host address: {exc}") from exc
+
+    edges: List[DataPlaneEdge] = []
+    for element in root.iterfind("./dataplane/link"):
+        a = _require(element, "a")
+        b = _require(element, "b")
+        a_port = _optional_int(element, "a-port")
+        b_port = _optional_int(element, "b-port")
+        edges.append(DataPlaneEdge(a, b, a_port, b_port))
+        edges.append(DataPlaneEdge(b, a, b_port, a_port))
+
+    connections = [
+        ControlConnection(
+            controller=_require(element, "controller"),
+            switch=_require(element, "switch"),
+        )
+        for element in root.iterfind("./controlplane/connection")
+    ]
+    try:
+        return SystemModel(controllers, switches, hosts, edges, connections)
+    except SystemModelError as exc:
+        raise CompileError(KIND, str(exc)) from exc
+
+
+def _require(element: ET.Element, attr: str) -> str:
+    value = element.get(attr)
+    if value is None or not value.strip():
+        raise CompileError(KIND, f"<{element.tag}> missing required attribute {attr!r}")
+    return value.strip()
+
+
+def _int_attr(element: ET.Element, attr: str, default: int) -> int:
+    value = element.get(attr)
+    if value is None:
+        return default
+    try:
+        return int(value, 0)
+    except ValueError as exc:
+        raise CompileError(KIND, f"<{element.tag}> attribute {attr!r} not an int") from exc
+
+
+def _optional_int(element: ET.Element, attr: str) -> Optional[int]:
+    value = element.get(attr)
+    if value is None:
+        return None
+    try:
+        return int(value, 0)
+    except ValueError as exc:
+        raise CompileError(KIND, f"<{element.tag}> attribute {attr!r} not an int") from exc

@@ -1,0 +1,156 @@
+"""The attack executor — a faithful implementation of Algorithm 1.
+
+The executor keeps the attack's current state σ_current, evaluates each
+incoming interposed message against the rules of the state saved at the
+start of processing (σ_previous), executes matching rules' actions through
+the :class:`~repro.core.injector.modifier.MessageModifier`, and returns the
+outgoing message list.  GOTOSTATE actions set the next state (Algorithm 1,
+lines 11–12); all other actions may alter the outgoing list (line 14).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Protocol
+
+from repro.core.lang.actions import ActionContext, GoToState, OutgoingMessage
+from repro.core.lang.attack import Attack
+from repro.core.lang.conditionals import EvalContext
+from repro.core.lang.properties import InterposedMessage
+from repro.core.injector.modifier import MessageModifier
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import SeededRng
+
+
+class ExecutorObserver(Protocol):
+    """Receives executor events (for the Section VI-B3 monitors)."""
+
+    def rule_fired(self, state: str, rule_name: str, message: InterposedMessage) -> None:
+        ...
+
+    def state_changed(self, previous: str, current: str, at: float) -> None:
+        ...
+
+    def action_record(self, kind: str, data: dict, at: float) -> None:
+        ...
+
+
+class AttackExecutor:
+    """Runs one attack (Algorithm 1: ATTACKEXECUTOR(Σ, σ_start))."""
+
+    def __init__(
+        self,
+        attack: Attack,
+        engine: SimulationEngine,
+        rng: Optional[SeededRng] = None,
+        syscmd_router: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
+        self.attack = attack
+        self.engine = engine
+        self.rng = (rng or SeededRng(0)).child("executor")
+        self.storage = attack.build_storage()
+        self.modifier = MessageModifier()
+        self.current_state_name = attack.start            # line 2
+        self.sleep_until = 0.0
+        self._syscmd_router = syscmd_router or (lambda host, cmd: None)
+        self._observers: List[ExecutorObserver] = []
+        self.stats: Dict[str, int] = {
+            "messages_processed": 0,
+            "rules_evaluated": 0,
+            "rules_fired": 0,
+            "state_transitions": 0,
+            "messages_dropped": 0,
+            "messages_injected": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Observers / routing
+    # ------------------------------------------------------------------ #
+
+    def add_observer(self, observer: ExecutorObserver) -> None:
+        self._observers.append(observer)
+
+    def set_syscmd_router(self, router: Callable[[str, str], None]) -> None:
+        self._syscmd_router = router
+
+    @property
+    def current_state(self):
+        return self.attack.states[self.current_state_name]
+
+    def sleeping(self, now: float) -> bool:
+        """True while a SLEEP action is holding up state execution."""
+        return now < self.sleep_until
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1
+    # ------------------------------------------------------------------ #
+
+    def handle_message(self, incoming: InterposedMessage) -> List[OutgoingMessage]:
+        """Process one asynchronous incoming message (lines 4–21)."""
+        self.stats["messages_processed"] += 1
+        out: List[OutgoingMessage] = [OutgoingMessage(incoming)]       # line 5
+        previous_state = self.current_state                            # line 6
+        eval_ctx = EvalContext(incoming, self.storage, self.engine.now,
+                               rng=self.rng)
+        action_ctx = ActionContext(
+            eval_ctx,
+            out,
+            goto=self._goto,
+            sleep=self._sleep,
+            syscmd=self._syscmd,
+            record=self._record,
+            rng=self.rng,
+        )
+        for rule in previous_state.rules:                              # line 7
+            if not rule.binds(incoming.connection):
+                continue
+            self.stats["rules_evaluated"] += 1
+            if rule.conditional.evaluate(eval_ctx):                    # line 9
+                self.stats["rules_fired"] += 1
+                self._notify_rule(previous_state.name, rule.name, incoming)
+                for action in rule.actions:                            # line 10
+                    if isinstance(action, GoToState):                  # lines 11–12
+                        self._goto(action.state_name)
+                    else:                                              # line 14
+                        self.modifier.apply(action, action_ctx)
+        if not any(entry.message is incoming for entry in out):
+            self.stats["messages_dropped"] += 1
+        self.stats["messages_injected"] += sum(1 for entry in out if entry.injected)
+        return out                                                     # lines 19–21
+
+    # ------------------------------------------------------------------ #
+    # Framework hooks
+    # ------------------------------------------------------------------ #
+
+    def _goto(self, state_name: str) -> None:
+        if state_name not in self.attack.states:
+            raise KeyError(
+                f"GOTOSTATE target {state_name!r} is not a state of "
+                f"attack {self.attack.name!r}"
+            )
+        if state_name == self.current_state_name:
+            return
+        previous = self.current_state_name
+        self.current_state_name = state_name
+        self.stats["state_transitions"] += 1
+        for observer in self._observers:
+            observer.state_changed(previous, state_name, self.engine.now)
+
+    def _sleep(self, seconds: float) -> None:
+        self.sleep_until = max(self.sleep_until, self.engine.now + seconds)
+
+    def _syscmd(self, host: str, command: str) -> None:
+        self._syscmd_router(host, command)
+
+    def _record(self, kind: str, data: dict) -> None:
+        for observer in self._observers:
+            observer.action_record(kind, data, self.engine.now)
+
+    def _notify_rule(self, state: str, rule_name: str, message: InterposedMessage) -> None:
+        for observer in self._observers:
+            observer.rule_fired(state, rule_name, message)
+
+    def __repr__(self) -> str:
+        return (
+            f"<AttackExecutor attack={self.attack.name!r} "
+            f"state={self.current_state_name!r}>"
+        )

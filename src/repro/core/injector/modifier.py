@@ -1,0 +1,31 @@
+"""The MESSAGEMODIFIER component (Section VI-B2, Algorithm 1 line 14).
+
+"The MESSAGEMODIFIER function evaluates the specific action and may alter
+the outgoing message list (e.g., an action's dropping of the message would
+remove it from the list; an action's duplicating of the message would
+append a second copy to the list)."
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.lang.actions import ActionContext, AttackAction
+
+
+class MessageModifier:
+    """Applies non-GOTOSTATE actions to the outgoing message list."""
+
+    def __init__(self) -> None:
+        self.actions_applied = 0
+        self.by_action: Dict[str, int] = {}
+
+    def apply(self, action: AttackAction, ctx: ActionContext) -> None:
+        """Run one action against the current outgoing list."""
+        self.actions_applied += 1
+        key = type(action).__name__
+        self.by_action[key] = self.by_action.get(key, 0) + 1
+        action.apply(ctx)
+
+    def __repr__(self) -> str:
+        return f"<MessageModifier applied={self.actions_applied}>"

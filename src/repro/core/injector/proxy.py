@@ -1,0 +1,176 @@
+"""The control-plane connection proxy (Section VI-B2).
+
+"The control plane connection proxy proxies all control plane connections
+for interposing, and it operates as a server for switch connections and as
+a client for controller connections."
+
+Each switch is pointed at a :class:`ProxyPort` instead of its controller
+(the only deployment change the paper requires).  When the switch dials in,
+the port spins up a :class:`ConnectionProxy` which dials the real
+controller, decodes the byte streams into OpenFlow messages, runs each
+through the attack executor, and re-encodes the executor's outgoing list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.dataplane.control import ControlChannel
+from repro.openflow.connection import MessageFramer
+from repro.openflow.messages import OpenFlowDecodeError
+from repro.core.lang.actions import OutgoingMessage
+from repro.core.lang.properties import Direction, InterposedMessage
+
+ConnectionKey = Tuple[str, str]
+
+
+class ConnectionProxy:
+    """One interposed control-plane connection (controller, switch)."""
+
+    def __init__(self, injector, connection: ConnectionKey) -> None:
+        self.injector = injector
+        self.connection = tuple(connection)
+        self.switch_channel: Optional[ControlChannel] = None
+        self.controller_channel: Optional[ControlChannel] = None
+        self._to_controller_framer = MessageFramer()
+        self._to_switch_framer = MessageFramer()
+        self._interposed = bool(injector.attack_model.gamma(connection))
+        self.closed = False
+        self.stats: Dict[str, int] = {
+            "to_controller_messages": 0,
+            "to_switch_messages": 0,
+            "forwarded": 0,
+            "dropped": 0,
+            "injected": 0,
+            "delayed": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # ControlEndpoint interface (both sides land here)
+    # ------------------------------------------------------------------ #
+
+    def channel_opened(self, channel: ControlChannel) -> None:
+        # Only the controller-side dial lands here (the switch side is
+        # adopted by ProxyPort); mark it live.
+        self.controller_channel = channel
+
+    def bytes_received(self, channel: ControlChannel, data: bytes) -> None:
+        if self.closed:
+            return
+        if channel is self.switch_channel:
+            direction = Direction.TO_CONTROLLER
+            framer = self._to_controller_framer
+        elif channel is self.controller_channel:
+            direction = Direction.TO_SWITCH
+            framer = self._to_switch_framer
+        else:
+            return
+        if not self._interposed:
+            # No attacker on this connection: forward raw bytes untouched.
+            peer = self._peer_channel(direction)
+            if peer is not None:
+                peer.send(data)
+            return
+        try:
+            messages = framer.feed(data)
+        except OpenFlowDecodeError:
+            # Give up interposing a corrupt stream: pass bytes through so
+            # the endpoints see the same garbage a real TCP proxy would.
+            peer = self._peer_channel(direction)
+            if peer is not None:
+                peer.send(data)
+            return
+        for message in messages:
+            interposed = InterposedMessage(
+                self.connection,
+                direction,
+                self.injector.engine.now,
+                message.pack(),
+                message,
+            )
+            if direction is Direction.TO_CONTROLLER:
+                self.stats["to_controller_messages"] += 1
+            else:
+                self.stats["to_switch_messages"] += 1
+            self.injector.submit(self, interposed)
+
+    def channel_closed(self, channel: ControlChannel) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Output
+    # ------------------------------------------------------------------ #
+
+    def deliver(self, outgoing: List[OutgoingMessage]) -> None:
+        """Send the executor's outgoing list to the proper sides."""
+        if self.closed:
+            return
+        self.stats["forwarded"] += len(outgoing)
+        for entry in outgoing:
+            if entry.injected:
+                self.stats["injected"] += 1
+            target = self.injector.route(self, entry)
+            if target is None:
+                continue
+            if entry.delay > 0:
+                self.stats["delayed"] += 1
+                self.injector.engine.schedule(
+                    entry.delay, self._send_if_open, target, entry.message.raw
+                )
+            else:
+                self._send_if_open(target, entry.message.raw)
+
+    @staticmethod
+    def _send_if_open(channel: ControlChannel, data: bytes) -> None:
+        if channel.open:
+            channel.send(data)
+
+    def _peer_channel(self, direction: Direction) -> Optional[ControlChannel]:
+        if direction is Direction.TO_CONTROLLER:
+            return self.controller_channel
+        return self.switch_channel
+
+    def channel_for(self, direction: Direction) -> Optional[ControlChannel]:
+        return self._peer_channel(direction)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        for channel in (self.switch_channel, self.controller_channel):
+            if channel is not None and channel.open:
+                channel.close()
+        self.injector.proxy_closed(self)
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"<ConnectionProxy {self.connection} {state}>"
+
+
+class ProxyPort:
+    """The listening endpoint a switch is configured to dial.
+
+    One port exists per registered control connection; it identifies which
+    (controller, switch) pair an inbound connection belongs to — the
+    equivalent of the paper's per-switch proxy listen sockets.
+    """
+
+    def __init__(self, injector, connection: ConnectionKey) -> None:
+        self.injector = injector
+        self.connection = tuple(connection)
+
+    def channel_opened(self, channel: ControlChannel) -> None:
+        proxy = self.injector.create_proxy(self.connection)
+        proxy.switch_channel = channel
+        channel.owner = proxy
+        self.injector.dial_controller(proxy)
+
+    def bytes_received(self, channel: ControlChannel, data: bytes) -> None:
+        # Until channel_opened fires, no bytes can arrive (connect latency).
+        raise AssertionError("ProxyPort received bytes before adoption")
+
+    def channel_closed(self, channel: ControlChannel) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return f"<ProxyPort {self.connection}>"

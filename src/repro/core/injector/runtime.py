@@ -1,0 +1,226 @@
+"""The runtime injector: orchestration of proxies, executor, and monitors.
+
+The paper's deployment (Section VI-C): all control-plane connections are
+proxied "through a single-threaded, centralized runtime injector instance",
+imposing a total order on interposed messages.  Here that total order is
+the simulation engine's deterministic event order, and the single executor
+instance holds the one global state σ and storage Δ.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.dataplane.control import ControlEndpoint, connect_endpoints
+from repro.dataplane.network import Network
+from repro.core.injector.executor import AttackExecutor
+from repro.core.injector.proxy import ConnectionProxy, ProxyPort
+from repro.core.lang.actions import OutgoingMessage
+from repro.core.lang.attack import Attack
+from repro.core.lang.properties import Direction, InterposedMessage
+from repro.core.model.threat import AttackModel
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import SeededRng
+
+ConnectionKey = Tuple[str, str]
+
+
+class RuntimeInjector:
+    """The centralized ATTAIN runtime injector."""
+
+    DEFAULT_CONTROL_LATENCY = 0.00025
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        attack_model: AttackModel,
+        attack: Optional[Attack] = None,
+        rng: Optional[SeededRng] = None,
+        name: str = "injector",
+    ) -> None:
+        self.engine = engine
+        self.attack_model = attack_model
+        self.name = name
+        self.rng = rng or SeededRng(0)
+        self.executor: Optional[AttackExecutor] = None
+        if attack is not None:
+            attack.validate_against(attack_model)
+            self.executor = AttackExecutor(attack, engine, rng=self.rng)
+        self._controller_endpoints: Dict[ConnectionKey, ControlEndpoint] = {}
+        self._latency: Dict[ConnectionKey, float] = {}
+        self._ports: Dict[ConnectionKey, ProxyPort] = {}
+        self.active_proxies: Dict[ConnectionKey, ConnectionProxy] = {}
+        self._observers: List = []
+        self.stats: Dict[str, int] = {
+            "messages_interposed": 0,
+            "messages_deferred": 0,
+            "proxies_created": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+
+    def port_for(
+        self,
+        connection: ConnectionKey,
+        controller_endpoint: ControlEndpoint,
+        latency_s: float = DEFAULT_CONTROL_LATENCY,
+    ) -> ProxyPort:
+        """Create (or fetch) the proxy listen port for one connection."""
+        connection = tuple(connection)
+        if connection not in set(self.attack_model.system.connection_keys()):
+            raise KeyError(f"connection {connection} is not in the system model's N_C")
+        self._controller_endpoints[connection] = controller_endpoint
+        self._latency[connection] = latency_s
+        if connection not in self._ports:
+            self._ports[connection] = ProxyPort(self, connection)
+        return self._ports[connection]
+
+    def install(
+        self,
+        network: Network,
+        controllers: Dict[str, ControlEndpoint],
+        latency_s: float = DEFAULT_CONTROL_LATENCY,
+    ) -> None:
+        """Interpose every N_C connection of ``network``.
+
+        ``controllers`` maps system-model controller names to live
+        controller endpoints.  Each switch is re-pointed at its proxy port
+        — the paper's "point to the proxy as the SDN controller" step.
+        """
+        wired = set()
+        for connection in self.attack_model.system.connection_keys():
+            controller_name, switch_name = connection
+            endpoint = controllers.get(controller_name)
+            if endpoint is None:
+                raise KeyError(f"no live endpoint for controller {controller_name!r}")
+            port = self.port_for(connection, endpoint, latency_s)
+            if switch_name in wired:
+                # N_C is many-to-many: further controllers become
+                # additional (redundant) connections on the same switch.
+                network.add_controller_target(switch_name, port, latency_s,
+                                              target_name=controller_name)
+            else:
+                network.set_controller_target(switch_name, port, latency_s)
+                wired.add(switch_name)
+
+    def add_observer(self, observer) -> None:
+        """Register a monitor for executor and message events."""
+        self._observers.append(observer)
+        if self.executor is not None:
+            self.executor.add_observer(observer)
+
+    def set_syscmd_router(self, router: Callable[[str, str], None]) -> None:
+        if self.executor is not None:
+            self.executor.set_syscmd_router(router)
+
+    # ------------------------------------------------------------------ #
+    # Proxy lifecycle (called by ProxyPort / ConnectionProxy)
+    # ------------------------------------------------------------------ #
+
+    def create_proxy(self, connection: ConnectionKey) -> ConnectionProxy:
+        old = self.active_proxies.get(tuple(connection))
+        if old is not None and not old.closed:
+            old.close()
+        proxy = ConnectionProxy(self, connection)
+        self.active_proxies[tuple(connection)] = proxy
+        self.stats["proxies_created"] += 1
+        return proxy
+
+    def dial_controller(self, proxy: ConnectionProxy) -> None:
+        endpoint = self._controller_endpoints[proxy.connection]
+        latency = self._latency[proxy.connection]
+        chan_proxy, _chan_ctl = connect_endpoints(
+            self.engine,
+            proxy,
+            endpoint,
+            latency_s=latency,
+            name=f"proxy-{proxy.connection[1]}-to-{proxy.connection[0]}",
+        )
+        proxy.controller_channel = chan_proxy
+
+    def proxy_closed(self, proxy: ConnectionProxy) -> None:
+        if self.active_proxies.get(proxy.connection) is proxy:
+            del self.active_proxies[proxy.connection]
+
+    # ------------------------------------------------------------------ #
+    # Message path
+    # ------------------------------------------------------------------ #
+
+    def submit(self, proxy: ConnectionProxy, message: InterposedMessage) -> None:
+        """Run one interposed message through the attack executor.
+
+        SLEEP actions hold up state execution: messages arriving during a
+        sleep are deferred (in order) until it elapses.
+        """
+        if self.executor is None:
+            self.stats["messages_interposed"] += 1
+            outgoing = [OutgoingMessage(message)]
+            for observer in self._observers:
+                handler = getattr(observer, "message_interposed", None)
+                if handler is not None:
+                    handler(message, outgoing, self.engine.now)
+            proxy.deliver(outgoing)
+            return
+        if self.executor.sleeping(self.engine.now):
+            self.stats["messages_deferred"] += 1
+            self.engine.schedule_at(
+                self.executor.sleep_until, self._process, proxy, message
+            )
+            return
+        self._process(proxy, message)
+
+    def _process(self, proxy: ConnectionProxy, message: InterposedMessage) -> None:
+        if self.executor is not None and self.executor.sleeping(self.engine.now):
+            # A SLEEP landed while this message waited; defer again.
+            self.engine.schedule_at(
+                self.executor.sleep_until, self._process, proxy, message
+            )
+            return
+        self.stats["messages_interposed"] += 1
+        assert self.executor is not None
+        outgoing = self.executor.handle_message(message)
+        for observer in self._observers:
+            handler = getattr(observer, "message_interposed", None)
+            if handler is not None:
+                handler(message, outgoing, self.engine.now)
+        proxy.deliver(outgoing)
+
+    def route(self, proxy: ConnectionProxy, entry: OutgoingMessage):
+        """Pick the output channel for one outgoing message.
+
+        Honors MODIFYMESSAGEMETADATA destination rewrites when the new
+        destination names a device with an active interposed connection.
+        """
+        message = entry.message
+        override = message.metadata_overrides.get("destination")
+        if override and override != message.natural_destination:
+            redirected = self._channel_for_destination(override, message.direction)
+            if redirected is not None:
+                return redirected
+        return proxy.channel_for(message.direction)
+
+    def _channel_for_destination(self, destination: str, direction: Direction):
+        for connection, proxy in self.active_proxies.items():
+            controller, switch = connection
+            if direction is Direction.TO_SWITCH and switch == destination:
+                return proxy.channel_for(Direction.TO_SWITCH)
+            if direction is Direction.TO_CONTROLLER and controller == destination:
+                return proxy.channel_for(Direction.TO_CONTROLLER)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def current_state(self) -> Optional[str]:
+        return self.executor.current_state_name if self.executor else None
+
+    def proxy_stats_total(self, key: str) -> int:
+        return sum(p.stats.get(key, 0) for p in self.active_proxies.values())
+
+    def __repr__(self) -> str:
+        attack = self.executor.attack.name if self.executor else "pass-through"
+        return f"<RuntimeInjector {attack} proxies={len(self.active_proxies)}>"

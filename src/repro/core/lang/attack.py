@@ -1,0 +1,102 @@
+"""A complete attack description: states + start state + storage.
+
+``Attack`` ties the language pieces together and validates the whole
+description against an :class:`~repro.core.model.threat.AttackModel` —
+every rule's declared γ must fit inside the attacker model's Γ_NC mapping,
+and every rule's bound connections must exist in N_C.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.lang.graph import AttackStateGraph
+from repro.core.lang.states import AttackState
+from repro.core.lang.storage import StorageSet
+from repro.core.model.threat import AttackModel
+
+
+class AttackValidationError(Exception):
+    """The attack description is inconsistent with the attack model."""
+
+
+class Attack:
+    """A validated, runnable attack description."""
+
+    def __init__(
+        self,
+        name: str,
+        states: Iterable[AttackState],
+        start: str,
+        deque_declarations: Optional[Dict[str, List]] = None,
+        description: str = "",
+    ) -> None:
+        self.name = name
+        self.description = description
+        self.graph = AttackStateGraph(states, start)
+        self.deque_declarations: Dict[str, List] = dict(deque_declarations or {})
+
+    @property
+    def states(self) -> Dict[str, AttackState]:
+        return self.graph.states
+
+    @property
+    def start(self) -> str:
+        return self.graph.start
+
+    def build_storage(self) -> StorageSet:
+        """Fresh Δ with the declared deques (and initial contents)."""
+        storage = StorageSet()
+        for name, initial in self.deque_declarations.items():
+            storage.declare(name, list(initial))
+        return storage
+
+    def all_rules(self):
+        for state in self.states.values():
+            for rule in state.rules:
+                yield state, rule
+
+    def bound_connections(self) -> frozenset:
+        bound = set()
+        for _state, rule in self.all_rules():
+            bound |= rule.connections
+        return frozenset(bound)
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def validate_against(self, attack_model: AttackModel) -> None:
+        """Check every rule against the attacker-capabilities model."""
+        known = set(attack_model.system.connection_keys())
+        problems: List[str] = []
+        for state, rule in self.all_rules():
+            unknown = rule.connections - known
+            if unknown:
+                problems.append(
+                    f"state {state.name!r} rule {rule.name!r} binds connections "
+                    f"not in N_C: {sorted(unknown)}"
+                )
+                continue
+            try:
+                rule.validate_against(attack_model)
+            except Exception as exc:
+                problems.append(f"state {state.name!r}: {exc}")
+        if problems:
+            raise AttackValidationError("; ".join(problems))
+
+    def summary(self) -> Dict[str, object]:
+        """A compact description used by logs and documentation."""
+        return {
+            "name": self.name,
+            "states": sorted(self.states),
+            "start": self.start,
+            "absorbing": sorted(self.graph.absorbing_states()),
+            "end": sorted(self.graph.end_states()),
+            "rules": sum(len(state.rules) for state in self.states.values()),
+            "connections": sorted(self.bound_connections()),
+            "deques": sorted(self.deque_declarations),
+        }
+
+    def __repr__(self) -> str:
+        return f"<Attack {self.name!r} states={len(self.states)} start={self.start!r}>"

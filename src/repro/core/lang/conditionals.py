@@ -1,0 +1,396 @@
+"""Conditional expressions λ and the shared expression language (Section V-B).
+
+Conditionals are propositional logic over message properties with the
+connectives AND, OR, NOT and the operators ``=`` (logical equality) and
+``in`` (set membership).  The same expression layer supplies value
+expressions for deque actions (e.g. the Section VIII-B counter idiom
+``PREPEND(δ, SHIFT(δ) + 1)``), so expressions may deliberately carry
+storage side effects.
+
+Every node reports the attacker capabilities needed to *evaluate* it:
+metadata properties need READMESSAGEMETADATA, payload properties (TYPE and
+all TYPE OPTIONS) need READMESSAGE.  Rule validation aggregates these.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable, List, Optional, Sequence
+
+from repro.core.lang.properties import (
+    METADATA_PROPERTIES,
+    InterposedMessage,
+    MessageProperty,
+)
+from repro.core.lang.storage import StorageSet
+from repro.core.model.capabilities import Capability
+
+
+class EvalContext:
+    """Evaluation context: the current message, storage Δ, the clock, and
+    (for stochastic conditionals) a seeded random stream."""
+
+    __slots__ = ("message", "storage", "now", "rng")
+
+    def __init__(
+        self,
+        message: Optional[InterposedMessage],
+        storage: StorageSet,
+        now: float = 0.0,
+        rng=None,
+    ) -> None:
+        self.message = message
+        self.storage = storage
+        self.now = now
+        self.rng = rng
+
+
+# ---------------------------------------------------------------------- #
+# Value expressions
+# ---------------------------------------------------------------------- #
+
+
+class Expression:
+    """Base class for value expressions."""
+
+    def evaluate(self, ctx: EvalContext) -> Any:
+        raise NotImplementedError
+
+    def required_capabilities(self) -> FrozenSet[Capability]:
+        return frozenset()
+
+    def children(self) -> Sequence["Expression"]:
+        return ()
+
+
+class Const(Expression):
+    """A literal constant (number, string, or a set for ``in``)."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def evaluate(self, ctx: EvalContext) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+class Property(Expression):
+    """A Section V-A message property reference."""
+
+    def __init__(self, prop: MessageProperty) -> None:
+        self.prop = prop
+
+    def evaluate(self, ctx: EvalContext) -> Any:
+        if ctx.message is None:
+            return None
+        return ctx.message.get_property(self.prop)
+
+    def required_capabilities(self) -> FrozenSet[Capability]:
+        if self.prop in METADATA_PROPERTIES:
+            return frozenset({Capability.READ_MESSAGE_METADATA})
+        return frozenset({Capability.READ_MESSAGE})
+
+    def __repr__(self) -> str:
+        return f"Property({self.prop.value})"
+
+
+class TypeOption(Expression):
+    """A MESSAGETYPEOPTIONS reference, e.g. ``opt.match.nw_src``."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def evaluate(self, ctx: EvalContext) -> Any:
+        if ctx.message is None:
+            return None
+        return ctx.message.get_type_option(self.path)
+
+    def required_capabilities(self) -> FrozenSet[Capability]:
+        return frozenset({Capability.READ_MESSAGE})
+
+    def __repr__(self) -> str:
+        return f"TypeOption({self.path!r})"
+
+
+class MessageRef(Expression):
+    """The current message itself (for storing messages in deques)."""
+
+    def evaluate(self, ctx: EvalContext) -> Any:
+        return ctx.message
+
+    def required_capabilities(self) -> FrozenSet[Capability]:
+        # Storing a message for replay requires having read it.
+        return frozenset({Capability.READ_MESSAGE_METADATA})
+
+    def __repr__(self) -> str:
+        return "MessageRef()"
+
+
+class _DequeExpr(Expression):
+    def __init__(self, deque_name: str) -> None:
+        self.deque_name = deque_name
+
+    def _deque(self, ctx: EvalContext):
+        return ctx.storage.deque(self.deque_name)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.deque_name!r})"
+
+
+class ExamineFront(_DequeExpr):
+    """value ← EXAMINEFRONT(δ): read the front element (no removal)."""
+
+    def evaluate(self, ctx: EvalContext) -> Any:
+        return self._deque(ctx).examine_front()
+
+
+class ExamineEnd(_DequeExpr):
+    """value ← EXAMINEEND(δ): read the end element (no removal)."""
+
+    def evaluate(self, ctx: EvalContext) -> Any:
+        return self._deque(ctx).examine_end()
+
+
+class ShiftExpr(_DequeExpr):
+    """value ← SHIFT(δ): remove and return the front element."""
+
+    def evaluate(self, ctx: EvalContext) -> Any:
+        return self._deque(ctx).shift()
+
+
+class PopExpr(_DequeExpr):
+    """value ← POP(δ): remove and return the end element."""
+
+    def evaluate(self, ctx: EvalContext) -> Any:
+        return self._deque(ctx).pop()
+
+
+class Sum(Expression):
+    """Left-associative ``+``/``-`` arithmetic over expressions."""
+
+    def __init__(self, first: Expression, rest: Iterable = ()) -> None:
+        self.first = first
+        self.rest: List = list(rest)  # [(op, expr), ...] with op in "+-"
+
+    def evaluate(self, ctx: EvalContext) -> Any:
+        value = self.first.evaluate(ctx)
+        for op, expr in self.rest:
+            operand = expr.evaluate(ctx)
+            value = 0 if value is None else value
+            operand = 0 if operand is None else operand
+            value = value + operand if op == "+" else value - operand
+        return value
+
+    def required_capabilities(self) -> FrozenSet[Capability]:
+        caps = set(self.first.required_capabilities())
+        for _op, expr in self.rest:
+            caps |= expr.required_capabilities()
+        return frozenset(caps)
+
+    def children(self) -> Sequence[Expression]:
+        return [self.first] + [expr for _op, expr in self.rest]
+
+    def __repr__(self) -> str:
+        parts = [repr(self.first)] + [f"{op} {expr!r}" for op, expr in self.rest]
+        return f"Sum({' '.join(parts)})"
+
+
+# ---------------------------------------------------------------------- #
+# Conditions
+# ---------------------------------------------------------------------- #
+
+
+class Condition:
+    """Base class for conditional expressions λ."""
+
+    def evaluate(self, ctx: EvalContext) -> bool:
+        raise NotImplementedError
+
+    def required_capabilities(self) -> FrozenSet[Capability]:
+        return frozenset()
+
+    def __call__(self, ctx: EvalContext) -> bool:
+        return self.evaluate(ctx)
+
+
+class TrueCondition(Condition):
+    """Matches every message (the trivial pass-everything rule of Fig. 5)."""
+
+    def evaluate(self, ctx: EvalContext) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "TrueCondition()"
+
+
+def _as_number(value: Any):
+    """Coerce a DSL value to a float for ordering, or None if impossible."""
+    if isinstance(value, bool) or value is None:
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            return None
+    return None
+
+
+def smart_eq(left: Any, right: Any) -> bool:
+    """Loose equality used by the DSL's ``=`` operator.
+
+    Compares values directly first, then falls back to canonical string
+    comparison so that e.g. ``Ipv4Address("10.0.0.2")``, ``"10.0.0.2"``,
+    enum members, and their names all compare naturally.
+    """
+    if left is None or right is None:
+        return left is None and right is None
+    try:
+        if left == right:
+            return True
+    except TypeError:
+        pass
+    if isinstance(left, bool) != isinstance(right, bool):
+        return False
+    if isinstance(left, (int, float)) and isinstance(right, str):
+        try:
+            return float(left) == float(right)
+        except ValueError:
+            return False
+    if isinstance(right, (int, float)) and isinstance(left, str):
+        try:
+            return float(right) == float(left)
+        except ValueError:
+            return False
+    return str(left) == str(right)
+
+
+class Comparison(Condition):
+    """``=``, ``!=``, ``<``, ``>``, or set membership ``in``.
+
+    The ordering operators are numeric (an extension beyond the paper's
+    ``=``/``in``; they make time- and size-gated conditionals like
+    ``timestamp > 30`` or ``length > 128`` expressible).
+    """
+
+    OPS = ("=", "!=", "<", ">", "in")
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in self.OPS:
+            raise ValueError(f"unsupported comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, ctx: EvalContext) -> bool:
+        left = self.left.evaluate(ctx)
+        right = self.right.evaluate(ctx)
+        if self.op == "=":
+            return smart_eq(left, right)
+        if self.op == "!=":
+            return not smart_eq(left, right)
+        if self.op in ("<", ">"):
+            left_num = _as_number(left)
+            right_num = _as_number(right)
+            if left_num is None or right_num is None:
+                return False
+            return left_num < right_num if self.op == "<" else left_num > right_num
+        # Membership: right must be iterable; compare with smart_eq so
+        # "10.0.0.3" matches Ipv4Address("10.0.0.3") etc.
+        if right is None:
+            return False
+        try:
+            candidates = list(right)
+        except TypeError:
+            return False
+        return any(smart_eq(left, candidate) for candidate in candidates)
+
+    def required_capabilities(self) -> FrozenSet[Capability]:
+        return self.left.required_capabilities() | self.right.required_capabilities()
+
+    def __repr__(self) -> str:
+        return f"Comparison({self.left!r} {self.op} {self.right!r})"
+
+
+class And(Condition):
+    """Logical conjunction (∧)."""
+
+    def __init__(self, *terms: Condition) -> None:
+        self.terms = list(terms)
+
+    def evaluate(self, ctx: EvalContext) -> bool:
+        return all(term.evaluate(ctx) for term in self.terms)
+
+    def required_capabilities(self) -> FrozenSet[Capability]:
+        caps = set()
+        for term in self.terms:
+            caps |= term.required_capabilities()
+        return frozenset(caps)
+
+    def __repr__(self) -> str:
+        return f"And({', '.join(map(repr, self.terms))})"
+
+
+class Or(Condition):
+    """Logical disjunction (∨)."""
+
+    def __init__(self, *terms: Condition) -> None:
+        self.terms = list(terms)
+
+    def evaluate(self, ctx: EvalContext) -> bool:
+        return any(term.evaluate(ctx) for term in self.terms)
+
+    def required_capabilities(self) -> FrozenSet[Capability]:
+        caps = set()
+        for term in self.terms:
+            caps |= term.required_capabilities()
+        return frozenset(caps)
+
+    def __repr__(self) -> str:
+        return f"Or({', '.join(map(repr, self.terms))})"
+
+
+class Probability(Condition):
+    """Stochastic conditional: true with probability ``p``.
+
+    The paper's language "implements deterministic attacks in the context
+    of our testing, but we will consider stochastic ... decision-making in
+    future work" (Section VIII-A); this node is that extension.  The draw
+    comes from the evaluation context's *seeded* random stream, so a
+    stochastic attack is still replayable run-to-run.
+    """
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {p!r}")
+        self.p = p
+
+    def evaluate(self, ctx: EvalContext) -> bool:
+        if self.p >= 1.0:
+            return True
+        if self.p <= 0.0 or ctx.rng is None:
+            # Without a random stream a stochastic rule never fires —
+            # deterministic contexts stay deterministic.
+            return False
+        return ctx.rng.random() < self.p
+
+    def __repr__(self) -> str:
+        return f"Probability({self.p})"
+
+
+class Not(Condition):
+    """Logical negation (¬)."""
+
+    def __init__(self, term: Condition) -> None:
+        self.term = term
+
+    def evaluate(self, ctx: EvalContext) -> bool:
+        return not self.term.evaluate(ctx)
+
+    def required_capabilities(self) -> FrozenSet[Capability]:
+        return self.term.required_capabilities()
+
+    def __repr__(self) -> str:
+        return f"Not({self.term!r})"

@@ -1,0 +1,121 @@
+"""The attack state graph Σ_G = (V, E, A) (Section V-G).
+
+The graph is *derived* from the states' GOTOSTATE actions: vertices are the
+attack states, an edge (σ_x, σ_y) exists when some rule in σ_x transitions
+to σ_y, and the edge attribute is the set of actions of the transitioning
+rules.  Validation checks the structural properties the paper requires.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.core.lang.actions import GoToState
+from repro.core.lang.states import AttackState
+
+
+class GraphValidationError(Exception):
+    """Raised when a set of attack states is not a valid Σ_G."""
+
+
+class AttackStateGraph:
+    """The derived attack state graph for a set of states."""
+
+    def __init__(self, states: Iterable[AttackState], start: str) -> None:
+        self.states: Dict[str, AttackState] = {}
+        for state in states:
+            if state.name in self.states:
+                raise GraphValidationError(f"duplicate attack state {state.name!r}")
+            self.states[state.name] = state
+        self.start = start
+        self.edges: Dict[Tuple[str, str], List] = {}
+        self._build_edges()
+        self.validate()
+
+    def _build_edges(self) -> None:
+        for state in self.states.values():
+            for rule in state.rules:
+                for target in rule.goto_targets():
+                    key = (state.name, target)
+                    self.edges.setdefault(key, [])
+                    # A_ΣG: the actions of the rules that transition x -> y.
+                    self.edges[key].extend(rule.actions)
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> None:
+        if not self.states:
+            raise GraphValidationError("an attack must have at least one state (|Σ| >= 1)")
+        if self.start not in self.states:
+            raise GraphValidationError(f"start state {self.start!r} is not in Σ")
+        for (src, dst) in self.edges:
+            if dst not in self.states:
+                raise GraphValidationError(
+                    f"state {src!r} transitions to undefined state {dst!r}"
+                )
+        unreachable = set(self.states) - self.reachable_states()
+        if unreachable:
+            raise GraphValidationError(
+                f"states unreachable from {self.start!r}: {sorted(unreachable)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Analyses
+    # ------------------------------------------------------------------ #
+
+    def reachable_states(self) -> FrozenSet[str]:
+        """States reachable from σ_start (including itself)."""
+        seen: Set[str] = set()
+        frontier = [self.start]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for (src, dst) in self.edges:
+                if src == current and dst not in seen:
+                    frontier.append(dst)
+        return frozenset(seen)
+
+    def successors(self, state_name: str) -> FrozenSet[str]:
+        return frozenset(dst for (src, dst) in self.edges if src == state_name)
+
+    def absorbing_states(self) -> FrozenSet[str]:
+        """σ_absorbing — states with no outgoing transition to another state."""
+        return frozenset(
+            name
+            for name, state in self.states.items()
+            if self.successors(name) <= {name}
+        )
+
+    def end_states(self) -> FrozenSet[str]:
+        """σ_end ⊆ σ_absorbing — absorbing states with no rules."""
+        return frozenset(
+            name for name in self.absorbing_states() if self.states[name].is_end
+        )
+
+    def edge_actions(self, src: str, dst: str) -> List:
+        """A_ΣG attribute for edge (src, dst)."""
+        return list(self.edges.get((src, dst), []))
+
+    def to_dot(self) -> str:
+        """Render Σ_G in Graphviz dot format (Figs. 5, 6, 10b, 12b style)."""
+        lines = ["digraph attack {", "  rankdir=LR;"]
+        for name, state in self.states.items():
+            shape = "doublecircle" if name in self.end_states() else "circle"
+            prefix = "start: " if name == self.start else ""
+            lines.append(f'  "{name}" [shape={shape}, label="{prefix}{name}"];')
+        for (src, dst), actions in sorted(self.edges.items()):
+            label_actions = [a for a in actions if isinstance(a, GoToState)]
+            label = f"{len(actions)} actions" if label_actions else ""
+            lines.append(f'  "{src}" -> "{dst}" [label="{label}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<AttackStateGraph states={len(self.states)} edges={len(self.edges)} "
+            f"start={self.start!r}>"
+        )

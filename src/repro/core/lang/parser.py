@@ -1,0 +1,295 @@
+"""Textual parser for conditional expressions and value expressions.
+
+The attack-states XML file (Section VI-B1) carries conditionals as text,
+e.g.::
+
+    type = FLOW_MOD and destination in {s1, s2, s3, s4}
+    source = s2 and opt.match.nw_src = 10.0.0.2
+    front(counter) = 3
+
+Grammar (propositional logic with AND/OR/NOT, parentheses, ``=`` and
+``in``, exactly the connectives of Section V-B, plus the arithmetic the
+deque-counter idiom of Section VIII-B needs):
+
+* properties: ``type source destination length timestamp id``;
+* type options: ``opt.<path>`` (e.g. ``opt.match.nw_src``, ``opt.packet.tp_dst``);
+* deque reads: ``front(name) end(name) shift(name) pop(name)``;
+* the current message: ``msg``;
+* literals: integers, quoted strings, barewords (``FLOW_MOD``, ``s2``,
+  ``10.0.0.2``), and set literals ``{a, b, c}``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Optional, Tuple
+
+from repro.core.lang.conditionals import (
+    And,
+    Comparison,
+    Condition,
+    Const,
+    ExamineEnd,
+    ExamineFront,
+    Expression,
+    MessageRef,
+    Not,
+    Or,
+    PopExpr,
+    Probability,
+    Property,
+    ShiftExpr,
+    Sum,
+    TrueCondition,
+    TypeOption,
+)
+from repro.core.lang.properties import MessageProperty
+
+
+class ConditionParseError(Exception):
+    """Raised for malformed conditional text."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<op>!=|=|<|>|\(|\)|\{|\}|,|\+|-)
+  | (?P<word>[A-Za-z0-9_.:]+)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not", "in", "true", "false"}
+_PROPERTIES = {
+    "type": MessageProperty.TYPE,
+    "source": MessageProperty.SOURCE,
+    "destination": MessageProperty.DESTINATION,
+    "length": MessageProperty.LENGTH,
+    "timestamp": MessageProperty.TIMESTAMP,
+    "id": MessageProperty.ID,
+}
+_DEQUE_FUNCS = {
+    "front": ExamineFront,
+    "end": ExamineEnd,
+    "shift": ShiftExpr,
+    "pop": PopExpr,
+}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ConditionParseError(
+                f"unexpected character {text[pos]!r} at offset {pos} in {text!r}"
+            )
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        value = match.group()
+        if match.lastgroup == "string":
+            tokens.append(("string", value[1:-1]))
+        elif match.lastgroup == "op":
+            tokens.append(("op", value))
+        else:
+            lowered = value.lower()
+            if lowered in _KEYWORDS:
+                tokens.append(("kw", lowered))
+            else:
+                tokens.append(("word", value))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]], text: str) -> None:
+        self.tokens = tokens
+        self.text = text
+        self.index = 0
+
+    # -- token helpers --------------------------------------------------- #
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def advance(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ConditionParseError(f"unexpected end of input in {self.text!r}")
+        self.index += 1
+        return token
+
+    def accept(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self.peek()
+        if token is None or token[0] != kind:
+            return False
+        if value is not None and token[1] != value:
+            return False
+        self.index += 1
+        return True
+
+    def expect(self, kind: str, value: str) -> None:
+        if not self.accept(kind, value):
+            found = self.peek()
+            raise ConditionParseError(
+                f"expected {value!r} but found {found!r} in {self.text!r}"
+            )
+
+    # -- condition grammar ------------------------------------------------ #
+
+    def parse_condition(self) -> Condition:
+        condition = self.parse_or()
+        if self.peek() is not None:
+            raise ConditionParseError(
+                f"trailing tokens {self.tokens[self.index:]} in {self.text!r}"
+            )
+        return condition
+
+    def parse_or(self) -> Condition:
+        terms = [self.parse_and()]
+        while self.accept("kw", "or"):
+            terms.append(self.parse_and())
+        return terms[0] if len(terms) == 1 else Or(*terms)
+
+    def parse_and(self) -> Condition:
+        terms = [self.parse_unary()]
+        while self.accept("kw", "and"):
+            terms.append(self.parse_unary())
+        return terms[0] if len(terms) == 1 else And(*terms)
+
+    def parse_unary(self) -> Condition:
+        if self.accept("kw", "not"):
+            return Not(self.parse_unary())
+        if self.accept("op", "("):
+            inner = self.parse_or()
+            self.expect("op", ")")
+            return inner
+        if self.accept("kw", "true"):
+            return TrueCondition()
+        if self.accept("kw", "false"):
+            return Not(TrueCondition())
+        token = self.peek()
+        if token is not None and token[0] == "word" and token[1].lower() == "prob":
+            return self.parse_probability()
+        return self.parse_comparison()
+
+    def parse_probability(self) -> Condition:
+        self.advance()  # the 'prob' word
+        self.expect("op", "(")
+        token = self.advance()
+        if token[0] != "word":
+            raise ConditionParseError(f"prob() expects a number, found {token!r}")
+        try:
+            p = float(token[1])
+        except ValueError as exc:
+            raise ConditionParseError(
+                f"prob() expects a number, found {token[1]!r}"
+            ) from exc
+        self.expect("op", ")")
+        return Probability(p)
+
+    def parse_comparison(self) -> Condition:
+        left = self.parse_sum()
+        token = self.peek()
+        if token in (("op", "="), ("op", "!="), ("op", "<"), ("op", ">")):
+            self.advance()
+            right = self.parse_sum()
+            return Comparison(token[1], left, right)
+        if token == ("kw", "in"):
+            self.advance()
+            right = self.parse_sum()
+            return Comparison("in", left, right)
+        raise ConditionParseError(
+            f"expected a comparison operator after {left!r} in {self.text!r}"
+        )
+
+    # -- expression grammar ------------------------------------------------ #
+
+    def parse_sum(self) -> Expression:
+        first = self.parse_term()
+        rest = []
+        while True:
+            token = self.peek()
+            if token in (("op", "+"), ("op", "-")):
+                self.advance()
+                rest.append((token[1], self.parse_term()))
+            else:
+                break
+        return first if not rest else Sum(first, rest)
+
+    def parse_term(self) -> Expression:
+        token = self.advance()
+        kind, value = token
+        if kind == "string":
+            return Const(value)
+        if kind == "op" and value == "{":
+            return self.parse_set()
+        if kind == "word":
+            return self.parse_word(value)
+        raise ConditionParseError(f"unexpected token {token!r} in {self.text!r}")
+
+    def parse_set(self) -> Expression:
+        items: List[Any] = []
+        if self.accept("op", "}"):
+            return Const(frozenset())
+        while True:
+            token = self.advance()
+            if token[0] not in ("word", "string"):
+                raise ConditionParseError(
+                    f"set literals may only contain constants, found {token!r}"
+                )
+            items.append(_word_to_value(token[1]) if token[0] == "word" else token[1])
+            if self.accept("op", "}"):
+                break
+            self.expect("op", ",")
+        return Const(frozenset(items))
+
+    def parse_word(self, word: str) -> Expression:
+        lowered = word.lower()
+        if lowered == "msg":
+            return MessageRef()
+        if lowered in _PROPERTIES:
+            return Property(_PROPERTIES[lowered])
+        if lowered.startswith("opt.") and len(word) > 4:
+            return TypeOption(word[4:])
+        if lowered in _DEQUE_FUNCS and self.peek() == ("op", "("):
+            self.advance()
+            name_token = self.advance()
+            if name_token[0] != "word":
+                raise ConditionParseError(
+                    f"deque function expects a name, found {name_token!r}"
+                )
+            self.expect("op", ")")
+            return _DEQUE_FUNCS[lowered](name_token[1])
+        return Const(_word_to_value(word))
+
+
+def _word_to_value(word: str) -> Any:
+    """Barewords: pure digits become ints; everything else stays a string."""
+    if word.isdigit():
+        return int(word)
+    return word
+
+
+def parse_condition(text: str) -> Condition:
+    """Parse conditional text into a :class:`Condition` AST."""
+    stripped = text.strip()
+    if not stripped:
+        return TrueCondition()
+    return _Parser(_tokenize(stripped), stripped).parse_condition()
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse value-expression text (used by deque action arguments)."""
+    stripped = text.strip()
+    if not stripped:
+        raise ConditionParseError("empty expression")
+    parser = _Parser(_tokenize(stripped), stripped)
+    expression = parser.parse_sum()
+    if parser.peek() is not None:
+        raise ConditionParseError(
+            f"trailing tokens {parser.tokens[parser.index:]} in {stripped!r}"
+        )
+    return expression

@@ -1,0 +1,323 @@
+"""Message properties (Section V-A) and the interposed-message wrapper.
+
+``InterposedMessage`` is the runtime injector's view of one control-plane
+message as it crosses the proxy: its connection, direction, arrival
+timestamp, raw bytes, and (lazily decoded) OpenFlow payload.  Conditional
+expressions read the Section V-A properties through
+:meth:`InterposedMessage.get_property` and the type-dependent
+``MESSAGETYPEOPTIONS`` through :meth:`InterposedMessage.get_type_option`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Optional, Tuple
+
+from repro.openflow.actions import OutputAction
+from repro.openflow.match import MATCH_FIELD_NAMES, extract_packet_fields
+from repro.openflow.messages import (
+    EchoReply,
+    EchoRequest,
+    ErrorMessage,
+    FeaturesReply,
+    FlowMod,
+    FlowRemoved,
+    OpenFlowDecodeError,
+    OpenFlowMessage,
+    PacketIn,
+    PacketOut,
+    PortStatus,
+    StatsReply,
+    StatsRequest,
+    parse_message,
+)
+
+ConnectionKey = Tuple[str, str]
+
+
+class Direction(enum.Enum):
+    """Which way a message is travelling on its control connection."""
+
+    TO_CONTROLLER = "to_controller"   # switch -> controller
+    TO_SWITCH = "to_switch"           # controller -> switch
+
+
+class MessageProperty(enum.Enum):
+    """The Section V-A message properties."""
+
+    SOURCE = "source"
+    DESTINATION = "destination"
+    TIMESTAMP = "timestamp"
+    LENGTH = "length"
+    TYPE = "type"
+    ID = "id"
+
+    @classmethod
+    def from_name(cls, name: str) -> "MessageProperty":
+        normalized = name.lower().replace("message", "").replace("_", "").strip()
+        for prop in cls:
+            if prop.value == normalized:
+                return prop
+        raise ValueError(f"unknown message property {name!r}")
+
+
+#: Properties readable with READMESSAGEMETADATA: "Layers 2, 3, and 4 header
+#: information and physical timestamp" — addressing, size, time, and the
+#: injector-assigned identifier.  TYPE and all TYPE OPTIONS live in the
+#: OpenFlow payload and therefore require READMESSAGE.
+METADATA_PROPERTIES = frozenset(
+    {
+        MessageProperty.SOURCE,
+        MessageProperty.DESTINATION,
+        MessageProperty.TIMESTAMP,
+        MessageProperty.LENGTH,
+        MessageProperty.ID,
+    }
+)
+
+
+class InterposedMessage:
+    """One control-plane message observed at the runtime injector."""
+
+    _id_counter = itertools.count(1)
+
+    __slots__ = (
+        "connection",
+        "direction",
+        "timestamp",
+        "raw",
+        "msg_id",
+        "_parsed",
+        "_parse_failed",
+        "metadata_overrides",
+    )
+
+    def __init__(
+        self,
+        connection: ConnectionKey,
+        direction: Direction,
+        timestamp: float,
+        raw: bytes,
+        parsed: Optional[OpenFlowMessage] = None,
+    ) -> None:
+        self.connection = tuple(connection)
+        self.direction = direction
+        self.timestamp = timestamp
+        self.raw = bytes(raw)
+        self.msg_id = next(InterposedMessage._id_counter)
+        self._parsed = parsed
+        self._parse_failed = False
+        self.metadata_overrides: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # Identity
+    # ------------------------------------------------------------------ #
+
+    @property
+    def controller(self) -> str:
+        return self.connection[0]
+
+    @property
+    def switch(self) -> str:
+        return self.connection[1]
+
+    @property
+    def source(self) -> str:
+        """MESSAGESOURCE ∈ C ∪ S."""
+        if "source" in self.metadata_overrides:
+            return self.metadata_overrides["source"]
+        return self.switch if self.direction is Direction.TO_CONTROLLER else self.controller
+
+    @property
+    def destination(self) -> str:
+        """MESSAGEDESTINATION ∈ C ∪ S."""
+        if "destination" in self.metadata_overrides:
+            return self.metadata_overrides["destination"]
+        return self.natural_destination
+
+    @property
+    def natural_destination(self) -> str:
+        """The destination implied by connection+direction, ignoring any
+        MODIFYMESSAGEMETADATA override (used by the proxy's router)."""
+        return self.controller if self.direction is Direction.TO_CONTROLLER else self.switch
+
+    # ------------------------------------------------------------------ #
+    # Payload
+    # ------------------------------------------------------------------ #
+
+    @property
+    def parsed(self) -> Optional[OpenFlowMessage]:
+        """The decoded OpenFlow message, or None if the bytes are garbage."""
+        if self._parsed is None and not self._parse_failed:
+            try:
+                self._parsed = parse_message(self.raw)
+            except OpenFlowDecodeError:
+                self._parse_failed = True
+        return self._parsed
+
+    @property
+    def message_type_name(self) -> Optional[str]:
+        message = self.parsed
+        if message is None:
+            return None
+        return message.message_type.name
+
+    def replace_payload(self, message: OpenFlowMessage) -> None:
+        """Swap in a modified payload (MODIFYMESSAGE support)."""
+        self._parsed = message
+        self._parse_failed = False
+        self.raw = message.pack()
+
+    def copy(self) -> "InterposedMessage":
+        """An independent replica (DUPLICATEMESSAGE support) with a new id."""
+        replica = InterposedMessage(
+            self.connection, self.direction, self.timestamp, self.raw
+        )
+        replica.metadata_overrides = dict(self.metadata_overrides)
+        return replica
+
+    # ------------------------------------------------------------------ #
+    # Property access
+    # ------------------------------------------------------------------ #
+
+    def get_property(self, prop: MessageProperty) -> Any:
+        if prop is MessageProperty.SOURCE:
+            return self.source
+        if prop is MessageProperty.DESTINATION:
+            return self.destination
+        if prop is MessageProperty.TIMESTAMP:
+            return self.timestamp
+        if prop is MessageProperty.LENGTH:
+            return len(self.raw)
+        if prop is MessageProperty.ID:
+            return self.msg_id
+        if prop is MessageProperty.TYPE:
+            return self.message_type_name
+        raise ValueError(f"unhandled property {prop!r}")
+
+    def get_type_option(self, path: str) -> Any:
+        """MESSAGETYPEOPTIONS accessor, e.g. ``"match.nw_src"``.
+
+        Returns ``None`` when the option does not exist for this message's
+        type — conditionals over absent options simply do not match, which
+        is exactly the behaviour behind the Table II Ryu anomaly.
+        """
+        message = self.parsed
+        if message is None:
+            return None
+        head, _, rest = path.partition(".")
+        head = head.lower()
+        value = self._type_option_root(message, head, rest)
+        return _normalize(value)
+
+    @staticmethod
+    def _type_option_root(message: OpenFlowMessage, head: str, rest: str) -> Any:
+        if isinstance(message, FlowMod):
+            if head == "match" and rest:
+                if rest not in MATCH_FIELD_NAMES:
+                    return None
+                return getattr(message.match, rest)
+            simple = {
+                "command": message.command.name,
+                "idle_timeout": message.idle_timeout,
+                "hard_timeout": message.hard_timeout,
+                "priority": message.priority,
+                "buffer_id": message.buffer_id,
+                "cookie": message.cookie,
+                "out_port": message.out_port,
+                "n_actions": len(message.actions),
+                "output_ports": tuple(
+                    a.port for a in message.actions if isinstance(a, OutputAction)
+                ),
+            }
+            return simple.get(head)
+        if isinstance(message, PacketIn):
+            if head == "packet" and rest:
+                try:
+                    fields = extract_packet_fields(message.data, message.in_port)
+                except Exception:
+                    return None
+                return fields.get(rest)
+            simple = {
+                "in_port": message.in_port,
+                "reason": message.reason.name,
+                "buffer_id": message.buffer_id,
+                "total_len": message.total_len,
+            }
+            return simple.get(head)
+        if isinstance(message, PacketOut):
+            simple = {
+                "in_port": message.in_port,
+                "buffer_id": message.buffer_id,
+                "n_actions": len(message.actions),
+                "output_ports": tuple(
+                    a.port for a in message.actions if isinstance(a, OutputAction)
+                ),
+            }
+            return simple.get(head)
+        if isinstance(message, FlowRemoved):
+            if head == "match" and rest:
+                if rest not in MATCH_FIELD_NAMES:
+                    return None
+                return getattr(message.match, rest)
+            simple = {
+                "reason": message.reason.name,
+                "priority": message.priority,
+                "packet_count": message.packet_count,
+                "byte_count": message.byte_count,
+            }
+            return simple.get(head)
+        if isinstance(message, FeaturesReply):
+            simple = {
+                "datapath_id": message.datapath_id,
+                "n_ports": len(message.ports),
+                "n_buffers": message.n_buffers,
+            }
+            return simple.get(head)
+        if isinstance(message, (EchoRequest, EchoReply)):
+            return {"payload_len": len(message.payload)}.get(head)
+        if isinstance(message, ErrorMessage):
+            return {"error_type": message.error_type, "code": message.code}.get(head)
+        if isinstance(message, PortStatus):
+            return {
+                "reason": message.reason.name,
+                "port_no": message.port.port_no,
+            }.get(head)
+        if isinstance(message, (StatsRequest, StatsReply)):
+            return {"stats_type": message.stats_type.name}.get(head)
+        return None
+
+    def metadata_summary(self) -> dict:
+        """The record produced by READMESSAGEMETADATA."""
+        return {
+            "id": self.msg_id,
+            "source": self.source,
+            "destination": self.destination,
+            "timestamp": self.timestamp,
+            "length": len(self.raw),
+        }
+
+    def payload_summary(self) -> dict:
+        """The record produced by READMESSAGE."""
+        summary = dict(self.metadata_summary())
+        summary["type"] = self.message_type_name
+        return summary
+
+    def __repr__(self) -> str:
+        arrow = "->" if self.direction is Direction.TO_SWITCH else "<-"
+        return (
+            f"<InterposedMessage #{self.msg_id} {self.controller}{arrow}{self.switch} "
+            f"{self.message_type_name or 'undecodable'} len={len(self.raw)}>"
+        )
+
+
+def _normalize(value: Any) -> Any:
+    """Canonicalize values for DSL comparison (MAC/IP objects -> strings)."""
+    from repro.netlib.addresses import Ipv4Address, MacAddress
+
+    if isinstance(value, (MacAddress, Ipv4Address)):
+        return str(value)
+    if isinstance(value, enum.Enum):
+        return value.name
+    return value

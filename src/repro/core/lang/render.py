@@ -1,0 +1,84 @@
+"""Render an attack description in the paper's textual notation.
+
+Figures 10(a) and 12(a) present attacks as σ/φ/γ/λ/α listings; this module
+produces the same layout from a validated :class:`Attack`, e.g.::
+
+    attack: connection-interruption   (start = sigma1)
+
+    sigma1:
+      phi1 = (n1, gamma1, lambda1, alpha1)
+        n1      = {(c1, s2)}
+        gamma1  = GAMMA_NoTLS
+        lambda1 = (source = s2 and type = HELLO)
+        alpha1  = [PassMessage(), GoToState('sigma2')]
+    ...
+
+Useful for documentation, code review of attack descriptions, and the
+``python -m repro show`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.compiler.codegen import condition_to_text
+from repro.core.lang.attack import Attack
+from repro.core.model.capabilities import gamma_no_tls, gamma_tls
+
+
+def _gamma_text(gamma: frozenset) -> str:
+    if gamma == gamma_no_tls():
+        return "GAMMA_NoTLS"
+    if gamma == gamma_tls():
+        return "GAMMA_TLS"
+    names = ", ".join(sorted(c.value for c in gamma))
+    return "{" + names + "}"
+
+
+def render_attack_text(attack: Attack) -> str:
+    """Produce the Fig. 10(a)/12(a)-style textual listing."""
+    lines: List[str] = [
+        f"attack: {attack.name}   (start = {attack.start})",
+    ]
+    if attack.description:
+        lines.append(f"  # {attack.description}")
+    if attack.deque_declarations:
+        deques = ", ".join(
+            f"{name} = {initial!r}"
+            for name, initial in sorted(attack.deque_declarations.items())
+        )
+        lines.append(f"  storage: {deques}")
+    absorbing = attack.graph.absorbing_states()
+    end_states = attack.graph.end_states()
+    for state_name in sorted(attack.states):
+        state = attack.states[state_name]
+        tags = []
+        if state_name == attack.start:
+            tags.append("start")
+        if state_name in end_states:
+            tags.append("end")
+        elif state_name in absorbing:
+            tags.append("absorbing")
+        suffix = f"   ({', '.join(tags)})" if tags else ""
+        lines.append("")
+        lines.append(f"{state_name}:{suffix}")
+        if not state.rules:
+            lines.append("  (no rules: all messages pass)")
+        for index, rule in enumerate(state.rules, start=1):
+            connections = ", ".join(
+                f"({c}, {s})" for c, s in sorted(rule.connections)
+            )
+            lines.append(
+                f"  {rule.name} = (n{index}, gamma{index}, "
+                f"lambda{index}, alpha{index})"
+            )
+            lines.append(f"    n{index}      = {{{connections}}}")
+            lines.append(f"    gamma{index}  = {_gamma_text(rule.gamma)}")
+            try:
+                lambda_text = condition_to_text(rule.conditional)
+            except Exception:
+                lambda_text = repr(rule.conditional)
+            lines.append(f"    lambda{index} = {lambda_text}")
+            actions = ", ".join(repr(action) for action in rule.actions)
+            lines.append(f"    alpha{index}  = [{actions}]")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Attack states Σ (Section V-F).
+
+Each state is an unordered set of rules; the executor evaluates incoming
+messages against the *current* state's rules.  The three special cases:
+
+* the single **start state** σ_start;
+* **absorbing states** — no GOTOSTATE leads out of them;
+* **end states** — absorbing states with no rules at all, "allow[ing] all
+  messages to flow without any interference".
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List
+
+from repro.core.lang.rules import Rule
+
+
+class AttackState:
+    """One attack state σ ∈ Σ."""
+
+    def __init__(self, name: str, rules: Iterable[Rule] = ()) -> None:
+        self.name = name
+        self.rules: List[Rule] = list(rules)
+
+    @property
+    def is_end(self) -> bool:
+        """σ_end: no rules — all messages pass uninterfered."""
+        return not self.rules
+
+    def goto_targets(self) -> FrozenSet[str]:
+        """All states reachable from this one via its rules' GOTOSTATEs."""
+        targets: set = set()
+        for rule in self.rules:
+            targets |= rule.goto_targets()
+        return frozenset(targets)
+
+    def is_absorbing(self) -> bool:
+        """σ_absorbing: no transition leaves the state."""
+        return self.goto_targets() <= {self.name}
+
+    def rules_for(self, connection) -> List[Rule]:
+        return [rule for rule in self.rules if rule.binds(connection)]
+
+    def __repr__(self) -> str:
+        kind = " end" if self.is_end else (" absorbing" if self.is_absorbing() else "")
+        return f"<AttackState {self.name!r} rules={len(self.rules)}{kind}>"

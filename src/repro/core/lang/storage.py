@@ -1,0 +1,116 @@
+"""Attack storage Δ: the set of double-ended queues (Section V-C).
+
+"Deques can operate like queues or like stacks" — they hold previous
+messages for replay/reordering or general-purpose variables such as
+counters (the Section VIII-B modelling-efficiency idiom).
+"""
+
+from __future__ import annotations
+
+from collections import deque as _deque
+from typing import Any, Dict, Iterable, List, Optional
+
+
+class DequeEmptyError(Exception):
+    """Raised when removing from an empty deque."""
+
+
+class Deque:
+    """One named double-ended queue δ ∈ Δ."""
+
+    def __init__(self, name: str, initial: Iterable[Any] = ()) -> None:
+        self.name = name
+        self._items: _deque = _deque(initial)
+        self.total_prepends = 0
+        self.total_appends = 0
+
+    # -- mutations (the Section V-D deque operations) -------------------- #
+
+    def prepend(self, value: Any) -> None:
+        """PREPEND(δ, value): add value to the front of δ."""
+        self.total_prepends += 1
+        self._items.appendleft(value)
+
+    def append(self, value: Any) -> None:
+        """APPEND(δ, value): add value to the end of δ."""
+        self.total_appends += 1
+        self._items.append(value)
+
+    def shift(self) -> Any:
+        """value ← SHIFT(δ): remove and return the front element."""
+        if not self._items:
+            raise DequeEmptyError(f"SHIFT on empty deque {self.name!r}")
+        return self._items.popleft()
+
+    def pop(self) -> Any:
+        """value ← POP(δ): remove and return the end element."""
+        if not self._items:
+            raise DequeEmptyError(f"POP on empty deque {self.name!r}")
+        return self._items.pop()
+
+    # -- reads ----------------------------------------------------------- #
+
+    def examine_front(self) -> Any:
+        """value ← EXAMINEFRONT(δ); None when empty (usable in conditionals)."""
+        return self._items[0] if self._items else None
+
+    def examine_end(self) -> Any:
+        """value ← EXAMINEEND(δ); None when empty."""
+        return self._items[-1] if self._items else None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def snapshot(self) -> List[Any]:
+        return list(self._items)
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def __repr__(self) -> str:
+        return f"<Deque {self.name!r} len={len(self._items)}>"
+
+
+class StorageSet:
+    """Δ = {δ1, δ2, ...}: the attack's named deques.
+
+    Deques are created on first use (declarations in the attack-states file
+    pre-create them, optionally with initial contents).
+    """
+
+    def __init__(self) -> None:
+        self._deques: Dict[str, Deque] = {}
+
+    def declare(self, name: str, initial: Iterable[Any] = ()) -> Deque:
+        if name in self._deques:
+            raise ValueError(f"deque {name!r} already declared")
+        created = Deque(name, initial)
+        self._deques[name] = created
+        return created
+
+    def deque(self, name: str) -> Deque:
+        """Fetch (creating on demand) the deque called ``name``."""
+        existing = self._deques.get(name)
+        if existing is None:
+            existing = Deque(name)
+            self._deques[name] = existing
+        return existing
+
+    def get(self, name: str) -> Optional[Deque]:
+        return self._deques.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._deques)
+
+    def reset(self) -> None:
+        for stored in self._deques.values():
+            stored.clear()
+
+    def __len__(self) -> int:
+        return len(self._deques)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._deques
+
+    def __repr__(self) -> str:
+        return f"<StorageSet deques={self.names()}>"

@@ -1,0 +1,199 @@
+"""Attack state-graph templates (the Section X future-work abstraction).
+
+"Our future work will consider attack language abstractions that will
+allow practitioners to use predefined attack state graph templates to
+generate larger and more complex attack descriptions without having to
+manually generate many of the lower-level details."
+
+Three composable templates:
+
+* :func:`sequential_stages` — a linear escalation: each stage runs its
+  rules until its advance condition fires, then the attack moves on
+  (the generalized shape of the Fig. 12 connection-interruption attack);
+* :func:`watchdog` — prefix any attack with a wait-for-trigger state;
+* :func:`product` — parallel composition: two attacks progress
+  independently over the product state space, so e.g. a counting phase on
+  one connection and a suppression campaign on another can run inside a
+  single attack description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.core.lang.actions import AttackAction, GoToState, PassMessage
+from repro.core.lang.attack import Attack
+from repro.core.lang.conditionals import Condition
+from repro.core.lang.parser import parse_condition
+from repro.core.lang.rules import Rule
+from repro.core.lang.states import AttackState
+from repro.core.model.capabilities import gamma_no_tls
+
+ConnectionKey = Tuple[str, str]
+
+
+@dataclass
+class Stage:
+    """One stage of a sequential template.
+
+    ``rules`` run while the stage is active; when a message satisfies
+    ``advance_when`` (text or AST), the attack transitions to the next
+    stage, optionally executing ``advance_actions`` first (the message
+    passes unless those actions say otherwise).
+    """
+
+    name: str
+    rules: List[Rule] = field(default_factory=list)
+    advance_when: object = None          # str | Condition | None (terminal)
+    advance_actions: List[AttackAction] = field(default_factory=list)
+
+    def advance_condition(self) -> Condition:
+        if isinstance(self.advance_when, Condition):
+            return self.advance_when
+        return parse_condition(self.advance_when or "")
+
+
+def sequential_stages(
+    name: str,
+    connections,
+    stages: Sequence[Stage],
+    deque_declarations=None,
+) -> Attack:
+    """Chain stages linearly; the last stage is absorbing (or terminal).
+
+    A stage with ``advance_when=None`` is a terminal stage: no transition
+    is generated out of it.
+    """
+    if not stages:
+        raise ValueError("a sequential template needs at least one stage")
+    bound = _normalize(connections)
+    states: List[AttackState] = []
+    for index, stage in enumerate(stages):
+        rules = list(stage.rules)
+        if stage.advance_when is not None:
+            if index + 1 >= len(stages):
+                raise ValueError(
+                    f"stage {stage.name!r} advances but is the last stage"
+                )
+            actions = list(stage.advance_actions) or [PassMessage()]
+            actions.append(GoToState(stages[index + 1].name))
+            rules.append(
+                Rule(
+                    f"advance_{stage.name}",
+                    bound,
+                    gamma_no_tls(),
+                    stage.advance_condition(),
+                    actions,
+                )
+            )
+        states.append(AttackState(stage.name, rules))
+    return Attack(
+        name,
+        states,
+        start=stages[0].name,
+        deque_declarations=deque_declarations or {},
+        description=f"sequential template with stages {[s.name for s in stages]}",
+    )
+
+
+def watchdog(
+    name: str,
+    connections,
+    trigger_when,
+    body: Attack,
+    wait_state: str = "waiting",
+) -> Attack:
+    """Prefix ``body`` with a state that waits for a trigger message.
+
+    Until the trigger fires the attack is inert (all messages pass); when
+    it fires the attack enters ``body``'s start state and proceeds as
+    ``body`` prescribes.
+    """
+    if wait_state in body.states:
+        raise ValueError(f"wait state {wait_state!r} collides with body states")
+    bound = _normalize(connections)
+    condition = (trigger_when if isinstance(trigger_when, Condition)
+                 else parse_condition(trigger_when))
+    trigger_rule = Rule(
+        "watchdog_trigger",
+        bound,
+        gamma_no_tls(),
+        condition,
+        [PassMessage(), GoToState(body.start)],
+    )
+    states = [AttackState(wait_state, [trigger_rule])]
+    states.extend(body.states.values())
+    return Attack(
+        name,
+        states,
+        start=wait_state,
+        deque_declarations=dict(body.deque_declarations),
+        description=f"watchdog over {body.name!r}",
+    )
+
+
+def product(name: str, left: Attack, right: Attack,
+            separator: str = "+") -> Attack:
+    """Parallel composition over the product state space.
+
+    The composite state ``"a+b"`` holds clones of ``a``'s and ``b``'s
+    rules with every GOTOSTATE retargeted within the product: ``a``'s
+    transition to ``a2`` lands in ``"a2+b"`` and vice versa — both
+    components progress independently while sharing one executor (and its
+    totally ordered message stream).
+
+    Deque declarations must not collide; storage is shared, which is the
+    point — composed attacks may deliberately communicate through Δ.
+    """
+    collisions = set(left.deque_declarations) & set(right.deque_declarations)
+    if collisions:
+        raise ValueError(f"deque declarations collide: {sorted(collisions)}")
+
+    def compose_name(a: str, b: str) -> str:
+        return f"{a}{separator}{b}"
+
+    states: List[AttackState] = []
+    for a_name, a_state in left.states.items():
+        for b_name, b_state in right.states.items():
+            rules: List[Rule] = []
+            for rule in a_state.rules:
+                rules.append(_retarget(rule, lambda t, b=b_name: compose_name(t, b),
+                                       prefix="L"))
+            for rule in b_state.rules:
+                rules.append(_retarget(rule, lambda t, a=a_name: compose_name(a, t),
+                                       prefix="R"))
+            states.append(AttackState(compose_name(a_name, b_name), rules))
+    deques = dict(left.deque_declarations)
+    deques.update(right.deque_declarations)
+    return Attack(
+        name,
+        states,
+        start=compose_name(left.start, right.start),
+        deque_declarations=deques,
+        description=f"product of {left.name!r} and {right.name!r}",
+    )
+
+
+def _retarget(rule: Rule, rename, prefix: str) -> Rule:
+    """Clone a rule with GOTOSTATE targets mapped through ``rename``."""
+    actions: List[AttackAction] = []
+    for action in rule.actions:
+        if isinstance(action, GoToState):
+            actions.append(GoToState(rename(action.state_name)))
+        else:
+            actions.append(action)
+    return Rule(
+        f"{prefix}:{rule.name}",
+        rule.connections,
+        rule.gamma,
+        rule.conditional,
+        actions,
+    )
+
+
+def _normalize(connections) -> frozenset:
+    if (isinstance(connections, tuple) and len(connections) == 2
+            and all(isinstance(part, str) for part in connections)):
+        return frozenset({connections})
+    return frozenset(tuple(connection) for connection in connections)

@@ -1,0 +1,24 @@
+"""The ATTAIN attack model (Section IV)."""
+
+from repro.core.model.capabilities import (
+    Capability,
+    CapabilityMap,
+    gamma_all,
+    gamma_no_tls,
+    gamma_tls,
+)
+from repro.core.model.system import ControlConnection, SystemModel, SystemModelError
+from repro.core.model.threat import AttackModel, CapabilityViolation
+
+__all__ = [
+    "AttackModel",
+    "Capability",
+    "CapabilityMap",
+    "CapabilityViolation",
+    "ControlConnection",
+    "SystemModel",
+    "SystemModelError",
+    "gamma_all",
+    "gamma_no_tls",
+    "gamma_tls",
+]

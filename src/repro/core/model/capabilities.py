@@ -1,0 +1,123 @@
+"""Attacker capabilities Γ (Table I) and the Γ_NC capability map.
+
+Capabilities describe "the extent to which an attacker can understand or
+modify control messages in N_C" (Section IV-C).  They are mapped onto
+control-plane connections, and the two standard capability classes model
+connections with and without TLS protection.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+ConnectionKey = Tuple[str, str]  # (controller name, switch name)
+
+
+class Capability(enum.Enum):
+    """The ten attacker capabilities of Table I."""
+
+    DROP_MESSAGE = "DropMessage"
+    PASS_MESSAGE = "PassMessage"
+    DELAY_MESSAGE = "DelayMessage"
+    DUPLICATE_MESSAGE = "DuplicateMessage"
+    READ_MESSAGE_METADATA = "ReadMessageMetadata"
+    MODIFY_MESSAGE_METADATA = "ModifyMessageMetadata"
+    FUZZ_MESSAGE = "FuzzMessage"
+    READ_MESSAGE = "ReadMessage"
+    MODIFY_MESSAGE = "ModifyMessage"
+    INJECT_NEW_MESSAGE = "InjectNewMessage"
+
+    @classmethod
+    def from_name(cls, name: str) -> "Capability":
+        """Resolve a capability by its paper name, case-insensitively."""
+        normalized = name.replace("_", "").replace("-", "").lower()
+        for capability in cls:
+            if capability.value.lower() == normalized:
+                return capability
+            if capability.name.replace("_", "").lower() == normalized:
+                return capability
+        raise ValueError(f"unknown attacker capability {name!r}")
+
+    def __repr__(self) -> str:
+        return f"Capability.{self.name}"
+
+
+def gamma_all() -> FrozenSet[Capability]:
+    """Γ — the set of all possible attacker capabilities."""
+    return frozenset(Capability)
+
+
+def gamma_no_tls() -> FrozenSet[Capability]:
+    """Γ_NoTLS = Γ: plain-TCP connections give the attacker everything."""
+    return gamma_all()
+
+
+def gamma_tls() -> FrozenSet[Capability]:
+    """Γ_TLS: TLS (with an uncompromised PKI) removes the payload-touching
+    and masquerading capabilities.
+
+    Formally Γ_TLS = Γ \\ {READMESSAGE, MODIFYMESSAGE, FUZZMESSAGE,
+    INJECTNEWMESSAGE, MODIFYMESSAGEMETADATA} (Section IV-C2).
+    """
+    return gamma_all() - {
+        Capability.READ_MESSAGE,
+        Capability.MODIFY_MESSAGE,
+        Capability.FUZZ_MESSAGE,
+        Capability.INJECT_NEW_MESSAGE,
+        Capability.MODIFY_MESSAGE_METADATA,
+    }
+
+
+class CapabilityMap:
+    """Γ_NC : N_C → P(Γ) — per-connection attacker capabilities.
+
+    Connections not present in the map have no attacker presence at all
+    (the empty capability set): the injector forwards their traffic
+    untouched and rules may not bind to them.
+    """
+
+    def __init__(
+        self, assignments: Mapping[ConnectionKey, Iterable[Capability]] = ()
+    ) -> None:
+        self._map: Dict[ConnectionKey, FrozenSet[Capability]] = {}
+        if assignments:
+            for connection, capabilities in dict(assignments).items():
+                self.assign(connection, capabilities)
+
+    def assign(
+        self, connection: ConnectionKey, capabilities: Iterable[Capability]
+    ) -> None:
+        """Set γ(connection); replaces any previous assignment."""
+        capability_set = frozenset(capabilities)
+        for capability in capability_set:
+            if not isinstance(capability, Capability):
+                raise TypeError(f"not a Capability: {capability!r}")
+        self._map[tuple(connection)] = capability_set
+
+    def gamma(self, connection: ConnectionKey) -> FrozenSet[Capability]:
+        """γ(connection) — the empty set when the attacker is absent."""
+        return self._map.get(tuple(connection), frozenset())
+
+    def allows(self, connection: ConnectionKey, capability: Capability) -> bool:
+        return capability in self.gamma(connection)
+
+    def connections(self):
+        return list(self._map)
+
+    def __contains__(self, connection: ConnectionKey) -> bool:
+        return tuple(connection) in self._map
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    @classmethod
+    def uniform(
+        cls, connections: Iterable[ConnectionKey], capabilities: Iterable[Capability]
+    ) -> "CapabilityMap":
+        """Assign the same capability set to every listed connection."""
+        capability_set = frozenset(capabilities)
+        return cls({tuple(connection): capability_set for connection in connections})
+
+    def __repr__(self) -> str:
+        return f"<CapabilityMap connections={len(self._map)}>"

@@ -1,0 +1,124 @@
+"""The threat model: binding attacker capabilities to the system model.
+
+Section IV-B assumes the attacker manipulates control-plane messages; how
+components were compromised is out of scope.  ``AttackModel`` couples a
+:class:`~repro.core.model.system.SystemModel` with a
+:class:`~repro.core.model.capabilities.CapabilityMap` and is what rules are
+validated against: a rule demanding a capability outside γ(n) is rejected,
+which is how a tester evaluates the same attack under different attacker
+assumptions (the Section IV-C illustration).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.core.model.capabilities import (
+    Capability,
+    CapabilityMap,
+    gamma_no_tls,
+    gamma_tls,
+)
+from repro.core.model.system import SystemModel
+
+ConnectionKey = Tuple[str, str]
+
+
+class CapabilityViolation(Exception):
+    """An attack requires capabilities the attacker model does not grant."""
+
+    def __init__(
+        self,
+        connection: ConnectionKey,
+        missing: Iterable[Capability],
+        context: str = "",
+    ) -> None:
+        self.connection = tuple(connection)
+        self.missing = frozenset(missing)
+        missing_names = ", ".join(sorted(c.value for c in self.missing))
+        suffix = f" ({context})" if context else ""
+        super().__init__(
+            f"connection {self.connection} lacks capabilities: {missing_names}{suffix}"
+        )
+
+
+class AttackModel:
+    """System model + per-connection attacker capabilities."""
+
+    def __init__(self, system: SystemModel, capabilities: CapabilityMap) -> None:
+        self.system = system
+        self.capabilities = capabilities
+        known = set(system.connection_keys())
+        for connection in capabilities.connections():
+            if connection not in known:
+                raise ValueError(
+                    f"capability map references connection {connection} "
+                    "that is not in N_C"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Standard attacker placements
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def no_tls_everywhere(cls, system: SystemModel) -> "AttackModel":
+        """Attacker on every connection, no TLS: γ(n) = Γ for all n."""
+        return cls(
+            system,
+            CapabilityMap.uniform(system.connection_keys(), gamma_no_tls()),
+        )
+
+    @classmethod
+    def tls_everywhere(cls, system: SystemModel) -> "AttackModel":
+        """Attacker on every connection, TLS with intact PKI: γ(n) = Γ_TLS."""
+        return cls(
+            system,
+            CapabilityMap.uniform(system.connection_keys(), gamma_tls()),
+        )
+
+    @classmethod
+    def compromised(
+        cls,
+        system: SystemModel,
+        connections: Iterable[ConnectionKey],
+        tls: bool = False,
+    ) -> "AttackModel":
+        """Attacker only on ``connections`` (e.g. just (c1, s1))."""
+        capability_set = gamma_tls() if tls else gamma_no_tls()
+        return cls(system, CapabilityMap.uniform(connections, capability_set))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def gamma(self, connection: ConnectionKey) -> FrozenSet[Capability]:
+        return self.capabilities.gamma(connection)
+
+    def check(
+        self,
+        connection: ConnectionKey,
+        required: Iterable[Capability],
+        context: str = "",
+    ) -> None:
+        """Raise :class:`CapabilityViolation` unless required ⊆ γ(connection)."""
+        granted = self.gamma(connection)
+        missing = frozenset(required) - granted
+        if missing:
+            raise CapabilityViolation(connection, missing, context)
+
+    def allows(self, connection: ConnectionKey, capability: Capability) -> bool:
+        return self.capabilities.allows(connection, capability)
+
+    def attacked_connections(self) -> list:
+        """Connections where the attacker has at least one capability."""
+        return [
+            connection
+            for connection in self.system.connection_keys()
+            if self.gamma(connection)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"<AttackModel attacked={len(self.attacked_connections())}/"
+            f"{len(self.system.control_connections)} connections>"
+        )

@@ -1,0 +1,20 @@
+"""Monitors (Section VI-B3): record control- and data-plane events.
+
+"Practitioners can strategically place monitors (e.g., iperf or tcpdump)
+throughout the network to actuate, record, or later analyze events."
+"""
+
+from repro.core.monitors.base import MonitorEvent, RecordingMonitor
+from repro.core.monitors.capture import LinkCapture
+from repro.core.monitors.controlplane import ControlPlaneMonitor
+from repro.core.monitors.iperf import IperfMonitor
+from repro.core.monitors.ping import PingMonitor
+
+__all__ = [
+    "ControlPlaneMonitor",
+    "IperfMonitor",
+    "LinkCapture",
+    "MonitorEvent",
+    "PingMonitor",
+    "RecordingMonitor",
+]

@@ -1,0 +1,95 @@
+"""Control-plane monitor: logs interposed messages and rule notifications.
+
+The paper's runtime injector "logged all control plane connections, all
+messages sent across such connections, and rule notifications (when
+actuated)" (Section VII-A2).  This monitor plugs into the runtime injector
+as an observer and provides the counters the experiments report (e.g. the
+control-plane traffic amplification of the suppression attack).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.lang.actions import OutgoingMessage
+from repro.core.lang.properties import InterposedMessage
+from repro.core.monitors.base import RecordingMonitor
+
+
+class ControlPlaneMonitor(RecordingMonitor):
+    """Observer for :class:`~repro.core.injector.runtime.RuntimeInjector`."""
+
+    def __init__(self, name: str = "control-plane", capacity: Optional[int] = None) -> None:
+        super().__init__(name=name, capacity=capacity)
+        self.message_counts: Dict[str, int] = {}
+        self.per_connection: Dict[Tuple[str, str], int] = {}
+        self.dropped_by_type: Dict[str, int] = {}
+        self.rule_notifications: List[Tuple[float, str, str]] = []
+        self.state_transitions: List[Tuple[float, str, str]] = []
+
+    # -- RuntimeInjector observer hooks ---------------------------------- #
+
+    def message_interposed(
+        self,
+        message: InterposedMessage,
+        outgoing: List[OutgoingMessage],
+        now: float,
+    ) -> None:
+        type_name = message.message_type_name or "UNDECODABLE"
+        self.message_counts[type_name] = self.message_counts.get(type_name, 0) + 1
+        key = message.connection
+        self.per_connection[key] = self.per_connection.get(key, 0) + 1
+        survived = any(entry.message is message for entry in outgoing)
+        if not survived:
+            self.dropped_by_type[type_name] = self.dropped_by_type.get(type_name, 0) + 1
+        self.record(
+            now,
+            "message",
+            {
+                "connection": key,
+                "direction": message.direction.value,
+                "type": type_name,
+                "length": len(message.raw),
+                "forwarded": survived,
+                "injected_count": sum(1 for entry in outgoing if entry.injected),
+            },
+        )
+
+    # -- ExecutorObserver hooks ------------------------------------------ #
+
+    def rule_fired(self, state: str, rule_name: str, message: InterposedMessage) -> None:
+        self.rule_notifications.append((message.timestamp, state, rule_name))
+        self.record(
+            message.timestamp,
+            "rule_fired",
+            {"state": state, "rule": rule_name, "message_id": message.msg_id},
+        )
+
+    def state_changed(self, previous: str, current: str, at: float) -> None:
+        self.state_transitions.append((at, previous, current))
+        self.record(at, "state_changed", {"from": previous, "to": current})
+
+    def action_record(self, kind: str, data: dict, at: float) -> None:
+        self.record(at, f"action:{kind}", data)
+
+    # -- Queries ----------------------------------------------------------- #
+
+    def total_messages(self) -> int:
+        return sum(self.message_counts.values())
+
+    def dropped_total(self) -> int:
+        return sum(self.dropped_by_type.values())
+
+    def count_of(self, type_name: str) -> int:
+        return self.message_counts.get(type_name, 0)
+
+    def fired_rules(self) -> List[str]:
+        return [rule for (_t, _s, rule) in self.rule_notifications]
+
+    def visited_states(self) -> List[str]:
+        states = []
+        for (_t, previous, current) in self.state_transitions:
+            if not states:
+                states.append(previous)
+            states.append(current)
+        return states

@@ -1,0 +1,32 @@
+"""Data-plane network elements.
+
+This package replaces the paper's GENI testbed and Open vSwitch deployment:
+a deterministic simulation of OpenFlow 1.0 switches, end hosts with a small
+ARP/ICMP/TCP network stack, and bandwidth/latency-modelled links, all driven
+by :mod:`repro.sim`.
+"""
+
+from repro.dataplane.control import ControlChannel, ControlEndpoint, connect_endpoints
+from repro.dataplane.flowtable import FlowEntry, FlowTable
+from repro.dataplane.host import Host, IperfResult, PingResult
+from repro.dataplane.link import DataLink
+from repro.dataplane.network import Network
+from repro.dataplane.switch import FailMode, OpenFlowSwitch
+from repro.dataplane.topology import Topology, TopologyError
+
+__all__ = [
+    "ControlChannel",
+    "ControlEndpoint",
+    "DataLink",
+    "FailMode",
+    "FlowEntry",
+    "FlowTable",
+    "Host",
+    "IperfResult",
+    "Network",
+    "OpenFlowSwitch",
+    "PingResult",
+    "Topology",
+    "TopologyError",
+    "connect_endpoints",
+]

@@ -1,0 +1,214 @@
+"""OpenFlow 1.0 flow table with priorities, timeouts, and statistics.
+
+Semantics follow the OF 1.0 specification as implemented by OVS v1.9:
+highest-priority matching entry wins; exact ties resolve to the
+earliest-installed entry; idle and hard timeouts expire entries and can emit
+FLOW_REMOVED notifications.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.openflow.actions import Action
+from repro.openflow.constants import FlowModCommand, FlowModFlags, Port
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod
+
+
+class FlowEntry:
+    """One installed flow rule."""
+
+    _order = itertools.count()
+
+    __slots__ = (
+        "match",
+        "priority",
+        "actions",
+        "cookie",
+        "idle_timeout",
+        "hard_timeout",
+        "flags",
+        "install_time",
+        "last_used",
+        "packet_count",
+        "byte_count",
+        "order",
+    )
+
+    def __init__(
+        self,
+        match: Match,
+        priority: int,
+        actions: List[Action],
+        cookie: int = 0,
+        idle_timeout: int = 0,
+        hard_timeout: int = 0,
+        flags: int = 0,
+        install_time: float = 0.0,
+    ) -> None:
+        self.match = match
+        self.priority = priority
+        self.actions = list(actions)
+        self.cookie = cookie
+        self.idle_timeout = idle_timeout
+        self.hard_timeout = hard_timeout
+        self.flags = flags
+        self.install_time = install_time
+        self.last_used = install_time
+        self.packet_count = 0
+        self.byte_count = 0
+        self.order = next(FlowEntry._order)
+
+    @property
+    def sends_flow_removed(self) -> bool:
+        return bool(self.flags & FlowModFlags.SEND_FLOW_REM)
+
+    def outputs_to(self, port: int) -> bool:
+        """True if any action outputs to ``port`` (for out_port filtering)."""
+        from repro.openflow.actions import OutputAction
+
+        return any(isinstance(a, OutputAction) and a.port == port for a in self.actions)
+
+    def record_use(self, now: float, byte_count: int) -> None:
+        self.last_used = now
+        self.packet_count += 1
+        self.byte_count += byte_count
+
+    def expired_reason(self, now: float) -> Optional[str]:
+        """Return ``"idle"``/``"hard"`` when the entry has timed out."""
+        if self.hard_timeout and now >= self.install_time + self.hard_timeout:
+            return "hard"
+        if self.idle_timeout and now >= self.last_used + self.idle_timeout:
+            return "idle"
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"<FlowEntry prio={self.priority} {self.match!r} "
+            f"actions={self.actions} idle={self.idle_timeout} hard={self.hard_timeout}>"
+        )
+
+
+class FlowTable:
+    """A single OF 1.0 flow table (OVS v1.9 exposed one to OpenFlow 1.0)."""
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        self.max_entries = max_entries
+        self.entries: List[FlowEntry] = []
+        self.lookups = 0
+        self.matched = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------------ #
+    # Flow-mod application
+    # ------------------------------------------------------------------ #
+
+    def apply_flow_mod(self, flow_mod: FlowMod, now: float) -> Tuple[List[FlowEntry], bool]:
+        """Apply a FLOW_MOD; return (removed_entries, table_full).
+
+        Removed entries are returned so the switch can emit FLOW_REMOVED
+        messages for DELETE commands when entries requested it.
+        """
+        command = flow_mod.command
+        if command == FlowModCommand.ADD:
+            return self._add(flow_mod, now)
+        if command in (FlowModCommand.MODIFY, FlowModCommand.MODIFY_STRICT):
+            return self._modify(flow_mod, now, strict=command == FlowModCommand.MODIFY_STRICT)
+        if command in (FlowModCommand.DELETE, FlowModCommand.DELETE_STRICT):
+            return self._delete(flow_mod, strict=command == FlowModCommand.DELETE_STRICT)
+        raise ValueError(f"unsupported flow-mod command {command!r}")
+
+    def _add(self, flow_mod: FlowMod, now: float) -> Tuple[List[FlowEntry], bool]:
+        # OF 1.0: ADD with an identical match+priority replaces the entry.
+        replaced = [
+            entry
+            for entry in self.entries
+            if entry.priority == flow_mod.priority
+            and entry.match.is_strict_equal(flow_mod.match)
+        ]
+        for entry in replaced:
+            self.entries.remove(entry)
+        if len(self.entries) >= self.max_entries:
+            return [], True
+        self.entries.append(
+            FlowEntry(
+                flow_mod.match,
+                flow_mod.priority,
+                flow_mod.actions,
+                cookie=flow_mod.cookie,
+                idle_timeout=flow_mod.idle_timeout,
+                hard_timeout=flow_mod.hard_timeout,
+                flags=flow_mod.flags,
+                install_time=now,
+            )
+        )
+        return [], False
+
+    def _modify(self, flow_mod: FlowMod, now: float, strict: bool) -> Tuple[List[FlowEntry], bool]:
+        changed = False
+        for entry in self.entries:
+            if self._mod_applies(flow_mod.match, flow_mod.priority, entry, strict):
+                entry.actions = list(flow_mod.actions)
+                entry.cookie = flow_mod.cookie
+                changed = True
+        if not changed:
+            return self._add(flow_mod, now)
+        return [], False
+
+    def _delete(self, flow_mod: FlowMod, strict: bool) -> Tuple[List[FlowEntry], bool]:
+        removed: List[FlowEntry] = []
+        kept: List[FlowEntry] = []
+        for entry in self.entries:
+            matches = self._mod_applies(flow_mod.match, flow_mod.priority, entry, strict)
+            if matches and flow_mod.out_port != Port.NONE:
+                matches = entry.outputs_to(flow_mod.out_port)
+            (removed if matches else kept).append(entry)
+        self.entries = kept
+        return removed, False
+
+    @staticmethod
+    def _mod_applies(match: Match, priority: int, entry: FlowEntry, strict: bool) -> bool:
+        if strict:
+            return entry.priority == priority and entry.match.is_strict_equal(match)
+        return match.subsumes(entry.match)
+
+    # ------------------------------------------------------------------ #
+    # Lookup / expiry
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, fields: Dict[str, Any]) -> Optional[FlowEntry]:
+        """Highest-priority entry matching extracted packet fields."""
+        self.lookups += 1
+        best: Optional[FlowEntry] = None
+        for entry in self.entries:
+            if entry.match.matches_fields(fields):
+                if best is None or (entry.priority, -entry.order) > (best.priority, -best.order):
+                    best = entry
+        if best is not None:
+            self.matched += 1
+        return best
+
+    def expire(self, now: float) -> List[Tuple[FlowEntry, str]]:
+        """Remove and return timed-out entries with their expiry reason."""
+        expired: List[Tuple[FlowEntry, str]] = []
+        kept: List[FlowEntry] = []
+        for entry in self.entries:
+            reason = entry.expired_reason(now)
+            if reason is None:
+                kept.append(entry)
+            else:
+                expired.append((entry, reason))
+        self.entries = kept
+        return expired
+
+    def clear(self) -> List[FlowEntry]:
+        """Remove all entries (connection reset semantics)."""
+        removed, self.entries = self.entries, []
+        return removed
+
+    def __repr__(self) -> str:
+        return f"<FlowTable entries={len(self.entries)} lookups={self.lookups}>"

@@ -1,0 +1,145 @@
+"""Point-to-point link model with bandwidth, latency, and a drop-tail queue.
+
+Each direction of a link is an independent transmit queue: frames are
+serialized at the link bandwidth, experience the propagation latency, and
+are dropped when the queue is full.  The paper's testbed used 100 Mbps GENI
+links; the throughput shape of the flow-modification-suppression experiment
+(Fig. 11a) depends on this serialization model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import SimulationEngine
+
+Deliver = Callable[[bytes], None]
+
+
+class _Direction:
+    """One transmit direction of a link."""
+
+    __slots__ = ("engine", "bandwidth", "latency", "queue_limit",
+                 "busy_until", "queued", "deliver", "tx_frames", "tx_bytes",
+                 "dropped_frames")
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        bandwidth: float,
+        latency: float,
+        queue_limit: int,
+    ) -> None:
+        self.engine = engine
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.queue_limit = queue_limit
+        self.busy_until = 0.0
+        self.queued = 0
+        self.deliver: Optional[Deliver] = None
+        self.tx_frames = 0
+        self.tx_bytes = 0
+        self.dropped_frames = 0
+
+    def transmit(self, data: bytes) -> bool:
+        """Queue a frame for transmission; False when tail-dropped."""
+        if self.deliver is None:
+            raise RuntimeError("link direction has no receiver attached")
+        now = self.engine.now
+        if self.busy_until < now:
+            self.busy_until = now
+            self.queued = 0
+        if self.queued >= self.queue_limit:
+            self.dropped_frames += 1
+            return False
+        serialization = len(data) * 8.0 / self.bandwidth
+        self.busy_until += serialization
+        arrival = self.busy_until + self.latency
+        self.queued += 1
+        self.tx_frames += 1
+        self.tx_bytes += len(data)
+        self.engine.schedule_at(arrival, self._arrive, data)
+        return True
+
+    def _arrive(self, data: bytes) -> None:
+        self.queued = max(0, self.queued - 1)
+        assert self.deliver is not None
+        self.deliver(data)
+
+
+class DataLink:
+    """A bidirectional data-plane link between two attachment points."""
+
+    DEFAULT_QUEUE_LIMIT = 100
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        bandwidth_bps: float,
+        latency_s: float,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        name: str = "link",
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth_bps!r}")
+        if latency_s < 0:
+            raise ValueError(f"latency must be non-negative: {latency_s!r}")
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.latency_s = latency_s
+        self._a_to_b = _Direction(engine, bandwidth_bps, latency_s, queue_limit)
+        self._b_to_a = _Direction(engine, bandwidth_bps, latency_s, queue_limit)
+        self.up = True
+        self._status_observers = []
+
+    def attach_a(self, deliver: Deliver) -> None:
+        """Register the A-side receiver (frames sent by B arrive here)."""
+        self._b_to_a.deliver = deliver
+
+    def attach_b(self, deliver: Deliver) -> None:
+        """Register the B-side receiver (frames sent by A arrive here)."""
+        self._a_to_b.deliver = deliver
+
+    def send_from_a(self, data: bytes) -> bool:
+        """Transmit from the A side; returns False when dropped."""
+        if not self.up:
+            return False
+        return self._a_to_b.transmit(data)
+
+    def send_from_b(self, data: bytes) -> bool:
+        """Transmit from the B side; returns False when dropped."""
+        if not self.up:
+            return False
+        return self._b_to_a.transmit(data)
+
+    def add_status_observer(self, observer) -> None:
+        """Register ``observer(up: bool)`` for carrier state changes.
+
+        Attached switches use this to notice loss of carrier and emit
+        OpenFlow PORT_STATUS notifications.
+        """
+        self._status_observers.append(observer)
+
+    def set_up(self, up: bool) -> None:
+        """Administratively raise/lower the link (frames silently dropped)."""
+        if up == self.up:
+            return
+        self.up = up
+        for observer in self._status_observers:
+            observer(up)
+
+    @property
+    def tx_frames(self) -> int:
+        return self._a_to_b.tx_frames + self._b_to_a.tx_frames
+
+    @property
+    def tx_bytes(self) -> int:
+        return self._a_to_b.tx_bytes + self._b_to_a.tx_bytes
+
+    @property
+    def dropped_frames(self) -> int:
+        return self._a_to_b.dropped_frames + self._b_to_a.dropped_frames
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "down"
+        return f"<DataLink {self.name} {self.bandwidth_bps/1e6:.0f}Mbps {state}>"

@@ -1,0 +1,34 @@
+"""The Section VII enterprise case study and experiment drivers."""
+
+from repro.experiments.compliance import ComplianceReport, run_compliance_suite
+from repro.experiments.enterprise import (
+    EnterpriseSetup,
+    INTERNAL_HOST_NAMES,
+    build_enterprise,
+    enterprise_system_model,
+    enterprise_topology,
+)
+from repro.experiments.interruption import (
+    InterruptionResult,
+    run_interruption_experiment,
+)
+from repro.experiments.suppression import (
+    SuppressionResult,
+    run_suppression_experiment,
+)
+from repro.experiments.syscmd import HostCommandRouter
+
+__all__ = [
+    "ComplianceReport",
+    "EnterpriseSetup",
+    "HostCommandRouter",
+    "INTERNAL_HOST_NAMES",
+    "InterruptionResult",
+    "SuppressionResult",
+    "build_enterprise",
+    "enterprise_system_model",
+    "enterprise_topology",
+    "run_compliance_suite",
+    "run_interruption_experiment",
+    "run_suppression_experiment",
+]

@@ -1,0 +1,162 @@
+"""The small-enterprise case-study network (Section VII-A, Figs. 8–9).
+
+System model:
+
+* ``h1`` — external-facing Web server;
+* ``h2`` — gateway interface to the Internet router (external users enter
+  here);
+* ``h3``, ``h4`` — internal service servers;
+* ``h5``, ``h6`` — user workstations;
+* ``s1`` — external network switch (h1, h2 attach here);
+* ``s2`` — DMZ firewall switch (joins the external and internal sides);
+* ``s3`` — intranet switch for servers (h3, h4);
+* ``s4`` — intranet switch for workstations (h5, h6);
+* ``c1`` — the single controller, with one control connection per switch:
+  N_C = {(c1,s1), (c1,s2), (c1,s3), (c1,s4)}.
+
+Links are 100 Mbps (the GENI testbed's links).  The enterprise "enforce[s]
+isolation through network partitioning": the DMZ firewall app on c1 blocks
+external-origin traffic (from h2) to the internal hosts h3–h6 at s2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.controllers import (
+    CONTROLLER_FACTORIES,
+    Controller,
+    DmzFirewallApp,
+    FirewallPolicy,
+)
+from repro.dataplane import FailMode, Network, Topology
+from repro.core.model import SystemModel
+from repro.sim.engine import SimulationEngine
+
+CONTROLLER_NAME = "c1"
+EXTERNAL_USER_HOST = "h2"       # gateway: where external users enter
+EXTERNAL_NETWORK_HOSTS = ("h1",)  # public-facing
+INTERNAL_HOST_NAMES = ("h3", "h4", "h5", "h6")
+DMZ_SWITCH = "s2"
+LINK_BANDWIDTH = 100e6
+LINK_LATENCY = 0.0002
+
+
+def enterprise_topology() -> Topology:
+    """Build the Fig. 8 data plane (6 hosts, 4 switches, tree topology)."""
+    topo = Topology("enterprise")
+    for index in range(1, 7):
+        topo.add_host(f"h{index}", ip=f"10.0.0.{index}")
+    for index in range(1, 5):
+        topo.add_switch(f"s{index}", datapath_id=index)
+    # External side: h1 (web server) and h2 (gateway) on s1.
+    topo.add_link("h1", "s1", LINK_BANDWIDTH, LINK_LATENCY)
+    topo.add_link("h2", "s1", LINK_BANDWIDTH, LINK_LATENCY)
+    # DMZ firewall switch joins external and both intranet switches.
+    topo.add_link("s1", "s2", LINK_BANDWIDTH, LINK_LATENCY)
+    topo.add_link("s2", "s3", LINK_BANDWIDTH, LINK_LATENCY)
+    topo.add_link("s2", "s4", LINK_BANDWIDTH, LINK_LATENCY)
+    # Internal servers on s3, workstations on s4.
+    topo.add_link("h3", "s3", LINK_BANDWIDTH, LINK_LATENCY)
+    topo.add_link("h4", "s3", LINK_BANDWIDTH, LINK_LATENCY)
+    topo.add_link("h5", "s4", LINK_BANDWIDTH, LINK_LATENCY)
+    topo.add_link("h6", "s4", LINK_BANDWIDTH, LINK_LATENCY)
+    return topo
+
+
+def enterprise_system_model(topology: Optional[Topology] = None) -> SystemModel:
+    """The Fig. 9 control plane: c1 connected to each of the four switches."""
+    topo = topology or enterprise_topology()
+    return SystemModel.from_topology(
+        topo,
+        controllers=[CONTROLLER_NAME],
+        control_connections=[
+            (CONTROLLER_NAME, f"s{index}") for index in range(1, 5)
+        ],
+    )
+
+
+@dataclass
+class EnterpriseSetup:
+    """A fully built case-study network ready to run."""
+
+    engine: SimulationEngine
+    topology: Topology
+    system: SystemModel
+    network: Network
+    controller: Controller
+    controller_kind: str
+    firewall: Optional[DmzFirewallApp]
+
+    def host_ip(self, name: str) -> str:
+        return str(self.network.host_ip(name))
+
+    @property
+    def external_user_ip(self) -> str:
+        return self.host_ip(EXTERNAL_USER_HOST)
+
+    @property
+    def internal_ips(self) -> Tuple[str, ...]:
+        return tuple(self.host_ip(name) for name in INTERNAL_HOST_NAMES)
+
+
+def build_enterprise(
+    engine: Optional[SimulationEngine] = None,
+    controller_kind: str = "floodlight",
+    fail_mode: FailMode = FailMode.SECURE,
+    with_firewall: bool = True,
+    behavior_override=None,
+) -> EnterpriseSetup:
+    """Instantiate the case-study network with the chosen controller.
+
+    ``with_firewall`` installs the DMZ isolation policy (the Table II
+    experiment needs it; the Fig. 11 suppression experiment runs the plain
+    learning switch, matching the paper's setup).  ``behavior_override``
+    replaces the controller's stock learning-switch behaviour — the lever
+    the fidelity-ablation benchmarks flip.
+    """
+    factory = CONTROLLER_FACTORIES.get(controller_kind)
+    if factory is None:
+        raise ValueError(
+            f"unknown controller {controller_kind!r}; "
+            f"choose from {sorted(CONTROLLER_FACTORIES)}"
+        )
+    engine = engine or SimulationEngine()
+    topology = enterprise_topology()
+    system = enterprise_system_model(topology)
+    network = Network(engine, topology, fail_mode=fail_mode)
+
+    firewall: Optional[DmzFirewallApp] = None
+    extra_apps = []
+    if with_firewall:
+        policy = FirewallPolicy.isolate(
+            external_ips=[str(network.host_ip(EXTERNAL_USER_HOST))],
+            internal_ips=[str(network.host_ip(name)) for name in INTERNAL_HOST_NAMES],
+        )
+        # The firewall builds its drop rules with the host controller's own
+        # match personality — the lever behind the Table II Ryu anomaly.
+        from repro.controllers.floodlight import FLOODLIGHT_BEHAVIOR
+        from repro.controllers.pox import POX_BEHAVIOR
+        from repro.controllers.ryu import RYU_BEHAVIOR
+
+        behavior = behavior_override or {
+            "floodlight": FLOODLIGHT_BEHAVIOR,
+            "pox": POX_BEHAVIOR,
+            "ryu": RYU_BEHAVIOR,
+        }[controller_kind]
+        dmz_dpid = topology.switches[DMZ_SWITCH].datapath_id
+        firewall = DmzFirewallApp(policy, frozenset({dmz_dpid}), behavior)
+        extra_apps.append(firewall)
+
+    controller = factory(engine, name=controller_kind, extra_apps=extra_apps,
+                         behavior=behavior_override)
+    return EnterpriseSetup(
+        engine=engine,
+        topology=topology,
+        system=system,
+        network=network,
+        controller=controller,
+        controller_kind=controller_kind,
+        firewall=firewall,
+    )

@@ -1,0 +1,168 @@
+"""The connection-interruption experiment (Section VII-C, Table II).
+
+Timeline (paper values):
+
+* t = 0 s: set s2 to fail-secure or fail-safe;
+* t = 5 s: initialize the controller (all devices boot at sim start);
+* t = 10 s: initialize the attack injector to σ1;
+* t = 30 s: h2 pings h1 for 10 s (external user -> external host) and
+  h6 pings h1 for 10 s (internal user -> external host);
+* t = 50 s: h2 pings h3 for 60 s (external user -> internal host; the
+  firewall's drop FLOW_MOD for this flow is the attack's σ2 trigger);
+* t = 95 s: h6 pings h1 for 10 s again (internal user -> external host
+  after the interruption).
+
+Security metrics: "unauthorized increased access" when an external user
+reaches an internal host, and "denial of service" when an internal user
+can no longer reach external hosts after the interruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.attacks import connection_interruption_attack
+from repro.core import RuntimeInjector
+from repro.core.model import AttackModel
+from repro.core.monitors import ControlPlaneMonitor, PingMonitor
+from repro.dataplane import FailMode
+from repro.experiments.enterprise import (
+    DMZ_SWITCH,
+    EXTERNAL_USER_HOST,
+    build_enterprise,
+)
+from repro.sim.engine import SimulationEngine
+
+
+@dataclass
+class InterruptionResult:
+    """One Table II column (controller x fail mode)."""
+
+    controller: str
+    fail_mode: str
+    attacked: bool
+    # The four Table II probe rows:
+    external_to_external_t30: bool
+    internal_to_external_t30: bool
+    external_to_internal_t50: bool
+    internal_to_external_t95: bool
+    # Diagnostics:
+    attack_states_visited: List[str]
+    interruption_happened: bool
+    connection_deaths: int
+
+    @property
+    def unauthorized_increased_access(self) -> bool:
+        """External user reached an internal host."""
+        return self.external_to_internal_t50
+
+    @property
+    def denial_of_service(self) -> bool:
+        """Internal user lost external access after the interruption."""
+        return self.internal_to_external_t30 and not self.internal_to_external_t95
+
+    def row(self) -> Dict[str, object]:
+        mark = lambda ok: "yes" if ok else "no"  # noqa: E731
+        return {
+            "controller": self.controller,
+            "fail_mode": self.fail_mode,
+            "ext->ext (t=30s)": mark(self.external_to_external_t30),
+            "int->ext (t=30s)": mark(self.internal_to_external_t30),
+            "ext->int (t=50s)": mark(self.external_to_internal_t50),
+            "int->ext (t=95s)": mark(self.internal_to_external_t95),
+            "unauthorized_access": self.unauthorized_increased_access,
+            "denial_of_service": self.denial_of_service,
+        }
+
+
+def run_interruption_experiment(
+    controller_kind: str,
+    fail_mode: FailMode,
+    attacked: bool = True,
+    time_scale: float = 1.0,
+    behavior_override=None,
+) -> InterruptionResult:
+    """Run one Table II cell.
+
+    ``time_scale`` compresses the timeline for fast tests (0.5 halves all
+    offsets and ping windows; liveness timeouts are protocol constants and
+    are NOT scaled, so very small scales will not leave room for the
+    interruption to be detected — keep >= 0.5).
+    """
+    engine = SimulationEngine()
+    setup = build_enterprise(
+        engine,
+        controller_kind=controller_kind,
+        fail_mode=fail_mode,
+        with_firewall=True,
+        behavior_override=behavior_override,
+    )
+    attack_model = AttackModel.no_tls_everywhere(setup.system)
+    attack = None
+    if attacked:
+        attack = connection_interruption_attack(
+            connection=("c1", DMZ_SWITCH),
+            trigger_source_ip=setup.external_user_ip,
+            protected_destination_ips=setup.internal_ips,
+        )
+    injector = RuntimeInjector(engine, attack_model, attack)
+    control_monitor = ControlPlaneMonitor()
+    injector.add_observer(control_monitor)
+    injector.install(setup.network, {"c1": setup.controller})
+    setup.network.start()
+
+    network = setup.network
+    external = network.host(EXTERNAL_USER_HOST)          # h2
+    internal_user = network.host("h6")
+    web_server_ip = network.host_ip("h1")
+    internal_server_ip = network.host_ip("h3")
+
+    def scaled(t: float) -> float:
+        return t * time_scale
+
+    monitors: Dict[str, PingMonitor] = {
+        name: PingMonitor(name)
+        for name in ("ext_ext_t30", "int_ext_t30", "ext_int_t50", "int_ext_t95")
+    }
+    short = max(3, int(10 * time_scale))
+    long = max(30, int(60 * time_scale))
+
+    engine.schedule_at(
+        scaled(30.0), monitors["ext_ext_t30"].start_series,
+        external, web_server_ip, short,
+    )
+    engine.schedule_at(
+        scaled(30.0), monitors["int_ext_t30"].start_series,
+        internal_user, web_server_ip, short,
+    )
+    engine.schedule_at(
+        scaled(50.0), monitors["ext_int_t50"].start_series,
+        external, internal_server_ip, long,
+    )
+    t95 = scaled(50.0) + long + 5.0
+    engine.schedule_at(
+        t95, monitors["int_ext_t95"].start_series,
+        internal_user, web_server_ip, short,
+    )
+    engine.run(until=t95 + short + 10.0)
+
+    def reached(name: str) -> bool:
+        results = monitors[name].results
+        return bool(results) and results[0].any_success
+
+    visited = control_monitor.visited_states() or (
+        [injector.current_state] if injector.current_state else []
+    )
+    return InterruptionResult(
+        controller=controller_kind,
+        fail_mode=fail_mode.value,
+        attacked=attacked,
+        external_to_external_t30=reached("ext_ext_t30"),
+        internal_to_external_t30=reached("int_ext_t30"),
+        external_to_internal_t50=reached("ext_int_t50"),
+        internal_to_external_t95=reached("int_ext_t95"),
+        attack_states_visited=visited,
+        interruption_happened="sigma3" in visited,
+        connection_deaths=network.switch(DMZ_SWITCH).stats["connection_deaths"],
+    )

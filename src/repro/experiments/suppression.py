@@ -1,0 +1,148 @@
+"""The flow-modification-suppression experiment (Section VII-B, Fig. 11).
+
+Timeline (paper values; scaled variants supported for fast test runs):
+
+* t = 0 s: controller initialized (everything boots at simulation start);
+* t = 5 s: attack injector initialized to state σ1;
+* t = 30 s: ``ping`` h1 -> h6, 60 one-second trials (Fig. 11b latency);
+* t = 95 s: iperf server on h6, then 30 ten-second client trials from h1
+  with ten-second gaps (Fig. 11a throughput).
+
+Metrics: per-trial throughput, ping RTT statistics and loss, and the
+control-plane message counts that quantify the PACKET_IN amplification.
+A run with ``attacked=False`` produces the baseline series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.attacks import flow_mod_suppression_attack
+from repro.core import RuntimeInjector
+from repro.core.model import AttackModel
+from repro.core.monitors import ControlPlaneMonitor, IperfMonitor, PingMonitor
+from repro.dataplane import FailMode
+from repro.experiments.enterprise import build_enterprise
+from repro.sim.engine import SimulationEngine
+
+
+@dataclass
+class SuppressionResult:
+    """Everything the Fig. 11 plots and the E5 overhead table need."""
+
+    controller: str
+    attacked: bool
+    ping_sent: int
+    ping_received: int
+    ping_loss_rate: float
+    median_rtt_s: Optional[float]
+    avg_rtt_s: Optional[float]
+    throughputs_mbps: List[float] = field(default_factory=list)
+    mean_throughput_mbps: float = 0.0
+    iperf_connect_failures: int = 0
+    packet_ins: int = 0
+    flow_mods_seen: int = 0
+    flow_mods_dropped: int = 0
+    total_control_messages: int = 0
+
+    @property
+    def denial_of_service(self) -> bool:
+        """The Fig. 11 asterisk: zero throughput and infinite latency."""
+        return self.ping_received == 0 and self.mean_throughput_mbps == 0.0
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "controller": self.controller,
+            "attacked": self.attacked,
+            "throughput_mbps": round(self.mean_throughput_mbps, 2),
+            "median_rtt_ms": (
+                round(self.median_rtt_s * 1000, 3) if self.median_rtt_s else None
+            ),
+            "ping_loss": round(self.ping_loss_rate, 3),
+            "packet_ins": self.packet_ins,
+            "flow_mods_dropped": self.flow_mods_dropped,
+            "dos": self.denial_of_service,
+        }
+
+
+def run_suppression_experiment(
+    controller_kind: str,
+    attacked: bool,
+    ping_trials: int = 60,
+    iperf_trials: int = 30,
+    iperf_duration_s: float = 10.0,
+    iperf_gap_s: float = 10.0,
+    warmup_s: float = 30.0,
+    source: str = "h1",
+    target: str = "h6",
+    behavior_override=None,
+) -> SuppressionResult:
+    """Run one (controller, attacked?) cell of the Fig. 11 matrix.
+
+    Use smaller ``ping_trials``/``iperf_trials``/``iperf_duration_s`` for
+    quick runs; the defaults reproduce the paper's timing.
+    """
+    engine = SimulationEngine()
+    setup = build_enterprise(
+        engine,
+        controller_kind=controller_kind,
+        fail_mode=FailMode.SECURE,
+        with_firewall=False,  # the paper runs plain learning switches here
+        behavior_override=behavior_override,
+    )
+    attack_model = AttackModel.no_tls_everywhere(setup.system)
+    attack = (
+        flow_mod_suppression_attack(setup.system.connection_keys())
+        if attacked
+        else None
+    )
+    injector = RuntimeInjector(engine, attack_model, attack)
+    control_monitor = ControlPlaneMonitor()
+    injector.add_observer(control_monitor)
+    injector.install(setup.network, {"c1": setup.controller})
+    setup.network.start()
+
+    ping_monitor = PingMonitor()
+    iperf_monitor = IperfMonitor()
+    source_host = setup.network.host(source)
+    target_host = setup.network.host(target)
+
+    # t = warmup: the ping series (one 1 s trial per ping).
+    engine.schedule_at(
+        warmup_s,
+        ping_monitor.start_series,
+        source_host,
+        target_host.ip,
+        ping_trials,
+    )
+    # After the pings: iperf trials with gaps.
+    iperf_start = warmup_s + ping_trials * 1.0 + 5.0
+    for trial in range(iperf_trials):
+        engine.schedule_at(
+            iperf_start + trial * (iperf_duration_s + iperf_gap_s),
+            iperf_monitor.start_trial,
+            source_host,
+            target_host,
+            iperf_duration_s,
+        )
+    horizon = iperf_start + iperf_trials * (iperf_duration_s + iperf_gap_s) + 30.0
+    engine.run(until=horizon)
+
+    ping_result = ping_monitor.results[0] if ping_monitor.results else None
+    return SuppressionResult(
+        controller=controller_kind,
+        attacked=attacked,
+        ping_sent=ping_result.sent if ping_result else 0,
+        ping_received=ping_result.received if ping_result else 0,
+        ping_loss_rate=ping_result.loss_rate if ping_result else 1.0,
+        median_rtt_s=ping_result.median_rtt if ping_result else None,
+        avg_rtt_s=ping_result.avg_rtt if ping_result else None,
+        throughputs_mbps=iperf_monitor.throughputs_mbps(),
+        mean_throughput_mbps=iperf_monitor.mean_throughput_mbps() or 0.0,
+        iperf_connect_failures=iperf_monitor.connect_failures(),
+        packet_ins=control_monitor.count_of("PACKET_IN"),
+        flow_mods_seen=control_monitor.count_of("FLOW_MOD"),
+        flow_mods_dropped=control_monitor.dropped_by_type.get("FLOW_MOD", 0),
+        total_control_messages=control_monitor.total_messages(),
+    )

@@ -1,0 +1,130 @@
+"""SYSCMD routing: actuate workloads and monitors from attack descriptions.
+
+"We note that practitioners can flexibly actuate monitors anywhere by
+invoking the SYSCMD() action within attack descriptions" (Section VI-B3).
+The paper's experiment scripts call SYSCMD(host, cmd) to start pings and
+iperf endpoints at scripted times; this module provides the command
+interpreter that turns those strings into simulated-host actions.
+
+Supported commands (mirroring the utilities the paper runs):
+
+* ``ping <target-host-or-ip> <count> [interval]``
+* ``iperf -s [port]`` — start an iperf server;
+* ``iperf -c <target-host-or-ip> <duration> [port]`` — run a client;
+* ``capture`` — no-op acknowledgement (captures attach at build time).
+
+Results land in the provided Ping/Iperf monitors, exactly as if the
+harness had started them directly.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import List, Optional
+
+from repro.core.monitors import IperfMonitor, PingMonitor
+from repro.dataplane.network import Network
+
+
+class SysCmdError(Exception):
+    """An attack description issued a command the router cannot honor."""
+
+
+class HostCommandRouter:
+    """Routes SYSCMD(host, command) strings onto simulated hosts."""
+
+    def __init__(
+        self,
+        network: Network,
+        ping_monitor: Optional[PingMonitor] = None,
+        iperf_monitor: Optional[IperfMonitor] = None,
+        strict: bool = True,
+    ) -> None:
+        self.network = network
+        self.ping_monitor = ping_monitor or PingMonitor()
+        self.iperf_monitor = iperf_monitor or IperfMonitor()
+        self.strict = strict
+        self.executed: List[tuple] = []
+        self.rejected: List[tuple] = []
+
+    # The callable signature RuntimeInjector.set_syscmd_router expects.
+    def __call__(self, host_name: str, command: str) -> None:
+        try:
+            self._dispatch(host_name, command)
+            self.executed.append((host_name, command))
+        except SysCmdError:
+            self.rejected.append((host_name, command))
+            if self.strict:
+                raise
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+
+    def _dispatch(self, host_name: str, command: str) -> None:
+        host = self.network.hosts.get(host_name)
+        if host is None:
+            raise SysCmdError(f"unknown host {host_name!r}")
+        try:
+            parts = shlex.split(command)
+        except ValueError as exc:
+            raise SysCmdError(f"unparseable command {command!r}: {exc}") from exc
+        if not parts:
+            raise SysCmdError("empty command")
+        verb = parts[0]
+        if verb == "ping":
+            self._ping(host, parts[1:])
+        elif verb == "iperf":
+            self._iperf(host, parts[1:])
+        elif verb == "capture":
+            pass  # captures are attached at scenario-build time
+        else:
+            raise SysCmdError(f"unsupported command {verb!r}")
+
+    def _resolve_ip(self, target: str):
+        if target in self.network.hosts:
+            return self.network.host_ip(target)
+        from repro.netlib.addresses import Ipv4Address
+
+        try:
+            return Ipv4Address(target)
+        except ValueError as exc:
+            raise SysCmdError(f"unresolvable target {target!r}") from exc
+
+    def _ping(self, host, args: List[str]) -> None:
+        if len(args) < 2:
+            raise SysCmdError("ping needs: <target> <count> [interval]")
+        target = self._resolve_ip(args[0])
+        try:
+            count = int(args[1])
+            interval = float(args[2]) if len(args) > 2 else 1.0
+        except ValueError as exc:
+            raise SysCmdError(f"bad ping arguments {args!r}") from exc
+        if count < 1 or interval <= 0:
+            raise SysCmdError(f"bad ping arguments {args!r}")
+        self.ping_monitor.start_series(host, target, count, interval=interval,
+                                       label=f"syscmd:{host.name}")
+
+    def _iperf(self, host, args: List[str]) -> None:
+        if not args:
+            raise SysCmdError("iperf needs -s or -c")
+        if args[0] == "-s":
+            port = int(args[1]) if len(args) > 1 else 5001
+            host.start_iperf_server(port)
+            return
+        if args[0] == "-c":
+            if len(args) < 3:
+                raise SysCmdError("iperf -c needs: <target> <duration> [port]")
+            target_host = self.network.hosts.get(args[1])
+            if target_host is None:
+                raise SysCmdError(f"iperf target must be a host name, got {args[1]!r}")
+            try:
+                duration = float(args[2])
+                port = int(args[3]) if len(args) > 3 else 5001
+            except ValueError as exc:
+                raise SysCmdError(f"bad iperf arguments {args!r}") from exc
+            self.iperf_monitor.start_trial(host, target_host, duration=duration,
+                                           port=port,
+                                           label=f"syscmd:{host.name}")
+            return
+        raise SysCmdError(f"unsupported iperf mode {args[0]!r}")

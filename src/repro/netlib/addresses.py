@@ -1,0 +1,127 @@
+"""MAC and IPv4 address value types."""
+
+from __future__ import annotations
+
+from typing import Union
+
+
+class MacAddress:
+    """An immutable 48-bit Ethernet address."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Union[str, int, bytes, "MacAddress"]) -> None:
+        if isinstance(value, MacAddress):
+            self._value = value._value
+        elif isinstance(value, int):
+            if not 0 <= value < (1 << 48):
+                raise ValueError(f"MAC integer out of range: {value!r}")
+            self._value = value
+        elif isinstance(value, bytes):
+            if len(value) != 6:
+                raise ValueError(f"MAC bytes must be length 6, got {len(value)}")
+            self._value = int.from_bytes(value, "big")
+        elif isinstance(value, str):
+            parts = value.split(":")
+            if len(parts) != 6:
+                raise ValueError(f"malformed MAC string: {value!r}")
+            try:
+                octets = [int(part, 16) for part in parts]
+            except ValueError as exc:
+                raise ValueError(f"malformed MAC string: {value!r}") from exc
+            if any(not 0 <= octet <= 0xFF for octet in octets):
+                raise ValueError(f"malformed MAC string: {value!r}")
+            self._value = int.from_bytes(bytes(octets), "big")
+        else:
+            raise TypeError(f"cannot build MacAddress from {type(value).__name__}")
+
+    @property
+    def packed(self) -> bytes:
+        return self._value.to_bytes(6, "big")
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self._value == (1 << 48) - 1
+
+    @property
+    def is_multicast(self) -> bool:
+        return bool(self.packed[0] & 0x01)
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MacAddress):
+            return self._value == other._value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("mac", self._value))
+
+    def __lt__(self, other: "MacAddress") -> bool:
+        return self._value < other._value
+
+    def __str__(self) -> str:
+        return ":".join(f"{octet:02x}" for octet in self.packed)
+
+    def __repr__(self) -> str:
+        return f"MacAddress({str(self)!r})"
+
+
+BROADCAST_MAC = MacAddress("ff:ff:ff:ff:ff:ff")
+LLDP_MULTICAST_MAC = MacAddress("01:80:c2:00:00:0e")
+
+
+class Ipv4Address:
+    """An immutable 32-bit IPv4 address."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Union[str, int, bytes, "Ipv4Address"]) -> None:
+        if isinstance(value, Ipv4Address):
+            self._value = value._value
+        elif isinstance(value, int):
+            if not 0 <= value < (1 << 32):
+                raise ValueError(f"IPv4 integer out of range: {value!r}")
+            self._value = value
+        elif isinstance(value, bytes):
+            if len(value) != 4:
+                raise ValueError(f"IPv4 bytes must be length 4, got {len(value)}")
+            self._value = int.from_bytes(value, "big")
+        elif isinstance(value, str):
+            parts = value.split(".")
+            if len(parts) != 4:
+                raise ValueError(f"malformed IPv4 string: {value!r}")
+            try:
+                octets = [int(part, 10) for part in parts]
+            except ValueError as exc:
+                raise ValueError(f"malformed IPv4 string: {value!r}") from exc
+            if any(not 0 <= octet <= 255 for octet in octets):
+                raise ValueError(f"malformed IPv4 string: {value!r}")
+            self._value = int.from_bytes(bytes(octets), "big")
+        else:
+            raise TypeError(f"cannot build Ipv4Address from {type(value).__name__}")
+
+    @property
+    def packed(self) -> bytes:
+        return self._value.to_bytes(4, "big")
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Ipv4Address):
+            return self._value == other._value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("ipv4", self._value))
+
+    def __lt__(self, other: "Ipv4Address") -> bool:
+        return self._value < other._value
+
+    def __str__(self) -> str:
+        return ".".join(str(octet) for octet in self.packed)
+
+    def __repr__(self) -> str:
+        return f"Ipv4Address({str(self)!r})"

@@ -1,0 +1,72 @@
+"""Ethernet II framing."""
+
+from __future__ import annotations
+
+import struct
+from enum import IntEnum
+
+from repro.netlib.addresses import MacAddress
+
+
+class EtherType(IntEnum):
+    """EtherTypes used by the reproduction's data plane."""
+
+    IPV4 = 0x0800
+    ARP = 0x0806
+    LLDP = 0x88CC
+    VLAN = 0x8100
+
+
+class FrameDecodeError(Exception):
+    """Raised when a byte buffer cannot be parsed as the claimed protocol."""
+
+
+_HEADER = struct.Struct("!6s6sH")
+
+
+class EthernetFrame:
+    """An Ethernet II frame with an opaque byte payload."""
+
+    __slots__ = ("dst", "src", "ethertype", "payload")
+
+    def __init__(
+        self,
+        dst: MacAddress,
+        src: MacAddress,
+        ethertype: int,
+        payload: bytes = b"",
+    ) -> None:
+        self.dst = MacAddress(dst)
+        self.src = MacAddress(src)
+        self.ethertype = int(ethertype)
+        self.payload = bytes(payload)
+
+    def pack(self) -> bytes:
+        return _HEADER.pack(self.dst.packed, self.src.packed, self.ethertype) + self.payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "EthernetFrame":
+        if len(data) < _HEADER.size:
+            raise FrameDecodeError(
+                f"ethernet frame too short: {len(data)} < {_HEADER.size} bytes"
+            )
+        dst, src, ethertype = _HEADER.unpack_from(data)
+        return cls(MacAddress(dst), MacAddress(src), ethertype, data[_HEADER.size :])
+
+    def __len__(self) -> int:
+        return _HEADER.size + len(self.payload)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EthernetFrame):
+            return self.pack() == other.pack()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.pack())
+
+    def __repr__(self) -> str:
+        try:
+            kind = EtherType(self.ethertype).name
+        except ValueError:
+            kind = f"0x{self.ethertype:04x}"
+        return f"<EthernetFrame {self.src}->{self.dst} {kind} len={len(self)}>"

@@ -1,0 +1,102 @@
+"""LLDP frames for controller topology discovery (IEEE 802.1AB subset).
+
+Controllers flood LLDP probes out every switch port and learn inter-switch
+links when the probe arrives as a PACKET_IN on the far side.  The paper
+notes (Section II-A4) that forged LLDP can fabricate links — the
+``repro.attacks`` library includes such an attack, so the frame format here
+is byte-accurate for the three mandatory TLVs plus end-of-LLDPDU.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.netlib.ethernet import FrameDecodeError
+
+TLV_END = 0
+TLV_CHASSIS_ID = 1
+TLV_PORT_ID = 2
+TLV_TTL = 3
+
+CHASSIS_ID_SUBTYPE_LOCAL = 7
+PORT_ID_SUBTYPE_LOCAL = 7
+
+DEFAULT_TTL = 120
+
+
+def _tlv(tlv_type: int, value: bytes) -> bytes:
+    if len(value) > 0x1FF:
+        raise ValueError(f"TLV value too long: {len(value)} bytes")
+    header = (tlv_type << 9) | len(value)
+    return struct.pack("!H", header) + value
+
+
+class LldpPacket:
+    """An LLDP data unit carrying chassis (datapath) and port identifiers."""
+
+    __slots__ = ("chassis_id", "port_id", "ttl")
+
+    def __init__(self, chassis_id: str, port_id: int, ttl: int = DEFAULT_TTL) -> None:
+        if not chassis_id:
+            raise ValueError("chassis_id must be non-empty")
+        if not 0 <= port_id <= 0xFFFF:
+            raise ValueError(f"port_id out of range: {port_id!r}")
+        if not 0 <= ttl <= 0xFFFF:
+            raise ValueError(f"ttl out of range: {ttl!r}")
+        self.chassis_id = chassis_id
+        self.port_id = port_id
+        self.ttl = ttl
+
+    def pack(self) -> bytes:
+        chassis = bytes([CHASSIS_ID_SUBTYPE_LOCAL]) + self.chassis_id.encode("ascii")
+        port = bytes([PORT_ID_SUBTYPE_LOCAL]) + struct.pack("!H", self.port_id)
+        return (
+            _tlv(TLV_CHASSIS_ID, chassis)
+            + _tlv(TLV_PORT_ID, port)
+            + _tlv(TLV_TTL, struct.pack("!H", self.ttl))
+            + _tlv(TLV_END, b"")
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "LldpPacket":
+        offset = 0
+        chassis_id = None
+        port_id = None
+        ttl = DEFAULT_TTL
+        while offset + 2 <= len(data):
+            (header,) = struct.unpack_from("!H", data, offset)
+            tlv_type = header >> 9
+            length = header & 0x1FF
+            offset += 2
+            value = data[offset : offset + length]
+            if len(value) != length:
+                raise FrameDecodeError("truncated LLDP TLV")
+            offset += length
+            if tlv_type == TLV_END:
+                break
+            if tlv_type == TLV_CHASSIS_ID:
+                if not value or value[0] != CHASSIS_ID_SUBTYPE_LOCAL:
+                    raise FrameDecodeError("unsupported LLDP chassis-id subtype")
+                chassis_id = value[1:].decode("ascii")
+            elif tlv_type == TLV_PORT_ID:
+                if len(value) != 3 or value[0] != PORT_ID_SUBTYPE_LOCAL:
+                    raise FrameDecodeError("unsupported LLDP port-id subtype")
+                (port_id,) = struct.unpack("!H", value[1:])
+            elif tlv_type == TLV_TTL:
+                if len(value) != 2:
+                    raise FrameDecodeError("malformed LLDP TTL TLV")
+                (ttl,) = struct.unpack("!H", value)
+        if chassis_id is None or port_id is None:
+            raise FrameDecodeError("LLDP missing mandatory chassis-id/port-id TLVs")
+        return cls(chassis_id, port_id, ttl)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LldpPacket):
+            return self.pack() == other.pack()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.pack())
+
+    def __repr__(self) -> str:
+        return f"<Lldp chassis={self.chassis_id} port={self.port_id} ttl={self.ttl}>"

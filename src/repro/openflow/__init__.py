@@ -1,0 +1,102 @@
+"""OpenFlow 1.0 protocol library.
+
+A from-scratch replacement for the Loxi library the paper's injector used:
+byte-accurate pack/unpack for the OpenFlow 1.0 (wire version 0x01) message
+types that controllers and switches exchange in the case study.  The ATTAIN
+runtime injector decodes these bytes to evaluate conditional expressions
+over message properties and re-encodes them after modification.
+"""
+
+from repro.openflow.actions import (
+    Action,
+    OutputAction,
+    SetDlDstAction,
+    SetDlSrcAction,
+    SetNwDstAction,
+    SetNwSrcAction,
+    StripVlanAction,
+)
+from repro.openflow.connection import MessageFramer
+from repro.openflow.constants import (
+    OFP_VERSION,
+    ConfigFlags,
+    ErrorType,
+    FlowModCommand,
+    FlowRemovedReason,
+    MessageType,
+    PacketInReason,
+    Port,
+    PortReason,
+    StatsType,
+    Wildcards,
+)
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    EchoReply,
+    EchoRequest,
+    ErrorMessage,
+    FeaturesReply,
+    FeaturesRequest,
+    FlowMod,
+    FlowRemoved,
+    GetConfigReply,
+    GetConfigRequest,
+    Hello,
+    OpenFlowDecodeError,
+    OpenFlowMessage,
+    PacketIn,
+    PacketOut,
+    PhyPort,
+    PortStatus,
+    SetConfig,
+    StatsReply,
+    StatsRequest,
+    parse_message,
+)
+
+__all__ = [
+    "Action",
+    "BarrierReply",
+    "BarrierRequest",
+    "ConfigFlags",
+    "EchoReply",
+    "EchoRequest",
+    "ErrorMessage",
+    "ErrorType",
+    "FeaturesReply",
+    "FeaturesRequest",
+    "FlowMod",
+    "FlowModCommand",
+    "FlowRemoved",
+    "FlowRemovedReason",
+    "GetConfigReply",
+    "GetConfigRequest",
+    "Hello",
+    "Match",
+    "MessageFramer",
+    "MessageType",
+    "OFP_VERSION",
+    "OpenFlowDecodeError",
+    "OpenFlowMessage",
+    "OutputAction",
+    "PacketIn",
+    "PacketInReason",
+    "PacketOut",
+    "PhyPort",
+    "Port",
+    "PortReason",
+    "PortStatus",
+    "SetConfig",
+    "SetDlDstAction",
+    "SetDlSrcAction",
+    "SetNwDstAction",
+    "SetNwSrcAction",
+    "StatsReply",
+    "StatsRequest",
+    "StatsType",
+    "StripVlanAction",
+    "Wildcards",
+    "parse_message",
+]

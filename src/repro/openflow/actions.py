@@ -1,0 +1,218 @@
+"""OpenFlow 1.0 flow actions (``ofp_action_*``)."""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.netlib.addresses import Ipv4Address, MacAddress
+from repro.openflow.constants import ActionType
+
+
+class ActionDecodeError(Exception):
+    """Raised when an action TLV cannot be decoded."""
+
+
+class Action:
+    """Base class for flow actions; subclasses register by ``ActionType``."""
+
+    action_type: ActionType
+    _registry: dict = {}
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if hasattr(cls, "action_type"):
+            Action._registry[int(cls.action_type)] = cls
+
+    def pack_body(self) -> bytes:
+        raise NotImplementedError
+
+    @classmethod
+    def unpack_body(cls, body: bytes) -> "Action":
+        raise NotImplementedError
+
+    def pack(self) -> bytes:
+        body = self.pack_body()
+        length = 4 + len(body)
+        if length % 8:
+            raise ActionDecodeError(
+                f"action length must be a multiple of 8, got {length}"
+            )
+        return struct.pack("!HH", int(self.action_type), length) + body
+
+    @staticmethod
+    def unpack_list(data: bytes) -> List["Action"]:
+        """Decode a contiguous action list (as found in FLOW_MOD/PACKET_OUT)."""
+        actions: List[Action] = []
+        offset = 0
+        while offset < len(data):
+            if offset + 4 > len(data):
+                raise ActionDecodeError("truncated action header")
+            action_type, length = struct.unpack_from("!HH", data, offset)
+            if length < 8 or length % 8 or offset + length > len(data):
+                raise ActionDecodeError(f"bad action length {length}")
+            body = data[offset + 4 : offset + length]
+            cls = Action._registry.get(action_type)
+            if cls is None:
+                actions.append(UnknownAction(action_type, body))
+            else:
+                actions.append(cls.unpack_body(body))
+            offset += length
+        return actions
+
+    @staticmethod
+    def pack_list(actions: List["Action"]) -> bytes:
+        return b"".join(action.pack() for action in actions)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Action):
+            return self.pack() == other.pack()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.pack())
+
+
+class OutputAction(Action):
+    """Send the packet out a port (``ofp_action_output``)."""
+
+    action_type = ActionType.OUTPUT
+
+    def __init__(self, port: int, max_len: int = 0xFFFF) -> None:
+        self.port = int(port)
+        self.max_len = int(max_len)
+
+    def pack_body(self) -> bytes:
+        return struct.pack("!HH", self.port, self.max_len)
+
+    @classmethod
+    def unpack_body(cls, body: bytes) -> "OutputAction":
+        if len(body) != 4:
+            raise ActionDecodeError(f"bad OUTPUT body length {len(body)}")
+        port, max_len = struct.unpack("!HH", body)
+        return cls(port, max_len)
+
+    def __repr__(self) -> str:
+        return f"OutputAction(port={self.port})"
+
+
+class StripVlanAction(Action):
+    """Strip the VLAN tag (``ofp_action_header`` only)."""
+
+    action_type = ActionType.STRIP_VLAN
+
+    def pack_body(self) -> bytes:
+        return b"\x00" * 4
+
+    @classmethod
+    def unpack_body(cls, body: bytes) -> "StripVlanAction":
+        return cls()
+
+    def __repr__(self) -> str:
+        return "StripVlanAction()"
+
+
+class _SetDlAction(Action):
+    """Common base for dl_src/dl_dst rewrites (``ofp_action_dl_addr``)."""
+
+    def __init__(self, address: MacAddress) -> None:
+        self.address = MacAddress(address)
+
+    def pack_body(self) -> bytes:
+        return self.address.packed + b"\x00" * 6
+
+    @classmethod
+    def unpack_body(cls, body: bytes):
+        if len(body) != 12:
+            raise ActionDecodeError(f"bad SET_DL body length {len(body)}")
+        return cls(MacAddress(body[:6]))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.address})"
+
+
+class SetDlSrcAction(_SetDlAction):
+    action_type = ActionType.SET_DL_SRC
+
+
+class SetDlDstAction(_SetDlAction):
+    action_type = ActionType.SET_DL_DST
+
+
+class _SetNwAction(Action):
+    """Common base for nw_src/nw_dst rewrites (``ofp_action_nw_addr``)."""
+
+    def __init__(self, address: Ipv4Address) -> None:
+        self.address = Ipv4Address(address)
+
+    def pack_body(self) -> bytes:
+        return self.address.packed
+
+    @classmethod
+    def unpack_body(cls, body: bytes):
+        if len(body) != 4:
+            raise ActionDecodeError(f"bad SET_NW body length {len(body)}")
+        return cls(Ipv4Address(body))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.address})"
+
+
+class SetNwSrcAction(_SetNwAction):
+    action_type = ActionType.SET_NW_SRC
+
+
+class SetNwDstAction(_SetNwAction):
+    action_type = ActionType.SET_NW_DST
+
+
+class _SetTpAction(Action):
+    """Common base for tp_src/tp_dst rewrites (``ofp_action_tp_port``)."""
+
+    def __init__(self, port: int) -> None:
+        if not 0 <= port <= 0xFFFF:
+            raise ValueError(f"transport port out of range: {port!r}")
+        self.port = port
+
+    def pack_body(self) -> bytes:
+        return struct.pack("!H", self.port) + b"\x00" * 2
+
+    @classmethod
+    def unpack_body(cls, body: bytes):
+        if len(body) != 4:
+            raise ActionDecodeError(f"bad SET_TP body length {len(body)}")
+        (port,) = struct.unpack("!H", body[:2])
+        return cls(port)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.port})"
+
+
+class SetTpSrcAction(_SetTpAction):
+    action_type = ActionType.SET_TP_SRC
+
+
+class SetTpDstAction(_SetTpAction):
+    action_type = ActionType.SET_TP_DST
+
+
+class UnknownAction(Action):
+    """An action type this library does not interpret; round-trips as bytes."""
+
+    def __init__(self, raw_type: int, body: bytes) -> None:
+        self.raw_type = raw_type
+        self.body = bytes(body)
+
+    def pack(self) -> bytes:
+        return struct.pack("!HH", self.raw_type, 4 + len(self.body)) + self.body
+
+    def pack_body(self) -> bytes:  # pragma: no cover - pack() overridden
+        return self.body
+
+    def __repr__(self) -> str:
+        return f"UnknownAction(type={self.raw_type}, len={len(self.body)})"
+
+
+def output_actions(*ports: int) -> List[Action]:
+    """Convenience constructor for plain forwarding action lists."""
+    return [OutputAction(port) for port in ports]

@@ -1,0 +1,63 @@
+"""Stream framing for OpenFlow connections.
+
+Control-plane connections are byte streams (TCP in the paper's testbed);
+the framer accumulates bytes and yields complete OpenFlow messages using
+the length field in each header, exactly as a socket-based implementation
+would.  The injector's proxy and both endpoint stacks share this class.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.openflow.constants import OFP_HEADER_SIZE
+from repro.openflow.messages import OpenFlowDecodeError, OpenFlowMessage, parse_message
+
+
+class MessageFramer:
+    """Reassembles OpenFlow messages from an in-order byte stream."""
+
+    def __init__(self, max_buffer: int = 1 << 22) -> None:
+        self._buffer = bytearray()
+        self._max_buffer = max_buffer
+        self.messages_decoded = 0
+        self.bytes_received = 0
+
+    def feed(self, data: bytes) -> List[OpenFlowMessage]:
+        """Append stream bytes; return every now-complete message in order."""
+        self.bytes_received += len(data)
+        self._buffer.extend(data)
+        if len(self._buffer) > self._max_buffer:
+            raise OpenFlowDecodeError(
+                f"framer buffer overflow ({len(self._buffer)} bytes); "
+                "peer is sending garbage or an unterminated message"
+            )
+        messages: List[OpenFlowMessage] = []
+        while True:
+            message = self._try_extract()
+            if message is None:
+                break
+            messages.append(message)
+        return messages
+
+    def _try_extract(self):
+        if len(self._buffer) < OFP_HEADER_SIZE:
+            return None
+        (length,) = struct.unpack_from("!H", self._buffer, 2)
+        if length < OFP_HEADER_SIZE:
+            raise OpenFlowDecodeError(f"header claims impossible length {length}")
+        if len(self._buffer) < length:
+            return None
+        frame = bytes(self._buffer[:length])
+        del self._buffer[:length]
+        self.messages_decoded += 1
+        return parse_message(frame)
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+    def reset(self) -> None:
+        """Discard buffered bytes (connection teardown)."""
+        self._buffer.clear()

@@ -1,0 +1,231 @@
+"""OpenFlow 1.0 protocol constants (openflow.h, wire version 0x01)."""
+
+from __future__ import annotations
+
+from enum import IntEnum, IntFlag
+
+OFP_VERSION = 0x01
+OFP_HEADER_SIZE = 8
+OFP_MAX_PACKET_IN_BYTES = 0xFFFF
+OFP_NO_BUFFER = 0xFFFFFFFF
+OFP_DEFAULT_PRIORITY = 0x8000
+OFP_FLOW_PERMANENT = 0
+OFP_MAX_PORT_NAME_LEN = 16
+
+
+class MessageType(IntEnum):
+    """``ofp_type`` — the OpenFlow 1.0 message types."""
+
+    HELLO = 0
+    ERROR = 1
+    ECHO_REQUEST = 2
+    ECHO_REPLY = 3
+    VENDOR = 4
+    FEATURES_REQUEST = 5
+    FEATURES_REPLY = 6
+    GET_CONFIG_REQUEST = 7
+    GET_CONFIG_REPLY = 8
+    SET_CONFIG = 9
+    PACKET_IN = 10
+    FLOW_REMOVED = 11
+    PORT_STATUS = 12
+    PACKET_OUT = 13
+    FLOW_MOD = 14
+    PORT_MOD = 15
+    STATS_REQUEST = 16
+    STATS_REPLY = 17
+    BARRIER_REQUEST = 18
+    BARRIER_REPLY = 19
+    QUEUE_GET_CONFIG_REQUEST = 20
+    QUEUE_GET_CONFIG_REPLY = 21
+
+
+class Port(IntEnum):
+    """``ofp_port`` — reserved port numbers."""
+
+    MAX = 0xFF00
+    IN_PORT = 0xFFF8
+    TABLE = 0xFFF9
+    NORMAL = 0xFFFA
+    FLOOD = 0xFFFB
+    ALL = 0xFFFC
+    CONTROLLER = 0xFFFD
+    LOCAL = 0xFFFE
+    NONE = 0xFFFF
+
+
+class ActionType(IntEnum):
+    """``ofp_action_type``."""
+
+    OUTPUT = 0
+    SET_VLAN_VID = 1
+    SET_VLAN_PCP = 2
+    STRIP_VLAN = 3
+    SET_DL_SRC = 4
+    SET_DL_DST = 5
+    SET_NW_SRC = 6
+    SET_NW_DST = 7
+    SET_NW_TOS = 8
+    SET_TP_SRC = 9
+    SET_TP_DST = 10
+    ENQUEUE = 11
+
+
+class FlowModCommand(IntEnum):
+    """``ofp_flow_mod_command``."""
+
+    ADD = 0
+    MODIFY = 1
+    MODIFY_STRICT = 2
+    DELETE = 3
+    DELETE_STRICT = 4
+
+
+class FlowModFlags(IntFlag):
+    """``ofp_flow_mod_flags``."""
+
+    SEND_FLOW_REM = 1 << 0
+    CHECK_OVERLAP = 1 << 1
+    EMERG = 1 << 2
+
+
+class PacketInReason(IntEnum):
+    """``ofp_packet_in_reason``."""
+
+    NO_MATCH = 0
+    ACTION = 1
+
+
+class FlowRemovedReason(IntEnum):
+    """``ofp_flow_removed_reason``."""
+
+    IDLE_TIMEOUT = 0
+    HARD_TIMEOUT = 1
+    DELETE = 2
+
+
+class PortReason(IntEnum):
+    """``ofp_port_reason`` for PORT_STATUS."""
+
+    ADD = 0
+    DELETE = 1
+    MODIFY = 2
+
+
+class ErrorType(IntEnum):
+    """``ofp_error_type``."""
+
+    HELLO_FAILED = 0
+    BAD_REQUEST = 1
+    BAD_ACTION = 2
+    FLOW_MOD_FAILED = 3
+    PORT_MOD_FAILED = 4
+    QUEUE_OP_FAILED = 5
+
+
+class BadRequestCode(IntEnum):
+    """``ofp_bad_request_code``."""
+
+    BAD_VERSION = 0
+    BAD_TYPE = 1
+    BAD_STAT = 2
+    BAD_VENDOR = 3
+    BAD_SUBTYPE = 4
+    EPERM = 5
+    BAD_LEN = 6
+    BUFFER_EMPTY = 7
+    BUFFER_UNKNOWN = 8
+
+
+class FlowModFailedCode(IntEnum):
+    """``ofp_flow_mod_failed_code``."""
+
+    ALL_TABLES_FULL = 0
+    OVERLAP = 1
+    EPERM = 2
+    BAD_EMERG_TIMEOUT = 3
+    BAD_COMMAND = 4
+    UNSUPPORTED = 5
+
+
+class ConfigFlags(IntEnum):
+    """``ofp_config_flags`` fragment handling."""
+
+    FRAG_NORMAL = 0
+    FRAG_DROP = 1
+    FRAG_REASM = 2
+
+
+class StatsType(IntEnum):
+    """``ofp_stats_types``."""
+
+    DESC = 0
+    FLOW = 1
+    AGGREGATE = 2
+    TABLE = 3
+    PORT = 4
+    QUEUE = 5
+    VENDOR = 0xFFFF
+
+
+class Capabilities(IntFlag):
+    """``ofp_capabilities`` advertised in FEATURES_REPLY."""
+
+    FLOW_STATS = 1 << 0
+    TABLE_STATS = 1 << 1
+    PORT_STATS = 1 << 2
+    STP = 1 << 3
+    RESERVED = 1 << 4
+    IP_REASM = 1 << 5
+    QUEUE_STATS = 1 << 6
+    ARP_MATCH_IP = 1 << 7
+
+
+class PortConfig(IntFlag):
+    """``ofp_port_config``."""
+
+    PORT_DOWN = 1 << 0
+    NO_STP = 1 << 1
+    NO_RECV = 1 << 2
+    NO_RECV_STP = 1 << 3
+    NO_FLOOD = 1 << 4
+    NO_FWD = 1 << 5
+    NO_PACKET_IN = 1 << 6
+
+
+class PortState(IntFlag):
+    """``ofp_port_state``."""
+
+    LINK_DOWN = 1 << 0
+
+
+class Wildcards(IntFlag):
+    """``ofp_flow_wildcards`` — which match fields are ignored.
+
+    ``NW_SRC``/``NW_DST`` are 6-bit CIDR-style counts embedded in the flags
+    word; helpers on :class:`repro.openflow.match.Match` interpret them.
+    """
+
+    IN_PORT = 1 << 0
+    DL_VLAN = 1 << 1
+    DL_SRC = 1 << 2
+    DL_DST = 1 << 3
+    DL_TYPE = 1 << 4
+    NW_PROTO = 1 << 5
+    TP_SRC = 1 << 6
+    TP_DST = 1 << 7
+    DL_VLAN_PCP = 1 << 20
+    NW_TOS = 1 << 21
+
+
+NW_SRC_SHIFT = 8
+NW_SRC_BITS = 6
+NW_SRC_MASK = ((1 << NW_SRC_BITS) - 1) << NW_SRC_SHIFT
+NW_SRC_ALL = 32 << NW_SRC_SHIFT
+
+NW_DST_SHIFT = 14
+NW_DST_BITS = 6
+NW_DST_MASK = ((1 << NW_DST_BITS) - 1) << NW_DST_SHIFT
+NW_DST_ALL = 32 << NW_DST_SHIFT
+
+OFPFW_ALL = ((1 << 22) - 1)

@@ -1,0 +1,131 @@
+"""Generator-based processes on top of the event engine.
+
+A :class:`Process` wraps a Python generator; the generator yields either a
+float (sleep for that many simulated seconds) or a :class:`Signal` (block
+until the signal fires).  This gives hosts, monitors, and experiment
+timelines a readable sequential style while remaining fully deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, List, Optional, Union
+
+from repro.sim.engine import SimulationEngine
+
+
+class Signal:
+    """A broadcast wake-up primitive processes can wait on.
+
+    ``fire(value)`` wakes every currently-waiting process, delivering
+    ``value`` as the result of its ``yield``.  Signals may fire repeatedly.
+    """
+
+    def __init__(self, engine: SimulationEngine, name: str = "signal") -> None:
+        self._engine = engine
+        self.name = name
+        self._waiters: List["Process"] = []
+        self.fire_count = 0
+        self.last_value: Any = None
+
+    def wait(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    def fire(self, value: Any = None) -> None:
+        """Wake all waiters at the current simulated instant."""
+        self.fire_count += 1
+        self.last_value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._engine.schedule(0.0, process._resume, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Signal {self.name} waiters={len(self._waiters)}>"
+
+
+SimYield = Union[float, int, Signal]
+
+
+def sleep(seconds: float) -> float:
+    """Readable alias used inside process generators: ``yield sleep(2.0)``."""
+    if seconds < 0:
+        raise ValueError(f"sleep duration must be non-negative, got {seconds!r}")
+    return float(seconds)
+
+
+class Process:
+    """A sequential activity driven by the simulation engine.
+
+    The wrapped generator yields floats (sleep) or :class:`Signal` objects
+    (wait).  When the generator returns, the process is finished; its
+    return value (via ``return value`` / ``StopIteration.value``) is kept
+    in :attr:`result`.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        generator: Generator[SimYield, Any, Any],
+        name: str = "process",
+    ) -> None:
+        self._engine = engine
+        self._generator = generator
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self.failure: Optional[BaseException] = None
+        self._done_signal = Signal(engine, name=f"{name}.done")
+
+    @classmethod
+    def spawn(
+        cls,
+        engine: SimulationEngine,
+        generator: Generator[SimYield, Any, Any],
+        name: str = "process",
+        delay: float = 0.0,
+    ) -> "Process":
+        """Create a process and schedule its first step ``delay`` s from now."""
+        process = cls(engine, generator, name=name)
+        engine.schedule(delay, process._resume, None)
+        return process
+
+    @property
+    def done_signal(self) -> Signal:
+        """Fires once, with :attr:`result`, when the process completes."""
+        return self._done_signal
+
+    def _resume(self, value: Any) -> None:
+        if self.finished:
+            return
+        try:
+            yielded = self._generator.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self._done_signal.fire(self.result)
+            return
+        except Exception as exc:
+            self.finished = True
+            self.failure = exc
+            self._done_signal.fire(exc)
+            raise
+        self._block_on(yielded)
+
+    def _block_on(self, yielded: SimYield) -> None:
+        if isinstance(yielded, Signal):
+            yielded.wait(self)
+        elif isinstance(yielded, (int, float)):
+            self._engine.schedule(float(yielded), self._resume, None)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded unsupported value {yielded!r}; "
+                "yield a float (sleep) or a Signal (wait)"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"<Process {self.name} {state}>"
+
+
+def all_finished(processes: Iterable[Process]) -> bool:
+    """True when every process in ``processes`` has completed."""
+    return all(process.finished for process in processes)

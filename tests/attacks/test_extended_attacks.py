@@ -1,0 +1,173 @@
+"""Tests for the extended attack library: link fabrication, stats evasion,
+stochastic drops."""
+
+import pytest
+
+from repro.attacks import (
+    forged_lldp_packet_in,
+    link_fabrication_attack,
+    stats_evasion_attack,
+    stochastic_drop_attack,
+)
+from repro.controllers import (
+    FloodlightController,
+    StatsCollectorApp,
+    TopologyDiscoveryApp,
+)
+from repro.core import AttackModel, RuntimeInjector, SystemModel
+from repro.core.injector import AttackExecutor
+from repro.core.lang.properties import Direction, InterposedMessage
+from repro.dataplane import Network, Topology
+from repro.netlib.lldp import LldpPacket
+from repro.netlib.packet import decode_ethernet
+from repro.openflow import EchoRequest, Hello
+from repro.sim import SimulationEngine
+
+
+def build_network(engine, attack=None, extra_apps=()):
+    topo = Topology("t")
+    topo.add_host("h1")
+    topo.add_host("h2")
+    topo.add_switch("s1", datapath_id=1)
+    topo.add_switch("s2", datapath_id=2)
+    topo.add_link("h1", "s1")
+    topo.add_link("s1", "s2")
+    topo.add_link("h2", "s2")
+    network = Network(engine, topo)
+    controller = FloodlightController(engine, extra_apps=list(extra_apps))
+    system = SystemModel.from_topology(topo, ["c1"])
+    model = AttackModel.no_tls_everywhere(system)
+    injector = RuntimeInjector(engine, model, attack)
+    injector.install(network, {"c1": controller})
+    network.start()
+    return network, controller, system
+
+
+class TestLinkFabrication:
+    def test_forged_packet_in_decodes_as_lldp(self):
+        forged = forged_lldp_packet_in(7, 3, reported_in_port=2)
+        decoded = decode_ethernet(forged.data)
+        assert isinstance(decoded.l3, LldpPacket)
+        assert decoded.l3.chassis_id == "dpid:7"
+        assert decoded.l3.port_id == 3
+        assert forged.in_port == 2
+
+    def test_fabricated_link_appears_in_discovery(self, engine):
+        disco = TopologyDiscoveryApp(probe_interval=1.0)
+        attack = link_fabrication_attack(("c1", "s1"), fake_src_dpid=7,
+                                         fake_src_port=3, reported_in_port=2)
+        build_network(engine, attack, extra_apps=[disco])
+        engine.run(until=15.0)
+        # The real links exist...
+        assert disco.has_link(1, 2, engine.now)
+        # ...and so does the fabricated one, refreshed on every real probe.
+        assert disco.has_link(7, 1, engine.now)
+        fake = next(l for l in disco.links(engine.now).values()
+                    if l.src_dpid == 7)
+        assert (fake.src_port, fake.dst_dpid, fake.dst_port) == (3, 1, 2)
+
+    def test_no_fabrication_without_attack(self, engine):
+        disco = TopologyDiscoveryApp(probe_interval=1.0)
+        build_network(engine, None, extra_apps=[disco])
+        engine.run(until=15.0)
+        assert not disco.has_link(7, 1, engine.now)
+        assert all(l.src_dpid in (1, 2) for l in disco.links().values())
+
+    def test_fabricated_link_stays_fresh(self, engine):
+        """The fake link refreshes at the discovery cadence, beating TTL."""
+        disco = TopologyDiscoveryApp(probe_interval=1.0, link_ttl=3.0)
+        attack = link_fabrication_attack(("c1", "s1"), 7, 3, 2)
+        build_network(engine, attack, extra_apps=[disco])
+        engine.run(until=30.0)
+        assert disco.has_link(7, 1, engine.now)  # still fresh at t=30
+
+
+class TestStatsEvasion:
+    def test_collector_starved_while_dataplane_works(self, engine):
+        stats = StatsCollectorApp(poll_interval=1.0)
+        attack = stats_evasion_attack([("c1", "s1"), ("c1", "s2")])
+        network, _controller, _system = build_network(
+            engine, attack, extra_apps=[stats]
+        )
+        engine.run(until=5.0)
+        run = network.host("h1").ping(network.host_ip("h2"), count=3)
+        engine.run(until=20.0)
+        # Data plane healthy, monitoring blind.
+        assert run.result.received == 3
+        assert stats.polls_sent > 5
+        assert stats.replies_received == 0
+        assert stats.flow_count(1) == 0
+
+    def test_without_attack_collector_sees_replies(self, engine):
+        stats = StatsCollectorApp(poll_interval=1.0)
+        build_network(engine, None, extra_apps=[stats])
+        engine.run(until=10.0)
+        assert stats.replies_received > 0
+
+
+class TestStochasticDrop:
+    CONN = ("c1", "s1")
+
+    def feed(self, executor, count):
+        survived = 0
+        for index in range(count):
+            message = EchoRequest(payload=b"x", xid=(index % 0xFFFF) + 1)
+            interposed = InterposedMessage(
+                self.CONN, Direction.TO_CONTROLLER, 0.0, message.pack(), message
+            )
+            survived += len(executor.handle_message(interposed))
+        return survived
+
+    def test_drop_rate_approximates_probability(self):
+        from repro.sim import SeededRng
+
+        attack = stochastic_drop_attack(self.CONN, 0.3)
+        executor = AttackExecutor(attack, SimulationEngine(), rng=SeededRng(42))
+        survived = self.feed(executor, 2000)
+        drop_rate = 1 - survived / 2000
+        assert 0.25 < drop_rate < 0.35
+
+    def test_probability_zero_and_one(self):
+        none_dropped = AttackExecutor(
+            stochastic_drop_attack(self.CONN, 0.0), SimulationEngine()
+        )
+        assert self.feed(none_dropped, 50) == 50
+        all_dropped = AttackExecutor(
+            stochastic_drop_attack(self.CONN, 1.0), SimulationEngine()
+        )
+        assert self.feed(all_dropped, 50) == 0
+
+    def test_same_seed_same_drop_pattern(self):
+        from repro.sim import SeededRng
+
+        def pattern(seed):
+            executor = AttackExecutor(
+                stochastic_drop_attack(self.CONN, 0.5),
+                SimulationEngine(), rng=SeededRng(seed),
+            )
+            results = []
+            for index in range(100):
+                message = EchoRequest(payload=b"x", xid=index + 1)
+                interposed = InterposedMessage(
+                    self.CONN, Direction.TO_CONTROLLER, 0.0,
+                    message.pack(), message,
+                )
+                results.append(len(executor.handle_message(interposed)))
+            return results
+
+        assert pattern(7) == pattern(7)
+        assert pattern(7) != pattern(8)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            stochastic_drop_attack(self.CONN, 1.5)
+        with pytest.raises(ValueError):
+            stochastic_drop_attack(self.CONN, -0.1)
+
+    def test_condition_scopes_the_randomness(self):
+        attack = stochastic_drop_attack(self.CONN, 1.0,
+                                        condition_text="type = ECHO_REQUEST")
+        executor = AttackExecutor(attack, SimulationEngine())
+        hello = InterposedMessage(self.CONN, Direction.TO_CONTROLLER, 0.0,
+                                  Hello().pack(), Hello())
+        assert len(executor.handle_message(hello)) == 1  # only echoes drop

@@ -1,0 +1,141 @@
+"""Unit tests for the DMZ firewall application."""
+
+import pytest
+
+from repro.controllers import DmzFirewallApp, FirewallPolicy
+from repro.controllers.floodlight import FLOODLIGHT_BEHAVIOR, FloodlightController
+from repro.controllers.ryu import RYU_BEHAVIOR, RyuController
+from repro.dataplane import Network, Topology
+from repro.netlib import Ipv4Address
+from repro.sim import SimulationEngine
+
+
+@pytest.fixture
+def firewall_topology():
+    """h_ext - s1 - s2(dmz) - s3 - h_int, plus h_pub on s1."""
+    topo = Topology("fw")
+    topo.add_host("h_pub", ip="10.0.0.1")
+    topo.add_host("h_ext", ip="10.0.0.2")
+    topo.add_host("h_int", ip="10.0.0.3")
+    topo.add_switch("s1", datapath_id=1)
+    topo.add_switch("s2", datapath_id=2)
+    topo.add_switch("s3", datapath_id=3)
+    topo.add_link("h_pub", "s1")
+    topo.add_link("h_ext", "s1")
+    topo.add_link("s1", "s2")
+    topo.add_link("s2", "s3")
+    topo.add_link("h_int", "s3")
+    return topo
+
+
+def build(engine, topo, controller_cls, behavior):
+    policy = FirewallPolicy.isolate(["10.0.0.2"], ["10.0.0.3"])
+    firewall = DmzFirewallApp(policy, frozenset({2}), behavior)
+    network = Network(engine, topo)
+    controller = controller_cls(engine, extra_apps=[firewall])
+    network.set_all_controller_targets(controller)
+    network.start()
+    engine.run(until=5.0)
+    assert network.all_connected()
+    return network, controller, firewall
+
+
+class TestPolicy:
+    def test_blocks_only_configured_pairs(self):
+        policy = FirewallPolicy.isolate(["10.0.0.2"], ["10.0.0.3", "10.0.0.4"])
+        assert policy.blocks(Ipv4Address("10.0.0.2"), Ipv4Address("10.0.0.3"))
+        assert policy.blocks(Ipv4Address("10.0.0.2"), Ipv4Address("10.0.0.4"))
+        assert not policy.blocks(Ipv4Address("10.0.0.2"), Ipv4Address("10.0.0.1"))
+        assert not policy.blocks(Ipv4Address("10.0.0.5"), Ipv4Address("10.0.0.3"))
+
+    def test_none_values_never_block(self):
+        policy = FirewallPolicy.isolate(["10.0.0.2"], ["10.0.0.3"])
+        assert not policy.blocks(None, Ipv4Address("10.0.0.3"))
+        assert not policy.blocks(Ipv4Address("10.0.0.2"), None)
+
+
+class TestEnforcement:
+    def test_blocked_traffic_cannot_pass(self, firewall_topology):
+        engine = SimulationEngine()
+        network, _controller, firewall = build(
+            engine, firewall_topology, FloodlightController, FLOODLIGHT_BEHAVIOR
+        )
+        run = network.host("h_ext").ping(network.host_ip("h_int"), count=3)
+        engine.run(until=20.0)
+        assert run.result.received == 0
+        assert firewall.blocked_packets >= 1
+        assert firewall.drop_rules_installed >= 1
+
+    def test_allowed_traffic_passes(self, firewall_topology):
+        engine = SimulationEngine()
+        network, _controller, _firewall = build(
+            engine, firewall_topology, FloodlightController, FLOODLIGHT_BEHAVIOR
+        )
+        # External user may reach the public host.
+        run1 = network.host("h_ext").ping(network.host_ip("h_pub"), count=2)
+        # Internal host may reach out (reverse direction is not blocked).
+        run2 = network.host("h_int").ping(network.host_ip("h_pub"), count=2)
+        engine.run(until=20.0)
+        assert run1.result.received == 2
+        assert run2.result.received == 2
+
+    def test_drop_rule_installed_on_dmz_switch(self, firewall_topology):
+        engine = SimulationEngine()
+        network, _controller, _firewall = build(
+            engine, firewall_topology, FloodlightController, FLOODLIGHT_BEHAVIOR
+        )
+        network.host("h_ext").ping(network.host_ip("h_int"), count=2)
+        engine.run(until=10.0)  # inspect before the drop rule idle-expires
+        drop_entries = [
+            entry for entry in network.switch("s2").flow_table.entries
+            if not entry.actions
+        ]
+        assert drop_entries
+        assert drop_entries[0].priority == 2  # above the learning rules
+
+    def test_enforcement_only_at_dmz(self, firewall_topology):
+        engine = SimulationEngine()
+        network, _controller, _firewall = build(
+            engine, firewall_topology, FloodlightController, FLOODLIGHT_BEHAVIOR
+        )
+        network.host("h_ext").ping(network.host_ip("h_int"), count=1)
+        engine.run(until=20.0)
+        # s1 forwards toward the DMZ; it must not hold drop rules.
+        s1_drops = [
+            entry for entry in network.switch("s1").flow_table.entries
+            if not entry.actions
+        ]
+        assert not s1_drops
+
+    def test_firewall_match_personality(self, firewall_topology):
+        """Floodlight drop rules carry nw fields; Ryu-style ones do not."""
+        engine = SimulationEngine()
+        network, _controller, _firewall = build(
+            engine, firewall_topology, FloodlightController, FLOODLIGHT_BEHAVIOR
+        )
+        network.host("h_ext").ping(network.host_ip("h_int"), count=1)
+        engine.run(until=10.0)
+        drop = [e for e in network.switch("s2").flow_table.entries
+                if not e.actions][0]
+        assert drop.match.nw_src is not None
+
+        engine2 = SimulationEngine()
+        topo2 = firewall_topology.__class__("fw2")
+        # rebuild an identical topology for the second engine
+        topo2.add_host("h_pub", ip="10.0.0.1")
+        topo2.add_host("h_ext", ip="10.0.0.2")
+        topo2.add_host("h_int", ip="10.0.0.3")
+        topo2.add_switch("s1", datapath_id=1)
+        topo2.add_switch("s2", datapath_id=2)
+        topo2.add_switch("s3", datapath_id=3)
+        topo2.add_link("h_pub", "s1")
+        topo2.add_link("h_ext", "s1")
+        topo2.add_link("s1", "s2")
+        topo2.add_link("s2", "s3")
+        topo2.add_link("h_int", "s3")
+        network2, _c2, _f2 = build(engine2, topo2, RyuController, RYU_BEHAVIOR)
+        network2.host("h_ext").ping(network2.host_ip("h_int"), count=1)
+        engine2.run(until=10.0)
+        drop2 = [e for e in network2.switch("s2").flow_table.entries
+                 if not e.actions][0]
+        assert drop2.match.nw_src is None  # the Ryu anomaly lever

@@ -1,0 +1,136 @@
+"""Tests pinning the three controllers' documented behavioural differences.
+
+These are the levers behind the paper's cross-controller results, so each
+is asserted explicitly against live FLOW_MOD/PACKET_OUT traffic.
+"""
+
+import pytest
+
+from repro.controllers import FloodlightController, PoxController, RyuController
+from repro.controllers.floodlight import FLOODLIGHT_BEHAVIOR
+from repro.controllers.pox import POX_BEHAVIOR
+from repro.controllers.ryu import RYU_BEHAVIOR
+from repro.dataplane import Network
+from repro.openflow import FlowMod, MessageFramer, PacketOut
+from repro.openflow.constants import OFP_NO_BUFFER
+from repro.sim import SimulationEngine
+from tests.conftest import build_connected_network
+
+
+class MessageTap:
+    """Records controller->switch messages by wrapping the channel."""
+
+    def __init__(self):
+        self.messages = []
+        self.framer = MessageFramer()
+
+    def install(self, network, switch_name):
+        switch = network.switch(switch_name)
+        channel = switch.channel
+        peer = channel.peer
+        original = peer.send
+
+        def tapped(data):
+            self.messages.extend(self.framer.feed(data))
+            original(data)
+
+        peer.send = tapped
+
+    def flow_mods(self):
+        return [m for m in self.messages if isinstance(m, FlowMod)]
+
+    def packet_outs(self):
+        return [m for m in self.messages if isinstance(m, PacketOut)]
+
+
+def run_ping(controller_cls, engine, topology):
+    network, controller = build_connected_network(engine, topology, controller_cls)
+    tap = MessageTap()
+    tap.install(network, "s1")
+    run = network.host("h1").ping(network.host_ip("h2"), count=2)
+    engine.run(until=15.0)
+    assert run.result.received == 2
+    return network, tap
+
+
+class TestFloodlight:
+    def test_flow_mod_match_includes_network_layer(self, engine, small_topology):
+        _network, tap = run_ping(FloodlightController, engine, small_topology)
+        icmp_mods = [m for m in tap.flow_mods() if m.match.nw_proto == 1]
+        assert icmp_mods, "expected ICMP flow mods"
+        mod = icmp_mods[0]
+        assert mod.match.nw_src is not None
+        assert mod.match.nw_dst is not None
+        assert mod.idle_timeout == 5
+        assert mod.hard_timeout == 0
+
+    def test_buffer_released_via_packet_out(self, engine, small_topology):
+        _network, tap = run_ping(FloodlightController, engine, small_topology)
+        assert all(m.buffer_id == OFP_NO_BUFFER for m in tap.flow_mods())
+        assert any(m.buffer_id != OFP_NO_BUFFER for m in tap.packet_outs())
+
+
+class TestPox:
+    def test_flow_mod_carries_buffer_id(self, engine, small_topology):
+        _network, tap = run_ping(PoxController, engine, small_topology)
+        forwarding = [m for m in tap.flow_mods() if m.actions]
+        assert forwarding
+        assert any(m.buffer_id != OFP_NO_BUFFER for m in forwarding)
+
+    def test_timeouts_are_10_and_30(self, engine, small_topology):
+        _network, tap = run_ping(PoxController, engine, small_topology)
+        mod = tap.flow_mods()[0]
+        assert mod.idle_timeout == 10
+        assert mod.hard_timeout == 30
+
+    def test_match_is_full_tuple(self, engine, small_topology):
+        _network, tap = run_ping(PoxController, engine, small_topology)
+        icmp_mods = [m for m in tap.flow_mods() if m.match.nw_proto == 1]
+        assert icmp_mods and icmp_mods[0].match.nw_src is not None
+
+
+class TestRyu:
+    def test_match_is_l2_only(self, engine, small_topology):
+        """The Table II anomaly lever: no network-layer match fields."""
+        _network, tap = run_ping(RyuController, engine, small_topology)
+        mods = tap.flow_mods()
+        assert mods
+        for mod in mods:
+            assert mod.match.nw_src is None
+            assert mod.match.nw_dst is None
+            assert mod.match.in_port is not None
+            assert mod.match.dl_src is not None
+            assert mod.match.dl_dst is not None
+
+    def test_entries_are_permanent(self, engine, small_topology):
+        network, tap = run_ping(RyuController, engine, small_topology)
+        mod = tap.flow_mods()[0]
+        assert mod.idle_timeout == 0 and mod.hard_timeout == 0
+        # Entries survive arbitrary idle time.
+        engine.run(until=120.0)
+        assert len(network.switch("s1").flow_table) > 0
+
+    def test_buffer_released_via_packet_out(self, engine, small_topology):
+        _network, tap = run_ping(RyuController, engine, small_topology)
+        assert all(m.buffer_id == OFP_NO_BUFFER for m in tap.flow_mods())
+
+
+class TestServiceTimes:
+    def test_relative_ordering_matches_runtimes(self):
+        assert FloodlightController.SERVICE_TIME < RyuController.SERVICE_TIME
+        assert RyuController.SERVICE_TIME < PoxController.SERVICE_TIME
+
+
+class TestBehaviorValidation:
+    def test_behavior_constants(self):
+        assert FLOODLIGHT_BEHAVIOR.match_granularity == "full"
+        assert POX_BEHAVIOR.release_via == "flow_mod"
+        assert RYU_BEHAVIOR.match_granularity == "l2"
+
+    def test_bad_behavior_parameters_rejected(self):
+        from repro.controllers import LearningSwitchBehavior
+
+        with pytest.raises(ValueError):
+            LearningSwitchBehavior(name="x", match_granularity="l7")
+        with pytest.raises(ValueError):
+            LearningSwitchBehavior(name="x", release_via="carrier-pigeon")

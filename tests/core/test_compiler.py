@@ -1,0 +1,257 @@
+"""Unit tests for the compiler: XML parsers and diagnostics."""
+
+import pytest
+
+from repro.core.compiler import (
+    CompileError,
+    parse_attack_model_xml,
+    parse_attack_states_xml,
+    parse_system_model_xml,
+)
+from repro.core.model import Capability, gamma_no_tls, gamma_tls
+
+SYSTEM_XML = """
+<system name="demo">
+  <controllers><controller name="c1" address="10.1.0.1"/></controllers>
+  <switches>
+    <switch name="s1" dpid="1" ports="1,2,3"/>
+    <switch name="s2" dpid="0x10" ports="1,2"/>
+  </switches>
+  <hosts>
+    <host name="h1" mac="00:00:00:00:00:01" ip="10.0.0.1"/>
+    <host name="h2" ip="10.0.0.2"/>
+  </hosts>
+  <dataplane>
+    <link a="h1" b="s1" b-port="1"/>
+    <link a="s1" a-port="3" b="s2" b-port="1"/>
+    <link a="h2" b="s2" b-port="2"/>
+  </dataplane>
+  <controlplane>
+    <connection controller="c1" switch="s1"/>
+    <connection controller="c1" switch="s2"/>
+  </controlplane>
+</system>
+"""
+
+
+@pytest.fixture
+def system():
+    return parse_system_model_xml(SYSTEM_XML)
+
+
+class TestSystemParser:
+    def test_parses_components(self, system):
+        assert set(system.controllers) == {"c1"}
+        assert system.controllers["c1"].address == "10.1.0.1"
+        assert system.switches["s1"].ports == (1, 2, 3)
+        assert system.switches["s2"].datapath_id == 0x10
+        assert str(system.hosts["h1"].mac) == "00:00:00:00:00:01"
+        assert str(system.hosts["h2"].ip) == "10.0.0.2"
+
+    def test_links_become_bidirectional_edges(self, system):
+        edges = {(e.src, e.dst) for e in system.data_plane_edges}
+        assert ("h1", "s1") in edges and ("s1", "h1") in edges
+
+    def test_port_attributes(self, system):
+        edge = next(e for e in system.data_plane_edges
+                    if (e.src, e.dst) == ("s1", "s2"))
+        assert (edge.src_port, edge.dst_port) == (3, 1)
+
+    def test_control_connections(self, system):
+        assert system.connection_keys() == [("c1", "s1"), ("c1", "s2")]
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(CompileError):
+            parse_system_model_xml("<system><unclosed></system>")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(CompileError):
+            parse_system_model_xml("<network/>")
+
+    def test_missing_name_attribute_rejected(self):
+        bad = SYSTEM_XML.replace('<controller name="c1" address="10.1.0.1"/>',
+                                 "<controller/>")
+        with pytest.raises(CompileError):
+            parse_system_model_xml(bad)
+
+    def test_bad_ip_rejected(self):
+        bad = SYSTEM_XML.replace('ip="10.0.0.1"', 'ip="999.0.0.1"')
+        with pytest.raises(CompileError):
+            parse_system_model_xml(bad)
+
+    def test_semantic_violation_reported_as_compile_error(self):
+        # Connection referencing an unknown switch.
+        bad = SYSTEM_XML.replace('switch="s2"/>', 'switch="s9"/>', 1)
+        with pytest.raises(CompileError):
+            parse_system_model_xml(bad)
+
+
+class TestAttackModelParser:
+    def test_classes(self, system):
+        xml = """
+        <attackmodel>
+          <connection controller="c1" switch="s1" class="no-tls"/>
+          <connection controller="c1" switch="s2" class="tls"/>
+        </attackmodel>
+        """
+        model = parse_attack_model_xml(xml, system)
+        assert model.gamma(("c1", "s1")) == gamma_no_tls()
+        assert model.gamma(("c1", "s2")) == gamma_tls()
+
+    def test_explicit_capabilities_override_class(self, system):
+        xml = """
+        <attackmodel>
+          <connection controller="c1" switch="s1" class="no-tls">
+            <capability name="DropMessage"/>
+            <capability name="ReadMessageMetadata"/>
+          </connection>
+        </attackmodel>
+        """
+        model = parse_attack_model_xml(xml, system)
+        assert model.gamma(("c1", "s1")) == {
+            Capability.DROP_MESSAGE, Capability.READ_MESSAGE_METADATA
+        }
+
+    def test_none_class_means_no_attacker(self, system):
+        xml = """
+        <attackmodel>
+          <connection controller="c1" switch="s1" class="none"/>
+        </attackmodel>
+        """
+        model = parse_attack_model_xml(xml, system)
+        assert model.gamma(("c1", "s1")) == frozenset()
+
+    def test_unknown_connection_rejected(self, system):
+        xml = '<attackmodel><connection controller="c9" switch="s1"/></attackmodel>'
+        with pytest.raises(CompileError):
+            parse_attack_model_xml(xml, system)
+
+    def test_unknown_class_rejected(self, system):
+        xml = ('<attackmodel><connection controller="c1" switch="s1" '
+               'class="quantum"/></attackmodel>')
+        with pytest.raises(CompileError):
+            parse_attack_model_xml(xml, system)
+
+    def test_unknown_capability_rejected(self, system):
+        xml = """
+        <attackmodel>
+          <connection controller="c1" switch="s1">
+            <capability name="TeleportMessage"/>
+          </connection>
+        </attackmodel>
+        """
+        with pytest.raises(CompileError):
+            parse_attack_model_xml(xml, system)
+
+
+ATTACK_XML = """
+<attack name="demo" start="sigma1" description="demo attack">
+  <deque name="count"><value type="int">0</value></deque>
+  <deque name="labels"><value type="str">a</value><value type="str">b</value></deque>
+  <state name="sigma1">
+    <rule name="phi1">
+      <connections><connection controller="c1" switch="s1"/></connections>
+      <gamma class="no-tls"/>
+      <condition>type = FLOW_MOD</condition>
+      <actions>
+        <drop/>
+        <prepend deque="count" value="shift(count) + 1"/>
+        <goto state="sigma2"/>
+      </actions>
+    </rule>
+  </state>
+  <state name="sigma2"/>
+</attack>
+"""
+
+
+class TestStatesParser:
+    def test_parses_structure(self, system):
+        attack = parse_attack_states_xml(ATTACK_XML, system)
+        assert attack.name == "demo"
+        assert attack.start == "sigma1"
+        assert set(attack.states) == {"sigma1", "sigma2"}
+        assert attack.deque_declarations == {"count": [0], "labels": ["a", "b"]}
+        assert attack.graph.end_states() == {"sigma2"}
+
+    def test_all_connections_shorthand(self, system):
+        xml = ATTACK_XML.replace(
+            '<connection controller="c1" switch="s1"/>', "<all-connections/>"
+        )
+        attack = parse_attack_states_xml(xml, system)
+        rule = attack.states["sigma1"].rules[0]
+        assert rule.connections == frozenset(system.connection_keys())
+
+    def test_every_action_element_parses(self, system):
+        xml = """
+        <attack name="kitchen-sink" start="s">
+          <state name="s">
+            <rule name="r">
+              <connections><all-connections/></connections>
+              <gamma class="no-tls"/>
+              <condition>true</condition>
+              <actions>
+                <pass/>
+                <drop/>
+                <delay seconds="0.5"/>
+                <duplicate copies="2"/>
+                <read-metadata store-to="meta"/>
+                <modify-metadata field="destination" value="s2"/>
+                <fuzz bit-flips="4" preserve-header="true"/>
+                <read store-to="q"/>
+                <modify field="idle_timeout" value="0"/>
+                <inject from="shift(q)"/>
+                <prepend deque="d" value="1"/>
+                <append deque="d" value="msg"/>
+                <shift deque="d"/>
+                <pop deque="d"/>
+                <sleep seconds="1"/>
+                <syscmd host="h6" command="iperf -s"/>
+              </actions>
+            </rule>
+          </state>
+        </attack>
+        """
+        attack = parse_attack_states_xml(xml, system)
+        assert len(attack.states["s"].rules[0].actions) == 16
+
+    def test_bad_condition_reported(self, system):
+        bad = ATTACK_XML.replace("type = FLOW_MOD", "type = = =")
+        with pytest.raises(CompileError):
+            parse_attack_states_xml(bad, system)
+
+    def test_goto_to_missing_state_reported(self, system):
+        bad = ATTACK_XML.replace('<goto state="sigma2"/>',
+                                 '<goto state="ghost"/>')
+        with pytest.raises(CompileError):
+            parse_attack_states_xml(bad, system)
+
+    def test_gamma_not_covering_usage_reported(self, system):
+        bad = ATTACK_XML.replace('<gamma class="no-tls"/>',
+                                 '<gamma><capability name="PassMessage"/></gamma>')
+        with pytest.raises(CompileError):
+            parse_attack_states_xml(bad, system)
+
+    def test_missing_start_rejected(self, system):
+        bad = ATTACK_XML.replace(' start="sigma1"', "")
+        with pytest.raises(CompileError):
+            parse_attack_states_xml(bad, system)
+
+    def test_no_states_rejected(self, system):
+        with pytest.raises(CompileError):
+            parse_attack_states_xml('<attack name="x" start="s"/>', system)
+
+    def test_unknown_action_rejected(self, system):
+        bad = ATTACK_XML.replace("<drop/>", "<teleport/>")
+        with pytest.raises(CompileError):
+            parse_attack_states_xml(bad, system)
+
+    def test_validates_against_parsed_attack_model(self, system):
+        attack = parse_attack_states_xml(ATTACK_XML, system)
+        tls_model = parse_attack_model_xml(
+            '<attackmodel><connection controller="c1" switch="s1" class="tls"/>'
+            '<connection controller="c1" switch="s2" class="tls"/></attackmodel>',
+            system,
+        )
+        with pytest.raises(Exception):
+            attack.validate_against(tls_model)  # needs READMESSAGE

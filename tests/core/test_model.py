@@ -1,0 +1,215 @@
+"""Unit tests for the attack model: capabilities, system model, threat."""
+
+import pytest
+
+from repro.core.model import (
+    AttackModel,
+    Capability,
+    CapabilityMap,
+    CapabilityViolation,
+    ControlConnection,
+    SystemModel,
+    SystemModelError,
+    gamma_all,
+    gamma_no_tls,
+    gamma_tls,
+)
+from repro.core.model.system import (
+    ControllerSpec,
+    DataPlaneEdge,
+    HostSpec,
+    SwitchSpec,
+)
+from repro.dataplane import Topology
+
+
+def minimal_system(**overrides):
+    kwargs = dict(
+        controllers=[ControllerSpec("c1")],
+        switches=[SwitchSpec("s1", 1, (1, 2))],
+        hosts=[HostSpec("h1"), HostSpec("h2")],
+        data_plane_edges=[
+            DataPlaneEdge("h1", "s1", None, 1),
+            DataPlaneEdge("s1", "h1", 1, None),
+            DataPlaneEdge("h2", "s1", None, 2),
+            DataPlaneEdge("s1", "h2", 2, None),
+        ],
+        control_connections=[ControlConnection("c1", "s1")],
+    )
+    kwargs.update(overrides)
+    return SystemModel(**kwargs)
+
+
+class TestCapabilities:
+    def test_gamma_has_ten_capabilities(self):
+        assert len(gamma_all()) == 10  # Table I
+
+    def test_no_tls_is_everything(self):
+        assert gamma_no_tls() == gamma_all()
+
+    def test_tls_removes_exactly_five(self):
+        removed = gamma_all() - gamma_tls()
+        assert removed == {
+            Capability.READ_MESSAGE,
+            Capability.MODIFY_MESSAGE,
+            Capability.FUZZ_MESSAGE,
+            Capability.INJECT_NEW_MESSAGE,
+            Capability.MODIFY_MESSAGE_METADATA,
+        }
+
+    def test_tls_keeps_interception_capabilities(self):
+        # TLS still lets the attacker act on intercepted messages.
+        for capability in (Capability.DROP_MESSAGE, Capability.DELAY_MESSAGE,
+                           Capability.DUPLICATE_MESSAGE,
+                           Capability.READ_MESSAGE_METADATA):
+            assert capability in gamma_tls()
+
+    def test_from_name_accepts_paper_spellings(self):
+        assert Capability.from_name("DropMessage") == Capability.DROP_MESSAGE
+        assert Capability.from_name("DROPMESSAGE") == Capability.DROP_MESSAGE
+        assert Capability.from_name("drop_message") == Capability.DROP_MESSAGE
+        assert (Capability.from_name("ReadMessageMetadata")
+                == Capability.READ_MESSAGE_METADATA)
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Capability.from_name("TeleportMessage")
+
+
+class TestCapabilityMap:
+    def test_unassigned_connection_has_empty_gamma(self):
+        cmap = CapabilityMap()
+        assert cmap.gamma(("c1", "s1")) == frozenset()
+        assert not cmap.allows(("c1", "s1"), Capability.DROP_MESSAGE)
+
+    def test_assign_and_query(self):
+        cmap = CapabilityMap()
+        cmap.assign(("c1", "s1"), {Capability.DROP_MESSAGE})
+        assert cmap.allows(("c1", "s1"), Capability.DROP_MESSAGE)
+        assert not cmap.allows(("c1", "s1"), Capability.READ_MESSAGE)
+
+    def test_reassign_replaces(self):
+        cmap = CapabilityMap()
+        cmap.assign(("c1", "s1"), gamma_no_tls())
+        cmap.assign(("c1", "s1"), {Capability.PASS_MESSAGE})
+        assert cmap.gamma(("c1", "s1")) == {Capability.PASS_MESSAGE}
+
+    def test_uniform(self):
+        connections = [("c1", "s1"), ("c1", "s2")]
+        cmap = CapabilityMap.uniform(connections, gamma_tls())
+        assert all(cmap.gamma(c) == gamma_tls() for c in connections)
+        assert len(cmap) == 2
+
+    def test_non_capability_rejected(self):
+        cmap = CapabilityMap()
+        with pytest.raises(TypeError):
+            cmap.assign(("c1", "s1"), {"DropMessage"})
+
+
+class TestSystemModel:
+    def test_minimums_enforced(self):
+        with pytest.raises(SystemModelError):
+            minimal_system(controllers=[])
+        with pytest.raises(SystemModelError):
+            minimal_system(switches=[])
+        with pytest.raises(SystemModelError):
+            minimal_system(hosts=[HostSpec("h1")])
+
+    def test_name_collision_rejected(self):
+        with pytest.raises(SystemModelError):
+            minimal_system(hosts=[HostSpec("h1"), HostSpec("s1")])
+
+    def test_controllers_not_in_nd(self):
+        system = minimal_system()
+        assert "c1" not in system.data_plane_vertices()
+        assert system.data_plane_vertices() == {"s1", "h1", "h2"}
+
+    def test_edge_to_unknown_vertex_rejected(self):
+        with pytest.raises(SystemModelError):
+            minimal_system(
+                data_plane_edges=[DataPlaneEdge("h1", "ghost", None, 1)]
+            )
+
+    def test_host_egress_port_must_be_null(self):
+        with pytest.raises(SystemModelError):
+            minimal_system(data_plane_edges=[DataPlaneEdge("h1", "s1", 5, 1)])
+
+    def test_connection_to_unknown_switch_rejected(self):
+        with pytest.raises(SystemModelError):
+            minimal_system(control_connections=[ControlConnection("c1", "ghost")])
+
+    def test_duplicate_connection_rejected(self):
+        with pytest.raises(SystemModelError):
+            minimal_system(
+                control_connections=[
+                    ControlConnection("c1", "s1"),
+                    ControlConnection("c1", "s1"),
+                ]
+            )
+
+    def test_neighbors(self):
+        system = minimal_system()
+        assert system.neighbors("s1") == ["h1", "h2"]
+        assert system.neighbors("h1") == ["s1"]
+
+    def test_memory_cells(self):
+        cells = minimal_system().memory_cells()
+        assert cells["nd_vertices"] == 3
+        assert cells["nd_edges"] == 4
+        assert cells["nd_attributes"] == 8
+        assert cells["nc_relations"] == 1
+
+    def test_from_topology_full_mesh_default(self, small_topology):
+        system = SystemModel.from_topology(small_topology, ["c1", "c2"])
+        # worst case: |C| x |S| connections
+        assert len(system.control_connections) == 4
+
+    def test_from_topology_explicit_connections(self, small_topology):
+        system = SystemModel.from_topology(
+            small_topology, ["c1"], control_connections=[("c1", "s1")]
+        )
+        assert system.connection_keys() == [("c1", "s1")]
+
+    def test_host_ip_lookup(self, small_topology):
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        assert str(system.host_ip("h1")) == "10.0.0.1"
+        with pytest.raises(KeyError):
+            system.host_ip("ghost")
+
+
+class TestAttackModel:
+    def test_no_tls_everywhere(self, small_topology):
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        model = AttackModel.no_tls_everywhere(system)
+        for connection in system.connection_keys():
+            assert model.gamma(connection) == gamma_all()
+
+    def test_tls_everywhere(self, small_topology):
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        model = AttackModel.tls_everywhere(system)
+        assert all(model.gamma(c) == gamma_tls() for c in system.connection_keys())
+
+    def test_compromised_subset(self, small_topology):
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        model = AttackModel.compromised(system, [("c1", "s1")])
+        assert model.gamma(("c1", "s1")) == gamma_all()
+        assert model.gamma(("c1", "s2")) == frozenset()
+        assert model.attacked_connections() == [("c1", "s1")]
+
+    def test_check_raises_with_missing_capabilities(self, small_topology):
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        model = AttackModel.tls_everywhere(system)
+        with pytest.raises(CapabilityViolation) as excinfo:
+            model.check(("c1", "s1"), {Capability.READ_MESSAGE}, "test rule")
+        assert Capability.READ_MESSAGE in excinfo.value.missing
+
+    def test_check_passes_when_granted(self, small_topology):
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        model = AttackModel.tls_everywhere(system)
+        model.check(("c1", "s1"), {Capability.DROP_MESSAGE})  # no raise
+
+    def test_capability_map_must_reference_nc(self, small_topology):
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        cmap = CapabilityMap.uniform([("c9", "s1")], gamma_all())
+        with pytest.raises(ValueError):
+            AttackModel(system, cmap)

@@ -1,0 +1,154 @@
+"""Unit tests for the monitor suite."""
+
+from repro.core.monitors import (
+    ControlPlaneMonitor,
+    IperfMonitor,
+    LinkCapture,
+    MonitorEvent,
+    PingMonitor,
+    RecordingMonitor,
+)
+from repro.core.lang.actions import OutgoingMessage
+from repro.core.lang.properties import Direction, InterposedMessage
+from repro.dataplane import DataLink, Host
+from repro.netlib import Ipv4Address, MacAddress
+from repro.openflow import FlowMod, Hello, Match
+from repro.sim import SimulationEngine
+
+CONN = ("c1", "s1")
+
+
+def interposed(message):
+    return InterposedMessage(CONN, Direction.TO_SWITCH, 1.0, message.pack(), message)
+
+
+class TestRecordingMonitor:
+    def test_record_and_query(self):
+        monitor = RecordingMonitor("m")
+        monitor.record(1.0, "a", {"x": 1})
+        monitor.record(2.0, "b")
+        monitor.record(3.0, "a")
+        assert monitor.count("a") == 2
+        assert len(monitor.events_of("b")) == 1
+        assert [e.time for e in monitor.between(1.5, 3.0)] == [2.0, 3.0]
+
+    def test_capacity_limit(self):
+        monitor = RecordingMonitor("m", capacity=2)
+        for index in range(5):
+            monitor.record(float(index), "e")
+        assert len(monitor) == 2
+        assert monitor.dropped_events == 3
+
+    def test_clear(self):
+        monitor = RecordingMonitor("m")
+        monitor.record(1.0, "a")
+        monitor.clear()
+        assert len(monitor) == 0
+
+
+class TestControlPlaneMonitor:
+    def test_message_accounting(self):
+        monitor = ControlPlaneMonitor()
+        msg = interposed(Hello())
+        monitor.message_interposed(msg, [OutgoingMessage(msg)], 1.0)
+        dropped = interposed(FlowMod(Match()))
+        monitor.message_interposed(dropped, [], 1.5)
+        assert monitor.total_messages() == 2
+        assert monitor.count_of("HELLO") == 1
+        assert monitor.count_of("FLOW_MOD") == 1
+        assert monitor.dropped_by_type == {"FLOW_MOD": 1}
+        assert monitor.dropped_total() == 1
+        assert monitor.per_connection[CONN] == 2
+
+    def test_rule_and_state_records(self):
+        monitor = ControlPlaneMonitor()
+        msg = interposed(Hello())
+        monitor.rule_fired("sigma1", "phi1", msg)
+        monitor.state_changed("sigma1", "sigma2", 2.0)
+        monitor.action_record("drop_message", {"id": 1}, 2.0)
+        assert monitor.fired_rules() == ["phi1"]
+        assert monitor.visited_states() == ["sigma1", "sigma2"]
+        assert monitor.count("action:drop_message") == 1
+
+    def test_visited_states_chains(self):
+        monitor = ControlPlaneMonitor()
+        monitor.state_changed("a", "b", 1.0)
+        monitor.state_changed("b", "c", 2.0)
+        assert monitor.visited_states() == ["a", "b", "c"]
+
+
+class TestPingMonitor:
+    def _pair(self, engine):
+        h1 = Host(engine, "h1", MacAddress(1), Ipv4Address("10.0.0.1"))
+        h2 = Host(engine, "h2", MacAddress(2), Ipv4Address("10.0.0.2"))
+        h1.attach(lambda data: engine.schedule(0.001, h2.frame_received, data))
+        h2.attach(lambda data: engine.schedule(0.001, h1.frame_received, data))
+        return h1, h2
+
+    def test_series_collected(self):
+        engine = SimulationEngine()
+        h1, h2 = self._pair(engine)
+        monitor = PingMonitor()
+        monitor.start_series(h1, h2.ip, count=3, label="test")
+        engine.run(until=20.0)
+        assert len(monitor.results) == 1
+        assert monitor.results[0].received == 3
+        assert monitor.overall_loss_rate() == 0.0
+        assert monitor.median_rtt() is not None
+        assert monitor.events_of("ping_series_done")[0].data["label"] == "test"
+
+    def test_aggregates_across_series(self):
+        engine = SimulationEngine()
+        h1, h2 = self._pair(engine)
+        monitor = PingMonitor()
+        monitor.start_series(h1, h2.ip, count=2)
+        monitor.start_series(h2, h1.ip, count=2)
+        engine.run(until=20.0)
+        assert len(monitor.all_rtts()) == 4
+
+    def test_empty_monitor_aggregates(self):
+        monitor = PingMonitor()
+        assert monitor.median_rtt() is None
+        assert monitor.overall_loss_rate() == 0.0
+
+
+class TestIperfMonitor:
+    def test_trial_collected(self):
+        engine = SimulationEngine()
+        h1 = Host(engine, "h1", MacAddress(1), Ipv4Address("10.0.0.1"))
+        h2 = Host(engine, "h2", MacAddress(2), Ipv4Address("10.0.0.2"))
+        h1.attach(lambda data: engine.schedule(0.001, h2.frame_received, data))
+        h2.attach(lambda data: engine.schedule(0.001, h1.frame_received, data))
+        monitor = IperfMonitor()
+        monitor.start_trial(h1, h2, duration=0.05)
+        engine.run(until=30.0)
+        assert len(monitor.results) == 1
+        assert monitor.mean_throughput_mbps() > 0
+        assert monitor.median_throughput_mbps() > 0
+        assert monitor.connect_failures() == 0
+
+    def test_empty_aggregates(self):
+        monitor = IperfMonitor()
+        assert monitor.mean_throughput_mbps() is None
+        assert monitor.median_throughput_mbps() is None
+
+
+class TestLinkCapture:
+    def test_captures_both_directions(self):
+        engine = SimulationEngine()
+        link = DataLink(engine, 1e9, 0.0001, name="tap-me")
+        h1 = Host(engine, "h1", MacAddress(1), Ipv4Address("10.0.0.1"))
+        h2 = Host(engine, "h2", MacAddress(2), Ipv4Address("10.0.0.2"))
+        h1.attach(link.send_from_a)
+        h2.attach(link.send_from_b)
+        link.attach_a(h1.frame_received)
+        link.attach_b(h2.frame_received)
+        capture = LinkCapture(engine, link)
+        run = h1.ping(h2.ip, count=2)
+        engine.run(until=20.0)
+        assert run.result.received == 2
+        assert capture.frames_of("arp") >= 2
+        assert capture.frames_of("ipv4/icmp") == 4  # 2 requests + 2 replies
+        directions = {e.data["direction"] for e in capture.events_of("frame")}
+        assert directions == {"a->b", "b->a"}
+        assert capture.bytes_total > 0

@@ -1,0 +1,65 @@
+"""Tests for the Fig. 10(a)-style textual renderer."""
+
+import pytest
+
+from repro.attacks import (
+    connection_interruption_attack,
+    counting_attack_deque,
+    flow_mod_suppression_attack,
+)
+from repro.core.lang.render import render_attack_text
+
+
+def test_suppression_rendering_matches_fig10a_shape():
+    attack = flow_mod_suppression_attack([("c1", "s1"), ("c1", "s2"),
+                                          ("c1", "s3"), ("c1", "s4")])
+    text = render_attack_text(attack)
+    assert "attack: flow-mod-suppression   (start = sigma1)" in text
+    assert "sigma1:" in text
+    assert "(start, absorbing)" in text
+    assert "GAMMA_NoTLS" in text
+    assert "lambda1 = type = FLOW_MOD" in text
+    assert "DropMessage()" in text
+    assert "(c1, s1), (c1, s2), (c1, s3), (c1, s4)" in text
+
+
+def test_interruption_rendering_shows_all_three_states():
+    attack = connection_interruption_attack(("c1", "s2"), "10.0.0.2",
+                                            ["10.0.0.3", "10.0.0.4"])
+    text = render_attack_text(attack)
+    for state in ("sigma1:", "sigma2:", "sigma3:"):
+        assert state in text
+    assert "GoToState('sigma2')" in text
+    assert "GoToState('sigma3')" in text
+    assert "opt.match.nw_src = 10.0.0.2" in text
+    assert "(absorbing)" in text  # sigma3
+
+
+def test_storage_declarations_rendered():
+    attack = counting_attack_deque(("c1", "s1"), n=3)
+    text = render_attack_text(attack)
+    assert "storage: counter = [0]" in text
+    assert "front(counter) = 3" in text
+
+
+def test_end_state_rendering():
+    from repro.attacks import fuzzing_attack
+
+    attack = fuzzing_attack(("c1", "s1"), max_messages=2)
+    text = render_attack_text(attack)
+    assert "(end)" in text
+    assert "(no rules: all messages pass)" in text
+
+
+def test_cli_show_command(tmp_path, capsys):
+    from repro.cli import main
+    from tests.test_cli import ATTACK_XML, SYSTEM_XML
+
+    system = tmp_path / "system.xml"
+    system.write_text(SYSTEM_XML)
+    attack = tmp_path / "attack.xml"
+    attack.write_text(ATTACK_XML)
+    assert main(["show", "--system", str(system), "--attack", str(attack)]) == 0
+    out = capsys.readouterr().out
+    assert "attack: cli-drop" in out
+    assert "lambda1 = type = FLOW_MOD" in out

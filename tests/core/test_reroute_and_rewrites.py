@@ -1,0 +1,221 @@
+"""Coverage for metadata rerouting, packet rewrites, and reserved ports."""
+
+import pytest
+
+from repro.controllers import FloodlightController
+from repro.core import AttackModel, RuntimeInjector, SystemModel
+from repro.core.lang import (
+    Attack,
+    AttackState,
+    ModifyMessageMetadata,
+    Rule,
+    parse_condition,
+)
+from repro.core.model import gamma_no_tls
+from repro.dataplane import Network, OpenFlowSwitch, Topology, connect_endpoints
+from repro.netlib import (
+    EtherType,
+    EthernetFrame,
+    Ipv4Address,
+    Ipv4Packet,
+    MacAddress,
+    decode_ethernet,
+)
+from repro.openflow import (
+    FlowMod,
+    Match,
+    OutputAction,
+    Port,
+    SetDlDstAction,
+    SetDlSrcAction,
+    SetNwDstAction,
+    SetNwSrcAction,
+)
+from repro.openflow.messages import VendorMessage, parse_message
+from repro.sim import SimulationEngine
+from tests.dataplane.test_switch import ScriptedController, frame
+
+
+class TestDestinationReroute:
+    def test_modify_metadata_reroutes_packet_out(self, engine, small_topology):
+        """MODIFYMESSAGEMETADATA(destination) steers controller->switch
+        messages onto another switch's interposed connection."""
+        network = Network(engine, small_topology)
+        controller = FloodlightController(engine)
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        model = AttackModel.no_tls_everywhere(system)
+        rule = Rule(
+            "reroute_flow_mods", frozenset({("c1", "s1")}), gamma_no_tls(),
+            parse_condition("type = FLOW_MOD and destination = s1"),
+            [ModifyMessageMetadata("destination", "s2")],
+        )
+        attack = Attack("reroute", [AttackState("sigma1", [rule])], "sigma1")
+        injector = RuntimeInjector(engine, model, attack)
+        injector.install(network, {"c1": controller})
+        network.start()
+        engine.run(until=5.0)
+        network.host("h1").ping(network.host_ip("h2"), count=2)
+        engine.run(until=20.0)
+        # Flow mods addressed to s1 landed on s2 instead: s1 has none,
+        # while s2 received both its own and the rerouted ones.
+        assert network.switch("s1").stats["flow_mods_received"] == 0
+        s2_received = network.switch("s2").stats["flow_mods_received"]
+        assert s2_received > 0
+
+    def test_reroute_to_unknown_destination_falls_back(self, engine,
+                                                       small_topology):
+        network = Network(engine, small_topology)
+        controller = FloodlightController(engine)
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        model = AttackModel.no_tls_everywhere(system)
+        rule = Rule(
+            "reroute_nowhere", frozenset(system.connection_keys()),
+            gamma_no_tls(),
+            parse_condition("type = FLOW_MOD"),
+            [ModifyMessageMetadata("destination", "s99")],
+        )
+        attack = Attack("reroute-bad", [AttackState("sigma1", [rule])], "sigma1")
+        injector = RuntimeInjector(engine, model, attack)
+        injector.install(network, {"c1": controller})
+        network.start()
+        engine.run(until=5.0)
+        run = network.host("h1").ping(network.host_ip("h2"), count=2)
+        engine.run(until=20.0)
+        # Unknown destination: message proceeds on its natural connection.
+        assert run.result.received == 2
+        assert network.total_stat("flow_mods_received") > 0
+
+
+@pytest.fixture
+def action_rig():
+    engine = SimulationEngine()
+    switch = OpenFlowSwitch(engine, "s1", datapath_id=1)
+    egress = {1: [], 2: [], 3: []}
+    for port in (1, 2, 3):
+        switch.attach_port(port, lambda data, p=port: egress[p].append(data))
+    controller = ScriptedController(engine)
+    switch.set_connect_factory(
+        lambda sw: connect_endpoints(engine, sw, controller, latency_s=0.001)[0]
+    )
+    switch.start()
+    engine.run(until=1.0)
+    return engine, switch, controller, egress
+
+
+class TestFieldRewriteActions:
+    def _ip_frame(self):
+        ip = Ipv4Packet(Ipv4Address("10.0.0.1"), Ipv4Address("10.0.0.2"), 6,
+                        b"payload")
+        return EthernetFrame(MacAddress(2), MacAddress(1), EtherType.IPV4,
+                             ip.pack()).pack()
+
+    def test_set_dl_rewrites(self, action_rig):
+        engine, switch, controller, egress = action_rig
+        controller.send(FlowMod(Match(in_port=1), actions=[
+            SetDlSrcAction(MacAddress(0xAA)),
+            SetDlDstAction(MacAddress(0xBB)),
+            OutputAction(2),
+        ]))
+        engine.run(until=2.0)
+        switch.frame_received(1, self._ip_frame())
+        decoded = decode_ethernet(egress[2][0])
+        assert decoded.ethernet.src == MacAddress(0xAA)
+        assert decoded.ethernet.dst == MacAddress(0xBB)
+
+    def test_set_nw_rewrites_and_checksum(self, action_rig):
+        engine, switch, controller, egress = action_rig
+        controller.send(FlowMod(Match(in_port=1), actions=[
+            SetNwSrcAction(Ipv4Address("192.168.0.1")),
+            SetNwDstAction(Ipv4Address("192.168.0.2")),
+            OutputAction(2),
+        ]))
+        engine.run(until=2.0)
+        switch.frame_received(1, self._ip_frame())
+        decoded = decode_ethernet(egress[2][0])
+        assert str(decoded.l3.src) == "192.168.0.1"
+        assert str(decoded.l3.dst) == "192.168.0.2"  # checksum re-valid
+
+    def test_nw_rewrite_on_non_ip_is_noop(self, action_rig):
+        engine, switch, controller, egress = action_rig
+        controller.send(FlowMod(Match(in_port=1), actions=[
+            SetNwSrcAction(Ipv4Address("192.168.0.1")),
+            OutputAction(2),
+        ]))
+        engine.run(until=2.0)
+        raw = frame()  # plain Ethernet with opaque payload
+        switch.frame_received(1, raw)
+        assert egress[2] == [raw]
+
+
+class TestReservedOutputPorts:
+    def test_in_port_output(self, action_rig):
+        engine, switch, controller, egress = action_rig
+        controller.send(FlowMod(Match(in_port=1),
+                                actions=[OutputAction(Port.IN_PORT)]))
+        engine.run(until=2.0)
+        raw = frame()
+        switch.frame_received(1, raw)
+        assert egress[1] == [raw]
+
+    def test_normal_output_uses_learning(self, action_rig):
+        engine, switch, controller, egress = action_rig
+        controller.send(FlowMod(Match.wildcard_all(),
+                                actions=[OutputAction(Port.NORMAL)]))
+        engine.run(until=2.0)
+        a, b = MacAddress(0xA1), MacAddress(0xB2)
+        switch.frame_received(1, frame(src=a, dst=b))    # learn a@1, flood
+        switch.frame_received(2, frame(src=b, dst=a))    # unicast to port 1
+        assert len(egress[1]) == 1
+
+    def test_controller_output_sends_packet_in(self, action_rig):
+        engine, switch, controller, egress = action_rig
+        controller.send(FlowMod(Match(in_port=1),
+                                actions=[OutputAction(Port.CONTROLLER)]))
+        engine.run(until=2.0)
+        before = switch.stats["packet_ins_sent"]
+        switch.frame_received(1, frame())
+        engine.run(until=3.0)
+        assert switch.stats["packet_ins_sent"] == before + 1
+
+    def test_output_to_own_ingress_numeric_port_suppressed(self, action_rig):
+        engine, switch, controller, egress = action_rig
+        controller.send(FlowMod(Match(in_port=1), actions=[OutputAction(1)]))
+        engine.run(until=2.0)
+        switch.frame_received(1, frame())
+        assert egress[1] == []  # numeric echo to ingress is dropped
+
+
+class TestVendorMessage:
+    def test_roundtrip(self):
+        message = VendorMessage(0x2320, b"nicira-ext", xid=5)
+        decoded = parse_message(message.pack())
+        assert decoded == message
+        assert decoded.vendor == 0x2320
+        assert decoded.data == b"nicira-ext"
+
+
+class TestNetworkTargetValidation:
+    def test_duplicate_target_name_rejected(self, engine, small_topology):
+        network = Network(engine, small_topology)
+        controller = FloodlightController(engine)
+        network.add_controller_target("s1", controller, target_name="x")
+        with pytest.raises(ValueError):
+            network.add_controller_target("s1", controller, target_name="x")
+
+    def test_unknown_switch_rejected(self, engine, small_topology):
+        network = Network(engine, small_topology)
+        controller = FloodlightController(engine)
+        with pytest.raises(KeyError):
+            network.add_controller_target("ghost", controller)
+
+    def test_set_replaces_previous_targets(self, engine, small_topology):
+        network = Network(engine, small_topology)
+        c1 = FloodlightController(engine, name="c1")
+        c2 = FloodlightController(engine, name="c2")
+        network.add_controller_target("s1", c1, target_name="a")
+        network.add_controller_target("s1", c2, target_name="b")
+        network.set_controller_target("s1", c1)  # back to a single target
+        network.set_controller_target("s2", c1)
+        network.start()
+        engine.run(until=5.0)
+        assert len(network.switch("s1").connected_controller_names()) == 1

@@ -1,0 +1,217 @@
+"""Unit tests for rules, attack states, the state graph, and Attack."""
+
+import pytest
+
+from repro.core.lang import (
+    Attack,
+    AttackState,
+    AttackStateGraph,
+    AttackValidationError,
+    DropMessage,
+    GoToState,
+    GraphValidationError,
+    PassMessage,
+    Rule,
+    RuleValidationError,
+    TrueCondition,
+    parse_condition,
+)
+from repro.core.model import (
+    AttackModel,
+    Capability,
+    CapabilityViolation,
+    SystemModel,
+    gamma_no_tls,
+    gamma_tls,
+)
+
+CONN = ("c1", "s1")
+
+
+def simple_rule(name="r", connections=CONN, gamma=None, actions=None,
+                condition=None):
+    return Rule(
+        name,
+        connections,
+        gamma if gamma is not None else gamma_no_tls(),
+        condition or TrueCondition(),
+        actions or [PassMessage()],
+    )
+
+
+class TestRule:
+    def test_single_connection_normalized(self):
+        rule = simple_rule(connections=CONN)
+        assert rule.connections == frozenset({CONN})
+        assert rule.binds(CONN)
+        assert not rule.binds(("c1", "s9"))
+
+    def test_multiple_connections(self):
+        rule = simple_rule(connections=[("c1", "s1"), ("c1", "s2")])
+        assert len(rule.connections) == 2
+
+    def test_no_connections_rejected(self):
+        with pytest.raises(RuleValidationError):
+            simple_rule(connections=[])
+
+    def test_no_actions_rejected(self):
+        with pytest.raises(RuleValidationError):
+            Rule("r", CONN, gamma_no_tls(), TrueCondition(), [])
+
+    def test_gamma_must_cover_usage(self):
+        # READMESSAGE-needing conditional with a γ that lacks it.
+        with pytest.raises(RuleValidationError):
+            simple_rule(
+                gamma={Capability.PASS_MESSAGE},
+                condition=parse_condition("type = FLOW_MOD"),
+            )
+
+    def test_gamma_must_cover_actions(self):
+        with pytest.raises(RuleValidationError):
+            simple_rule(gamma={Capability.PASS_MESSAGE}, actions=[DropMessage()])
+
+    def test_required_capabilities_union(self):
+        rule = simple_rule(
+            condition=parse_condition("source = s1 and type = FLOW_MOD"),
+            actions=[DropMessage()],
+        )
+        assert rule.required_capabilities() == {
+            Capability.READ_MESSAGE_METADATA,
+            Capability.READ_MESSAGE,
+            Capability.DROP_MESSAGE,
+        }
+
+    def test_goto_targets(self):
+        rule = simple_rule(actions=[PassMessage(), GoToState("s2"), GoToState("s3")])
+        assert rule.goto_targets() == {"s2", "s3"}
+
+
+class TestAttackState:
+    def test_end_state_detection(self):
+        assert AttackState("end", []).is_end
+        assert not AttackState("x", [simple_rule()]).is_end
+
+    def test_absorbing_detection(self):
+        looping = AttackState("loop", [simple_rule(actions=[GoToState("loop")])])
+        assert looping.is_absorbing()
+        leaving = AttackState("leaving", [simple_rule(actions=[GoToState("other")])])
+        assert not leaving.is_absorbing()
+
+    def test_rules_for_connection(self):
+        r1 = simple_rule("a", connections=("c1", "s1"))
+        r2 = simple_rule("b", connections=("c1", "s2"))
+        state = AttackState("x", [r1, r2])
+        assert state.rules_for(("c1", "s1")) == [r1]
+
+
+class TestAttackStateGraph:
+    def build(self):
+        s1 = AttackState("s1", [simple_rule(actions=[PassMessage(), GoToState("s2")])])
+        s2 = AttackState("s2", [simple_rule(actions=[DropMessage()],
+                                            gamma=gamma_no_tls())])
+        s3 = AttackState("s3", [])
+        # s2 -> s3 edge
+        s2.rules.append(simple_rule("leave", actions=[GoToState("s3")]))
+        return AttackStateGraph([s1, s2, s3], "s1")
+
+    def test_edges_derived_from_gotos(self):
+        graph = self.build()
+        assert graph.successors("s1") == {"s2"}
+        assert graph.successors("s2") == {"s3"}
+
+    def test_absorbing_and_end(self):
+        graph = self.build()
+        assert graph.absorbing_states() == {"s2", "s3"} - {"s2"} | {"s3"}
+        assert graph.end_states() == {"s3"}
+
+    def test_reachability(self):
+        graph = self.build()
+        assert graph.reachable_states() == {"s1", "s2", "s3"}
+
+    def test_missing_start_rejected(self):
+        with pytest.raises(GraphValidationError):
+            AttackStateGraph([AttackState("a", [])], "nope")
+
+    def test_undefined_goto_target_rejected(self):
+        bad = AttackState("a", [simple_rule(actions=[GoToState("ghost")])])
+        with pytest.raises(GraphValidationError):
+            AttackStateGraph([bad], "a")
+
+    def test_unreachable_state_rejected(self):
+        a = AttackState("a", [])
+        b = AttackState("b", [])
+        with pytest.raises(GraphValidationError):
+            AttackStateGraph([a, b], "a")
+
+    def test_duplicate_state_rejected(self):
+        with pytest.raises(GraphValidationError):
+            AttackStateGraph([AttackState("a", []), AttackState("a", [])], "a")
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphValidationError):
+            AttackStateGraph([], "a")
+
+    def test_edge_actions_attribute(self):
+        graph = self.build()
+        actions = graph.edge_actions("s1", "s2")
+        assert any(isinstance(a, GoToState) for a in actions)
+
+    def test_to_dot_renders(self):
+        dot = self.build().to_dot()
+        assert "digraph" in dot
+        assert '"s1" -> "s2"' in dot
+        assert "doublecircle" in dot  # the end state
+
+
+class TestAttack:
+    def test_single_state_minimum(self):
+        attack = Attack("x", [AttackState("only", [simple_rule()])], "only")
+        assert attack.start == "only"
+
+    def test_storage_built_from_declarations(self):
+        attack = Attack("x", [AttackState("s", [simple_rule()])], "s",
+                        deque_declarations={"count": [0]})
+        storage = attack.build_storage()
+        assert storage.deque("count").examine_front() == 0
+        # Fresh each time:
+        storage.deque("count").shift()
+        assert attack.build_storage().deque("count").examine_front() == 0
+
+    def test_validate_against_tls_rejects_payload_rules(self, small_topology):
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        model = AttackModel.tls_everywhere(system)
+        rule = Rule("r", ("c1", "s1"), gamma_no_tls(),
+                    parse_condition("type = FLOW_MOD"), [DropMessage()])
+        attack = Attack("x", [AttackState("s", [rule])], "s")
+        with pytest.raises(AttackValidationError):
+            attack.validate_against(model)
+
+    def test_validate_against_tls_accepts_metadata_rules(self, small_topology):
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        model = AttackModel.tls_everywhere(system)
+        rule = Rule("r", ("c1", "s1"), gamma_tls(),
+                    parse_condition("source = s1"), [DropMessage()])
+        Attack("x", [AttackState("s", [rule])], "s").validate_against(model)
+
+    def test_validate_rejects_unknown_connection(self, small_topology):
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        model = AttackModel.no_tls_everywhere(system)
+        rule = simple_rule(connections=("c1", "s99"))
+        attack = Attack("x", [AttackState("s", [rule])], "s")
+        with pytest.raises(AttackValidationError):
+            attack.validate_against(model)
+
+    def test_validate_rejects_unattacked_connection(self, small_topology):
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        model = AttackModel.compromised(system, [("c1", "s1")])
+        rule = simple_rule(connections=("c1", "s2"))  # attacker not there
+        attack = Attack("x", [AttackState("s", [rule])], "s")
+        with pytest.raises(AttackValidationError):
+            attack.validate_against(model)
+
+    def test_summary(self):
+        attack = Attack("demo", [AttackState("s", [simple_rule()])], "s")
+        summary = attack.summary()
+        assert summary["name"] == "demo"
+        assert summary["states"] == ["s"]
+        assert summary["rules"] == 1

@@ -1,0 +1,213 @@
+"""Integration tests for the runtime injector: proxy, routing, sleep, TLS."""
+
+import pytest
+
+from repro.attacks import (
+    delay_attack,
+    flow_mod_suppression_attack,
+    fuzzing_attack,
+    passthrough_attack,
+)
+from repro.controllers import FloodlightController
+from repro.core import AttackModel, RuntimeInjector, SystemModel
+from repro.core.lang import (
+    Attack,
+    AttackState,
+    DelayMessage,
+    DropMessage,
+    Rule,
+    Sleep,
+    SysCmd,
+    parse_condition,
+)
+from repro.core.model import gamma_no_tls, gamma_tls
+from repro.core.monitors import ControlPlaneMonitor
+from repro.dataplane import Network
+from repro.sim import SimulationEngine
+
+
+def build(engine, topology, attack=None, attack_model=None, monitor=True,
+          controller_cls=FloodlightController):
+    network = Network(engine, topology)
+    controller = controller_cls(engine)
+    system = SystemModel.from_topology(topology, ["c1"])
+    model = attack_model or AttackModel.no_tls_everywhere(system)
+    injector = RuntimeInjector(engine, model, attack)
+    cp_monitor = ControlPlaneMonitor() if monitor else None
+    if cp_monitor is not None:  # note: an empty monitor is falsy (len == 0)
+        injector.add_observer(cp_monitor)
+    injector.install(network, {"c1": controller})
+    network.start()
+    engine.run(until=5.0)
+    return network, controller, injector, cp_monitor, system
+
+
+class TestPassThrough:
+    def test_no_attack_proxy_is_transparent(self, engine, small_topology):
+        network, _c, injector, monitor, _s = build(engine, small_topology)
+        assert network.all_connected()
+        run = network.host("h1").ping(network.host_ip("h2"), count=3)
+        engine.run(until=20.0)
+        assert run.result.received == 3
+        assert monitor.total_messages() > 0
+        assert monitor.dropped_total() == 0
+
+    def test_fig5_passthrough_attack_is_transparent(self, engine, small_topology):
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        attack = passthrough_attack(system.connection_keys())
+        network, _c, injector, monitor, _s = build(engine, small_topology, attack)
+        run = network.host("h1").ping(network.host_ip("h2"), count=3)
+        engine.run(until=20.0)
+        assert run.result.received == 3
+        assert monitor.dropped_total() == 0
+        # Every message fired the pass rule.
+        assert len(monitor.fired_rules()) == monitor.total_messages()
+
+    def test_uninstrumented_connection_forwards_raw(self, engine, small_topology):
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        # Attacker only on (c1, s1); (c1, s2) has no capabilities at all.
+        model = AttackModel.compromised(system, [("c1", "s1")])
+        attack = flow_mod_suppression_attack([("c1", "s1")])
+        network, _c, _inj, monitor, _s = build(
+            engine, small_topology, attack, attack_model=model
+        )
+        run = network.host("h1").ping(network.host_ip("h2"), count=2)
+        engine.run(until=20.0)
+        # s1 flow mods suppressed, s2 untouched -> pings still work; s2
+        # received flow mods (they idle-expire later) while s1 got none.
+        assert run.result.received == 2
+        assert network.switch("s1").stats["flow_mods_received"] == 0
+        assert network.switch("s2").stats["flow_mods_received"] > 0
+        # Interposed counts only include the attacked connection.
+        assert all(key == ("c1", "s1") for key in monitor.per_connection)
+
+
+class TestSuppression:
+    def test_flow_mods_never_reach_switches(self, engine, small_topology):
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        attack = flow_mod_suppression_attack(system.connection_keys())
+        network, _c, _inj, monitor, _s = build(engine, small_topology, attack)
+        run = network.host("h1").ping(network.host_ip("h2"), count=5)
+        engine.run(until=30.0)
+        assert run.result.received == 5  # Floodlight: degraded, not DoS
+        assert monitor.dropped_by_type.get("FLOW_MOD", 0) > 0
+        assert network.total_stat("flow_mods_received") == 0
+
+    def test_pox_suppression_is_dos(self, engine, small_topology):
+        from repro.controllers import PoxController
+
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        attack = flow_mod_suppression_attack(system.connection_keys())
+        network, _c, _inj, _m, _s = build(
+            engine, small_topology, attack, controller_cls=PoxController
+        )
+        run = network.host("h1").ping(network.host_ip("h2"), count=5)
+        engine.run(until=30.0)
+        assert run.result.received == 0  # the Fig. 11 asterisk
+
+
+class TestDelayAndFuzz:
+    def test_delay_attack_inflates_first_rtt(self, engine, small_topology):
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        baseline_net, *_ = build(SimulationEngine(), small_topology)
+        attack = delay_attack(system.connection_keys(),
+                              condition_text="type = PACKET_OUT", delay_s=0.2)
+        network, _c, _inj, _m, _s = build(engine, small_topology, attack)
+        # ARP resolution + the ICMP round trip each pay several delayed
+        # PACKET_OUTs (two switches, both directions): allow a long timeout.
+        run = network.host("h1").ping(network.host_ip("h2"), count=1, timeout=5.0)
+        engine.run(until=20.0)
+        assert run.result.received == 1
+        assert run.result.rtts[0] > 0.4
+
+    def test_fuzz_attack_corrupts_messages(self, engine, small_topology):
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        attack = fuzzing_attack(system.connection_keys(),
+                                condition_text="type = PACKET_IN",
+                                bit_flips=16, preserve_header=True)
+        network, controller, _inj, _m, _s = build(engine, small_topology, attack)
+        network.host("h1").ping(network.host_ip("h2"), count=3)
+        engine.run(until=20.0)
+        # Fuzzed packet-ins reach the controller (header preserved) but the
+        # learning switch sees garbage payloads; the network may or may not
+        # deliver pings — the controller must simply survive.
+        assert controller.stats["messages_received"] > 0
+
+    def test_fuzz_attack_with_limit_reaches_end_state(self, engine, small_topology):
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        attack = fuzzing_attack(system.connection_keys(),
+                                condition_text="type = ECHO_REQUEST",
+                                bit_flips=2, max_messages=1)
+        _n, _c, injector, _m, _s = build(engine, small_topology, attack)
+        engine.run(until=60.0)  # let echo probes flow
+        assert injector.current_state == "sigma_end"
+
+
+class TestSleepSemantics:
+    def test_sleep_defers_subsequent_messages(self, engine, small_topology):
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        # Each FEATURES_REPLY pauses the executor for 1 s: later handshake
+        # messages are queued, not lost, and arrive once the sleep elapses.
+        rule = Rule("nap", frozenset(system.connection_keys()), gamma_no_tls(),
+                    parse_condition("type = FEATURES_REPLY"), [Sleep(1.0)])
+        attack = Attack("sleepy", [AttackState("s", [rule])], "s")
+        network, _c, injector, _m, _s = build(engine, small_topology, attack)
+        engine.run(until=10.0)
+        assert network.all_connected()
+        assert injector.stats["messages_deferred"] > 0
+
+
+class TestSysCmdRouting:
+    def test_syscmd_reaches_registered_router(self, engine, small_topology):
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        commands = []
+        rule = Rule("cmd", frozenset(system.connection_keys()), gamma_no_tls(),
+                    parse_condition("type = HELLO"),
+                    [SysCmd("h2", "start-monitor")])
+        attack = Attack("cmds", [AttackState("s", [rule])], "s")
+        network = Network(engine, small_topology)
+        controller = FloodlightController(engine)
+        model = AttackModel.no_tls_everywhere(system)
+        injector = RuntimeInjector(engine, model, attack)
+        injector.set_syscmd_router(lambda host, cmd: commands.append((host, cmd)))
+        injector.install(network, {"c1": controller})
+        network.start()
+        engine.run(until=5.0)
+        assert ("h2", "start-monitor") in commands
+
+
+class TestValidationAtConstruction:
+    def test_attack_validated_against_model(self, engine, small_topology):
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        model = AttackModel.tls_everywhere(system)
+        attack = flow_mod_suppression_attack(system.connection_keys())
+        # Suppression needs READMESSAGE: rejected under TLS.
+        with pytest.raises(Exception):
+            RuntimeInjector(engine, model, attack)
+
+    def test_port_for_unknown_connection_rejected(self, engine, small_topology):
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        model = AttackModel.no_tls_everywhere(system)
+        injector = RuntimeInjector(engine, model)
+        with pytest.raises(KeyError):
+            injector.port_for(("c1", "s99"), FloodlightController(engine))
+
+    def test_install_requires_controller_endpoint(self, engine, small_topology):
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        model = AttackModel.no_tls_everywhere(system)
+        injector = RuntimeInjector(engine, model)
+        network = Network(engine, small_topology)
+        with pytest.raises(KeyError):
+            injector.install(network, {})
+
+
+class TestReconnection:
+    def test_switch_reconnect_creates_new_proxy(self, engine, small_topology):
+        network, _c, injector, _m, _s = build(engine, small_topology)
+        assert injector.stats["proxies_created"] == 2
+        # Tear down s1's proxy (e.g. an injector restart): both sides are
+        # notified and the switch redials through a fresh proxy.
+        injector.active_proxies[("c1", "s1")].close()
+        engine.run(until=engine.now + 15.0)
+        assert network.switch("s1").connected
+        assert injector.stats["proxies_created"] >= 3

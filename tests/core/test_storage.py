@@ -1,0 +1,141 @@
+"""Unit + property tests for the deque storage Δ."""
+
+from collections import deque as model_deque
+
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.lang.storage import Deque, DequeEmptyError, StorageSet
+
+
+class TestDeque:
+    def test_queue_fifo_via_append_shift(self):
+        d = Deque("q")
+        d.append(1)
+        d.append(2)
+        d.append(3)
+        assert [d.shift(), d.shift(), d.shift()] == [1, 2, 3]
+
+    def test_stack_lifo_via_prepend_shift(self):
+        d = Deque("stack")
+        d.prepend(1)
+        d.prepend(2)
+        d.prepend(3)
+        assert [d.shift(), d.shift(), d.shift()] == [3, 2, 1]
+
+    def test_examines_do_not_remove(self):
+        d = Deque("d", [1, 2, 3])
+        assert d.examine_front() == 1
+        assert d.examine_end() == 3
+        assert len(d) == 3
+
+    def test_examine_empty_returns_none(self):
+        d = Deque("d")
+        assert d.examine_front() is None
+        assert d.examine_end() is None
+
+    def test_remove_from_empty_raises(self):
+        d = Deque("d")
+        with pytest.raises(DequeEmptyError):
+            d.shift()
+        with pytest.raises(DequeEmptyError):
+            d.pop()
+
+    def test_counter_idiom(self):
+        """Section VIII-B: PREPEND(δ, SHIFT(δ)+1) with initial [0]."""
+        counter = Deque("counter", [0])
+        for expected in range(1, 6):
+            counter.prepend(counter.shift() + 1)
+            assert counter.examine_front() == expected
+            assert len(counter) == 1  # O(1) memory
+
+    def test_operation_counters(self):
+        d = Deque("d")
+        d.prepend(1)
+        d.append(2)
+        assert d.total_prepends == 1
+        assert d.total_appends == 1
+
+    def test_clear(self):
+        d = Deque("d", [1, 2])
+        d.clear()
+        assert len(d) == 0
+
+
+class TestStorageSet:
+    def test_deque_created_on_demand(self):
+        storage = StorageSet()
+        assert "x" not in storage
+        d = storage.deque("x")
+        assert "x" in storage
+        assert storage.deque("x") is d
+
+    def test_declare_with_initial(self):
+        storage = StorageSet()
+        storage.declare("counter", [0])
+        assert storage.deque("counter").examine_front() == 0
+
+    def test_duplicate_declare_rejected(self):
+        storage = StorageSet()
+        storage.declare("x")
+        with pytest.raises(ValueError):
+            storage.declare("x")
+
+    def test_reset_clears_contents_keeps_deques(self):
+        storage = StorageSet()
+        storage.declare("x", [1, 2])
+        storage.reset()
+        assert "x" in storage
+        assert len(storage.deque("x")) == 0
+
+    def test_names_sorted(self):
+        storage = StorageSet()
+        storage.declare("b")
+        storage.declare("a")
+        assert storage.names() == ["a", "b"]
+
+
+class DequeMachine(RuleBasedStateMachine):
+    """The Deque must behave exactly like collections.deque."""
+
+    def __init__(self):
+        super().__init__()
+        self.actual = Deque("sut")
+        self.model = model_deque()
+
+    @rule(value=st.integers())
+    def prepend(self, value):
+        self.actual.prepend(value)
+        self.model.appendleft(value)
+
+    @rule(value=st.integers())
+    def append(self, value):
+        self.actual.append(value)
+        self.model.append(value)
+
+    @rule()
+    def shift(self):
+        if self.model:
+            assert self.actual.shift() == self.model.popleft()
+        else:
+            with pytest.raises(DequeEmptyError):
+                self.actual.shift()
+
+    @rule()
+    def pop(self):
+        if self.model:
+            assert self.actual.pop() == self.model.pop()
+        else:
+            with pytest.raises(DequeEmptyError):
+                self.actual.pop()
+
+    @invariant()
+    def same_contents(self):
+        assert self.actual.snapshot() == list(self.model)
+        assert len(self.actual) == len(self.model)
+        expected_front = self.model[0] if self.model else None
+        assert self.actual.examine_front() == expected_front
+
+
+TestDequeAgainstModel = DequeMachine.TestCase

@@ -1,0 +1,168 @@
+"""Tests for attack state-graph templates (Section X future work)."""
+
+import pytest
+
+from repro.attacks import counting_attack_deque, flow_mod_suppression_attack
+from repro.core.injector import AttackExecutor
+from repro.core.lang import DropMessage, PassMessage, Rule, parse_condition
+from repro.core.lang.properties import Direction, InterposedMessage
+from repro.core.lang.templates import Stage, product, sequential_stages, watchdog
+from repro.core.model import gamma_no_tls
+from repro.openflow import EchoRequest, FlowMod, Hello, Match
+from repro.sim import SimulationEngine
+
+CONN = ("c1", "s1")
+CONN2 = ("c1", "s2")
+
+
+def interposed(message, connection=CONN):
+    return InterposedMessage(connection, Direction.TO_SWITCH, 0.0,
+                             message.pack(), message)
+
+
+def drop_rule(name, condition, connections=CONN):
+    return Rule(name, connections, gamma_no_tls(),
+                parse_condition(condition), [DropMessage()])
+
+
+class TestSequentialStages:
+    def build(self):
+        return sequential_stages(
+            "escalation",
+            CONN,
+            [
+                Stage("recon", rules=[], advance_when="type = HELLO"),
+                Stage("suppress",
+                      rules=[drop_rule("drop_fm", "type = FLOW_MOD")],
+                      advance_when="type = ECHO_REQUEST"),
+                Stage("blackhole",
+                      rules=[drop_rule("drop_all", "true")],
+                      advance_when=None),
+            ],
+        )
+
+    def test_structure(self):
+        attack = self.build()
+        assert list(attack.states) == ["recon", "suppress", "blackhole"]
+        assert attack.start == "recon"
+        assert attack.graph.successors("recon") == {"suppress"}
+        assert attack.graph.successors("suppress") == {"blackhole"}
+        assert attack.graph.absorbing_states() == {"blackhole"}
+
+    def test_escalation_behaviour(self):
+        executor = AttackExecutor(self.build(), SimulationEngine())
+        # recon: everything passes, flow mods included.
+        assert len(executor.handle_message(interposed(FlowMod(Match())))) == 1
+        # HELLO advances to suppress (the trigger message passes).
+        assert len(executor.handle_message(interposed(Hello()))) == 1
+        assert executor.current_state_name == "suppress"
+        # suppress: flow mods die, others pass.
+        assert executor.handle_message(interposed(FlowMod(Match()))) == []
+        # ECHO advances to blackhole.
+        executor.handle_message(interposed(EchoRequest()))
+        assert executor.current_state_name == "blackhole"
+        assert executor.handle_message(interposed(Hello())) == []
+
+    def test_last_stage_cannot_advance(self):
+        with pytest.raises(ValueError):
+            sequential_stages("x", CONN, [Stage("only", advance_when="true")])
+
+    def test_empty_stage_list_rejected(self):
+        with pytest.raises(ValueError):
+            sequential_stages("x", CONN, [])
+
+    def test_custom_advance_actions(self):
+        attack = sequential_stages(
+            "drop-trigger",
+            CONN,
+            [
+                Stage("wait", advance_when="type = FLOW_MOD",
+                      advance_actions=[DropMessage()]),
+                Stage("done", advance_when=None),
+            ],
+        )
+        executor = AttackExecutor(attack, SimulationEngine())
+        # The trigger itself is dropped by the custom advance action.
+        assert executor.handle_message(interposed(FlowMod(Match()))) == []
+        assert executor.current_state_name == "done"
+
+
+class TestWatchdog:
+    def test_body_inert_until_trigger(self):
+        body = flow_mod_suppression_attack(CONN)
+        attack = watchdog("guarded", CONN, "type = ECHO_REQUEST", body)
+        executor = AttackExecutor(attack, SimulationEngine())
+        # Before the trigger: flow mods pass.
+        assert len(executor.handle_message(interposed(FlowMod(Match())))) == 1
+        # Trigger fires and passes.
+        assert len(executor.handle_message(interposed(EchoRequest()))) == 1
+        assert executor.current_state_name == body.start
+        # Body semantics take over.
+        assert executor.handle_message(interposed(FlowMod(Match()))) == []
+
+    def test_state_collision_rejected(self):
+        body = flow_mod_suppression_attack(CONN)
+        with pytest.raises(ValueError):
+            watchdog("x", CONN, "true", body, wait_state="sigma1")
+
+    def test_deque_declarations_inherited(self):
+        body = counting_attack_deque(CONN, 2)
+        attack = watchdog("guarded", CONN, "type = HELLO", body)
+        assert attack.deque_declarations == body.deque_declarations
+
+
+class TestProduct:
+    def test_state_space_is_cartesian(self):
+        left = counting_attack_deque(CONN, 2)              # counting, armed
+        right = flow_mod_suppression_attack(CONN2)          # sigma1
+        composed = product("both", left, right)
+        assert set(composed.states) == {"counting+sigma1", "armed+sigma1"}
+        assert composed.start == "counting+sigma1"
+
+    def test_components_progress_independently(self):
+        left = counting_attack_deque(CONN, 2, "type = ECHO_REQUEST")
+        right = flow_mod_suppression_attack(CONN2)
+        composed = product("both", left, right)
+        executor = AttackExecutor(composed, SimulationEngine())
+        # Right component suppresses flow mods on CONN2 from the start.
+        assert executor.handle_message(
+            interposed(FlowMod(Match()), CONN2)) == []
+        # Left component counts echoes on CONN and arms after 2.
+        for _ in range(2):
+            executor.handle_message(interposed(EchoRequest(), CONN))
+        executor.handle_message(interposed(EchoRequest(), CONN))
+        assert executor.current_state_name == "armed+sigma1"
+        # Both effects now active simultaneously.
+        assert executor.handle_message(interposed(EchoRequest(), CONN)) == []
+        assert executor.handle_message(
+            interposed(FlowMod(Match()), CONN2)) == []
+
+    def test_deque_collision_rejected(self):
+        left = counting_attack_deque(CONN, 2)
+        right = counting_attack_deque(CONN2, 3)
+        with pytest.raises(ValueError):
+            product("clash", left, right)
+
+    def test_product_of_multistate_attacks(self):
+        from repro.attacks import connection_interruption_attack
+
+        left = connection_interruption_attack(CONN, "10.0.0.2", ["10.0.0.3"])
+        right = flow_mod_suppression_attack(CONN2)
+        composed = product("combo", left, right)
+        assert len(composed.states) == 3  # 3 x 1
+        # Validation holds (reachability, targets).
+        assert composed.graph.reachable_states() == set(composed.states)
+
+    def test_codegen_roundtrip_of_composed_attack(self):
+        from repro.core.compiler import (
+            compile_attack_source,
+            generate_attack_source,
+        )
+
+        composed = product(
+            "both",
+            counting_attack_deque(CONN, 2),
+            flow_mod_suppression_attack(CONN2),
+        )
+        rebuilt = compile_attack_source(generate_attack_source(composed))
+        assert rebuilt.summary() == composed.summary()

@@ -1,0 +1,94 @@
+"""Unit tests for the control-channel plumbing."""
+
+from repro.dataplane import connect_endpoints
+from repro.sim import SimulationEngine
+
+
+class FakeEndpoint:
+    def __init__(self):
+        self.opened = []
+        self.received = []
+        self.closed = []
+
+    def channel_opened(self, channel):
+        self.opened.append(channel)
+
+    def bytes_received(self, channel, data):
+        self.received.append(data)
+
+    def channel_closed(self, channel):
+        self.closed.append(channel)
+
+
+def test_both_endpoints_notified_after_latency():
+    engine = SimulationEngine()
+    a, b = FakeEndpoint(), FakeEndpoint()
+    connect_endpoints(engine, a, b, latency_s=0.5)
+    assert a.opened == [] and b.opened == []
+    engine.run()
+    assert len(a.opened) == 1 and len(b.opened) == 1
+    assert engine.now == 0.5
+
+
+def test_bidirectional_bytes():
+    engine = SimulationEngine()
+    a, b = FakeEndpoint(), FakeEndpoint()
+    chan_a, chan_b = connect_endpoints(engine, a, b, latency_s=0.1)
+    chan_a.send(b"from-a")
+    chan_b.send(b"from-b")
+    engine.run()
+    assert b.received == [b"from-a"]
+    assert a.received == [b"from-b"]
+
+
+def test_in_order_delivery():
+    engine = SimulationEngine()
+    a, b = FakeEndpoint(), FakeEndpoint()
+    chan_a, _chan_b = connect_endpoints(engine, a, b, latency_s=0.1)
+    for index in range(10):
+        chan_a.send(bytes([index]))
+    engine.run()
+    assert b.received == [bytes([index]) for index in range(10)]
+
+
+def test_close_notifies_peer_only():
+    engine = SimulationEngine()
+    a, b = FakeEndpoint(), FakeEndpoint()
+    chan_a, chan_b = connect_endpoints(engine, a, b, latency_s=0.1)
+    engine.run()
+    chan_a.close()
+    engine.run()
+    assert b.closed == [chan_b]
+    assert a.closed == []  # the closer gets no callback
+
+
+def test_send_after_close_is_silent():
+    engine = SimulationEngine()
+    a, b = FakeEndpoint(), FakeEndpoint()
+    chan_a, _chan_b = connect_endpoints(engine, a, b, latency_s=0.1)
+    engine.run()
+    chan_a.close()
+    chan_a.send(b"lost")
+    engine.run()
+    assert b.received == []
+
+
+def test_bytes_in_flight_when_receiver_closes_are_dropped():
+    engine = SimulationEngine()
+    a, b = FakeEndpoint(), FakeEndpoint()
+    chan_a, chan_b = connect_endpoints(engine, a, b, latency_s=1.0)
+    engine.run(until=1.0)
+    chan_a.send(b"slow")       # arrives at t=2
+    engine.schedule(0.5, chan_b.close)  # b closes at t=1.5
+    engine.run()
+    assert b.received == []
+
+
+def test_counters():
+    engine = SimulationEngine()
+    a, b = FakeEndpoint(), FakeEndpoint()
+    chan_a, chan_b = connect_endpoints(engine, a, b, latency_s=0.1)
+    chan_a.send(b"12345")
+    engine.run()
+    assert chan_a.bytes_sent == 5
+    assert chan_b.bytes_delivered == 5

@@ -1,0 +1,195 @@
+"""Unit tests for the host network stack (ARP, ICMP, TCP workloads)."""
+
+import pytest
+
+from repro.dataplane import Host
+from repro.netlib import (
+    ArpPacket,
+    EtherType,
+    EthernetFrame,
+    Ipv4Address,
+    MacAddress,
+    decode_ethernet,
+)
+from repro.sim import SimulationEngine
+
+
+def make_pair(engine):
+    """Two hosts wired back to back with a zero-latency software 'cable'."""
+    h1 = Host(engine, "h1", MacAddress(1), Ipv4Address("10.0.0.1"))
+    h2 = Host(engine, "h2", MacAddress(2), Ipv4Address("10.0.0.2"))
+    h1.attach(lambda data: engine.schedule(0.0001, h2.frame_received, data))
+    h2.attach(lambda data: engine.schedule(0.0001, h1.frame_received, data))
+    return h1, h2
+
+
+class TestArp:
+    def test_resolution_then_delivery(self):
+        engine = SimulationEngine()
+        h1, h2 = make_pair(engine)
+        run = h1.ping(h2.ip, count=1)
+        engine.run(until=5.0)
+        assert run.result.received == 1
+        assert h1.arp_table[h2.ip] == h2.mac
+        assert h1.stats["arp_requests_sent"] == 1
+
+    def test_opportunistic_learning_from_request(self):
+        engine = SimulationEngine()
+        h1, h2 = make_pair(engine)
+        h1.ping(h2.ip, count=1)
+        engine.run(until=5.0)
+        # h2 learned h1's mapping from the request itself.
+        assert h2.arp_table[h1.ip] == h1.mac
+        assert h2.stats["arp_replies_sent"] == 1
+
+    def test_queued_packets_flushed_after_resolution(self):
+        engine = SimulationEngine()
+        h1, h2 = make_pair(engine)
+        run = h1.ping(h2.ip, count=3, interval=0.001)  # all before resolution
+        engine.run(until=5.0)
+        assert run.result.received == 3
+
+    def test_resolution_failure_drops_after_retries(self):
+        engine = SimulationEngine()
+        h1 = Host(engine, "h1", MacAddress(1), Ipv4Address("10.0.0.1"))
+        h1.attach(lambda data: None)  # black hole
+        run = h1.ping(Ipv4Address("10.0.0.99"), count=1)
+        engine.run(until=10.0)
+        assert run.result.received == 0
+        assert h1.stats["arp_resolution_failures"] == 1
+        assert h1.stats["arp_requests_sent"] == Host.ARP_RETRIES
+
+    def test_unicast_for_other_host_ignored(self):
+        engine = SimulationEngine()
+        h1, _h2 = make_pair(engine)
+        stranger = EthernetFrame(MacAddress(9), MacAddress(8), EtherType.IPV4, b"x")
+        h1.frame_received(stranger.pack())
+        assert h1.stats["icmp_requests_answered"] == 0
+
+
+class TestPing:
+    def test_rtt_measured(self):
+        engine = SimulationEngine()
+        h1, h2 = make_pair(engine)
+        run = h1.ping(h2.ip, count=2, interval=1.0)
+        engine.run(until=10.0)
+        result = run.result
+        assert result.received == 2
+        assert all(rtt is not None and rtt < 0.01 for rtt in result.rtts)
+        assert result.min_rtt <= result.median_rtt <= result.max_rtt
+
+    def test_loss_accounting(self):
+        engine = SimulationEngine()
+        h1 = Host(engine, "h1", MacAddress(1), Ipv4Address("10.0.0.1"))
+        h1.attach(lambda data: None)
+        run = h1.ping(Ipv4Address("10.0.0.2"), count=4, interval=0.5)
+        engine.run(until=10.0)
+        assert run.result.loss_rate == 1.0
+        assert not run.result.any_success
+        assert run.result.median_rtt is None
+
+    def test_done_signal_fires_once(self):
+        engine = SimulationEngine()
+        h1, h2 = make_pair(engine)
+        run = h1.ping(h2.ip, count=1)
+        engine.run(until=10.0)
+        assert run.done.fire_count == 1
+
+    def test_late_reply_not_counted(self):
+        engine = SimulationEngine()
+        h1 = Host(engine, "h1", MacAddress(1), Ipv4Address("10.0.0.1"))
+        h2 = Host(engine, "h2", MacAddress(2), Ipv4Address("10.0.0.2"))
+        # 0.8 s one-way: RTT 1.6 s > 1 s timeout.
+        h1.attach(lambda data: engine.schedule(0.8, h2.frame_received, data))
+        h2.attach(lambda data: engine.schedule(0.8, h1.frame_received, data))
+        run = h1.ping(h2.ip, count=1, timeout=1.0)
+        engine.run(until=20.0)
+        assert run.result.received == 0
+
+
+class TestIperf:
+    def test_transfer_measures_throughput(self):
+        engine = SimulationEngine()
+        h1, h2 = make_pair(engine)
+        h2.start_iperf_server()
+        run = h1.run_iperf_client(h2.ip, duration=0.05)
+        engine.run(until=20.0)
+        result = run.result
+        assert result.connected
+        assert result.bytes_acked > 0
+        assert result.throughput_mbps > 1.0
+
+    def test_connect_failure_yields_zero(self):
+        engine = SimulationEngine()
+        h1 = Host(engine, "h1", MacAddress(1), Ipv4Address("10.0.0.1"))
+        h1.attach(lambda data: None)
+        run = h1.run_iperf_client(Ipv4Address("10.0.0.2"), duration=1.0)
+        engine.run(until=30.0)
+        assert not run.result.connected
+        assert run.result.throughput_bps == 0.0
+
+    def test_no_server_means_rst_and_zero(self):
+        engine = SimulationEngine()
+        h1, h2 = make_pair(engine)  # h2 has no iperf server
+        run = h1.run_iperf_client(h2.ip, duration=1.0)
+        engine.run(until=30.0)
+        assert not run.result.connected
+
+    def test_retransmission_recovers_from_loss(self):
+        engine = SimulationEngine()
+        h1 = Host(engine, "h1", MacAddress(1), Ipv4Address("10.0.0.1"))
+        h2 = Host(engine, "h2", MacAddress(2), Ipv4Address("10.0.0.2"))
+        dropped = {"count": 0}
+
+        def lossy(data):
+            # Drop exactly one data segment mid-stream.
+            decoded = decode_ethernet(data)
+            if (decoded.l4 is not None and hasattr(decoded.l4, "payload")
+                    and len(decoded.l4.payload) > 1000
+                    and dropped["count"] == 0):
+                dropped["count"] += 1
+                return
+            engine.schedule(0.0001, h2.frame_received, data)
+
+        h1.attach(lossy)
+        h2.attach(lambda data: engine.schedule(0.0001, h1.frame_received, data))
+        h2.start_iperf_server()
+        run = h1.run_iperf_client(h2.ip, duration=0.1)
+        engine.run(until=30.0)
+        assert dropped["count"] == 1
+        assert run.result.retransmits >= 1
+        assert run.result.bytes_acked > 0
+
+    def test_server_tracks_received_bytes(self):
+        engine = SimulationEngine()
+        h1, h2 = make_pair(engine)
+        server = h2.start_iperf_server()
+        run = h1.run_iperf_client(h2.ip, duration=0.05)
+        engine.run(until=20.0)
+        total = sum(server.bytes_received.values())
+        assert total >= run.result.bytes_acked
+
+
+class TestUdp:
+    def test_udp_handler_dispatch(self):
+        engine = SimulationEngine()
+        h1, h2 = make_pair(engine)
+        received = []
+        h2.register_udp_handler(9999, lambda src, dgram: received.append(
+            (str(src), dgram.payload)))
+        h1.send_udp(h2.ip, 1234, 9999, b"hello")
+        engine.run(until=10.0)
+        assert received == [("10.0.0.1", b"hello")]
+
+    def test_unregistered_port_ignored(self):
+        engine = SimulationEngine()
+        h1, h2 = make_pair(engine)
+        h1.send_udp(h2.ip, 1234, 777, b"nobody-home")
+        engine.run(until=10.0)  # must not raise
+
+
+def test_unattached_host_raises():
+    engine = SimulationEngine()
+    host = Host(engine, "h1", MacAddress(1), Ipv4Address("10.0.0.1"))
+    with pytest.raises(RuntimeError):
+        host.send_ip(Ipv4Address("10.0.0.2"), 1, b"")

@@ -1,0 +1,131 @@
+"""Tests for carrier-change propagation: link down -> OFPT_PORT_STATUS."""
+
+import pytest
+
+from repro.attacks import delay_attack
+from repro.controllers import FloodlightController, TopologyDiscoveryApp
+from repro.core import AttackModel, RuntimeInjector, SystemModel
+from repro.core.lang import Attack, AttackState, DropMessage, Rule, parse_condition
+from repro.core.model import gamma_no_tls
+from repro.dataplane import Network, Topology
+from repro.openflow.constants import PortState
+from repro.sim import SimulationEngine
+from tests.conftest import build_connected_network
+
+
+def trunk_of(network):
+    return next(link for name, link in network.links.items() if "s1-s2" in name)
+
+
+class TestSwitchSide:
+    def test_port_status_sent_on_carrier_loss(self, engine, small_topology):
+        network, controller = build_connected_network(engine, small_topology)
+        received = []
+
+        class Spy:
+            def switch_ready(self, *a):
+                pass
+
+            def switch_down(self, *a):
+                pass
+
+            def packet_in(self, *a):
+                return False
+
+            def flow_removed(self, *a):
+                pass
+
+            def port_status(self, controller, session, message):
+                received.append((session.datapath_id, message.port.port_no,
+                                 message.port.state))
+
+            def error_received(self, *a):
+                pass
+
+            def stats_reply(self, *a):
+                pass
+
+        controller.apps.insert(0, Spy())
+        trunk_of(network).set_up(False)
+        engine.run(until=engine.now + 1.0)
+        # Both trunk endpoints (s1 and s2) report their port down.
+        assert len(received) == 2
+        assert all(state & int(PortState.LINK_DOWN) for _d, _p, state in received)
+        assert {dpid for dpid, _p, _s in received} == {1, 2}
+
+    def test_port_status_on_recovery(self, engine, small_topology):
+        network, _controller = build_connected_network(engine, small_topology)
+        trunk = trunk_of(network)
+        trunk.set_up(False)
+        engine.run(until=engine.now + 0.5)
+        before = network.total_stat("port_status_sent")
+        trunk.set_up(True)
+        engine.run(until=engine.now + 0.5)
+        assert network.total_stat("port_status_sent") == before + 2
+
+    def test_redundant_set_up_is_silent(self, engine, small_topology):
+        network, _controller = build_connected_network(engine, small_topology)
+        trunk = trunk_of(network)
+        trunk.set_up(True)  # already up
+        engine.run(until=engine.now + 0.5)
+        assert network.total_stat("port_status_sent") == 0
+
+    def test_down_port_not_flooded(self, engine, small_topology):
+        network, _controller = build_connected_network(engine, small_topology)
+        trunk_of(network).set_up(False)
+        engine.run(until=engine.now + 0.5)
+        # A broadcast entering s1 must not be queued toward the dead trunk.
+        run = network.host("h1").ping(network.host_ip("h2"), count=1)
+        engine.run(until=engine.now + 5.0)
+        assert run.result.received == 0  # no path; and no crash
+
+
+class TestDiscoveryIntegration:
+    def build(self, engine, attack=None):
+        topo = Topology("ps")
+        topo.add_host("h1")
+        topo.add_host("h2")
+        topo.add_switch("s1", datapath_id=1)
+        topo.add_switch("s2", datapath_id=2)
+        topo.add_link("h1", "s1")
+        topo.add_link("s1", "s2")
+        topo.add_link("h2", "s2")
+        network = Network(engine, topo)
+        disco = TopologyDiscoveryApp(probe_interval=1.0, link_ttl=8.0)
+        controller = FloodlightController(engine, extra_apps=[disco])
+        system = SystemModel.from_topology(topo, ["c1"])
+        model = AttackModel.no_tls_everywhere(system)
+        injector = RuntimeInjector(engine, model, attack)
+        injector.install(network, {"c1": controller})
+        network.start()
+        return network, disco
+
+    def test_port_down_purges_links_immediately(self, engine):
+        network, disco = self.build(engine)
+        engine.run(until=8.0)
+        assert disco.has_link(1, 2, engine.now)
+        trunk_of(network).set_up(False)
+        engine.run(until=engine.now + 0.5)
+        # Purged right away — well before the 8 s TTL could lapse.
+        assert not disco.has_link(1, 2)
+        assert not disco.has_link(2, 1)
+
+    def test_suppressing_port_status_keeps_stale_topology(self, engine):
+        """An attack hiding PORT_STATUS keeps the controller's topology
+        stale until the probe TTL finally expires the links."""
+        rule = Rule("hide_port_down", frozenset({("c1", "s1"), ("c1", "s2")}),
+                    gamma_no_tls(), parse_condition("type = PORT_STATUS"),
+                    [DropMessage()])
+        attack = Attack("port-status-suppression",
+                        [AttackState("sigma1", [rule])], "sigma1")
+        network, disco = self.build(engine, attack)
+        engine.run(until=8.0)
+        assert disco.has_link(1, 2, engine.now)
+        down_at = engine.now
+        trunk_of(network).set_up(False)
+        engine.run(until=down_at + 2.0)
+        # Stale: the link is still believed alive (PORT_STATUS suppressed).
+        assert disco.has_link(1, 2, engine.now)
+        # Only the TTL eventually clears it (probes stopped crossing).
+        engine.run(until=down_at + 12.0)
+        assert not disco.has_link(1, 2, engine.now)

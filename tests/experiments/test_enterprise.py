@@ -1,0 +1,82 @@
+"""Unit tests for the enterprise case-study builder."""
+
+import pytest
+
+from repro.dataplane import FailMode
+from repro.experiments import (
+    build_enterprise,
+    enterprise_system_model,
+    enterprise_topology,
+)
+from repro.sim import SimulationEngine
+
+
+def test_topology_matches_fig8():
+    topo = enterprise_topology()
+    assert sorted(topo.hosts) == [f"h{i}" for i in range(1, 7)]
+    assert sorted(topo.switches) == [f"s{i}" for i in range(1, 5)]
+    assert len(topo.links) == 9
+    graph = topo.data_plane_graph()
+    # h1, h2 on s1; h3, h4 on s3; h5, h6 on s4; s2 joins s1/s3/s4.
+    assert ("h1", "s1") in graph["edges"]
+    assert ("h2", "s1") in graph["edges"]
+    assert ("h3", "s3") in graph["edges"]
+    assert ("h6", "s4") in graph["edges"]
+    assert ("s1", "s2") in graph["edges"]
+    assert ("s2", "s3") in graph["edges"]
+    assert ("s2", "s4") in graph["edges"]
+
+
+def test_system_model_matches_fig9():
+    system = enterprise_system_model()
+    assert list(system.controllers) == ["c1"]
+    assert system.connection_keys() == [
+        ("c1", "s1"), ("c1", "s2"), ("c1", "s3"), ("c1", "s4")
+    ]
+    assert len(system.hosts) == 6
+
+
+def test_host_addressing():
+    system = enterprise_system_model()
+    for index in range(1, 7):
+        assert str(system.host_ip(f"h{index}")) == f"10.0.0.{index}"
+
+
+@pytest.mark.parametrize("kind", ["floodlight", "pox", "ryu"])
+def test_build_enterprise_connects(kind):
+    engine = SimulationEngine()
+    setup = build_enterprise(engine, controller_kind=kind)
+    from repro.core import RuntimeInjector, AttackModel
+
+    injector = RuntimeInjector(
+        engine, AttackModel.no_tls_everywhere(setup.system)
+    )
+    injector.install(setup.network, {"c1": setup.controller})
+    setup.network.start()
+    engine.run(until=5.0)
+    assert setup.network.all_connected()
+
+
+def test_firewall_optional():
+    engine = SimulationEngine()
+    with_fw = build_enterprise(engine, with_firewall=True)
+    assert with_fw.firewall is not None
+    without = build_enterprise(SimulationEngine(), with_firewall=False)
+    assert without.firewall is None
+
+
+def test_fail_mode_propagates():
+    setup = build_enterprise(SimulationEngine(), fail_mode=FailMode.STANDALONE)
+    assert all(s.fail_mode is FailMode.STANDALONE
+               for s in setup.network.switches.values())
+
+
+def test_unknown_controller_rejected():
+    with pytest.raises(ValueError):
+        build_enterprise(SimulationEngine(), controller_kind="opendaylight")
+
+
+def test_setup_convenience_accessors():
+    setup = build_enterprise(SimulationEngine())
+    assert setup.external_user_ip == "10.0.0.2"
+    assert setup.internal_ips == ("10.0.0.3", "10.0.0.4", "10.0.0.5", "10.0.0.6")

@@ -1,0 +1,93 @@
+"""Integration tests for the Table II connection-interruption experiment."""
+
+import pytest
+
+from repro.dataplane import FailMode
+from repro.experiments import run_interruption_experiment
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for controller in ("floodlight", "pox", "ryu"):
+        for mode in (FailMode.STANDALONE, FailMode.SECURE):
+            out[(controller, mode)] = run_interruption_experiment(controller, mode)
+    return out
+
+
+def test_pre_attack_probes_always_succeed(results):
+    """Rows 1-2 of Table II: both t=30s probes succeed everywhere."""
+    for result in results.values():
+        assert result.external_to_external_t30
+        assert result.internal_to_external_t30
+
+
+@pytest.mark.parametrize("controller", ["floodlight", "pox"])
+def test_fail_safe_gives_unauthorized_access(results, controller):
+    """'In all of the fail-safe cases, the DMZ firewall switch defaulted to
+    a learning switch mode ... allowed an external user to access internal
+    network hosts, which represents unauthorized increased access.'"""
+    result = results[(controller, FailMode.STANDALONE)]
+    assert result.interruption_happened
+    assert result.external_to_internal_t50
+    assert result.unauthorized_increased_access
+    # Fail-safe also preserves internal users' external access.
+    assert result.internal_to_external_t95
+    assert not result.denial_of_service
+
+
+@pytest.mark.parametrize("controller", ["floodlight", "pox"])
+def test_fail_secure_gives_denial_of_service(results, controller):
+    """'In most of the fail-secure cases (excluding Ryu) ... preventing
+    internal users from accessing external network hosts, representing a
+    data plane denial of service against legitimate traffic.'"""
+    result = results[(controller, FailMode.SECURE)]
+    assert result.interruption_happened
+    assert not result.external_to_internal_t50   # firewall intent preserved
+    assert not result.internal_to_external_t95   # but legitimate traffic dies
+    assert result.denial_of_service
+    assert not result.unauthorized_increased_access
+
+
+@pytest.mark.parametrize("mode", [FailMode.STANDALONE, FailMode.SECURE])
+def test_ryu_anomaly(results, mode):
+    """'Ryu did not trigger rule φ2 since its flow match attributes were
+    specified differently ... and thus the attack never entered state σ3.'"""
+    result = results[("ryu", mode)]
+    assert not result.interruption_happened
+    assert result.attack_states_visited[-1] == "sigma2"
+    assert result.connection_deaths == 0
+    # The firewall keeps working and no denial of service occurs.
+    assert not result.external_to_internal_t50
+    assert result.internal_to_external_t95
+    assert not result.denial_of_service
+
+
+def test_attack_progresses_through_fig12_states(results):
+    result = results[("floodlight", FailMode.SECURE)]
+    assert result.attack_states_visited == ["sigma1", "sigma2", "sigma3"]
+
+
+def test_trade_off_claim(results):
+    """'There is a trade-off between allowing increased access and creating
+    a denial of service against legitimate traffic.'"""
+    for controller in ("floodlight", "pox"):
+        safe = results[(controller, FailMode.STANDALONE)]
+        secure = results[(controller, FailMode.SECURE)]
+        assert safe.unauthorized_increased_access != secure.unauthorized_increased_access
+        assert safe.denial_of_service != secure.denial_of_service
+
+
+def test_baseline_without_attack_firewall_holds():
+    result = run_interruption_experiment("floodlight", FailMode.SECURE,
+                                         attacked=False)
+    assert not result.external_to_internal_t50
+    assert result.internal_to_external_t95
+    assert not result.interruption_happened
+
+
+def test_row_rendering(results):
+    row = results[("floodlight", FailMode.SECURE)].row()
+    assert row["controller"] == "floodlight"
+    assert row["denial_of_service"] is True
+    assert row["ext->int (t=50s)"] == "no"

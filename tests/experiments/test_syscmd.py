@@ -1,0 +1,117 @@
+"""Tests for SYSCMD routing onto simulated hosts."""
+
+import pytest
+
+from repro.controllers import FloodlightController
+from repro.core import AttackModel, RuntimeInjector, SystemModel
+from repro.core.lang import Attack, AttackState, Rule, SysCmd, parse_condition
+from repro.core.model import gamma_no_tls
+from repro.dataplane import Network, Topology
+from repro.experiments.syscmd import HostCommandRouter, SysCmdError
+from repro.sim import SimulationEngine
+from tests.conftest import build_connected_network
+
+
+@pytest.fixture
+def rig(engine, small_topology):
+    network, controller = build_connected_network(engine, small_topology)
+    return engine, network, HostCommandRouter(network)
+
+
+class TestPingCommand:
+    def test_ping_by_host_name(self, rig):
+        engine, network, router = rig
+        router("h1", "ping h2 3")
+        engine.run(until=engine.now + 10.0)
+        assert len(router.ping_monitor.results) == 1
+        assert router.ping_monitor.results[0].received == 3
+        assert router.executed == [("h1", "ping h2 3")]
+
+    def test_ping_by_ip_with_interval(self, rig):
+        engine, network, router = rig
+        router("h1", "ping 10.0.0.2 2 0.5")
+        engine.run(until=engine.now + 10.0)
+        assert router.ping_monitor.results[0].received == 2
+
+    @pytest.mark.parametrize("bad", ["ping", "ping h2", "ping h2 zero",
+                                     "ping ghost 3", "ping h2 0",
+                                     "ping 999.1.1.1 3"])
+    def test_bad_ping_rejected(self, rig, bad):
+        _engine, _network, router = rig
+        with pytest.raises(SysCmdError):
+            router("h1", bad)
+        assert router.rejected
+
+
+class TestIperfCommand:
+    def test_server_then_client(self, rig):
+        engine, network, router = rig
+        router("h2", "iperf -s")
+        router("h1", "iperf -c h2 0.5")
+        engine.run(until=engine.now + 30.0)
+        assert len(router.iperf_monitor.results) == 1
+        assert router.iperf_monitor.results[0].connected
+
+    def test_custom_port(self, rig):
+        engine, network, router = rig
+        router("h2", "iperf -s 7000")
+        router("h1", "iperf -c h2 0.5 7000")
+        engine.run(until=engine.now + 30.0)
+        assert router.iperf_monitor.results[0].connected
+
+    @pytest.mark.parametrize("bad", ["iperf", "iperf -x", "iperf -c",
+                                     "iperf -c h2", "iperf -c ghost 1",
+                                     "iperf -c h2 fast"])
+    def test_bad_iperf_rejected(self, rig, bad):
+        _engine, _network, router = rig
+        with pytest.raises(SysCmdError):
+            router("h1", bad)
+
+
+class TestGeneralRouting:
+    def test_unknown_host_rejected(self, rig):
+        _engine, _network, router = rig
+        with pytest.raises(SysCmdError):
+            router("ghost", "ping h2 1")
+
+    def test_unknown_verb_rejected(self, rig):
+        _engine, _network, router = rig
+        with pytest.raises(SysCmdError):
+            router("h1", "rm -rf /")
+
+    def test_capture_is_acknowledged(self, rig):
+        _engine, _network, router = rig
+        router("h1", "capture")
+        assert ("h1", "capture") in router.executed
+
+    def test_non_strict_mode_records_without_raising(self, engine, small_topology):
+        network, _controller = build_connected_network(engine, small_topology)
+        router = HostCommandRouter(network, strict=False)
+        router("h1", "bogus command")
+        assert router.rejected == [("h1", "bogus command")]
+
+
+class TestFromAttackDescription:
+    def test_attack_actuated_ping(self, engine, small_topology):
+        """The paper's pattern: SYSCMD inside an attack starts a monitor."""
+        network = Network(engine, small_topology)
+        controller = FloodlightController(engine)
+        system = SystemModel.from_topology(small_topology, ["c1"])
+        model = AttackModel.no_tls_everywhere(system)
+        rule = Rule(
+            "start_monitoring", frozenset(system.connection_keys()),
+            gamma_no_tls(), parse_condition("type = FEATURES_REPLY"),
+            [SysCmd("h1", "ping h2 2")],
+        )
+        attack = Attack("monitor-start", [AttackState("sigma1", [rule])],
+                        "sigma1")
+        injector = RuntimeInjector(engine, model, attack)
+        router = HostCommandRouter(network)
+        injector.set_syscmd_router(router)
+        injector.install(network, {"c1": controller})
+        network.start()
+        engine.run(until=20.0)
+        # The handshake's FEATURES_REPLYs actuated the ping monitor.
+        assert router.executed
+        assert router.ping_monitor.results
+        assert router.ping_monitor.results[0].received == 2

@@ -1,0 +1,131 @@
+"""Failure injection: malformed inputs, corrupted streams, dying components."""
+
+import pytest
+
+from repro.attacks import fuzzing_attack
+from repro.controllers import FloodlightController
+from repro.core import AttackModel, RuntimeInjector, SystemModel
+from repro.core.compiler import CompileError, parse_system_model_xml
+from repro.core.monitors import ControlPlaneMonitor
+from repro.dataplane import FailMode, Network, Topology
+from repro.openflow import Hello, MessageFramer, OpenFlowDecodeError, parse_message
+from repro.sim import SeededRng, SimulationEngine
+from tests.conftest import build_connected_network
+
+
+class TestCorruptedControlStreams:
+    def test_random_bytes_never_crash_parse(self):
+        rng = SeededRng(1234)
+        for length in (0, 1, 7, 8, 16, 64, 200):
+            for _ in range(20):
+                data = rng.random_bytes(length)
+                try:
+                    parse_message(data)
+                except OpenFlowDecodeError:
+                    pass  # only the library's error type may escape
+
+    def test_bitflipped_valid_messages_never_crash_parse(self):
+        rng = SeededRng(99)
+        from repro.openflow import FlowMod, Match, PacketIn
+
+        for message in (Hello(), FlowMod(Match()), PacketIn(1, 4, 1, 0, b"abcd")):
+            raw = message.pack()
+            for _ in range(50):
+                mutated = rng.flip_bits(raw, 6)
+                try:
+                    parse_message(mutated)
+                except OpenFlowDecodeError:
+                    pass
+
+    def test_framer_survives_corrupt_then_valid(self):
+        framer = MessageFramer()
+        # Valid HELLO parses even after a failed framer is reset.
+        bad = b"\x01\x00\x00\x02\x00\x00\x00\x00"
+        with pytest.raises(OpenFlowDecodeError):
+            framer.feed(bad)
+        framer.reset()
+        assert framer.feed(Hello(xid=1).pack())[0] == Hello(xid=1)
+
+
+class TestFuzzingEndToEnd:
+    @pytest.mark.parametrize("preserve_header", [True, False])
+    def test_network_survives_sustained_fuzzing(self, preserve_header):
+        """Fuzzed control streams must never crash endpoints; connections
+        may drop (and reconnect), but the simulation stays healthy."""
+        engine = SimulationEngine()
+        topo = Topology("fuzz")
+        topo.add_host("h1")
+        topo.add_host("h2")
+        topo.add_switch("s1")
+        topo.add_link("h1", "s1")
+        topo.add_link("h2", "s1")
+        network = Network(engine, topo)
+        controller = FloodlightController(engine)
+        system = SystemModel.from_topology(topo, ["c1"])
+        model = AttackModel.no_tls_everywhere(system)
+        attack = fuzzing_attack(system.connection_keys(), "true",
+                                bit_flips=8, preserve_header=preserve_header)
+        injector = RuntimeInjector(engine, model, attack)
+        injector.install(network, {"c1": controller})
+        network.start()
+        network.host("h1").ping(network.host_ip("h2"), count=5)
+        engine.run(until=60.0)  # no exception = pass
+        assert engine.processed_events > 0
+
+
+class TestComponentFailures:
+    def test_controller_death_triggers_fail_mode(self, engine, small_topology):
+        network, controller = build_connected_network(engine, small_topology)
+        for switch in network.switches.values():
+            switch.fail_mode = FailMode.STANDALONE
+        # The controller process dies: every session closes.
+        for session in list(controller.sessions.values()):
+            session.close()
+        engine.run(until=engine.now + 3.0)
+        assert all(s.standalone_active for s in network.switches.values())
+        # Standalone learning still forwards host traffic.
+        run = network.host("h1").ping(network.host_ip("h2"), count=2)
+        engine.run(until=engine.now + 10.0)
+        assert run.result.received == 2
+
+    def test_link_failure_blackholes_traffic(self, engine, small_topology):
+        network, _controller = build_connected_network(engine, small_topology)
+        run1 = network.host("h1").ping(network.host_ip("h2"), count=1)
+        engine.run(until=engine.now + 5.0)
+        assert run1.result.received == 1
+        # Cut the inter-switch link.
+        trunk = next(link for name, link in network.links.items()
+                     if "s1-s2" in name)
+        trunk.set_up(False)
+        run2 = network.host("h1").ping(network.host_ip("h2"), count=2)
+        engine.run(until=engine.now + 10.0)
+        assert run2.result.received == 0
+
+
+class TestMalformedInputs:
+    def test_system_xml_with_cycle_of_errors(self):
+        # Host with an explicit egress port (forbidden).
+        bad = """
+        <system name="x">
+          <controllers><controller name="c1"/></controllers>
+          <switches><switch name="s1" dpid="1"/></switches>
+          <hosts><host name="h1"/><host name="h2"/></hosts>
+          <dataplane><link a="h1" a-port="1" b="s1" b-port="1"/></dataplane>
+          <controlplane><connection controller="c1" switch="s1"/></controlplane>
+        </system>
+        """
+        with pytest.raises(CompileError):
+            parse_system_model_xml(bad)
+
+    def test_non_integer_port_rejected(self):
+        bad = """
+        <system name="x">
+          <controllers><controller name="c1"/></controllers>
+          <switches><switch name="s1" dpid="1"/></switches>
+          <hosts><host name="h1"/><host name="h2"/></hosts>
+          <dataplane><link a="h1" b="s1" b-port="one"/></dataplane>
+          <controlplane/>
+        </system>
+        """
+        with pytest.raises(CompileError):
+            parse_system_model_xml(bad)

@@ -1,0 +1,134 @@
+"""Multi-controller redundancy: the system model's many-to-many N_C.
+
+"The relation is many-to-many: a switch can communicate with multiple
+controllers for redundancy or fault tolerance" (Section IV-A5).  These
+tests wire switches to two controllers simultaneously and evaluate the
+connection-interruption attack against the redundant deployment — the
+kind of design comparison the framework exists to support.
+"""
+
+import pytest
+
+from repro.attacks import connection_interruption_attack
+from repro.controllers import FloodlightController
+from repro.core import AttackModel, RuntimeInjector, SystemModel
+from repro.core.monitors import ControlPlaneMonitor
+from repro.dataplane import FailMode, Network, Topology
+from repro.sim import SimulationEngine
+
+
+def build_dual_controller(engine, attack=None, fail_mode=FailMode.SECURE):
+    """h1 - s1 - s2 - h2 where both switches connect to c1 AND c2."""
+    topo = Topology("dual")
+    topo.add_host("h1")
+    topo.add_host("h2")
+    topo.add_switch("s1", datapath_id=1)
+    topo.add_switch("s2", datapath_id=2)
+    topo.add_link("h1", "s1")
+    topo.add_link("s1", "s2")
+    topo.add_link("h2", "s2")
+    network = Network(engine, topo, fail_mode=fail_mode)
+    c1 = FloodlightController(engine, name="c1")
+    c2 = FloodlightController(engine, name="c2")
+    system = SystemModel.from_topology(topo, ["c1", "c2"])  # full mesh N_C
+    model = AttackModel.no_tls_everywhere(system)
+    injector = RuntimeInjector(engine, model, attack)
+    monitor = ControlPlaneMonitor()
+    injector.add_observer(monitor)
+    injector.install(network, {"c1": c1, "c2": c2})
+    network.start()
+    return network, (c1, c2), injector, monitor, system
+
+
+class TestDualControllerOperation:
+    def test_both_controllers_hold_sessions(self, engine):
+        network, (c1, c2), _inj, _mon, _sys = build_dual_controller(engine)
+        engine.run(until=5.0)
+        assert network.all_connected()
+        assert len(c1.ready_sessions()) == 2
+        assert len(c2.ready_sessions()) == 2
+        for switch in network.switches.values():
+            assert len(switch.connected_controller_names()) == 2
+
+    def test_packet_ins_broadcast_to_all_controllers(self, engine):
+        network, (c1, c2), _inj, _mon, _sys = build_dual_controller(engine)
+        engine.run(until=5.0)
+        run = network.host("h1").ping(network.host_ip("h2"), count=2)
+        engine.run(until=20.0)
+        assert run.result.received == 2
+        # Asynchronous PACKET_INs reach both controllers.
+        assert c1.stats["packet_ins_handled"] > 0
+        assert c2.stats["packet_ins_handled"] > 0
+
+    def test_dataplane_works_with_redundancy(self, engine):
+        network, _ctls, _inj, _mon, _sys = build_dual_controller(engine)
+        engine.run(until=5.0)
+        run = network.host("h1").ping(network.host_ip("h2"), count=5)
+        engine.run(until=20.0)
+        assert run.result.received == 5
+
+
+class TestRedundancyUnderAttack:
+    def _severing_attack(self, connection):
+        """A two-state variant: on s2's HELLO, black-hole the connection."""
+        from repro.core.lang import (
+            Attack, AttackState, DropMessage, GoToState, PassMessage, Rule,
+            parse_condition,
+        )
+        from repro.core.model import gamma_no_tls
+
+        phi1 = Rule("arm", connection, gamma_no_tls(),
+                    parse_condition("type = FEATURES_REPLY"),
+                    [PassMessage(), GoToState("sigma2")])
+        phi2 = Rule("blackhole", connection, gamma_no_tls(),
+                    parse_condition("true"), [DropMessage()])
+        return Attack("sever-one-connection",
+                      [AttackState("sigma1", [phi1]),
+                       AttackState("sigma2", [phi2])],
+                      "sigma1")
+
+    def test_severing_one_connection_does_not_trigger_fail_mode(self, engine):
+        """With a redundant controller, killing (c1, s2) leaves the switch
+        connected through c2: no fail mode, no unauthorized access, no
+        denial of service — redundancy defeats the interruption attack."""
+        attack = self._severing_attack(("c1", "s2"))
+        network, (c1, c2), _inj, _mon, _sys = build_dual_controller(
+            engine, attack, fail_mode=FailMode.STANDALONE
+        )
+        engine.run(until=30.0)  # past echo timeouts
+        s2 = network.switch("s2")
+        assert s2.connected                      # c2 still holds it
+        assert not s2.standalone_active          # fail mode never engaged
+        assert c1.session_for_dpid(2) is None    # c1 lost it
+        assert c2.session_for_dpid(2) is not None
+        run = network.host("h1").ping(network.host_ip("h2"), count=3)
+        engine.run(until=engine.now + 15.0)
+        assert run.result.received == 3
+
+    def test_severing_all_connections_triggers_fail_mode(self, engine):
+        """Black-holing BOTH of s2's connections re-enables the attack."""
+        attack = self._severing_attack([("c1", "s2"), ("c2", "s2")])
+        network, _ctls, _inj, _mon, _sys = build_dual_controller(
+            engine, attack, fail_mode=FailMode.STANDALONE
+        )
+        engine.run(until=40.0)
+        s2 = network.switch("s2")
+        assert not s2.connected
+        assert s2.standalone_active             # fail-safe engaged
+
+    def test_connection_scoped_suppression_only_affects_one_controller(
+            self, engine):
+        from repro.attacks import flow_mod_suppression_attack
+
+        # Suppress only c1's flow mods; c2's still install.
+        attack = flow_mod_suppression_attack([("c1", "s1"), ("c1", "s2")])
+        network, _ctls, _inj, monitor, _sys = build_dual_controller(
+            engine, attack
+        )
+        engine.run(until=5.0)
+        run = network.host("h1").ping(network.host_ip("h2"), count=3)
+        engine.run(until=20.0)
+        assert run.result.received == 3
+        assert monitor.dropped_by_type.get("FLOW_MOD", 0) > 0
+        # c2's duplicate flow mods got through: flows exist on switches.
+        assert network.total_stat("flow_mods_received") > 0

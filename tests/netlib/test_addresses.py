@@ -1,0 +1,104 @@
+"""Unit + property tests for MAC/IPv4 address value types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netlib import BROADCAST_MAC, Ipv4Address, MacAddress
+
+
+class TestMacAddress:
+    def test_from_string(self):
+        mac = MacAddress("00:11:22:aa:bb:cc")
+        assert str(mac) == "00:11:22:aa:bb:cc"
+
+    def test_from_int(self):
+        assert str(MacAddress(1)) == "00:00:00:00:00:01"
+
+    def test_from_bytes_roundtrip(self):
+        mac = MacAddress(b"\x01\x02\x03\x04\x05\x06")
+        assert MacAddress(mac.packed) == mac
+
+    def test_copy_constructor(self):
+        mac = MacAddress("00:00:00:00:00:05")
+        assert MacAddress(mac) == mac
+
+    def test_broadcast_detection(self):
+        assert BROADCAST_MAC.is_broadcast
+        assert not MacAddress(1).is_broadcast
+
+    def test_multicast_detection(self):
+        assert MacAddress("01:80:c2:00:00:0e").is_multicast
+        assert not MacAddress("00:80:c2:00:00:0e").is_multicast
+
+    def test_equality_and_hash(self):
+        a = MacAddress("00:00:00:00:00:01")
+        b = MacAddress(1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != MacAddress(2)
+
+    def test_ordering(self):
+        assert MacAddress(1) < MacAddress(2)
+
+    @pytest.mark.parametrize("bad", ["", "00:11:22", "zz:11:22:33:44:55",
+                                     "00:11:22:33:44:55:66", "001122334455"])
+    def test_malformed_strings_rejected(self, bad):
+        with pytest.raises(ValueError):
+            MacAddress(bad)
+
+    def test_out_of_range_int_rejected(self):
+        with pytest.raises(ValueError):
+            MacAddress(1 << 48)
+        with pytest.raises(ValueError):
+            MacAddress(-1)
+
+    def test_wrong_byte_length_rejected(self):
+        with pytest.raises(ValueError):
+            MacAddress(b"\x00" * 5)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            MacAddress(1.5)
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_int_string_roundtrip(self, value):
+        mac = MacAddress(value)
+        assert MacAddress(str(mac)) == mac
+        assert int(mac) == value
+
+
+class TestIpv4Address:
+    def test_from_string(self):
+        assert str(Ipv4Address("10.0.0.1")) == "10.0.0.1"
+
+    def test_from_int(self):
+        assert str(Ipv4Address(0x0A000001)) == "10.0.0.1"
+
+    def test_from_bytes(self):
+        assert str(Ipv4Address(b"\x0a\x00\x00\x02")) == "10.0.0.2"
+
+    def test_equality_and_hash(self):
+        assert Ipv4Address("10.0.0.1") == Ipv4Address(0x0A000001)
+        assert hash(Ipv4Address("10.0.0.1")) == hash(Ipv4Address(0x0A000001))
+
+    def test_mac_and_ip_never_equal(self):
+        assert Ipv4Address(1) != MacAddress(1)
+
+    def test_ordering(self):
+        assert Ipv4Address("10.0.0.1") < Ipv4Address("10.0.0.2")
+
+    @pytest.mark.parametrize("bad", ["", "10.0.0", "10.0.0.256", "a.b.c.d",
+                                     "10.0.0.1.2"])
+    def test_malformed_strings_rejected(self, bad):
+        with pytest.raises(ValueError):
+            Ipv4Address(bad)
+
+    def test_out_of_range_int_rejected(self):
+        with pytest.raises(ValueError):
+            Ipv4Address(1 << 32)
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_int_string_roundtrip(self, value):
+        ip = Ipv4Address(value)
+        assert Ipv4Address(str(ip)) == ip
+        assert int(ip) == value

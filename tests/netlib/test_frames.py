@@ -1,0 +1,150 @@
+"""Unit tests for Ethernet/ARP/IPv4/ICMP frame formats."""
+
+import pytest
+
+from repro.netlib import (
+    ArpPacket,
+    BROADCAST_MAC,
+    EtherType,
+    EthernetFrame,
+    IcmpEcho,
+    IcmpType,
+    IpProtocol,
+    Ipv4Address,
+    Ipv4Packet,
+    MacAddress,
+)
+from repro.netlib.ethernet import FrameDecodeError
+from repro.netlib.ipv4 import internet_checksum
+
+MAC1 = MacAddress("00:00:00:00:00:01")
+MAC2 = MacAddress("00:00:00:00:00:02")
+IP1 = Ipv4Address("10.0.0.1")
+IP2 = Ipv4Address("10.0.0.2")
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        frame = EthernetFrame(MAC2, MAC1, EtherType.IPV4, b"payload")
+        assert EthernetFrame.unpack(frame.pack()) == frame
+
+    def test_header_is_14_bytes(self):
+        frame = EthernetFrame(MAC2, MAC1, EtherType.IPV4, b"")
+        assert len(frame.pack()) == 14
+
+    def test_truncated_rejected(self):
+        with pytest.raises(FrameDecodeError):
+            EthernetFrame.unpack(b"\x00" * 10)
+
+    def test_unknown_ethertype_preserved(self):
+        frame = EthernetFrame(MAC2, MAC1, 0x1234, b"x")
+        assert EthernetFrame.unpack(frame.pack()).ethertype == 0x1234
+
+
+class TestArp:
+    def test_request_roundtrip(self):
+        arp = ArpPacket.request(MAC1, IP1, IP2)
+        decoded = ArpPacket.unpack(arp.pack())
+        assert decoded == arp
+        assert decoded.is_request and not decoded.is_reply
+
+    def test_reply_roundtrip(self):
+        arp = ArpPacket.reply(MAC2, IP2, MAC1, IP1)
+        decoded = ArpPacket.unpack(arp.pack())
+        assert decoded == arp
+        assert decoded.is_reply
+
+    def test_request_has_zero_target_mac(self):
+        arp = ArpPacket.request(MAC1, IP1, IP2)
+        assert int(arp.target_mac) == 0
+
+    def test_bad_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            ArpPacket(3, MAC1, IP1, MAC2, IP2)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(FrameDecodeError):
+            ArpPacket.unpack(b"\x00" * 10)
+
+    def test_wrong_hardware_type_rejected(self):
+        raw = bytearray(ArpPacket.request(MAC1, IP1, IP2).pack())
+        raw[0] = 9  # htype
+        with pytest.raises(FrameDecodeError):
+            ArpPacket.unpack(bytes(raw))
+
+
+class TestIpv4:
+    def test_roundtrip(self):
+        packet = Ipv4Packet(IP1, IP2, IpProtocol.ICMP, b"data", ttl=32,
+                            identification=77)
+        decoded = Ipv4Packet.unpack(packet.pack())
+        assert decoded == packet
+        assert decoded.ttl == 32
+        assert decoded.identification == 77
+
+    def test_header_checksum_validates(self):
+        packet = Ipv4Packet(IP1, IP2, IpProtocol.TCP, b"x")
+        header = packet.pack()[:20]
+        assert internet_checksum(header) == 0
+
+    def test_corrupted_checksum_rejected(self):
+        raw = bytearray(Ipv4Packet(IP1, IP2, IpProtocol.TCP, b"x").pack())
+        raw[10] ^= 0xFF
+        with pytest.raises(FrameDecodeError):
+            Ipv4Packet.unpack(bytes(raw))
+
+    def test_total_length_bounds_payload(self):
+        packet = Ipv4Packet(IP1, IP2, IpProtocol.UDP, b"abc")
+        # Extra trailing bytes (Ethernet padding) must be ignored.
+        decoded = Ipv4Packet.unpack(packet.pack() + b"\x00" * 8)
+        assert decoded.payload == b"abc"
+
+    def test_decremented_ttl(self):
+        packet = Ipv4Packet(IP1, IP2, IpProtocol.TCP, ttl=2)
+        assert packet.decremented().ttl == 1
+        with pytest.raises(ValueError):
+            Ipv4Packet(IP1, IP2, IpProtocol.TCP, ttl=0).decremented()
+
+    def test_bad_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            Ipv4Packet(IP1, IP2, IpProtocol.TCP, ttl=256)
+
+    def test_version_check(self):
+        raw = bytearray(Ipv4Packet(IP1, IP2, IpProtocol.TCP).pack())
+        raw[0] = (6 << 4) | 5
+        with pytest.raises(FrameDecodeError):
+            Ipv4Packet.unpack(bytes(raw))
+
+
+class TestIcmp:
+    def test_request_roundtrip(self):
+        echo = IcmpEcho.request(7, 3, b"ping-data")
+        decoded = IcmpEcho.unpack(echo.pack())
+        assert decoded == echo
+        assert decoded.is_request
+
+    def test_reply_matches_request(self):
+        request = IcmpEcho.request(7, 3, b"abc")
+        reply = request.reply()
+        assert reply.is_reply
+        assert (reply.identifier, reply.sequence, reply.payload) == (7, 3, b"abc")
+
+    def test_cannot_reply_to_reply(self):
+        with pytest.raises(ValueError):
+            IcmpEcho.request(1, 1).reply().reply()
+
+    def test_checksum_validates(self):
+        raw = bytearray(IcmpEcho.request(1, 1, b"x").pack())
+        raw[-1] ^= 0xFF
+        with pytest.raises(FrameDecodeError):
+            IcmpEcho.unpack(bytes(raw))
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ValueError):
+            IcmpEcho(3, 1, 1)  # destination unreachable is unsupported
+
+    def test_id_seq_bounds(self):
+        with pytest.raises(ValueError):
+            IcmpEcho.request(0x10000, 0)
+        with pytest.raises(ValueError):
+            IcmpEcho.request(0, 0x10000)

@@ -1,0 +1,148 @@
+"""Unit tests for TCP/UDP/LLDP formats and layered decoding."""
+
+import pytest
+
+from repro.netlib import (
+    EtherType,
+    EthernetFrame,
+    IcmpEcho,
+    IpProtocol,
+    Ipv4Address,
+    Ipv4Packet,
+    LldpPacket,
+    MacAddress,
+    TcpFlags,
+    TcpSegment,
+    UdpDatagram,
+    decode_ethernet,
+    payload_protocol_name,
+)
+from repro.netlib.ethernet import FrameDecodeError
+
+MAC1 = MacAddress("00:00:00:00:00:01")
+MAC2 = MacAddress("00:00:00:00:00:02")
+IP1 = Ipv4Address("10.0.0.1")
+IP2 = Ipv4Address("10.0.0.2")
+
+
+class TestTcp:
+    def test_roundtrip(self):
+        segment = TcpSegment(1000, 5001, seq=7, ack=9,
+                             flags=TcpFlags.ACK | TcpFlags.PSH,
+                             window=4096, payload=b"data")
+        assert TcpSegment.unpack(segment.pack()) == segment
+
+    def test_flag_properties(self):
+        syn = TcpSegment(1, 2, flags=TcpFlags.SYN)
+        assert syn.is_syn and not syn.is_ack and not syn.is_fin and not syn.is_rst
+        synack = TcpSegment(1, 2, flags=TcpFlags.SYN | TcpFlags.ACK)
+        assert synack.is_syn and synack.is_ack
+
+    def test_port_bounds(self):
+        with pytest.raises(ValueError):
+            TcpSegment(70000, 1)
+        with pytest.raises(ValueError):
+            TcpSegment(1, -1)
+
+    def test_seq_bounds(self):
+        with pytest.raises(ValueError):
+            TcpSegment(1, 2, seq=1 << 32)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(FrameDecodeError):
+            TcpSegment.unpack(b"\x00" * 10)
+
+    def test_options_rejected(self):
+        raw = bytearray(TcpSegment(1, 2).pack())
+        raw[12] = 6 << 4  # data offset 6 words
+        with pytest.raises(FrameDecodeError):
+            TcpSegment.unpack(bytes(raw))
+
+
+class TestUdp:
+    def test_roundtrip(self):
+        datagram = UdpDatagram(53, 5353, b"query")
+        assert UdpDatagram.unpack(datagram.pack()) == datagram
+
+    def test_length_field(self):
+        datagram = UdpDatagram(1, 2, b"abcd")
+        assert datagram.length == 12
+
+    def test_trailing_padding_ignored(self):
+        datagram = UdpDatagram(1, 2, b"abc")
+        decoded = UdpDatagram.unpack(datagram.pack() + b"\x00" * 10)
+        assert decoded.payload == b"abc"
+
+    def test_bad_length_rejected(self):
+        raw = bytearray(UdpDatagram(1, 2, b"abc").pack())
+        raw[4:6] = (2).to_bytes(2, "big")  # impossible length < 8
+        with pytest.raises(FrameDecodeError):
+            UdpDatagram.unpack(bytes(raw))
+
+
+class TestLldp:
+    def test_roundtrip(self):
+        packet = LldpPacket("s1", 3, ttl=60)
+        decoded = LldpPacket.unpack(packet.pack())
+        assert decoded == packet
+        assert (decoded.chassis_id, decoded.port_id, decoded.ttl) == ("s1", 3, 60)
+
+    def test_missing_mandatory_tlv_rejected(self):
+        with pytest.raises(FrameDecodeError):
+            LldpPacket.unpack(b"\x00\x00")  # just end-of-LLDPDU
+
+    def test_port_bounds(self):
+        with pytest.raises(ValueError):
+            LldpPacket("s1", 0x10000)
+
+    def test_empty_chassis_rejected(self):
+        with pytest.raises(ValueError):
+            LldpPacket("", 1)
+
+
+class TestLayeredDecode:
+    def _eth(self, ethertype, payload):
+        return EthernetFrame(MAC2, MAC1, ethertype, payload).pack()
+
+    def test_icmp_stack(self):
+        icmp = IcmpEcho.request(5, 1, b"x")
+        ip = Ipv4Packet(IP1, IP2, IpProtocol.ICMP, icmp.pack())
+        decoded = decode_ethernet(self._eth(EtherType.IPV4, ip.pack()))
+        assert isinstance(decoded.l4, IcmpEcho)
+        assert payload_protocol_name(decoded) == "ipv4/icmp"
+
+    def test_tcp_stack(self):
+        tcp = TcpSegment(1, 2, payload=b"y")
+        ip = Ipv4Packet(IP1, IP2, IpProtocol.TCP, tcp.pack())
+        decoded = decode_ethernet(self._eth(EtherType.IPV4, ip.pack()))
+        assert isinstance(decoded.l4, TcpSegment)
+        assert payload_protocol_name(decoded) == "ipv4/tcp"
+
+    def test_udp_stack(self):
+        udp = UdpDatagram(1, 2, b"z")
+        ip = Ipv4Packet(IP1, IP2, IpProtocol.UDP, udp.pack())
+        decoded = decode_ethernet(self._eth(EtherType.IPV4, ip.pack()))
+        assert isinstance(decoded.l4, UdpDatagram)
+        assert payload_protocol_name(decoded) == "ipv4/udp"
+
+    def test_lldp(self):
+        decoded = decode_ethernet(self._eth(EtherType.LLDP, LldpPacket("s1", 1).pack()))
+        assert isinstance(decoded.l3, LldpPacket)
+        assert payload_protocol_name(decoded) == "lldp"
+
+    def test_unknown_ethertype_decodes_as_opaque(self):
+        decoded = decode_ethernet(self._eth(0x9999, b"junk"))
+        assert decoded.l3 is None and decoded.l4 is None
+        assert payload_protocol_name(decoded) == "ethertype-0x9999"
+
+    def test_corrupt_upper_layer_is_tolerated(self):
+        # Claimed IPv4 but garbage payload: l3 stays None, no exception.
+        decoded = decode_ethernet(self._eth(EtherType.IPV4, b"\xff" * 6))
+        assert decoded.l3 is None
+
+    def test_ipv4_with_unknown_protocol(self):
+        ip = Ipv4Packet(IP1, IP2, 99, b"opaque")
+        decoded = decode_ethernet(self._eth(EtherType.IPV4, ip.pack()))
+        assert isinstance(decoded.l3, Ipv4Packet)
+        assert decoded.l4 is None
+        assert payload_protocol_name(decoded) == "ipv4"

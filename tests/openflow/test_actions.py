@@ -1,0 +1,113 @@
+"""Unit tests for OpenFlow 1.0 action TLVs."""
+
+import pytest
+
+from repro.netlib import Ipv4Address, MacAddress
+from repro.openflow import (
+    OutputAction,
+    Port,
+    SetDlDstAction,
+    SetDlSrcAction,
+    SetNwDstAction,
+    SetNwSrcAction,
+    StripVlanAction,
+)
+from repro.openflow.actions import (
+    Action,
+    ActionDecodeError,
+    SetTpDstAction,
+    SetTpSrcAction,
+    UnknownAction,
+    output_actions,
+)
+
+
+def roundtrip_list(actions):
+    packed = Action.pack_list(actions)
+    decoded = Action.unpack_list(packed)
+    assert decoded == actions
+    return decoded
+
+
+def test_output_roundtrip():
+    roundtrip_list([OutputAction(3, max_len=128)])
+
+
+def test_output_to_reserved_ports():
+    for port in (Port.FLOOD, Port.CONTROLLER, Port.ALL, Port.IN_PORT):
+        decoded = roundtrip_list([OutputAction(port)])
+        assert decoded[0].port == port
+
+
+def test_every_action_length_is_multiple_of_8():
+    actions = [
+        OutputAction(1),
+        StripVlanAction(),
+        SetDlSrcAction(MacAddress(1)),
+        SetDlDstAction(MacAddress(2)),
+        SetNwSrcAction(Ipv4Address("10.0.0.1")),
+        SetNwDstAction(Ipv4Address("10.0.0.2")),
+        SetTpSrcAction(80),
+        SetTpDstAction(443),
+    ]
+    for action in actions:
+        assert len(action.pack()) % 8 == 0
+
+
+def test_mixed_action_list_roundtrip():
+    actions = [
+        SetDlSrcAction(MacAddress(5)),
+        SetNwDstAction(Ipv4Address("192.168.1.1")),
+        SetTpDstAction(8080),
+        OutputAction(7),
+    ]
+    roundtrip_list(actions)
+
+
+def test_unknown_action_roundtrips_as_bytes():
+    unknown = UnknownAction(0xFF00, b"\x00" * 4)
+    decoded = Action.unpack_list(unknown.pack())
+    assert isinstance(decoded[0], UnknownAction)
+    assert decoded[0].pack() == unknown.pack()
+
+
+def test_truncated_action_header_rejected():
+    with pytest.raises(ActionDecodeError):
+        Action.unpack_list(b"\x00\x00")
+
+
+def test_bad_action_length_rejected():
+    # Claimed length 4 (< 8 minimum).
+    with pytest.raises(ActionDecodeError):
+        Action.unpack_list(b"\x00\x00\x00\x04")
+
+
+def test_overflowing_action_length_rejected():
+    with pytest.raises(ActionDecodeError):
+        Action.unpack_list(b"\x00\x00\x00\x10\x00\x00\x00\x00")
+
+
+def test_output_body_must_be_4_bytes():
+    with pytest.raises(ActionDecodeError):
+        OutputAction.unpack_body(b"\x00\x00")
+
+
+def test_tp_port_bounds():
+    with pytest.raises(ValueError):
+        SetTpSrcAction(0x10000)
+
+
+def test_output_actions_helper():
+    actions = output_actions(1, 2, 3)
+    assert [a.port for a in actions] == [1, 2, 3]
+
+
+def test_action_equality():
+    assert OutputAction(1) == OutputAction(1)
+    assert OutputAction(1) != OutputAction(2)
+    assert hash(OutputAction(1)) == hash(OutputAction(1))
+
+
+def test_empty_action_list():
+    assert Action.unpack_list(b"") == []
+    assert Action.pack_list([]) == b""

@@ -1,0 +1,112 @@
+"""Property-based round-trips for OpenFlow matches and messages."""
+
+from hypothesis import given, strategies as st
+
+from repro.netlib.addresses import Ipv4Address, MacAddress
+from repro.openflow import (
+    EchoRequest,
+    ErrorMessage,
+    FlowMod,
+    FlowModCommand,
+    Match,
+    MessageFramer,
+    OutputAction,
+    PacketIn,
+    PacketOut,
+    parse_message,
+)
+
+macs = st.integers(min_value=0, max_value=(1 << 48) - 1).map(MacAddress)
+ips = st.integers(min_value=0, max_value=(1 << 32) - 1).map(Ipv4Address)
+ports16 = st.integers(min_value=0, max_value=0xFFFF)
+maybe = lambda strategy: st.none() | strategy  # noqa: E731
+
+matches = st.builds(
+    Match,
+    in_port=maybe(ports16),
+    dl_src=maybe(macs),
+    dl_dst=maybe(macs),
+    dl_vlan=maybe(ports16),
+    dl_vlan_pcp=maybe(st.integers(min_value=0, max_value=7)),
+    dl_type=maybe(ports16),
+    nw_tos=maybe(st.integers(min_value=0, max_value=255)),
+    nw_proto=maybe(st.integers(min_value=0, max_value=255)),
+    nw_src=maybe(ips),
+    nw_dst=maybe(ips),
+    tp_src=maybe(ports16),
+    tp_dst=maybe(ports16),
+    nw_src_prefix=st.integers(min_value=1, max_value=32),
+    nw_dst_prefix=st.integers(min_value=1, max_value=32),
+)
+
+action_lists = st.lists(
+    st.builds(OutputAction, port=ports16, max_len=ports16), max_size=4
+)
+
+
+@given(matches)
+def test_match_roundtrip(match):
+    assert Match.unpack(match.pack()) == match
+
+
+@given(matches)
+def test_match_subsumes_is_reflexive(match):
+    assert match.subsumes(match)
+
+
+@given(matches)
+def test_wildcard_all_subsumes_everything(match):
+    assert Match.wildcard_all().subsumes(match)
+
+
+@given(
+    matches,
+    st.sampled_from(list(FlowModCommand)),
+    st.integers(min_value=0, max_value=(1 << 64) - 1),
+    ports16,
+    ports16,
+    ports16,
+    action_lists,
+)
+def test_flow_mod_roundtrip(match, command, cookie, idle, hard, priority, actions):
+    message = FlowMod(match, command, cookie=cookie, idle_timeout=idle,
+                      hard_timeout=hard, priority=priority, actions=actions)
+    assert parse_message(message.pack()) == message
+
+
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1), ports16,
+       st.sampled_from([0, 1]), st.binary(max_size=256))
+def test_packet_in_roundtrip(buffer_id, in_port, reason, data):
+    message = PacketIn(buffer_id, len(data), in_port, reason, data)
+    assert parse_message(message.pack()) == message
+
+
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1), ports16,
+       action_lists, st.binary(max_size=128))
+def test_packet_out_roundtrip(buffer_id, in_port, actions, data):
+    message = PacketOut(buffer_id, in_port, actions, data)
+    assert parse_message(message.pack()) == message
+
+
+@given(st.binary(max_size=64))
+def test_echo_roundtrip(payload):
+    message = EchoRequest(payload=payload)
+    assert parse_message(message.pack()) == message
+
+
+@given(ports16, ports16, st.binary(max_size=64))
+def test_error_roundtrip(error_type, code, data):
+    message = ErrorMessage(error_type, code, data)
+    assert parse_message(message.pack()) == message
+
+
+@given(st.lists(st.binary(max_size=32), min_size=1, max_size=8),
+       st.integers(min_value=1, max_value=40))
+def test_framer_reassembles_any_chunking(payloads, chunk):
+    messages = [EchoRequest(payload=p) for p in payloads]
+    stream = b"".join(m.pack() for m in messages)
+    framer = MessageFramer()
+    decoded = []
+    for start in range(0, len(stream), chunk):
+        decoded.extend(framer.feed(stream[start:start + chunk]))
+    assert decoded == messages

@@ -1,0 +1,136 @@
+"""Unit + property tests for typed OpenFlow statistics bodies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netlib import Ipv4Address, MacAddress
+from repro.openflow import Match, OutputAction, StatsReply, StatsRequest, StatsType
+from repro.openflow.messages import OpenFlowDecodeError, parse_message
+from repro.openflow.stats import (
+    FlowStatsEntry,
+    aggregate_stats_reply,
+    flow_stats_reply,
+    flow_stats_request,
+    parse_aggregate_stats_reply,
+    parse_flow_stats_reply,
+    parse_flow_stats_request,
+)
+
+
+def sample_entry(**overrides):
+    kwargs = dict(
+        match=Match(in_port=1, nw_dst=Ipv4Address("10.0.0.9")),
+        priority=7,
+        duration_sec=12,
+        idle_timeout=5,
+        hard_timeout=0,
+        cookie=0xABCD,
+        packet_count=100,
+        byte_count=6400,
+        actions=[OutputAction(2)],
+    )
+    kwargs.update(overrides)
+    return FlowStatsEntry(**kwargs)
+
+
+class TestFlowStatsEntry:
+    def test_roundtrip(self):
+        entry = sample_entry()
+        decoded, offset = FlowStatsEntry.unpack(entry.pack())
+        assert decoded == entry
+        assert offset == len(entry.pack())
+
+    def test_multiple_records_roundtrip(self):
+        entries = [sample_entry(priority=p) for p in (1, 2, 3)]
+        reply = flow_stats_reply(entries, xid=5)
+        assert parse_flow_stats_reply(reply) == entries
+
+    def test_entry_without_actions(self):
+        entry = sample_entry(actions=[])
+        decoded, _ = FlowStatsEntry.unpack(entry.pack())
+        assert decoded.actions == []
+
+    def test_truncated_record_rejected(self):
+        raw = sample_entry().pack()
+        with pytest.raises(OpenFlowDecodeError):
+            FlowStatsEntry.unpack(raw[: len(raw) // 2])
+
+    def test_bad_length_rejected(self):
+        raw = bytearray(sample_entry().pack())
+        raw[0:2] = (4).to_bytes(2, "big")
+        with pytest.raises(OpenFlowDecodeError):
+            FlowStatsEntry.unpack(bytes(raw))
+
+
+class TestRequestReplyHelpers:
+    def test_request_roundtrip(self):
+        request = flow_stats_request(Match(in_port=3), table_id=0, out_port=7)
+        decoded = parse_message(request.pack())
+        match, table_id, out_port = parse_flow_stats_request(decoded)
+        assert match == Match(in_port=3)
+        assert table_id == 0
+        assert out_port == 7
+
+    def test_default_request_matches_everything(self):
+        match, table_id, out_port = parse_flow_stats_request(flow_stats_request())
+        assert match == Match.wildcard_all()
+        assert table_id == 0xFF
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(OpenFlowDecodeError):
+            parse_flow_stats_request(StatsRequest(StatsType.DESC))
+        with pytest.raises(OpenFlowDecodeError):
+            parse_flow_stats_reply(StatsReply(StatsType.DESC))
+        with pytest.raises(OpenFlowDecodeError):
+            parse_aggregate_stats_reply(StatsReply(StatsType.FLOW))
+
+    def test_aggregate_roundtrip(self):
+        reply = aggregate_stats_reply(11, 2200, 3, xid=9)
+        decoded = parse_message(reply.pack())
+        assert parse_aggregate_stats_reply(decoded) == (11, 2200, 3)
+
+    def test_truncated_aggregate_rejected(self):
+        with pytest.raises(OpenFlowDecodeError):
+            parse_aggregate_stats_reply(StatsReply(StatsType.AGGREGATE, b"\x00"))
+
+
+@given(
+    st.integers(min_value=0, max_value=0xFFFF),
+    st.integers(min_value=0, max_value=0xFFFF),
+    st.integers(min_value=0, max_value=(1 << 64) - 1),
+    st.integers(min_value=0, max_value=(1 << 64) - 1),
+    st.lists(st.integers(min_value=1, max_value=0xFF00 - 1).map(OutputAction),
+             max_size=3),
+)
+def test_flow_stats_property_roundtrip(priority, idle, packets, byte_count, actions):
+    entry = FlowStatsEntry(
+        Match(in_port=1), priority=priority, idle_timeout=idle,
+        packet_count=packets, byte_count=byte_count, actions=actions,
+    )
+    decoded, _ = FlowStatsEntry.unpack(entry.pack())
+    assert decoded == entry
+
+
+class TestSwitchIntegration:
+    def test_switch_answers_flow_and_aggregate(self):
+        from repro.experiments.compliance import ComplianceRig, data_frame
+        from repro.openflow import FlowMod
+
+        rig = ComplianceRig()
+        rig.send(FlowMod(Match(in_port=1), actions=[OutputAction(2)]))
+        rig.inject(1, data_frame())
+        rig.send(flow_stats_request(xid=31))
+        reply = rig.controller.last_of_type(StatsReply)
+        entries = parse_flow_stats_reply(reply)
+        assert len(entries) == 1
+        assert entries[0].packet_count == 1
+
+    def test_switch_rejects_malformed_stats_body(self):
+        from repro.experiments.compliance import ComplianceRig
+        from repro.openflow import ErrorMessage
+
+        rig = ComplianceRig()
+        rig.send(StatsRequest(StatsType.FLOW, b"\x00" * 4, xid=8))
+        error = rig.controller.last_of_type(ErrorMessage)
+        assert error is not None
+        assert error.xid == 8

@@ -1,0 +1,133 @@
+"""Unit tests for generator-based processes and signals."""
+
+import pytest
+
+from repro.sim import Process, Signal, SimulationEngine, sleep
+from repro.sim.process import all_finished
+
+
+def test_process_sleeps_and_finishes(engine):
+    log = []
+
+    def worker():
+        log.append(("start", engine.now))
+        yield sleep(2.0)
+        log.append(("after", engine.now))
+        return "done"
+
+    process = Process.spawn(engine, worker())
+    engine.run()
+    assert process.finished
+    assert process.result == "done"
+    assert log == [("start", 0.0), ("after", 2.0)]
+
+
+def test_spawn_delay(engine):
+    times = []
+
+    def worker():
+        times.append(engine.now)
+        yield 0.0
+
+    Process.spawn(engine, worker(), delay=3.0)
+    engine.run()
+    assert times == [3.0]
+
+
+def test_signal_wakes_waiting_process(engine):
+    signal = Signal(engine, "go")
+    values = []
+
+    def waiter():
+        value = yield signal
+        values.append((value, engine.now))
+
+    Process.spawn(engine, waiter())
+    engine.schedule(5.0, signal.fire, "payload")
+    engine.run()
+    assert values == [("payload", 5.0)]
+
+
+def test_signal_wakes_all_waiters(engine):
+    signal = Signal(engine, "go")
+    woken = []
+
+    def waiter(name):
+        yield signal
+        woken.append(name)
+
+    for name in ("a", "b", "c"):
+        Process.spawn(engine, waiter(name))
+    engine.schedule(1.0, signal.fire)
+    engine.run()
+    assert sorted(woken) == ["a", "b", "c"]
+
+
+def test_signal_fires_repeatedly(engine):
+    signal = Signal(engine, "tick")
+    counts = []
+
+    def waiter():
+        yield signal
+        counts.append(1)
+        yield signal
+        counts.append(2)
+
+    Process.spawn(engine, waiter())
+    engine.schedule(1.0, signal.fire)
+    engine.schedule(2.0, signal.fire)
+    engine.run()
+    assert counts == [1, 2]
+
+
+def test_done_signal_fires_with_result(engine):
+    def worker():
+        yield sleep(1.0)
+        return 42
+
+    process = Process.spawn(engine, worker())
+    results = []
+
+    def observer():
+        value = yield process.done_signal
+        results.append(value)
+
+    Process.spawn(engine, observer())
+    engine.run()
+    assert results == [42]
+
+
+def test_process_failure_recorded(engine):
+    def worker():
+        yield sleep(1.0)
+        raise RuntimeError("boom")
+
+    process = Process.spawn(engine, worker())
+    with pytest.raises(RuntimeError):
+        engine.run()
+    assert process.finished
+    assert isinstance(process.failure, RuntimeError)
+
+
+def test_bad_yield_type_raises(engine):
+    def worker():
+        yield "not a sleep or signal"
+
+    Process.spawn(engine, worker())
+    with pytest.raises(TypeError):
+        engine.run()
+
+
+def test_negative_sleep_rejected():
+    with pytest.raises(ValueError):
+        sleep(-1)
+
+
+def test_all_finished(engine):
+    def worker():
+        yield sleep(1.0)
+
+    processes = [Process.spawn(engine, worker()) for _ in range(3)]
+    assert not all_finished(processes)
+    engine.run()
+    assert all_finished(processes)
