@@ -76,8 +76,14 @@ def test_nd_memory_grows_quadratically(benchmark):
     assert sizes[16][4] == 2 * sizes[8][4]
 
 
-def _executor_with_rules(n_rules, all_fire):
-    """n rules in one state; either all fire or only the last can."""
+def _executor_with_rules(n_rules, all_fire, fast_path=False):
+    """n rules in one state; either all fire or only the last can.
+
+    Defaults to ``fast_path=False``: these benchmarks measure the paper's
+    O(|Φ|) linear scan.  The indexed fast lane is measured separately
+    (here in ``test_executor_runtime_indexed`` and in
+    ``benchmarks/test_fastpath.py``).
+    """
     rules = []
     for index in range(n_rules):
         condition = "type = HELLO" if all_fire else "type = FLOW_MOD"
@@ -86,7 +92,7 @@ def _executor_with_rules(n_rules, all_fire):
                  parse_condition(condition), [PassMessage()])
         )
     attack = Attack("scale", [AttackState("s", rules)], "s")
-    return AttackExecutor(attack, SimulationEngine())
+    return AttackExecutor(attack, SimulationEngine(), fast_path=fast_path)
 
 
 @pytest.mark.parametrize("n_rules", [1, 16, 64])
@@ -120,6 +126,25 @@ def test_executor_runtime_all_rules_fire(benchmark, n_rules):
 
     benchmark(process)
     benchmark.extra_info["rules"] = n_rules
+
+
+@pytest.mark.parametrize("n_rules", [16, 64])
+def test_executor_runtime_indexed(benchmark, n_rules):
+    """The fast lane breaks O(|Φ|): no-fire cost is flat in the rule count."""
+    executor = _executor_with_rules(n_rules, all_fire=False, fast_path=True)
+    raw = Hello().pack()
+
+    def process():
+        interposed = InterposedMessage(CONN, Direction.TO_CONTROLLER, 0.0, raw)
+        return executor.handle_message(interposed)
+
+    benchmark(process)
+    benchmark.extra_info["rules"] = n_rules
+    # The index skipped every rule without evaluating a single conditional.
+    assert executor.stats["rules_fired"] == 0
+    assert executor.stats["rules_evaluated"] == 0
+    assert executor.stats["rules_skipped_by_index"] == \
+        n_rules * executor.stats["messages_processed"]
 
 
 def test_message_decode_encode_throughput(benchmark):

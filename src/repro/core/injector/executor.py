@@ -6,19 +6,33 @@ start of processing (σ_previous), executes matching rules' actions through
 the :class:`~repro.core.injector.modifier.MessageModifier`, and returns the
 outgoing message list.  GOTOSTATE actions set the next state (Algorithm 1,
 lines 11–12); all other actions may alter the outgoing list (line 14).
+
+Fast lane (on by default, ``fast_path=False`` restores the paper's linear
+scan): at attack-load time every rule's conditional λ is lowered to a
+Python closure (:func:`~repro.core.lang.conditionals.compile_condition`)
+and each state's rules are indexed by ``(connection, coarse message
+type)``.  ``handle_message`` then only evaluates rules that can possibly
+bind and fire — the coarse type comes from a header-only byte peek, so a
+message whose type no rule constrains passes through without ever being
+decoded.  The per-message cost drops from O(|Φ|) conditional evaluations
+to O(|candidates|), with ``rules_skipped_by_index`` counting the saving.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Protocol
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from repro.core.lang.actions import ActionContext, GoToState, OutgoingMessage
 from repro.core.lang.attack import Attack
 from repro.core.lang.conditionals import EvalContext
 from repro.core.lang.properties import InterposedMessage
+from repro.core.lang.rules import Rule
+from repro.core.lang.states import AttackState
 from repro.core.injector.modifier import MessageModifier
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import SeededRng
+
+ConnectionKey = Tuple[str, str]
 
 
 class ExecutorObserver(Protocol):
@@ -34,6 +48,58 @@ class ExecutorObserver(Protocol):
         ...
 
 
+class _ConnectionDispatch:
+    """Ordered rule dispatch for one (state, connection) pair.
+
+    Holds the state's rules bound to the connection in their original order,
+    each annotated with the conservative message-type set its conditional
+    can fire on (``None`` = any type).  Candidate lists per coarse type are
+    materialized lazily and cached — the type domain is the small, closed
+    OpenFlow 1.0 message-type set.
+    """
+
+    __slots__ = ("annotated", "wildcard", "_by_type")
+
+    def __init__(self, annotated: Sequence[Tuple[Rule, Optional[frozenset]]]) -> None:
+        self.annotated = tuple(annotated)
+        self.wildcard = tuple(rule for rule, types in annotated if types is None)
+        self._by_type: Dict[Optional[str], Tuple[Rule, ...]] = {}
+
+    @property
+    def bound_count(self) -> int:
+        return len(self.annotated)
+
+    def candidates(self, type_name: Optional[str]) -> Tuple[Rule, ...]:
+        """Rules that could fire for a message of ``type_name`` (in order)."""
+        cached = self._by_type.get(type_name, None)
+        if cached is None:
+            if type_name is None:
+                # Undecodable/unknown type: TYPE evaluates to None, so only
+                # rules that do not constrain the type can fire.
+                cached = self.wildcard
+            else:
+                cached = tuple(
+                    rule
+                    for rule, types in self.annotated
+                    if types is None or type_name in types
+                )
+            self._by_type[type_name] = cached
+        return cached
+
+
+def _build_state_dispatch(state: AttackState) -> Dict[ConnectionKey, _ConnectionDispatch]:
+    """Index one state's rules by connection, preserving rule order."""
+    per_connection: Dict[ConnectionKey, List[Tuple[Rule, Optional[frozenset]]]] = {}
+    for rule in state.rules:
+        types = rule.message_types()
+        for connection in rule.connections:
+            per_connection.setdefault(connection, []).append((rule, types))
+    return {
+        connection: _ConnectionDispatch(annotated)
+        for connection, annotated in per_connection.items()
+    }
+
+
 class AttackExecutor:
     """Runs one attack (Algorithm 1: ATTACKEXECUTOR(Σ, σ_start))."""
 
@@ -43,6 +109,7 @@ class AttackExecutor:
         engine: SimulationEngine,
         rng: Optional[SeededRng] = None,
         syscmd_router: Optional[Callable[[str, str], None]] = None,
+        fast_path: bool = True,
     ) -> None:
         self.attack = attack
         self.engine = engine
@@ -51,16 +118,26 @@ class AttackExecutor:
         self.modifier = MessageModifier()
         self.current_state_name = attack.start            # line 2
         self.sleep_until = 0.0
+        self.fast_path = fast_path
         self._syscmd_router = syscmd_router or (lambda host, cmd: None)
         self._observers: List[ExecutorObserver] = []
         self.stats: Dict[str, int] = {
             "messages_processed": 0,
             "rules_evaluated": 0,
             "rules_fired": 0,
+            "rules_skipped_by_index": 0,
             "state_transitions": 0,
             "messages_dropped": 0,
             "messages_injected": 0,
         }
+        # Attack-load-time lowering: compile every conditional once and
+        # index every state's rules by (connection, coarse message type).
+        self._dispatch: Dict[str, Dict[ConnectionKey, _ConnectionDispatch]] = {}
+        if fast_path:
+            for state in attack.states.values():
+                self._dispatch[state.name] = _build_state_dispatch(state)
+                for rule in state.rules:
+                    rule.compiled_conditional()
 
     # ------------------------------------------------------------------ #
     # Observers / routing
@@ -86,20 +163,55 @@ class AttackExecutor:
 
     def handle_message(self, incoming: InterposedMessage) -> List[OutgoingMessage]:
         """Process one asynchronous incoming message (lines 4–21)."""
+        if not self.fast_path:
+            return self._handle_message_linear(incoming)
+        stats = self.stats
+        stats["messages_processed"] += 1
+        out: List[OutgoingMessage] = [OutgoingMessage(incoming)]       # line 5
+        previous_state = self.current_state                            # line 6
+        dispatch = self._dispatch[previous_state.name].get(incoming.connection)
+        if dispatch is None:
+            return out
+        candidates = dispatch.candidates(incoming.coarse_type_name)
+        stats["rules_skipped_by_index"] += dispatch.bound_count - len(candidates)
+        if not candidates:
+            # No rule can bind and fire: pass-through without building the
+            # evaluation/action contexts (or decoding the message at all).
+            return out
+        eval_ctx = EvalContext(incoming, self.storage, self.engine.now,
+                               rng=self.rng)
+        action_ctx: Optional[ActionContext] = None
+        for rule in candidates:                                        # line 7
+            stats["rules_evaluated"] += 1
+            if rule.compiled_conditional()(eval_ctx):                  # line 9
+                stats["rules_fired"] += 1
+                self._notify_rule(previous_state.name, rule.name, incoming)
+                if action_ctx is None:
+                    action_ctx = self._action_context(eval_ctx, out)
+                for action in rule.actions:                            # line 10
+                    if isinstance(action, GoToState):                  # lines 11–12
+                        self._goto(action.state_name)
+                    else:                                              # line 14
+                        self.modifier.apply(action, action_ctx)
+        if action_ctx is not None:
+            if not any(entry.message is incoming for entry in out):
+                stats["messages_dropped"] += 1
+            stats["messages_injected"] += sum(1 for entry in out if entry.injected)
+        return out                                                     # lines 19–21
+
+    def _handle_message_linear(self, incoming: InterposedMessage) -> List[OutgoingMessage]:
+        """The paper's O(|Φ|) scan with interpreted conditionals.
+
+        Kept verbatim as the measured baseline for the fast lane
+        (``benchmarks/test_fastpath.py``) and selectable via
+        ``fast_path=False``.
+        """
         self.stats["messages_processed"] += 1
         out: List[OutgoingMessage] = [OutgoingMessage(incoming)]       # line 5
         previous_state = self.current_state                            # line 6
         eval_ctx = EvalContext(incoming, self.storage, self.engine.now,
                                rng=self.rng)
-        action_ctx = ActionContext(
-            eval_ctx,
-            out,
-            goto=self._goto,
-            sleep=self._sleep,
-            syscmd=self._syscmd,
-            record=self._record,
-            rng=self.rng,
-        )
+        action_ctx = self._action_context(eval_ctx, out)
         for rule in previous_state.rules:                              # line 7
             if not rule.binds(incoming.connection):
                 continue
@@ -116,6 +228,19 @@ class AttackExecutor:
             self.stats["messages_dropped"] += 1
         self.stats["messages_injected"] += sum(1 for entry in out if entry.injected)
         return out                                                     # lines 19–21
+
+    def _action_context(
+        self, eval_ctx: EvalContext, out: List[OutgoingMessage]
+    ) -> ActionContext:
+        return ActionContext(
+            eval_ctx,
+            out,
+            goto=self._goto,
+            sleep=self._sleep,
+            syscmd=self._syscmd,
+            record=self._record,
+            rng=self.rng,
+        )
 
     # ------------------------------------------------------------------ #
     # Framework hooks

@@ -43,6 +43,8 @@ class ConnectionProxy:
             "dropped": 0,
             "injected": 0,
             "delayed": 0,
+            "decode_avoided": 0,
+            "repack_avoided": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -72,7 +74,11 @@ class ConnectionProxy:
                 peer.send(data)
             return
         try:
-            messages = framer.feed(data)
+            # Frame on the header length field only — no body decode.  The
+            # executor's dispatch peeks the type from the header; the full
+            # parse happens lazily iff an evaluated conditional reads the
+            # payload, and pass-through reuses these exact wire bytes.
+            frames = framer.feed_frames(data)
         except OpenFlowDecodeError:
             # Give up interposing a corrupt stream: pass bytes through so
             # the endpoints see the same garbage a real TCP proxy would.
@@ -80,13 +86,12 @@ class ConnectionProxy:
             if peer is not None:
                 peer.send(data)
             return
-        for message in messages:
+        for frame in frames:
             interposed = InterposedMessage(
                 self.connection,
                 direction,
                 self.injector.engine.now,
-                message.pack(),
-                message,
+                frame,
             )
             if direction is Direction.TO_CONTROLLER:
                 self.stats["to_controller_messages"] += 1
@@ -109,6 +114,15 @@ class ConnectionProxy:
         for entry in outgoing:
             if entry.injected:
                 self.stats["injected"] += 1
+            else:
+                # Fast-lane accounting for interposed originals: a message
+                # no rule decoded ships without ever being parsed, and one
+                # whose payload was never replaced re-uses its wire bytes.
+                message = entry.message
+                if message._parsed is None and not message._parse_failed:
+                    self.stats["decode_avoided"] += 1
+                if not message.payload_replaced:
+                    self.stats["repack_avoided"] += 1
             target = self.injector.route(self, entry)
             if target is None:
                 continue

@@ -261,9 +261,7 @@ class FuzzMessage(AttackAction):
             fuzzed = raw[:8] + ctx.rng.flip_bits(raw[8:], self.bit_flips)
         else:
             fuzzed = ctx.rng.flip_bits(raw, self.bit_flips)
-        incoming.raw = fuzzed
-        incoming._parsed = None
-        incoming._parse_failed = False
+        incoming.set_raw(fuzzed)
         ctx.record("fuzz_message", {"id": incoming.msg_id, "bit_flips": self.bit_flips})
 
     def __repr__(self) -> str:
@@ -315,6 +313,9 @@ class ModifyMessage(AttackAction):
         )
         message = incoming.parsed
         if self._set_field(message, self.field_path, value):
+            # Nested edits (match fields, action ports) bypass the message's
+            # __setattr__ cache invalidation — drop the stale pack cache.
+            message.invalidate_packed()
             incoming.replace_payload(message)
             ctx.record(
                 "modify_message",

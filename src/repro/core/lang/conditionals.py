@@ -14,7 +14,7 @@ all TYPE OPTIONS) need READMESSAGE.  Rule validation aggregates these.
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, Iterable, List, Optional, Sequence
+from typing import Any, Callable, FrozenSet, Iterable, List, Optional, Sequence
 
 from repro.core.lang.properties import (
     METADATA_PROPERTIES,
@@ -55,6 +55,16 @@ class Expression:
     def evaluate(self, ctx: EvalContext) -> Any:
         raise NotImplementedError
 
+    def compile(self) -> Callable[[EvalContext], Any]:
+        """Lower this expression to a plain closure.
+
+        The default falls back to the interpreted :meth:`evaluate`, which is
+        the required behaviour for storage-side-effect nodes (SHIFT/POP):
+        their interpreted semantics *are* the semantics.  Pure nodes
+        override this to return a dedicated closure that skips the AST walk.
+        """
+        return self.evaluate
+
     def required_capabilities(self) -> FrozenSet[Capability]:
         return frozenset()
 
@@ -71,6 +81,10 @@ class Const(Expression):
     def evaluate(self, ctx: EvalContext) -> Any:
         return self.value
 
+    def compile(self) -> Callable[[EvalContext], Any]:
+        value = self.value
+        return lambda ctx: value
+
     def __repr__(self) -> str:
         return f"Const({self.value!r})"
 
@@ -86,6 +100,15 @@ class Property(Expression):
             return None
         return ctx.message.get_property(self.prop)
 
+    def compile(self) -> Callable[[EvalContext], Any]:
+        getter = _PROPERTY_GETTERS[self.prop]
+
+        def run(ctx: EvalContext) -> Any:
+            message = ctx.message
+            return None if message is None else getter(message)
+
+        return run
+
     def required_capabilities(self) -> FrozenSet[Capability]:
         if self.prop in METADATA_PROPERTIES:
             return frozenset({Capability.READ_MESSAGE_METADATA})
@@ -93,6 +116,18 @@ class Property(Expression):
 
     def __repr__(self) -> str:
         return f"Property({self.prop.value})"
+
+
+#: Direct per-property getters used by compiled Property nodes; each is the
+#: body of the matching :meth:`InterposedMessage.get_property` branch.
+_PROPERTY_GETTERS = {
+    MessageProperty.SOURCE: lambda m: m.source,
+    MessageProperty.DESTINATION: lambda m: m.destination,
+    MessageProperty.TIMESTAMP: lambda m: m.timestamp,
+    MessageProperty.LENGTH: lambda m: len(m.raw),
+    MessageProperty.ID: lambda m: m.msg_id,
+    MessageProperty.TYPE: lambda m: m.message_type_name,
+}
 
 
 class TypeOption(Expression):
@@ -106,6 +141,15 @@ class TypeOption(Expression):
             return None
         return ctx.message.get_type_option(self.path)
 
+    def compile(self) -> Callable[[EvalContext], Any]:
+        path = self.path
+
+        def run(ctx: EvalContext) -> Any:
+            message = ctx.message
+            return None if message is None else message.get_type_option(path)
+
+        return run
+
     def required_capabilities(self) -> FrozenSet[Capability]:
         return frozenset({Capability.READ_MESSAGE})
 
@@ -118,6 +162,9 @@ class MessageRef(Expression):
 
     def evaluate(self, ctx: EvalContext) -> Any:
         return ctx.message
+
+    def compile(self) -> Callable[[EvalContext], Any]:
+        return lambda ctx: ctx.message
 
     def required_capabilities(self) -> FrozenSet[Capability]:
         # Storing a message for replay requires having read it.
@@ -144,6 +191,10 @@ class ExamineFront(_DequeExpr):
     def evaluate(self, ctx: EvalContext) -> Any:
         return self._deque(ctx).examine_front()
 
+    def compile(self) -> Callable[[EvalContext], Any]:
+        name = self.deque_name
+        return lambda ctx: ctx.storage.deque(name).examine_front()
+
 
 class ExamineEnd(_DequeExpr):
     """value ← EXAMINEEND(δ): read the end element (no removal)."""
@@ -151,16 +202,26 @@ class ExamineEnd(_DequeExpr):
     def evaluate(self, ctx: EvalContext) -> Any:
         return self._deque(ctx).examine_end()
 
+    def compile(self) -> Callable[[EvalContext], Any]:
+        name = self.deque_name
+        return lambda ctx: ctx.storage.deque(name).examine_end()
+
 
 class ShiftExpr(_DequeExpr):
-    """value ← SHIFT(δ): remove and return the front element."""
+    """value ← SHIFT(δ): remove and return the front element.
+
+    Mutates storage, so :meth:`compile` keeps the interpreted fallback.
+    """
 
     def evaluate(self, ctx: EvalContext) -> Any:
         return self._deque(ctx).shift()
 
 
 class PopExpr(_DequeExpr):
-    """value ← POP(δ): remove and return the end element."""
+    """value ← POP(δ): remove and return the end element.
+
+    Mutates storage, so :meth:`compile` keeps the interpreted fallback.
+    """
 
     def evaluate(self, ctx: EvalContext) -> Any:
         return self._deque(ctx).pop()
@@ -181,6 +242,21 @@ class Sum(Expression):
             operand = 0 if operand is None else operand
             value = value + operand if op == "+" else value - operand
         return value
+
+    def compile(self) -> Callable[[EvalContext], Any]:
+        first = self.first.compile()
+        rest = tuple((op == "+", expr.compile()) for op, expr in self.rest)
+
+        def run(ctx: EvalContext) -> Any:
+            value = first(ctx)
+            for add, operand_fn in rest:
+                operand = operand_fn(ctx)
+                value = 0 if value is None else value
+                operand = 0 if operand is None else operand
+                value = value + operand if add else value - operand
+            return value
+
+        return run
 
     def required_capabilities(self) -> FrozenSet[Capability]:
         caps = set(self.first.required_capabilities())
@@ -207,6 +283,15 @@ class Condition:
     def evaluate(self, ctx: EvalContext) -> bool:
         raise NotImplementedError
 
+    def compile(self) -> Callable[[EvalContext], bool]:
+        """Lower this conditional to a plain closure.
+
+        The default falls back to the interpreted :meth:`evaluate`; the
+        stochastic :class:`Probability` node keeps that fallback so its
+        seeded-random draw order stays identical run-to-run.
+        """
+        return self.evaluate
+
     def required_capabilities(self) -> FrozenSet[Capability]:
         return frozenset()
 
@@ -214,11 +299,26 @@ class Condition:
         return self.evaluate(ctx)
 
 
+def compile_condition(condition: Condition) -> Callable[[EvalContext], bool]:
+    """Lower a λ AST to a Python closure (the executor's fast lane).
+
+    Called once at attack-load time; the returned closure is semantically
+    identical to ``condition.evaluate`` (including short-circuit order and
+    storage side effects) but skips the per-message AST walk.  Stochastic
+    and storage-side-effect nodes fall back to their interpreted
+    ``evaluate`` internally.
+    """
+    return condition.compile()
+
+
 class TrueCondition(Condition):
     """Matches every message (the trivial pass-everything rule of Fig. 5)."""
 
     def evaluate(self, ctx: EvalContext) -> bool:
         return True
+
+    def compile(self) -> Callable[[EvalContext], bool]:
+        return lambda ctx: True
 
     def __repr__(self) -> str:
         return "TrueCondition()"
@@ -307,6 +407,55 @@ class Comparison(Condition):
             return False
         return any(smart_eq(left, candidate) for candidate in candidates)
 
+    def compile(self) -> Callable[[EvalContext], bool]:
+        left = self.left.compile()
+        right = self.right.compile()
+        op = self.op
+        if op == "=":
+            return lambda ctx: smart_eq(left(ctx), right(ctx))
+        if op == "!=":
+            return lambda ctx: not smart_eq(left(ctx), right(ctx))
+        if op in ("<", ">"):
+            less = op == "<"
+
+            def run_order(ctx: EvalContext) -> bool:
+                left_num = _as_number(left(ctx))
+                right_num = _as_number(right(ctx))
+                if left_num is None or right_num is None:
+                    return False
+                return left_num < right_num if less else left_num > right_num
+
+            return run_order
+        # Membership.  A constant right side is materialized once.
+        if isinstance(self.right, Const):
+            try:
+                candidates = list(self.right.value) if self.right.value is not None else None
+            except TypeError:
+                candidates = None
+
+            def run_in_const(ctx: EvalContext) -> bool:
+                lhs = left(ctx)
+                if candidates is None:
+                    return False
+                return any(smart_eq(lhs, candidate) for candidate in candidates)
+
+            return run_in_const
+
+        def run_in(ctx: EvalContext) -> bool:
+            # Evaluate left before right — interpreted order, which matters
+            # when either operand carries storage side effects.
+            lhs = left(ctx)
+            rhs = right(ctx)
+            if rhs is None:
+                return False
+            try:
+                values = list(rhs)
+            except TypeError:
+                return False
+            return any(smart_eq(lhs, candidate) for candidate in values)
+
+        return run_in
+
     def required_capabilities(self) -> FrozenSet[Capability]:
         return self.left.required_capabilities() | self.right.required_capabilities()
 
@@ -322,6 +471,13 @@ class And(Condition):
 
     def evaluate(self, ctx: EvalContext) -> bool:
         return all(term.evaluate(ctx) for term in self.terms)
+
+    def compile(self) -> Callable[[EvalContext], bool]:
+        compiled = tuple(term.compile() for term in self.terms)
+        if len(compiled) == 2:
+            first, second = compiled
+            return lambda ctx: first(ctx) and second(ctx)
+        return lambda ctx: all(term(ctx) for term in compiled)
 
     def required_capabilities(self) -> FrozenSet[Capability]:
         caps = set()
@@ -341,6 +497,13 @@ class Or(Condition):
 
     def evaluate(self, ctx: EvalContext) -> bool:
         return any(term.evaluate(ctx) for term in self.terms)
+
+    def compile(self) -> Callable[[EvalContext], bool]:
+        compiled = tuple(term.compile() for term in self.terms)
+        if len(compiled) == 2:
+            first, second = compiled
+            return lambda ctx: first(ctx) or second(ctx)
+        return lambda ctx: any(term(ctx) for term in compiled)
 
     def required_capabilities(self) -> FrozenSet[Capability]:
         caps = set()
@@ -376,6 +539,9 @@ class Probability(Condition):
             return False
         return ctx.rng.random() < self.p
 
+    # compile() deliberately not overridden: the stochastic draw keeps the
+    # interpreted fallback so replayability analysis has one code path.
+
     def __repr__(self) -> str:
         return f"Probability({self.p})"
 
@@ -389,8 +555,78 @@ class Not(Condition):
     def evaluate(self, ctx: EvalContext) -> bool:
         return not self.term.evaluate(ctx)
 
+    def compile(self) -> Callable[[EvalContext], bool]:
+        term = self.term.compile()
+        return lambda ctx: not term(ctx)
+
     def required_capabilities(self) -> FrozenSet[Capability]:
         return self.term.required_capabilities()
 
     def __repr__(self) -> str:
         return f"Not({self.term!r})"
+
+
+# ---------------------------------------------------------------------- #
+# Static analysis for the executor's rule index
+# ---------------------------------------------------------------------- #
+
+
+def condition_message_types(condition: Condition) -> Optional[FrozenSet[str]]:
+    """Over-approximate the message TYPE values a conditional can match.
+
+    Returns the set of ``MESSAGETYPE`` names for which ``condition`` could
+    possibly evaluate true, or ``None`` when the conditional does not
+    constrain the type (it must be evaluated for every message).  The
+    analysis is conservative — a returned set may be too large, never too
+    small — so the executor's per-type rule index can safely skip any rule
+    whose set excludes the incoming message's type.
+    """
+    if isinstance(condition, Comparison):
+        if condition.op == "=":
+            const = _type_equality_const(condition)
+            if const is not None:
+                return frozenset({str(const)})
+            return None
+        if condition.op == "in":
+            if isinstance(condition.left, Property) and isinstance(condition.right, Const):
+                if condition.left.prop is MessageProperty.TYPE:
+                    try:
+                        values = list(condition.right.value)
+                    except TypeError:
+                        return None
+                    return frozenset(str(value) for value in values)
+            return None
+        return None
+    if isinstance(condition, And):
+        known = [
+            types
+            for types in (condition_message_types(term) for term in condition.terms)
+            if types is not None
+        ]
+        if not known:
+            return None
+        result = known[0]
+        for types in known[1:]:
+            result &= types
+        return result
+    if isinstance(condition, Or):
+        union: set = set()
+        for term in condition.terms:
+            types = condition_message_types(term)
+            if types is None:
+                return None
+            union |= types
+        return frozenset(union)
+    return None
+
+
+def _type_equality_const(comparison: Comparison) -> Optional[Any]:
+    """The constant a ``TYPE = const`` comparison pins, if it is one."""
+    left, right = comparison.left, comparison.right
+    if isinstance(left, Property) and left.prop is MessageProperty.TYPE:
+        if isinstance(right, Const):
+            return right.value
+    if isinstance(right, Property) and right.prop is MessageProperty.TYPE:
+        if isinstance(left, Const):
+            return left.value
+    return None

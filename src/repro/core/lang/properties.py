@@ -31,7 +31,10 @@ from repro.openflow.messages import (
     StatsReply,
     StatsRequest,
     parse_message,
+    peek_message_type_name,
 )
+
+_UNSET = object()
 
 ConnectionKey = Tuple[str, str]
 
@@ -90,6 +93,8 @@ class InterposedMessage:
         "msg_id",
         "_parsed",
         "_parse_failed",
+        "_coarse_type",
+        "payload_replaced",
         "metadata_overrides",
     )
 
@@ -108,6 +113,8 @@ class InterposedMessage:
         self.msg_id = next(InterposedMessage._id_counter)
         self._parsed = parsed
         self._parse_failed = False
+        self._coarse_type = _UNSET
+        self.payload_replaced = False
         self.metadata_overrides: dict = {}
 
     # ------------------------------------------------------------------ #
@@ -163,10 +170,38 @@ class InterposedMessage:
             return None
         return message.message_type.name
 
+    @property
+    def coarse_type_name(self) -> Optional[str]:
+        """The message type from a header-only peek — no body decode.
+
+        Used by the executor's rule index to dispatch without parsing.  An
+        over-approximation of :attr:`message_type_name`: whenever the full
+        decode succeeds, both agree; when it would fail, the peek may still
+        name a type (the conditional then sees TYPE = None and cannot
+        match, so dispatching on the peek stays conservative).
+        """
+        name = self._coarse_type
+        if name is _UNSET:
+            if self._parsed is not None:
+                name = self._parsed.message_type.name
+            else:
+                name = peek_message_type_name(self.raw)
+            self._coarse_type = name
+        return name
+
+    def set_raw(self, raw: bytes) -> None:
+        """Replace the wire bytes (FUZZMESSAGE), dropping decode caches."""
+        self.raw = bytes(raw)
+        self._parsed = None
+        self._parse_failed = False
+        self._coarse_type = _UNSET
+
     def replace_payload(self, message: OpenFlowMessage) -> None:
         """Swap in a modified payload (MODIFYMESSAGE support)."""
         self._parsed = message
         self._parse_failed = False
+        self._coarse_type = _UNSET
+        self.payload_replaced = True
         self.raw = message.pack()
 
     def copy(self) -> "InterposedMessage":

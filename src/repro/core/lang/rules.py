@@ -10,10 +10,15 @@ its claimed ``γ``, and ``γ`` must be inside the attacker model's
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Sequence, Tuple, Union
+from typing import Callable, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.lang.actions import AttackAction, GoToState
-from repro.core.lang.conditionals import Condition
+from repro.core.lang.conditionals import (
+    Condition,
+    EvalContext,
+    compile_condition,
+    condition_message_types,
+)
 from repro.core.model.capabilities import Capability
 from repro.core.model.threat import AttackModel, CapabilityViolation
 
@@ -40,6 +45,7 @@ class Rule:
         self.gamma: FrozenSet[Capability] = frozenset(gamma)
         self.conditional = conditional
         self.actions: List[AttackAction] = list(actions)
+        self._compiled_conditional: Optional[Callable[[EvalContext], bool]] = None
         if not self.connections:
             raise RuleValidationError(f"rule {name!r} binds no connections")
         if not self.actions:
@@ -91,6 +97,21 @@ class Rule:
 
     def binds(self, connection: ConnectionKey) -> bool:
         return tuple(connection) in self.connections
+
+    def compiled_conditional(self) -> Callable[[EvalContext], bool]:
+        """The λ lowered to a closure, compiled once and cached.
+
+        The executor's fast lane calls this at attack-load time; the closure
+        is semantically identical to ``self.conditional.evaluate``.
+        """
+        compiled = self._compiled_conditional
+        if compiled is None:
+            compiled = self._compiled_conditional = compile_condition(self.conditional)
+        return compiled
+
+    def message_types(self) -> Optional[FrozenSet[str]]:
+        """Message TYPE names this rule can possibly fire on (None = any)."""
+        return condition_message_types(self.conditional)
 
     def goto_targets(self) -> FrozenSet[str]:
         """Names of states this rule's GOTOSTATE actions can reach."""

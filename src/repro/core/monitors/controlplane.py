@@ -35,7 +35,10 @@ class ControlPlaneMonitor(RecordingMonitor):
         outgoing: List[OutgoingMessage],
         now: float,
     ) -> None:
-        type_name = message.message_type_name or "UNDECODABLE"
+        # The header peek is enough to classify the message; reading
+        # message_type_name here would force a full body decode on every
+        # interposed message and defeat the proxy's lazy-decode fast lane.
+        type_name = message.coarse_type_name or "UNDECODABLE"
         self.message_counts[type_name] = self.message_counts.get(type_name, 0) + 1
         key = message.connection
         self.per_connection[key] = self.per_connection.get(key, 0) + 1

@@ -4,16 +4,27 @@ Semantics follow the OF 1.0 specification as implemented by OVS v1.9:
 highest-priority matching entry wins; exact ties resolve to the
 earliest-installed entry; idle and hard timeouts expire entries and can emit
 FLOW_REMOVED notifications.
+
+Lookup structure: fully-specified entries (all twelve match fields set,
+/32 network prefixes — the shape every learning controller installs from
+``Match.from_packet``) live in a hash index keyed by the twelve-tuple;
+everything else sits in a wildcard list kept sorted by descending priority.
+A lookup probes the hash bucket, then scans the sorted wildcards only until
+no remaining entry could outrank the best candidate — O(1) + O(w) instead
+of O(n) over the whole table.  ``indexed=False`` restores the linear scan
+(benchmark baseline); ``lookup_fast_hits`` counts lookups won from the
+hash bucket.
 """
 
 from __future__ import annotations
 
 import itertools
+from bisect import insort
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.openflow.actions import Action
 from repro.openflow.constants import FlowModCommand, FlowModFlags, Port
-from repro.openflow.match import Match
+from repro.openflow.match import MATCH_FIELD_NAMES, Match, field_tuple
 from repro.openflow.messages import FlowMod
 
 
@@ -65,6 +76,11 @@ class FlowEntry:
     def sends_flow_removed(self) -> bool:
         return bool(self.flags & FlowModFlags.SEND_FLOW_REM)
 
+    @property
+    def rank(self) -> Tuple[int, int]:
+        """Win ordering: higher priority first, then earliest install."""
+        return (self.priority, -self.order)
+
     def outputs_to(self, port: int) -> bool:
         """True if any action outputs to ``port`` (for out_port filtering)."""
         from repro.openflow.actions import OutputAction
@@ -91,17 +107,73 @@ class FlowEntry:
         )
 
 
+def _exact_key(match: Match) -> Optional[Tuple[Any, ...]]:
+    """The hash key for a fully-specified match, or None if it wildcards.
+
+    Mirrors :func:`~repro.openflow.match.field_tuple` over the packet side:
+    when every field is set and both prefixes are /32, ``matches_fields``
+    degenerates to tuple equality, so the twelve-tuple is a sound hash key.
+    """
+    if match.nw_src_prefix != 32 or match.nw_dst_prefix != 32:
+        return None
+    values = tuple(getattr(match, name) for name in MATCH_FIELD_NAMES)
+    if any(value is None for value in values):
+        return None
+    return values
+
+
+def _wild_sort_key(entry: FlowEntry) -> Tuple[int, int]:
+    return (-entry.priority, entry.order)
+
+
 class FlowTable:
     """A single OF 1.0 flow table (OVS v1.9 exposed one to OpenFlow 1.0)."""
 
-    def __init__(self, max_entries: int = 65536) -> None:
+    def __init__(self, max_entries: int = 65536, indexed: bool = True) -> None:
         self.max_entries = max_entries
         self.entries: List[FlowEntry] = []
+        self.indexed = indexed
         self.lookups = 0
         self.matched = 0
+        self.lookup_fast_hits = 0
+        self._exact: Dict[Tuple[Any, ...], List[FlowEntry]] = {}
+        self._wild: List[FlowEntry] = []
 
     def __len__(self) -> int:
         return len(self.entries)
+
+    # ------------------------------------------------------------------ #
+    # Index maintenance
+    # ------------------------------------------------------------------ #
+
+    def _index_add(self, entry: FlowEntry) -> None:
+        key = _exact_key(entry.match)
+        if key is not None:
+            self._exact.setdefault(key, []).append(entry)
+        else:
+            insort(self._wild, entry, key=_wild_sort_key)
+
+    def _index_remove(self, entry: FlowEntry) -> None:
+        key = _exact_key(entry.match)
+        if key is not None:
+            bucket = self._exact.get(key)
+            if bucket is not None:
+                bucket.remove(entry)
+                if not bucket:
+                    del self._exact[key]
+        else:
+            self._wild.remove(entry)
+
+    def _rebuild_index(self) -> None:
+        self._exact.clear()
+        self._wild.clear()
+        for entry in self.entries:
+            key = _exact_key(entry.match)
+            if key is not None:
+                self._exact.setdefault(key, []).append(entry)
+            else:
+                self._wild.append(entry)
+        self._wild.sort(key=_wild_sort_key)
 
     # ------------------------------------------------------------------ #
     # Flow-mod application
@@ -132,23 +204,26 @@ class FlowTable:
         ]
         for entry in replaced:
             self.entries.remove(entry)
+            self._index_remove(entry)
         if len(self.entries) >= self.max_entries:
             return [], True
-        self.entries.append(
-            FlowEntry(
-                flow_mod.match,
-                flow_mod.priority,
-                flow_mod.actions,
-                cookie=flow_mod.cookie,
-                idle_timeout=flow_mod.idle_timeout,
-                hard_timeout=flow_mod.hard_timeout,
-                flags=flow_mod.flags,
-                install_time=now,
-            )
+        entry = FlowEntry(
+            flow_mod.match,
+            flow_mod.priority,
+            flow_mod.actions,
+            cookie=flow_mod.cookie,
+            idle_timeout=flow_mod.idle_timeout,
+            hard_timeout=flow_mod.hard_timeout,
+            flags=flow_mod.flags,
+            install_time=now,
         )
+        self.entries.append(entry)
+        self._index_add(entry)
         return [], False
 
     def _modify(self, flow_mod: FlowMod, now: float, strict: bool) -> Tuple[List[FlowEntry], bool]:
+        # Only actions/cookie change — match and priority stay, so the
+        # index needs no maintenance here.
         changed = False
         for entry in self.entries:
             if self._mod_applies(flow_mod.match, flow_mod.priority, entry, strict):
@@ -167,7 +242,9 @@ class FlowTable:
             if matches and flow_mod.out_port != Port.NONE:
                 matches = entry.outputs_to(flow_mod.out_port)
             (removed if matches else kept).append(entry)
-        self.entries = kept
+        if removed:
+            self.entries = kept
+            self._rebuild_index()
         return removed, False
 
     @staticmethod
@@ -183,13 +260,40 @@ class FlowTable:
     def lookup(self, fields: Dict[str, Any]) -> Optional[FlowEntry]:
         """Highest-priority entry matching extracted packet fields."""
         self.lookups += 1
+        if not self.indexed:
+            best = self._lookup_linear(fields)
+            if best is not None:
+                self.matched += 1
+            return best
+        best: Optional[FlowEntry] = None
+        bucket = self._exact.get(field_tuple(fields))
+        if bucket:
+            for entry in bucket:
+                if best is None or entry.rank > best.rank:
+                    best = entry
+        exact_winner = best
+        # Wildcards are kept sorted best-rank first, so stop as soon as the
+        # next entry cannot outrank the current best; the first wildcard
+        # match encountered is the best-ranked wildcard match.
+        for entry in self._wild:
+            if best is not None and entry.rank <= best.rank:
+                break
+            if entry.match.matches_fields(fields):
+                best = entry
+                break
+        if best is not None:
+            self.matched += 1
+            if best is exact_winner:
+                self.lookup_fast_hits += 1
+        return best
+
+    def _lookup_linear(self, fields: Dict[str, Any]) -> Optional[FlowEntry]:
+        """The unindexed O(n) scan (baseline for ``benchmarks/``)."""
         best: Optional[FlowEntry] = None
         for entry in self.entries:
             if entry.match.matches_fields(fields):
                 if best is None or (entry.priority, -entry.order) > (best.priority, -best.order):
                     best = entry
-        if best is not None:
-            self.matched += 1
         return best
 
     def expire(self, now: float) -> List[Tuple[FlowEntry, str]]:
@@ -202,12 +306,16 @@ class FlowTable:
                 kept.append(entry)
             else:
                 expired.append((entry, reason))
-        self.entries = kept
+        if expired:
+            self.entries = kept
+            self._rebuild_index()
         return expired
 
     def clear(self) -> List[FlowEntry]:
         """Remove all entries (connection reset semantics)."""
         removed, self.entries = self.entries, []
+        self._exact.clear()
+        self._wild.clear()
         return removed
 
     def __repr__(self) -> str:

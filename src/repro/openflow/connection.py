@@ -26,6 +26,17 @@ class MessageFramer:
 
     def feed(self, data: bytes) -> List[OpenFlowMessage]:
         """Append stream bytes; return every now-complete message in order."""
+        return [parse_message(frame) for frame in self.feed_frames(data)]
+
+    def feed_frames(self, data: bytes) -> List[bytes]:
+        """Append stream bytes; return every now-complete raw frame in order.
+
+        This is the injector's zero-copy fast lane: frames are delimited
+        using only the length field in each 8-byte header, so interposed
+        messages can be forwarded byte-identical without ever decoding (or
+        re-encoding) the body.  Callers that need the decoded message use
+        :func:`parse_message` lazily.
+        """
         self.bytes_received += len(data)
         self._buffer.extend(data)
         if len(self._buffer) > self._max_buffer:
@@ -33,15 +44,15 @@ class MessageFramer:
                 f"framer buffer overflow ({len(self._buffer)} bytes); "
                 "peer is sending garbage or an unterminated message"
             )
-        messages: List[OpenFlowMessage] = []
+        frames: List[bytes] = []
         while True:
-            message = self._try_extract()
-            if message is None:
+            frame = self._try_extract_frame()
+            if frame is None:
                 break
-            messages.append(message)
-        return messages
+            frames.append(frame)
+        return frames
 
-    def _try_extract(self):
+    def _try_extract_frame(self):
         if len(self._buffer) < OFP_HEADER_SIZE:
             return None
         (length,) = struct.unpack_from("!H", self._buffer, 2)
@@ -52,7 +63,7 @@ class MessageFramer:
         frame = bytes(self._buffer[:length])
         del self._buffer[:length]
         self.messages_decoded += 1
-        return parse_message(frame)
+        return frame
 
     @property
     def pending_bytes(self) -> int:

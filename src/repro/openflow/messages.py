@@ -7,7 +7,6 @@ this module.
 
 from __future__ import annotations
 
-import itertools
 import struct
 from typing import ClassVar, Dict, List, Optional, Type
 
@@ -30,7 +29,11 @@ from repro.openflow.constants import (
 from repro.openflow.match import MATCH_SIZE, Match
 
 _HEADER = struct.Struct("!BBHI")
-_xid_counter = itertools.count(1)
+_XID_MAX = 0xFFFFFFFF
+_xid_next = 1
+
+#: Header type byte -> MessageType name, for header-only peeks.
+_TYPE_NAME_BY_ID: Dict[int, str] = {int(t): t.name for t in MessageType}
 
 
 class OpenFlowDecodeError(Exception):
@@ -38,8 +41,33 @@ class OpenFlowDecodeError(Exception):
 
 
 def next_xid() -> int:
-    """Allocate a fresh transaction id (wraps at 2^32)."""
-    return next(_xid_counter) & 0xFFFFFFFF
+    """Allocate a fresh transaction id in [1, 2^32 - 1].
+
+    xid 0 is reserved for unsolicited messages, so the counter wraps back
+    to 1 instead of masking (a masked ``count & 0xFFFFFFFF`` would emit 0
+    once every 2^32 allocations).
+    """
+    global _xid_next
+    xid = _xid_next
+    _xid_next = 1 if xid >= _XID_MAX else xid + 1
+    return xid
+
+
+def peek_message_type_name(data: bytes) -> Optional[str]:
+    """Header-only message-type peek — no body decode.
+
+    Returns the :class:`MessageType` name from the 8-byte header, or
+    ``None`` when the buffer cannot plausibly hold an OpenFlow 1.0 message
+    (too short, wrong version, impossible length, unknown type).  This is an
+    over-approximation of :func:`parse_message`: whenever a full parse would
+    succeed, the peek returns the same type name.
+    """
+    if len(data) < OFP_HEADER_SIZE:
+        return None
+    version, msg_type, length, _xid = _HEADER.unpack_from(data)
+    if version != OFP_VERSION or length < OFP_HEADER_SIZE:
+        return None
+    return _TYPE_NAME_BY_ID.get(msg_type)
 
 
 class OpenFlowMessage:
@@ -56,6 +84,19 @@ class OpenFlowMessage:
     def __init__(self, xid: Optional[int] = None) -> None:
         self.xid = next_xid() if xid is None else int(xid)
 
+    def __setattr__(self, name: str, value) -> None:
+        # Any direct field mutation invalidates the packed-bytes cache.
+        # Nested mutation (match fields, action ports) cannot be seen here;
+        # the message modifier calls invalidate_packed() explicitly.
+        d = self.__dict__
+        if "_packed" in d:
+            del d["_packed"]
+        d[name] = value
+
+    def invalidate_packed(self) -> None:
+        """Drop the cached wire bytes after a nested-field mutation."""
+        self.__dict__.pop("_packed", None)
+
     # -- wire format --------------------------------------------------- #
 
     def pack_body(self) -> bytes:
@@ -66,11 +107,20 @@ class OpenFlowMessage:
         raise NotImplementedError
 
     def pack(self) -> bytes:
-        body = self.pack_body()
-        header = _HEADER.pack(
-            OFP_VERSION, int(self.message_type), OFP_HEADER_SIZE + len(body), self.xid
-        )
-        return header + body
+        packed = self.__dict__.get("_packed")
+        if packed is None:
+            body = self.pack_body()
+            packed = (
+                _HEADER.pack(
+                    OFP_VERSION,
+                    int(self.message_type),
+                    OFP_HEADER_SIZE + len(body),
+                    self.xid,
+                )
+                + body
+            )
+            self.__dict__["_packed"] = packed
+        return packed
 
     def __len__(self) -> int:
         return OFP_HEADER_SIZE + len(self.pack_body())

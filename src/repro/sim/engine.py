@@ -28,6 +28,7 @@ class SimulationEngine:
         self._queue: List[Event] = []
         self._running = False
         self._processed = 0
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -36,8 +37,17 @@ class SimulationEngine:
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events still in the queue."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-cancelled events still in the queue.
+
+        Maintained as a counter on schedule/cancel/fire — O(1), not a queue
+        scan, so metrics snapshots stay cheap on large simulations.
+        """
+        return self._live
+
+    def _event_cancelled(self) -> None:
+        # Called by Event.cancel(); the tombstone stays heap-resident until
+        # popped, but stops counting as pending immediately.
+        self._live -= 1
 
     @property
     def processed_events(self) -> int:
@@ -69,7 +79,9 @@ class SimulationEngine:
                 f"cannot schedule at t={time!r} before current time t={self._now!r}"
             )
         event = Event(time, callback, args, priority=priority)
+        event._engine = self
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def step(self) -> Optional[Event]:
@@ -78,6 +90,8 @@ class SimulationEngine:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            self._live -= 1
+            event._engine = None  # late cancel() must not re-decrement
             self._now = event.time
             self._processed += 1
             event.fire()
@@ -95,17 +109,27 @@ class SimulationEngine:
         if self._running:
             raise SimulationError("engine is already running (re-entrant run())")
         self._running = True
+        queue = self._queue
         fired = 0
         try:
-            while self._queue:
+            # Single pop loop — each live event is popped exactly once,
+            # instead of the peek-then-step pattern that sifted the heap
+            # head twice per event.
+            while queue:
                 if max_events is not None and fired >= max_events:
                     break
-                head = self._peek()
-                if head is None:
+                event = heapq.heappop(queue)
+                if event.cancelled:
+                    continue
+                if until is not None and event.time > until:
+                    # Beyond the horizon: put it back for the next run().
+                    heapq.heappush(queue, event)
                     break
-                if until is not None and head.time > until:
-                    break
-                self.step()
+                self._live -= 1
+                event._engine = None  # late cancel() must not re-decrement
+                self._now = event.time
+                self._processed += 1
+                event.fire()
                 fired += 1
             if until is not None and until > self._now:
                 self._now = until

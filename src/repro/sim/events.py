@@ -21,7 +21,7 @@ class Event:
 
     _seq_counter = itertools.count()
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "_engine")
 
     def __init__(
         self,
@@ -38,10 +38,14 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._engine: Optional[Any] = None
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when it comes due."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._engine is not None:
+                self._engine._event_cancelled()
 
     def fire(self) -> None:
         """Invoke the callback unless the event has been cancelled."""

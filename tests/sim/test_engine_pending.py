@@ -1,0 +1,108 @@
+"""O(1) pending-event accounting and the single-pop run loop."""
+
+from repro.sim import SimulationEngine
+from repro.sim.events import Timer
+
+
+class TestPendingCounter:
+    def test_schedule_increments(self):
+        engine = SimulationEngine()
+        for index in range(5):
+            engine.schedule(float(index), lambda: None)
+        assert engine.pending_events == 5
+
+    def test_cancel_decrements_immediately(self):
+        engine = SimulationEngine()
+        events = [engine.schedule(1.0, lambda: None) for _ in range(4)]
+        events[0].cancel()
+        events[2].cancel()
+        assert engine.pending_events == 2
+
+    def test_double_cancel_counts_once(self):
+        engine = SimulationEngine()
+        event = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert engine.pending_events == 1
+
+    def test_fired_events_stop_pending(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.step()
+        assert engine.pending_events == 1
+        engine.step()
+        assert engine.pending_events == 0
+
+    def test_cancel_after_fire_does_not_underflow(self):
+        engine = SimulationEngine()
+        event = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.run(until=1.5)
+        event.cancel()  # late cancel of an already-fired event
+        assert engine.pending_events == 1
+
+    def test_cancel_inside_callback(self):
+        engine = SimulationEngine()
+        victim = engine.schedule(2.0, lambda: None)
+        engine.schedule(1.0, victim.cancel)
+        fired = engine.run()
+        assert fired == 1
+        assert engine.pending_events == 0
+
+    def test_timer_restart_keeps_count_exact(self):
+        engine = SimulationEngine()
+        timer = Timer(engine, lambda: None)
+        for _ in range(3):
+            timer.start(5.0)  # each restart cancels the previous event
+        assert engine.pending_events == 1
+        engine.run(until=10.0)
+        assert engine.pending_events == 0
+
+
+class TestRunLoop:
+    def test_until_boundary_preserves_future_events(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, fired.append, "a")
+        engine.schedule(3.0, fired.append, "b")
+        assert engine.run(until=2.0) == 1
+        assert fired == ["a"]
+        assert engine.now == 2.0
+        assert engine.pending_events == 1
+        # The pushed-back event fires on the next run.
+        assert engine.run(until=4.0) == 1
+        assert fired == ["a", "b"]
+
+    def test_event_exactly_at_until_fires(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(2.0, fired.append, "x")
+        engine.run(until=2.0)
+        assert fired == ["x"]
+
+    def test_max_events_budget(self):
+        engine = SimulationEngine()
+        for index in range(5):
+            engine.schedule(float(index), lambda: None)
+        assert engine.run(max_events=3) == 3
+        assert engine.pending_events == 2
+
+    def test_cancelled_events_do_not_consume_budget(self):
+        engine = SimulationEngine()
+        live = []
+        for index in range(4):
+            event = engine.schedule(float(index), live.append, index)
+            if index % 2 == 0:
+                event.cancel()
+        assert engine.run(max_events=2) == 2
+        assert live == [1, 3]
+
+    def test_snapshot_matches_counter(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        event = engine.schedule(2.0, lambda: None)
+        event.cancel()
+        now, pending, processed = engine.snapshot()
+        assert (now, pending, processed) == (0.0, 1, 0)
