@@ -1,0 +1,32 @@
+"""A Python campaign spec: sweep the stochastic-drop attack's intensity.
+
+Python specs export ``SPEC`` (a dict or a ``CampaignSpec``); they are the
+right format when axes are computed.  This one runs the seeded
+stochastic FLOW_MOD-drop attack at one probability against every
+controller, five seeds each, so the report's throughput/latency deltas
+average over the drop pattern:
+
+    python -m repro campaign run examples/campaigns/stochastic_sweep.py \
+        --workers 4
+"""
+
+SPEC = {
+    "name": "stochastic-sweep",
+    "attacks": ["passthrough", "stochastic-drop"],
+    "controllers": ["floodlight", "pox", "ryu"],
+    "seeds": [1, 2, 3, 4, 5],
+    "baseline": "passthrough",
+    "params": {
+        "ping_trials": 5,
+        "iperf_trials": 1,
+        "iperf_duration_s": 1.0,
+        "iperf_gap_s": 1.0,
+        "warmup_s": 2.0,
+    },
+    "attack_params": {
+        "stochastic-drop": {
+            "drop_probability": 0.3,
+            "condition_text": "type = FLOW_MOD",
+        },
+    },
+}

@@ -13,7 +13,13 @@ from repro.attacks.counting import counting_attack_deque, counting_attack_naive
 from repro.attacks.delay import delay_attack
 from repro.attacks.flow_mod_suppression import flow_mod_suppression_attack
 from repro.attacks.fuzzing import fuzzing_attack
-from repro.attacks.library import passthrough_attack
+from repro.attacks.library import (
+    build_attack,
+    get_attack_factory,
+    list_attacks,
+    passthrough_attack,
+    register_attack,
+)
 from repro.attacks.link_fabrication import (
     forged_lldp_packet_in,
     link_fabrication_attack,
@@ -23,8 +29,24 @@ from repro.attacks.replay import replay_attack
 from repro.attacks.stats_evasion import stats_evasion_attack
 from repro.attacks.stochastic import stochastic_drop_attack
 
+# The registry: campaigns and the CLI reference attacks by these names.
+register_attack("passthrough", passthrough_attack)
+register_attack("flow-mod-suppression", flow_mod_suppression_attack)
+register_attack("connection-interruption", connection_interruption_attack)
+register_attack("blackhole", blackhole_attack)
+register_attack("delay", delay_attack)
+register_attack("replay", replay_attack)
+register_attack("reordering", reordering_attack)
+register_attack("fuzzing", fuzzing_attack)
+register_attack("stats-evasion", stats_evasion_attack)
+register_attack("link-fabrication", link_fabrication_attack)
+register_attack("stochastic-drop", stochastic_drop_attack)
+register_attack("counting-naive", counting_attack_naive)
+register_attack("counting-deque", counting_attack_deque)
+
 __all__ = [
     "blackhole_attack",
+    "build_attack",
     "connection_interruption_attack",
     "counting_attack_deque",
     "counting_attack_naive",
@@ -32,8 +54,11 @@ __all__ = [
     "flow_mod_suppression_attack",
     "forged_lldp_packet_in",
     "fuzzing_attack",
+    "get_attack_factory",
     "link_fabrication_attack",
+    "list_attacks",
     "passthrough_attack",
+    "register_attack",
     "reordering_attack",
     "replay_attack",
     "stats_evasion_attack",

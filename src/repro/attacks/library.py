@@ -1,8 +1,16 @@
-"""Shared helpers for building attack descriptions."""
+"""Shared helpers for building attack descriptions, and the attack registry.
+
+The registry is how higher layers (campaigns, the CLI, future sweeps)
+refer to attacks *by name* instead of importing factory functions: each
+attack module registers its factory under a stable name, and
+:func:`build_attack` instantiates one, binding ``connections`` when the
+factory wants them.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+import inspect
+from typing import Callable, Dict, Iterable, List, Tuple
 
 from repro.core.lang.actions import PassMessage
 from repro.core.lang.attack import Attack
@@ -12,6 +20,64 @@ from repro.core.lang.states import AttackState
 from repro.core.model.capabilities import Capability
 
 ConnectionKey = Tuple[str, str]
+AttackFactory = Callable[..., Attack]
+
+_REGISTRY: Dict[str, AttackFactory] = {}
+
+
+def register_attack(name: str, factory: AttackFactory,
+                    replace: bool = False) -> AttackFactory:
+    """Register ``factory`` under ``name`` (idempotent for the same factory).
+
+    Raises ``ValueError`` on a conflicting re-registration unless
+    ``replace=True``, so two modules cannot silently claim one name.
+    """
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not factory and not replace:
+        raise ValueError(f"attack {name!r} is already registered")
+    _REGISTRY[name] = factory
+    return factory
+
+
+def _ensure_builtin_attacks() -> None:
+    # The stock attack modules register themselves when the package
+    # initialises; importing it here makes lookups work even when a caller
+    # imported this module directly.
+    import repro.attacks  # noqa: F401
+
+
+def get_attack_factory(name: str) -> AttackFactory:
+    """Look up a registered factory; raises ``KeyError`` with suggestions."""
+    _ensure_builtin_attacks()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown attack {name!r}; registered: {', '.join(list_attacks())}"
+        ) from None
+
+
+def list_attacks() -> List[str]:
+    """Names of every registered attack, sorted."""
+    _ensure_builtin_attacks()
+    return sorted(_REGISTRY)
+
+
+def build_attack(name: str, connections=None, **params) -> Attack:
+    """Instantiate a registered attack by name.
+
+    ``connections`` is passed through only when the factory declares a
+    ``connections`` (or ``connection``) parameter, so connection-free
+    factories keep working; ``params`` are forwarded verbatim.
+    """
+    factory = get_attack_factory(name)
+    signature = inspect.signature(factory)
+    if connections is not None:
+        if "connections" in signature.parameters:
+            params.setdefault("connections", connections)
+        elif "connection" in signature.parameters:
+            params.setdefault("connection", connections)
+    return factory(**params)
 
 
 def passthrough_attack(connections: Iterable[ConnectionKey]) -> Attack:

@@ -1,0 +1,46 @@
+"""Campaign orchestration: parallel attack-matrix runs with resume.
+
+The paper's evaluation (§VII) is a matrix — attacks × controllers ×
+fail modes — and this package is the machinery that runs such matrices
+at scale:
+
+* :mod:`repro.campaign.spec` — a declarative :class:`CampaignSpec`
+  (Python dict, JSON, XML, or ``.py`` file) that expands the matrix into
+  run descriptors with deterministic run IDs;
+* :mod:`repro.campaign.runner` — a multiprocessing pool executing runs
+  in parallel with per-run seeded isolation, per-run timeouts, and
+  bounded retry on worker failure;
+* :mod:`repro.campaign.store` — an append-only JSONL
+  :class:`ResultStore` keyed by run ID, so an interrupted campaign
+  resumes by skipping completed runs;
+* :mod:`repro.campaign.report` — aggregation into paper-style security
+  metrics (throughput/latency deltas vs. a passthrough baseline,
+  Table II unauthorized-access windows) and Fig. 10–12-style summaries.
+
+The CLI front-end is ``repro campaign run|status|report``.
+"""
+
+from repro.campaign.report import CampaignReport, build_report
+from repro.campaign.runner import CampaignRunner, CampaignSummary, run_campaign
+from repro.campaign.spec import (
+    CampaignSpec,
+    RunDescriptor,
+    load_spec,
+    run_id_for,
+)
+from repro.campaign.store import RECORD_SCHEMA, ResultStore, make_record
+
+__all__ = [
+    "CampaignReport",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CampaignSummary",
+    "RECORD_SCHEMA",
+    "ResultStore",
+    "RunDescriptor",
+    "build_report",
+    "load_spec",
+    "make_record",
+    "run_campaign",
+    "run_id_for",
+]

@@ -1,0 +1,336 @@
+"""Aggregation of campaign records into paper-style security metrics.
+
+Records group into *cells* — (experiment, attack, controller, topology,
+fail mode) — aggregating over seeds.  For throughput/latency harnesses
+the report computes deltas against the campaign's baseline attack (the
+Fig. 5 passthrough by default): the Fig. 11 story told as numbers.  For
+the interruption harness it reports Table II's security metrics —
+unauthorized-access rate and window, denial of service — per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.campaign.spec import CampaignSpec
+
+CellKey = Tuple[str, Optional[str], str, str, str]
+
+
+def _mean(values: List[float]) -> Optional[float]:
+    return sum(values) / len(values) if values else None
+
+
+@dataclass
+class CellSummary:
+    """One aggregated matrix cell."""
+
+    experiment: str
+    attack: Optional[str]
+    controller: str
+    topology: str
+    fail_mode: str
+    seeds: List[int] = field(default_factory=list)
+    n_runs: int = 0
+    n_ok: int = 0
+    n_failed: int = 0
+    metrics: Dict[str, object] = field(default_factory=dict)
+    deltas: Dict[str, object] = field(default_factory=dict)
+    is_baseline: bool = False
+
+    @property
+    def key(self) -> CellKey:
+        return (self.experiment, self.attack, self.controller,
+                self.topology, self.fail_mode)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "experiment": self.experiment,
+            "attack": self.attack,
+            "controller": self.controller,
+            "topology": self.topology,
+            "fail_mode": self.fail_mode,
+            "seeds": sorted(self.seeds),
+            "n_runs": self.n_runs,
+            "n_ok": self.n_ok,
+            "n_failed": self.n_failed,
+            "is_baseline": self.is_baseline,
+            "metrics": self.metrics,
+            "deltas": self.deltas,
+        }
+
+
+def _aggregate_cell(cell: CellSummary,
+                    records: List[Dict[str, object]]) -> None:
+    """Fill ``cell.metrics`` from its runs' metric payloads."""
+    payloads = [r.get("metrics") or {} for r in records
+                if r.get("status") == "ok"]
+    if not payloads:
+        return
+
+    def series(name: str) -> List[float]:
+        return [float(p[name]) for p in payloads
+                if isinstance(p.get(name), (int, float))
+                and not isinstance(p.get(name), bool)]
+
+    def rate(name: str) -> float:
+        hits = sum(1 for p in payloads if p.get(name) is True)
+        return hits / len(payloads)
+
+    metrics: Dict[str, object] = {}
+    if cell.experiment in ("suppression", "interruption"):
+        metrics["denial_of_service_rate"] = rate("denial_of_service")
+        metrics["unauthorized_access_rate"] = rate("unauthorized_access")
+    if cell.experiment == "suppression":
+        metrics["throughput_mbps"] = _mean(series("throughput_mbps"))
+        metrics["median_rtt_ms"] = _mean(series("median_rtt_ms"))
+        metrics["avg_rtt_ms"] = _mean(series("avg_rtt_ms"))
+        metrics["ping_loss"] = _mean(series("ping_loss"))
+        metrics["packet_ins"] = _mean(series("packet_ins"))
+        metrics["flow_mods_dropped"] = _mean(series("flow_mods_dropped"))
+    elif cell.experiment == "interruption":
+        metrics["unauthorized_window_s"] = _mean(
+            series("unauthorized_window_s"))
+        metrics["interruption_rate"] = rate("interruption_happened")
+        metrics["external_to_internal_rate"] = rate("external_to_internal_t50")
+        metrics["post_attack_external_reach_rate"] = rate(
+            "internal_to_external_t95")
+    elif cell.experiment == "compliance":
+        metrics["checks_total"] = _mean(series("checks_total"))
+        metrics["checks_passed"] = _mean(series("checks_passed"))
+        metrics["all_passed_rate"] = rate("all_passed")
+    else:  # unknown harness: surface whatever numeric metrics exist
+        for name in sorted({k for p in payloads for k in p}):
+            values = series(name)
+            if values:
+                metrics[name] = _mean(values)
+    cell.metrics = {
+        k: (round(v, 4) if isinstance(v, float) else v)
+        for k, v in metrics.items() if v is not None
+    }
+
+
+def _compute_deltas(cell: CellSummary, baseline: CellSummary) -> None:
+    """Baseline-relative throughput/latency deltas (Fig. 11 as numbers)."""
+    deltas: Dict[str, object] = {}
+    base_thr = baseline.metrics.get("throughput_mbps")
+    cell_thr = cell.metrics.get("throughput_mbps")
+    if isinstance(base_thr, (int, float)) and isinstance(cell_thr, (int, float)):
+        deltas["throughput_delta_mbps"] = round(cell_thr - base_thr, 4)
+        if base_thr:
+            deltas["throughput_delta_pct"] = round(
+                100.0 * (cell_thr - base_thr) / base_thr, 2)
+    base_rtt = baseline.metrics.get("median_rtt_ms")
+    cell_rtt = cell.metrics.get("median_rtt_ms")
+    if isinstance(base_rtt, (int, float)):
+        if isinstance(cell_rtt, (int, float)):
+            deltas["rtt_delta_ms"] = round(cell_rtt - base_rtt, 4)
+            if base_rtt:
+                deltas["rtt_ratio"] = round(cell_rtt / base_rtt, 3)
+        elif cell.n_ok:
+            # Every attacked seed lost all pings: Fig. 11's asterisk.
+            deltas["rtt_delta_ms"] = None
+            deltas["latency_unbounded"] = True
+    if deltas:
+        cell.deltas = deltas
+
+
+@dataclass
+class CampaignReport:
+    """The aggregated campaign: cells plus completion accounting."""
+
+    campaign: str
+    baseline_attack: Optional[str]
+    cells: List[CellSummary]
+    expected_runs: int
+    ok_runs: int
+    failed_runs: int
+
+    @property
+    def missing_runs(self) -> int:
+        return max(0, self.expected_runs - self.ok_runs)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "campaign": self.campaign,
+            "baseline_attack": self.baseline_attack,
+            "expected_runs": self.expected_runs,
+            "ok_runs": self.ok_runs,
+            "failed_runs": self.failed_runs,
+            "missing_runs": self.missing_runs,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+
+    def render(self) -> str:
+        lines = [
+            f"campaign {self.campaign}: {self.ok_runs}/{self.expected_runs} "
+            f"runs ok"
+            + (f", {self.failed_runs} failed" if self.failed_runs else "")
+            + (f", {self.missing_runs} missing" if self.missing_runs else "")
+        ]
+        by_experiment: Dict[str, List[CellSummary]] = {}
+        for cell in self.cells:
+            by_experiment.setdefault(cell.experiment, []).append(cell)
+        for experiment in sorted(by_experiment):
+            lines.append("")
+            lines.extend(self._render_experiment(
+                experiment, by_experiment[experiment]))
+        return "\n".join(lines)
+
+    def _render_experiment(self, experiment: str,
+                           cells: List[CellSummary]) -> List[str]:
+        if experiment == "suppression":
+            return self._render_suppression(cells)
+        if experiment == "interruption":
+            return self._render_interruption(cells)
+        return self._render_generic(experiment, cells)
+
+    def _render_suppression(self, cells: List[CellSummary]) -> List[str]:
+        header = (f"{'attack':<22} {'controller':<11} {'fail':<10} "
+                  f"{'seeds':>5} {'thr Mbps':>9} {'Δthr%':>8} "
+                  f"{'RTT ms':>8} {'ΔRTT ms':>8} {'loss':>5} {'DoS':>5}")
+        lines = [f"suppression harness (baseline: "
+                 f"{self.baseline_attack or 'none'})", header,
+                 "-" * len(header)]
+        for cell in cells:
+            m, d = cell.metrics, cell.deltas
+            thr = m.get("throughput_mbps")
+            rtt = m.get("median_rtt_ms")
+            loss = m.get("ping_loss")
+            dthr = d.get("throughput_delta_pct")
+            drtt = d.get("rtt_delta_ms")
+            lines.append(
+                f"{cell.attack or 'baseline':<22} {cell.controller:<11} "
+                f"{cell.fail_mode:<10} {len(cell.seeds):>5} "
+                f"{_num(thr, '{:.2f}'):>9} "
+                f"{_num(dthr, '{:+.1f}%', blank=cell.is_baseline):>8} "
+                f"{_num(rtt, '{:.2f}', none='inf*'):>8} "
+                f"{_num(drtt, '{:+.2f}', blank=cell.is_baseline, none='inf*'):>8} "
+                f"{_num(loss, '{:.0%}'):>5} "
+                f"{m.get('denial_of_service_rate', 0):>5.0%}"
+            )
+        return lines
+
+    def _render_interruption(self, cells: List[CellSummary]) -> List[str]:
+        header = (f"{'attack':<24} {'controller':<11} {'fail':<10} "
+                  f"{'seeds':>5} {'unauth':>7} {'window s':>9} "
+                  f"{'DoS':>5} {'σ3':>5}")
+        lines = ["interruption harness (Table II security metrics)",
+                 header, "-" * len(header)]
+        for cell in cells:
+            m = cell.metrics
+            lines.append(
+                f"{cell.attack or 'baseline':<24} {cell.controller:<11} "
+                f"{cell.fail_mode:<10} {len(cell.seeds):>5} "
+                f"{m.get('unauthorized_access_rate', 0):>7.0%} "
+                f"{_num(m.get('unauthorized_window_s'), '{:.1f}'):>9} "
+                f"{m.get('denial_of_service_rate', 0):>5.0%} "
+                f"{m.get('interruption_rate', 0):>5.0%}"
+            )
+        return lines
+
+    def _render_generic(self, experiment: str,
+                        cells: List[CellSummary]) -> List[str]:
+        lines = [f"{experiment} harness"]
+        for cell in cells:
+            metrics = ", ".join(
+                f"{k}={_num(v, '{:.3f}') if isinstance(v, float) else v}"
+                for k, v in sorted(cell.metrics.items())
+            ) or "no metrics"
+            lines.append(
+                f"  {cell.attack or 'baseline'}/{cell.controller}"
+                f"/{cell.fail_mode} seeds={len(cell.seeds)} "
+                f"ok={cell.n_ok}/{cell.n_runs}: {metrics}"
+            )
+        return lines
+
+
+def _num(value, fmt: str, blank: bool = False, none: str = "-") -> str:
+    if blank:
+        return ""
+    if not isinstance(value, (int, float)):
+        return none
+    return fmt.format(value)
+
+
+def build_report(spec: CampaignSpec,
+                 records: Iterable[Dict[str, object]]) -> CampaignReport:
+    """Aggregate store records for ``spec`` into a :class:`CampaignReport`.
+
+    Records are matched to the spec's expanded matrix by run ID, so stale
+    records from other specs sharing the store are ignored.
+    """
+    descriptors = spec.expand()
+    wanted = {d.run_id: d for d in descriptors}
+    latest: Dict[str, Dict[str, object]] = {}
+    failed_ids = set()
+    for record in records:
+        run_id = record.get("run_id")
+        if run_id not in wanted:
+            continue
+        if record.get("status") == "ok":
+            latest[run_id] = record
+            failed_ids.discard(run_id)
+        elif run_id not in latest:
+            failed_ids.add(run_id)
+
+    cells: Dict[CellKey, CellSummary] = {}
+    cell_records: Dict[CellKey, List[Dict[str, object]]] = {}
+    for descriptor in descriptors:
+        key = (descriptor.experiment, descriptor.attack,
+               descriptor.controller, descriptor.topology,
+               descriptor.fail_mode)
+        cell = cells.get(key)
+        if cell is None:
+            cell = cells[key] = CellSummary(
+                experiment=descriptor.experiment,
+                attack=descriptor.attack,
+                controller=descriptor.controller,
+                topology=descriptor.topology,
+                fail_mode=descriptor.fail_mode,
+                is_baseline=descriptor.attack == spec.baseline,
+            )
+            cell_records[key] = []
+        cell.n_runs += 1
+        record = latest.get(descriptor.run_id)
+        if record is not None:
+            cell.n_ok += 1
+            cell.seeds.append(descriptor.seed)
+            cell_records[key].append(record)
+        elif descriptor.run_id in failed_ids:
+            cell.n_failed += 1
+
+    for key, cell in cells.items():
+        _aggregate_cell(cell, cell_records[key])
+
+    # Baseline-relative deltas: match on (controller, topology, fail_mode).
+    baselines = {
+        (c.controller, c.topology, c.fail_mode): c
+        for c in cells.values() if c.is_baseline and c.n_ok
+    }
+    for cell in cells.values():
+        if cell.is_baseline or not cell.n_ok:
+            continue
+        baseline = baselines.get(
+            (cell.controller, cell.topology, cell.fail_mode))
+        if baseline is not None:
+            _compute_deltas(cell, baseline)
+
+    ordered = sorted(
+        cells.values(),
+        key=lambda c: (c.experiment, c.attack or "", c.controller,
+                       c.topology, c.fail_mode),
+    )
+    return CampaignReport(
+        campaign=spec.name,
+        baseline_attack=spec.baseline,
+        cells=ordered,
+        expected_runs=len(descriptors),
+        ok_runs=len(latest),
+        failed_runs=len(failed_ids),
+    )

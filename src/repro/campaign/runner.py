@@ -1,0 +1,243 @@
+"""The campaign runner: a bounded pool of per-run worker processes.
+
+Every run executes in a *fresh* process (per-run seeded isolation: no
+state bleeds between cells, and a crashing experiment takes down only
+its own worker).  The parent keeps up to ``workers`` processes alive,
+enforces a per-run wall-clock timeout, retries failed runs up to
+``retries`` extra attempts, and is the only writer to the result store.
+
+Workers ship their metrics back over a one-shot pipe; a worker that dies
+without reporting (hard crash, kill, timeout) is indistinguishable from
+— and handled the same as — a timed-out one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.campaign.spec import CampaignSpec, RunDescriptor
+from repro.campaign.store import ResultStore, make_record
+
+#: How often the scheduler polls its active workers (seconds).
+_POLL_INTERVAL_S = 0.01
+
+
+def _worker_main(descriptor: Dict[str, object], attempt: int, conn) -> None:
+    """Worker entry point: run one descriptor, ship the outcome, exit."""
+    from repro.campaign.executors import execute_descriptor
+
+    try:
+        metrics = execute_descriptor(descriptor, attempt=attempt)
+    except BaseException:
+        try:
+            conn.send({"status": "error",
+                       "error": traceback.format_exc(limit=8)})
+        finally:
+            conn.close()
+        return
+    conn.send({"status": "ok", "metrics": metrics})
+    conn.close()
+
+
+@dataclass
+class _ActiveRun:
+    descriptor: RunDescriptor
+    attempt: int
+    process: multiprocessing.Process
+    conn: object
+    started_at: float
+    deadline: float
+    last_error: Optional[str] = None
+
+
+@dataclass
+class CampaignSummary:
+    """What one ``run_campaign`` invocation did."""
+
+    campaign: str
+    total: int
+    skipped: int = 0
+    executed: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    retries_used: int = 0
+    duration_s: float = 0.0
+    failed_run_ids: List[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return self.failed == 0
+
+    def render(self) -> str:
+        return (
+            f"campaign {self.campaign}: {self.total} runs — "
+            f"{self.skipped} already complete, {self.executed} executed "
+            f"({self.succeeded} ok, {self.failed} failed, "
+            f"{self.retries_used} retries) in {self.duration_s:.1f}s"
+        )
+
+
+class CampaignRunner:
+    """Schedules a spec's pending runs over a process pool."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: ResultStore,
+        workers: int = 1,
+        timeout_s: Optional[float] = None,
+        retries: Optional[int] = None,
+        progress: Optional[Callable[[str], None]] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        self.spec = spec
+        self.store = store
+        self.workers = max(1, int(workers))
+        self.timeout_s = float(timeout_s if timeout_s is not None
+                               else spec.timeout_s)
+        self.retries = int(retries if retries is not None else spec.retries)
+        self._progress = progress or (lambda line: None)
+        self._ctx = multiprocessing.get_context(mp_context)
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> CampaignSummary:
+        started = time.time()
+        descriptors = self.spec.expand()
+        completed = self.store.completed_ids()
+        pending = [d for d in descriptors if d.run_id not in completed]
+        summary = CampaignSummary(
+            campaign=self.spec.name,
+            total=len(descriptors),
+            skipped=len(descriptors) - len(pending),
+        )
+        if summary.skipped:
+            self._progress(
+                f"resume: skipping {summary.skipped} completed run(s)")
+        queue = list(reversed(pending))  # pop() preserves matrix order
+        active: List[_ActiveRun] = []
+        try:
+            while queue or active:
+                while queue and len(active) < self.workers:
+                    active.append(self._launch(queue.pop(), attempt=1))
+                time.sleep(_POLL_INTERVAL_S)
+                still_active: List[_ActiveRun] = []
+                for run in active:
+                    outcome = self._poll(run)
+                    if outcome is None:
+                        still_active.append(run)
+                        continue
+                    retry = self._settle(run, outcome, summary)
+                    if retry is not None:
+                        still_active.append(retry)
+                active = still_active
+        finally:
+            for run in active:  # interrupted: don't leak workers
+                if run.process.is_alive():
+                    run.process.terminate()
+                run.process.join()
+        summary.duration_s = time.time() - started
+        self._progress(summary.render())
+        return summary
+
+    def _launch(self, descriptor: RunDescriptor, attempt: int,
+                last_error: Optional[str] = None) -> _ActiveRun:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(descriptor.identity(), attempt, child_conn),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # parent keeps only the read end
+        now = time.time()
+        self._progress(
+            f"run {descriptor.run_id} [{descriptor.label()}] "
+            f"attempt {attempt} started (pid {process.pid})")
+        return _ActiveRun(
+            descriptor=descriptor,
+            attempt=attempt,
+            process=process,
+            conn=parent_conn,
+            started_at=now,
+            deadline=now + self.timeout_s,
+            last_error=last_error,
+        )
+
+    def _poll(self, run: _ActiveRun) -> Optional[Dict[str, object]]:
+        """None while running; otherwise this attempt's outcome dict."""
+        if run.process.is_alive():
+            if time.time() < run.deadline:
+                return None
+            run.process.terminate()
+            run.process.join()
+            return {"status": "error",
+                    "error": f"timeout after {self.timeout_s:.1f}s"}
+        run.process.join()
+        try:
+            if run.conn.poll():
+                return run.conn.recv()
+        except (EOFError, OSError):
+            pass
+        return {"status": "error",
+                "error": f"worker crashed (exit code {run.process.exitcode})"}
+
+    def _settle(self, run: _ActiveRun, outcome: Dict[str, object],
+                summary: CampaignSummary) -> Optional[_ActiveRun]:
+        """Record a finished attempt; relaunch if retries remain."""
+        run.conn.close()
+        duration = time.time() - run.started_at
+        descriptor = run.descriptor
+        if outcome.get("status") == "ok":
+            summary.executed += 1
+            summary.succeeded += 1
+            summary.retries_used += run.attempt - 1
+            self.store.append(make_record(
+                descriptor.to_dict(), "ok", outcome.get("metrics"),
+                attempts=run.attempt, duration_s=duration,
+                campaign=self.spec.name,
+            ))
+            self._progress(
+                f"run {descriptor.run_id} ok "
+                f"(attempt {run.attempt}, {duration:.2f}s)")
+            return None
+        error = str(outcome.get("error") or "unknown failure").strip()
+        if run.attempt <= self.retries:
+            self._progress(
+                f"run {descriptor.run_id} attempt {run.attempt} failed "
+                f"({error.splitlines()[-1]}); retrying")
+            return self._launch(descriptor, run.attempt + 1, last_error=error)
+        summary.executed += 1
+        summary.failed += 1
+        summary.retries_used += run.attempt - 1
+        summary.failed_run_ids.append(descriptor.run_id)
+        self.store.append(make_record(
+            descriptor.to_dict(), "failed", None,
+            attempts=run.attempt, duration_s=duration, error=error,
+            campaign=self.spec.name,
+        ))
+        self._progress(
+            f"run {descriptor.run_id} FAILED after {run.attempt} attempt(s): "
+            f"{error.splitlines()[-1]}")
+        return None
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: ResultStore,
+    workers: int = 1,
+    timeout_s: Optional[float] = None,
+    retries: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignSummary:
+    """Convenience wrapper: build a :class:`CampaignRunner` and run it."""
+    return CampaignRunner(
+        spec, store, workers=workers, timeout_s=timeout_s,
+        retries=retries, progress=progress,
+    ).run()

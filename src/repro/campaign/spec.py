@@ -1,0 +1,287 @@
+"""Declarative campaign specifications and matrix expansion.
+
+A :class:`CampaignSpec` names the axes of an evaluation matrix — attacks
+(registry names), controllers, topologies, fail modes, seeds — plus
+shared experiment parameters, and expands them into the full list of
+:class:`RunDescriptor` cells.  Descriptors are plain data (picklable,
+JSON-serialisable) and carry a deterministic :func:`run_id_for` hash of
+everything that influences the run's outcome, which is what makes the
+result store resumable: the same cell always hashes to the same ID, so a
+completed record means the run never needs to execute again.
+
+Specs load from Python dicts, JSON files, XML files (the same front-end
+idiom as the attack/system models), or ``.py`` files exporting ``SPEC``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import xml.etree.ElementTree as ET
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Experiment harness chosen for attacks that do not override it.
+DEFAULT_EXPERIMENT = "suppression"
+
+#: Attacks that demand a specific harness (probe timeline differs).
+_ATTACK_EXPERIMENTS = {
+    "connection-interruption": "interruption",
+}
+
+
+def experiment_for_attack(attack: Optional[str]) -> str:
+    """The harness a registry attack runs under by default."""
+    if attack is None:
+        return DEFAULT_EXPERIMENT
+    return _ATTACK_EXPERIMENTS.get(attack, DEFAULT_EXPERIMENT)
+
+
+def run_id_for(identity: Dict[str, object]) -> str:
+    """A deterministic 16-hex-digit ID for one run's identity dict.
+
+    Canonical JSON (sorted keys, no whitespace drift) hashed with
+    SHA-256; the campaign *name* is deliberately not part of the
+    identity, so renaming a campaign does not invalidate its results.
+    """
+    canonical = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class RunDescriptor:
+    """One cell of the campaign matrix, ready to hand to a worker."""
+
+    experiment: str
+    attack: Optional[str]
+    controller: str
+    topology: str
+    fail_mode: str
+    seed: int
+    params: Dict[str, object] = field(default_factory=dict)
+    attack_params: Dict[str, object] = field(default_factory=dict)
+
+    def identity(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @property
+    def run_id(self) -> str:
+        return run_id_for(self.identity())
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = self.identity()
+        payload["run_id"] = self.run_id
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunDescriptor":
+        return cls(
+            experiment=str(data["experiment"]),
+            attack=data.get("attack"),
+            controller=str(data.get("controller", "floodlight")),
+            topology=str(data.get("topology", "enterprise")),
+            fail_mode=str(data.get("fail_mode", "secure")),
+            seed=int(data.get("seed", 0)),
+            params=dict(data.get("params") or {}),
+            attack_params=dict(data.get("attack_params") or {}),
+        )
+
+    def label(self) -> str:
+        """Short human label for progress lines."""
+        return (f"{self.experiment}/{self.attack or 'baseline'}"
+                f"/{self.controller}/{self.fail_mode}/seed={self.seed}")
+
+
+@dataclass
+class CampaignSpec:
+    """The declarative matrix: axes x shared parameters."""
+
+    name: str
+    attacks: List[Optional[str]] = field(default_factory=lambda: ["passthrough"])
+    controllers: List[str] = field(
+        default_factory=lambda: ["floodlight", "pox", "ryu"])
+    topologies: List[str] = field(default_factory=lambda: ["enterprise"])
+    fail_modes: List[str] = field(default_factory=lambda: ["secure"])
+    seeds: List[int] = field(default_factory=lambda: [0])
+    baseline: Optional[str] = "passthrough"
+    experiment: Optional[str] = None
+    params: Dict[str, object] = field(default_factory=dict)
+    attack_params: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    timeout_s: float = 120.0
+    retries: int = 1
+
+    # ------------------------------------------------------------------ #
+    # Validation and expansion
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> None:
+        """Fail fast on axis values nothing downstream would accept."""
+        from repro.attacks import list_attacks
+        from repro.controllers import CONTROLLER_FACTORIES
+        from repro.dataplane import FailMode
+
+        if not self.name:
+            raise ValueError("campaign needs a name")
+        if not self.attacks:
+            raise ValueError("campaign needs at least one attack axis value")
+        known_attacks = set(list_attacks())
+        for attack in self.attacks:
+            if attack is not None and attack not in known_attacks:
+                raise ValueError(
+                    f"unknown attack {attack!r}; registered: "
+                    f"{', '.join(sorted(known_attacks))}"
+                )
+        if self.experiment is None:
+            for controller in self.controllers:
+                if controller not in CONTROLLER_FACTORIES:
+                    raise ValueError(
+                        f"unknown controller {controller!r}; choose from "
+                        f"{sorted(CONTROLLER_FACTORIES)}"
+                    )
+            for mode in self.fail_modes:
+                FailMode(mode)  # raises ValueError on a bad mode
+        for seed in self.seeds:
+            if not isinstance(seed, int):
+                raise ValueError(f"seeds must be integers, got {seed!r}")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+
+    def expand(self) -> List[RunDescriptor]:
+        """The full matrix, in a deterministic axis-major order."""
+        self.validate()
+        descriptors = []
+        for attack, controller, topology, fail_mode, seed in itertools.product(
+            self.attacks, self.controllers, self.topologies,
+            self.fail_modes, self.seeds,
+        ):
+            descriptors.append(RunDescriptor(
+                experiment=self.experiment or experiment_for_attack(attack),
+                attack=attack,
+                controller=controller,
+                topology=topology,
+                fail_mode=fail_mode,
+                seed=seed,
+                params=dict(self.params),
+                attack_params=dict(self.attack_params.get(attack) or {}),
+            ))
+        return descriptors
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignSpec":
+        unknown = set(data) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(f"unknown campaign spec keys: {sorted(unknown)}")
+        spec = cls(**dict(data))
+        spec.seeds = [int(s) for s in spec.seeds]
+        spec.timeout_s = float(spec.timeout_s)
+        spec.retries = int(spec.retries)
+        return spec
+
+    @classmethod
+    def from_xml(cls, text: str) -> "CampaignSpec":
+        """Parse the XML front-end::
+
+            <campaign name="matrix">
+              <attacks>
+                <attack name="passthrough"/>
+                <attack name="flow-mod-suppression"/>
+              </attacks>
+              <controllers><controller name="pox"/></controllers>
+              <fail-modes><fail-mode value="secure"/></fail-modes>
+              <seeds><seed value="1"/><seed value="2"/></seeds>
+              <params ping_trials="3" iperf_trials="1"/>
+              <attack-params attack="stochastic-drop" drop_probability="0.2"/>
+            </campaign>
+        """
+        root = ET.fromstring(text)
+        if root.tag != "campaign":
+            raise ValueError(f"expected <campaign>, got <{root.tag}>")
+
+        def axis(container: str, item: str, attr: str) -> List[str]:
+            parent = root.find(container)
+            if parent is None:
+                return []
+            return [el.attrib[attr] for el in parent.findall(item)]
+
+        data: Dict[str, object] = {"name": root.attrib.get("name", "campaign")}
+        attacks = axis("attacks", "attack", "name")
+        if attacks:
+            data["attacks"] = [None if a == "none" else a for a in attacks]
+        controllers = axis("controllers", "controller", "name")
+        if controllers:
+            data["controllers"] = controllers
+        topologies = axis("topologies", "topology", "name")
+        if topologies:
+            data["topologies"] = topologies
+        fail_modes = axis("fail-modes", "fail-mode", "value")
+        if fail_modes:
+            data["fail_modes"] = fail_modes
+        seeds = axis("seeds", "seed", "value")
+        if seeds:
+            data["seeds"] = [int(s) for s in seeds]
+        for attr in ("baseline", "experiment"):
+            if attr in root.attrib:
+                data[attr] = root.attrib[attr] or None
+        if "timeout-s" in root.attrib:
+            data["timeout_s"] = float(root.attrib["timeout-s"])
+        if "retries" in root.attrib:
+            data["retries"] = int(root.attrib["retries"])
+        params_el = root.find("params")
+        if params_el is not None:
+            data["params"] = {k: _coerce(v) for k, v in params_el.attrib.items()}
+        attack_params: Dict[str, Dict[str, object]] = {}
+        for el in root.findall("attack-params"):
+            attack = el.attrib["attack"]
+            attack_params[attack] = {
+                k: _coerce(v) for k, v in el.attrib.items() if k != "attack"
+            }
+        if attack_params:
+            data["attack_params"] = attack_params
+        return cls.from_dict(data)
+
+
+def _coerce(value: str) -> object:
+    """XML attributes are strings; recover ints/floats/bools."""
+    lowered = value.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for converter in (int, float):
+        try:
+            return converter(value)
+        except ValueError:
+            continue
+    return value
+
+
+def load_spec(path) -> CampaignSpec:
+    """Load a spec from ``.xml``, ``.json``, or ``.py`` (exports ``SPEC``)."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    suffix = path.suffix.lower()
+    if suffix == ".xml":
+        return CampaignSpec.from_xml(text)
+    if suffix == ".json":
+        return CampaignSpec.from_dict(json.loads(text))
+    if suffix == ".py":
+        namespace: Dict[str, object] = {}
+        exec(compile(text, str(path), "exec"), namespace)  # noqa: S102
+        spec = namespace.get("SPEC")
+        if spec is None:
+            raise ValueError(f"{path} defines no SPEC")
+        if isinstance(spec, CampaignSpec):
+            return spec
+        if isinstance(spec, dict):
+            return CampaignSpec.from_dict(spec)
+        raise ValueError(f"{path}: SPEC must be a CampaignSpec or dict")
+    raise ValueError(f"unsupported spec format {suffix!r} (xml/json/py)")

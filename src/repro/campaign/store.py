@@ -1,0 +1,133 @@
+"""Append-only JSONL result store keyed by deterministic run IDs.
+
+One record per line; the file is the campaign's durable state.  Only the
+campaign parent process writes (workers ship results back over pipes),
+so appends need no cross-process locking; readers tolerate a torn final
+line from a run that was killed mid-write.
+
+``completed_ids`` is what makes campaigns resumable: re-running a spec
+skips every run whose ID already has an ``"ok"`` record.  Failed records
+stay in the file as an audit trail but do not mark the run complete, so
+a resume retries them.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set
+
+#: Schema tag stamped on every record (also emitted by the CLI ``--json``
+#: modes, so single-shot runs and campaign runs share one format).
+RECORD_SCHEMA = "attain.campaign.run.v1"
+
+
+def make_record(
+    descriptor: Dict[str, object],
+    status: str,
+    metrics: Optional[Dict[str, object]],
+    attempts: int = 1,
+    duration_s: float = 0.0,
+    error: Optional[str] = None,
+    campaign: Optional[str] = None,
+) -> Dict[str, object]:
+    """Build one store record from a run descriptor's ``to_dict()``."""
+    record = {
+        "schema": RECORD_SCHEMA,
+        "run_id": descriptor["run_id"],
+        "campaign": campaign,
+        "experiment": descriptor["experiment"],
+        "attack": descriptor.get("attack"),
+        "controller": descriptor.get("controller"),
+        "topology": descriptor.get("topology"),
+        "fail_mode": descriptor.get("fail_mode"),
+        "seed": descriptor.get("seed"),
+        "params": descriptor.get("params") or {},
+        "attack_params": descriptor.get("attack_params") or {},
+        "status": status,
+        "attempts": attempts,
+        "duration_s": round(duration_s, 4),
+        "error": error,
+        "metrics": metrics,
+    }
+    return record
+
+
+class ResultStore:
+    """The campaign's JSONL ledger."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.records())
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+
+    def append(self, record: Dict[str, object]) -> None:
+        """Append one record (adds a wall-clock ``recorded_at`` stamp)."""
+        payload = dict(record)
+        payload.setdefault("recorded_at", round(time.time(), 3))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a+b") as handle:
+            # Heal a torn final line (a run killed mid-write left no
+            # newline): start this record on a line of its own so the
+            # torn record stays the only casualty.
+            handle.seek(0, 2)
+            if handle.tell() > 0:
+                handle.seek(-1, 2)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+            line = json.dumps(payload, sort_keys=True) + "\n"
+            handle.write(line.encode("utf-8"))
+            handle.flush()
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def records(self) -> Iterator[Dict[str, object]]:
+        """Yield every parseable record; skip torn/corrupt lines."""
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from an interrupted run
+                if isinstance(record, dict):
+                    yield record
+
+    def latest_by_run(self) -> Dict[str, Dict[str, object]]:
+        """The last record per run ID (later attempts supersede earlier)."""
+        latest: Dict[str, Dict[str, object]] = {}
+        for record in self.records():
+            run_id = record.get("run_id")
+            if isinstance(run_id, str):
+                latest[run_id] = record
+        return latest
+
+    def completed_ids(self) -> Set[str]:
+        """Run IDs with at least one successful record."""
+        done: Set[str] = set()
+        for record in self.records():
+            if record.get("status") == "ok" and isinstance(
+                    record.get("run_id"), str):
+                done.add(record["run_id"])
+        return done
+
+    def ok_records(self) -> List[Dict[str, object]]:
+        """The latest successful record per run ID, in file order."""
+        latest_ok: Dict[str, Dict[str, object]] = {}
+        for record in self.records():
+            run_id = record.get("run_id")
+            if record.get("status") == "ok" and isinstance(run_id, str):
+                latest_ok[run_id] = record
+        return list(latest_ok.values())

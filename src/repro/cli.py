@@ -2,9 +2,12 @@
 
 Usage::
 
-    python -m repro suppression --controller pox
+    python -m repro suppression --controller pox --seed 7 --json
     python -m repro interruption
     python -m repro compliance
+    python -m repro campaign run matrix.xml --workers 4
+    python -m repro campaign status matrix.xml
+    python -m repro campaign report matrix.xml
     python -m repro compile --system sys.xml --attack-model model.xml \\
         --attack attack.xml --output attack_module.py
     python -m repro graph --system sys.xml --attack attack.xml
@@ -13,10 +16,28 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import List, Optional
 
 CONTROLLERS = ("floodlight", "pox", "ryu")
+
+
+def _print_run_record(experiment: str, attack: Optional[str], controller: str,
+                      fail_mode: str, seed: int, params: dict, metrics: dict,
+                      duration_s: float) -> None:
+    """Emit one single-shot run in the campaign ResultStore record schema."""
+    from repro.campaign import RunDescriptor, make_record
+
+    descriptor = RunDescriptor(
+        experiment=experiment, attack=attack, controller=controller,
+        topology="enterprise", fail_mode=fail_mode, seed=seed,
+        params=dict(params),
+    )
+    record = make_record(descriptor.to_dict(), "ok", metrics,
+                         duration_s=duration_s)
+    print(json.dumps(record, sort_keys=True))
 
 
 def _cmd_suppression(args: argparse.Namespace) -> int:
@@ -30,13 +51,24 @@ def _cmd_suppression(args: argparse.Namespace) -> int:
                       iperf_duration_s=args.iperf_duration, iperf_gap_s=2.0,
                       warmup_s=5.0)
     controllers = CONTROLLERS if args.controller == "all" else (args.controller,)
-    header = (f"{'controller':<11} {'mode':<9} {'throughput':>12} "
-              f"{'median RTT':>12} {'loss':>6} {'PACKET_INs':>11}")
-    print(header)
-    print("-" * len(header))
+    if not args.json:
+        header = (f"{'controller':<11} {'mode':<9} {'throughput':>12} "
+                  f"{'median RTT':>12} {'loss':>6} {'PACKET_INs':>11}")
+        print(header)
+        print("-" * len(header))
     for controller in controllers:
         for attacked in (False, True):
-            result = run_suppression_experiment(controller, attacked, **config)
+            started = time.time()
+            result = run_suppression_experiment(controller, attacked,
+                                                seed=args.seed, **config)
+            if args.json:
+                _print_run_record(
+                    "suppression",
+                    "flow-mod-suppression" if attacked else "passthrough",
+                    controller, "secure", args.seed, config,
+                    result.record(), time.time() - started,
+                )
+                continue
             rtt = (f"{result.median_rtt_s * 1000:.2f} ms"
                    if result.median_rtt_s is not None else "inf (*)")
             throughput = (f"{result.mean_throughput_mbps:.2f} Mbps"
@@ -54,7 +86,16 @@ def _cmd_interruption(args: argparse.Namespace) -> int:
     controllers = CONTROLLERS if args.controller == "all" else (args.controller,)
     for controller in controllers:
         for mode in (FailMode.STANDALONE, FailMode.SECURE):
-            result = run_interruption_experiment(controller, mode)
+            started = time.time()
+            result = run_interruption_experiment(controller, mode,
+                                                 seed=args.seed)
+            if args.json:
+                _print_run_record(
+                    "interruption", "connection-interruption", controller,
+                    mode.value, args.seed, {}, result.record(),
+                    time.time() - started,
+                )
+                continue
             row = result.row()
             notes = []
             if result.unauthorized_increased_access:
@@ -71,11 +112,103 @@ def _cmd_interruption(args: argparse.Namespace) -> int:
 
 
 def _cmd_compliance(args: argparse.Namespace) -> int:
-    from repro.experiments.compliance import run_compliance_suite
+    from repro.experiments.compliance import run_cell, run_compliance_suite
 
+    if args.json:
+        started = time.time()
+        metrics = run_cell()
+        _print_run_record("compliance", None, "none", "secure", 0, {},
+                          metrics, time.time() - started)
+        return 0 if metrics["all_passed"] else 1
     report = run_compliance_suite()
     print(report.render())
     return 0 if report.all_passed else 1
+
+
+# ---------------------------------------------------------------------- #
+# Campaigns
+# ---------------------------------------------------------------------- #
+
+
+def _campaign_store(args: argparse.Namespace):
+    from pathlib import Path
+
+    from repro.campaign import ResultStore
+
+    if args.store:
+        return ResultStore(args.store)
+    return ResultStore(Path(args.spec).with_suffix(".results.jsonl"))
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import build_report, load_spec, run_campaign
+
+    spec = load_spec(args.spec)
+    store = _campaign_store(args)
+    progress = None if args.quiet else (
+        lambda line: print(line, file=sys.stderr))
+    summary = run_campaign(
+        spec, store, workers=args.workers,
+        timeout_s=args.timeout, retries=args.retries, progress=progress,
+    )
+    if args.json:
+        print(json.dumps({
+            "campaign": summary.campaign,
+            "total": summary.total,
+            "skipped": summary.skipped,
+            "executed": summary.executed,
+            "succeeded": summary.succeeded,
+            "failed": summary.failed,
+            "retries_used": summary.retries_used,
+            "duration_s": round(summary.duration_s, 3),
+            "failed_run_ids": summary.failed_run_ids,
+            "store": str(store.path),
+        }, sort_keys=True))
+    else:
+        print(summary.render())
+        print(build_report(spec, store.records()).render())
+    return 0 if summary.complete else 1
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import load_spec
+
+    spec = load_spec(args.spec)
+    store = _campaign_store(args)
+    descriptors = spec.expand()
+    completed = store.completed_ids()
+    pending = [d for d in descriptors if d.run_id not in completed]
+    payload = {
+        "campaign": spec.name,
+        "store": str(store.path),
+        "total": len(descriptors),
+        "completed": len(descriptors) - len(pending),
+        "pending": len(pending),
+        "pending_runs": [
+            {"run_id": d.run_id, "label": d.label()} for d in pending
+        ],
+    }
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(f"campaign {spec.name}: {payload['completed']}/"
+              f"{payload['total']} runs complete ({store.path})")
+        for entry in payload["pending_runs"]:
+            print(f"  pending {entry['run_id']} [{entry['label']}]")
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.campaign import build_report, load_spec
+
+    spec = load_spec(args.spec)
+    store = _campaign_store(args)
+    report = build_report(spec, store.records())
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if not report.missing_runs and not report.failed_runs else 1
 
 
 def _load_system(path: str):
@@ -150,6 +283,10 @@ def build_parser() -> argparse.ArgumentParser:
     suppression.add_argument("--ping-trials", type=int, default=10)
     suppression.add_argument("--iperf-trials", type=int, default=2)
     suppression.add_argument("--iperf-duration", type=float, default=2.0)
+    suppression.add_argument("--seed", type=int, default=0,
+                             help="root seed for the run's random streams")
+    suppression.add_argument("--json", action="store_true",
+                             help="emit campaign-schema JSONL records")
     suppression.set_defaults(handler=_cmd_suppression)
 
     interruption = subparsers.add_parser(
@@ -157,12 +294,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     interruption.add_argument("--controller", default="all",
                               choices=CONTROLLERS + ("all",))
+    interruption.add_argument("--seed", type=int, default=0,
+                              help="root seed for the run's random streams")
+    interruption.add_argument("--json", action="store_true",
+                              help="emit campaign-schema JSONL records")
     interruption.set_defaults(handler=_cmd_interruption)
 
     compliance = subparsers.add_parser(
         "compliance", help="run the OFTest-style switch compliance suite"
     )
+    compliance.add_argument("--json", action="store_true",
+                            help="emit a campaign-schema JSON record")
     compliance.set_defaults(handler=_cmd_compliance)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run/inspect attack-matrix campaigns (parallel, resumable)",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+
+    def _common_campaign_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("spec", help="campaign spec file (.xml/.json/.py)")
+        sub.add_argument("--store",
+                         help="result store JSONL path "
+                              "(default: <spec>.results.jsonl)")
+        sub.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="execute the spec's pending runs in parallel")
+    _common_campaign_args(campaign_run)
+    campaign_run.add_argument("--workers", type=int, default=1,
+                              help="parallel worker processes")
+    campaign_run.add_argument("--timeout", type=float, default=None,
+                              help="per-run wall-clock timeout (seconds)")
+    campaign_run.add_argument("--retries", type=int, default=None,
+                              help="extra attempts after a worker failure")
+    campaign_run.add_argument("--quiet", action="store_true",
+                              help="suppress per-run progress on stderr")
+    campaign_run.set_defaults(handler=_cmd_campaign_run)
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="show completed vs. pending runs")
+    _common_campaign_args(campaign_status)
+    campaign_status.set_defaults(handler=_cmd_campaign_status)
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="aggregate the store into security metrics")
+    _common_campaign_args(campaign_report)
+    campaign_report.set_defaults(handler=_cmd_campaign_report)
 
     compile_cmd = subparsers.add_parser(
         "compile", help="compile attack XML into executable Python code"

@@ -1,6 +1,12 @@
-"""The Section VII enterprise case study and experiment drivers."""
+"""The Section VII enterprise case study and experiment drivers.
+
+Each driver module also exposes a ``run_cell`` campaign entry point
+(re-exported here with a qualified name) that runs one matrix cell and
+returns the flat metrics dict the campaign ResultStore records.
+"""
 
 from repro.experiments.compliance import ComplianceReport, run_compliance_suite
+from repro.experiments.compliance import run_cell as run_compliance_cell
 from repro.experiments.enterprise import (
     EnterpriseSetup,
     INTERNAL_HOST_NAMES,
@@ -12,10 +18,12 @@ from repro.experiments.interruption import (
     InterruptionResult,
     run_interruption_experiment,
 )
+from repro.experiments.interruption import run_cell as run_interruption_cell
 from repro.experiments.suppression import (
     SuppressionResult,
     run_suppression_experiment,
 )
+from repro.experiments.suppression import run_cell as run_suppression_cell
 from repro.experiments.syscmd import HostCommandRouter
 
 __all__ = [
@@ -28,7 +36,10 @@ __all__ = [
     "build_enterprise",
     "enterprise_system_model",
     "enterprise_topology",
+    "run_compliance_cell",
     "run_compliance_suite",
+    "run_interruption_cell",
     "run_interruption_experiment",
+    "run_suppression_cell",
     "run_suppression_experiment",
 ]

@@ -438,3 +438,23 @@ def run_compliance_suite() -> ComplianceReport:
             passed, detail = False, f"exception: {exc!r}"
         report.results.append(CheckResult(name, passed, detail))
     return report
+
+
+def run_cell(fail_mode: str = FailMode.SECURE.value, seed: int = 0,
+             **_params) -> Dict[str, object]:
+    """Campaign entry point: the whole compliance suite as one run record.
+
+    The suite is deterministic and takes no controller/attack axes; the
+    extra keyword arguments exist so campaign descriptors can dispatch to
+    it uniformly.
+    """
+    report = run_compliance_suite()
+    return {
+        "experiment": "compliance",
+        "fail_mode": fail_mode,
+        "seed": seed,
+        "checks_total": len(report.results),
+        "checks_passed": report.passed_count,
+        "all_passed": report.all_passed,
+        "failed_checks": [r.name for r in report.results if not r.passed],
+    }

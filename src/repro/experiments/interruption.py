@@ -20,7 +20,7 @@ can no longer reach external hosts after the interruption.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.attacks import connection_interruption_attack
 from repro.core import RuntimeInjector
@@ -33,6 +33,7 @@ from repro.experiments.enterprise import (
     build_enterprise,
 )
 from repro.sim.engine import SimulationEngine
+from repro.sim.rng import SeededRng
 
 
 @dataclass
@@ -51,6 +52,8 @@ class InterruptionResult:
     attack_states_visited: List[str]
     interruption_happened: bool
     connection_deaths: int
+    seed: int = 0
+    unauthorized_window_s: float = 0.0
 
     @property
     def unauthorized_increased_access(self) -> bool:
@@ -75,6 +78,27 @@ class InterruptionResult:
             "denial_of_service": self.denial_of_service,
         }
 
+    def record(self) -> Dict[str, object]:
+        """The campaign ResultStore metrics payload for this run."""
+        return {
+            "experiment": "interruption",
+            "controller": self.controller,
+            "attack": "connection-interruption" if self.attacked else None,
+            "attacked": self.attacked,
+            "fail_mode": self.fail_mode,
+            "seed": self.seed,
+            "external_to_external_t30": self.external_to_external_t30,
+            "internal_to_external_t30": self.internal_to_external_t30,
+            "external_to_internal_t50": self.external_to_internal_t50,
+            "internal_to_external_t95": self.internal_to_external_t95,
+            "attack_states_visited": list(self.attack_states_visited),
+            "interruption_happened": self.interruption_happened,
+            "connection_deaths": self.connection_deaths,
+            "unauthorized_access": self.unauthorized_increased_access,
+            "unauthorized_window_s": round(self.unauthorized_window_s, 3),
+            "denial_of_service": self.denial_of_service,
+        }
+
 
 def run_interruption_experiment(
     controller_kind: str,
@@ -82,13 +106,15 @@ def run_interruption_experiment(
     attacked: bool = True,
     time_scale: float = 1.0,
     behavior_override=None,
+    seed: int = 0,
 ) -> InterruptionResult:
     """Run one Table II cell.
 
     ``time_scale`` compresses the timeline for fast tests (0.5 halves all
     offsets and ping windows; liveness timeouts are protocol constants and
     are NOT scaled, so very small scales will not leave room for the
-    interruption to be detected — keep >= 0.5).
+    interruption to be detected — keep >= 0.5).  ``seed`` roots the run's
+    random streams so repeated runs are bit-identical.
     """
     engine = SimulationEngine()
     setup = build_enterprise(
@@ -106,7 +132,8 @@ def run_interruption_experiment(
             trigger_source_ip=setup.external_user_ip,
             protected_destination_ips=setup.internal_ips,
         )
-    injector = RuntimeInjector(engine, attack_model, attack)
+    injector = RuntimeInjector(engine, attack_model, attack,
+                               rng=SeededRng(seed))
     control_monitor = ControlPlaneMonitor()
     injector.add_observer(control_monitor)
     injector.install(setup.network, {"c1": setup.controller})
@@ -154,15 +181,51 @@ def run_interruption_experiment(
     visited = control_monitor.visited_states() or (
         [injector.current_state] if injector.current_state else []
     )
+    breached = reached("ext_int_t50")
     return InterruptionResult(
         controller=controller_kind,
         fail_mode=fail_mode.value,
         attacked=attacked,
         external_to_external_t30=reached("ext_ext_t30"),
         internal_to_external_t30=reached("int_ext_t30"),
-        external_to_internal_t50=reached("ext_int_t50"),
+        external_to_internal_t50=breached,
         internal_to_external_t95=reached("int_ext_t95"),
         attack_states_visited=visited,
         interruption_happened="sigma3" in visited,
         connection_deaths=network.switch(DMZ_SWITCH).stats["connection_deaths"],
+        seed=seed,
+        # Table II's security exposure, as a window: the external->internal
+        # probe ran for `long` seconds, all of them unauthorized if any
+        # probe got through (the firewall rule never recovers mid-series).
+        unauthorized_window_s=float(long) if breached else 0.0,
     )
+
+
+def run_cell(
+    controller: str = "floodlight",
+    attack: Optional[str] = "connection-interruption",
+    fail_mode: str = FailMode.SECURE.value,
+    seed: int = 0,
+    attack_params: Optional[Dict[str, object]] = None,
+    **params,
+) -> Dict[str, object]:
+    """Campaign entry point: one Table II cell -> metrics dict.
+
+    ``attack`` is either ``"connection-interruption"`` or ``None`` /
+    ``"passthrough"`` for the un-attacked baseline; other registry names
+    do not fit this harness's probe timeline.
+    """
+    if attack not in (None, "passthrough", "connection-interruption"):
+        raise ValueError(
+            f"interruption harness runs 'connection-interruption' or a "
+            f"baseline, not {attack!r}"
+        )
+    del attack_params  # the Fig. 12 attack is fully determined by the setup
+    result = run_interruption_experiment(
+        controller,
+        FailMode(fail_mode),
+        attacked=attack == "connection-interruption",
+        seed=seed,
+        **params,
+    )
+    return result.record()

@@ -18,13 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.attacks import flow_mod_suppression_attack
+from repro.attacks import build_attack, flow_mod_suppression_attack
 from repro.core import RuntimeInjector
 from repro.core.model import AttackModel
 from repro.core.monitors import ControlPlaneMonitor, IperfMonitor, PingMonitor
 from repro.dataplane import FailMode
 from repro.experiments.enterprise import build_enterprise
 from repro.sim.engine import SimulationEngine
+from repro.sim.rng import SeededRng
 
 
 @dataclass
@@ -45,6 +46,9 @@ class SuppressionResult:
     flow_mods_seen: int = 0
     flow_mods_dropped: int = 0
     total_control_messages: int = 0
+    attack: Optional[str] = None
+    seed: int = 0
+    fail_mode: str = FailMode.SECURE.value
 
     @property
     def denial_of_service(self) -> bool:
@@ -65,6 +69,34 @@ class SuppressionResult:
             "dos": self.denial_of_service,
         }
 
+    def record(self) -> Dict[str, object]:
+        """The campaign ResultStore metrics payload for this run."""
+        return {
+            "experiment": "suppression",
+            "controller": self.controller,
+            "attack": self.attack,
+            "attacked": self.attacked,
+            "fail_mode": self.fail_mode,
+            "seed": self.seed,
+            "throughput_mbps": round(self.mean_throughput_mbps, 4),
+            "throughputs_mbps": [round(t, 4) for t in self.throughputs_mbps],
+            "median_rtt_ms": (
+                round(self.median_rtt_s * 1000, 4)
+                if self.median_rtt_s is not None else None
+            ),
+            "avg_rtt_ms": (
+                round(self.avg_rtt_s * 1000, 4)
+                if self.avg_rtt_s is not None else None
+            ),
+            "ping_loss": round(self.ping_loss_rate, 4),
+            "packet_ins": self.packet_ins,
+            "flow_mods_seen": self.flow_mods_seen,
+            "flow_mods_dropped": self.flow_mods_dropped,
+            "total_control_messages": self.total_control_messages,
+            "denial_of_service": self.denial_of_service,
+            "unauthorized_access": False,
+        }
+
 
 def run_suppression_experiment(
     controller_kind: str,
@@ -77,27 +109,44 @@ def run_suppression_experiment(
     source: str = "h1",
     target: str = "h6",
     behavior_override=None,
+    seed: int = 0,
+    attack_name: Optional[str] = None,
+    attack_params: Optional[Dict[str, object]] = None,
+    fail_mode: FailMode = FailMode.SECURE,
 ) -> SuppressionResult:
     """Run one (controller, attacked?) cell of the Fig. 11 matrix.
 
     Use smaller ``ping_trials``/``iperf_trials``/``iperf_duration_s`` for
     quick runs; the defaults reproduce the paper's timing.
+
+    ``seed`` roots every random stream the run draws from, so two runs
+    with the same arguments are bit-identical and two seeds are
+    independent.  ``attack_name`` swaps the interposed attack for any
+    registry entry (``repro.attacks.list_attacks()``) bound to all
+    control-plane connections; the default keeps the paper's pairing of
+    ``attacked`` with Fig. 10's flow-mod suppression.
     """
     engine = SimulationEngine()
     setup = build_enterprise(
         engine,
         controller_kind=controller_kind,
-        fail_mode=FailMode.SECURE,
+        fail_mode=fail_mode,
         with_firewall=False,  # the paper runs plain learning switches here
         behavior_override=behavior_override,
     )
     attack_model = AttackModel.no_tls_everywhere(setup.system)
-    attack = (
-        flow_mod_suppression_attack(setup.system.connection_keys())
-        if attacked
-        else None
-    )
-    injector = RuntimeInjector(engine, attack_model, attack)
+    if attack_name is not None:
+        attack = build_attack(
+            attack_name,
+            connections=setup.system.connection_keys(),
+            **(attack_params or {}),
+        )
+    elif attacked:
+        attack = flow_mod_suppression_attack(setup.system.connection_keys())
+    else:
+        attack = None
+    injector = RuntimeInjector(engine, attack_model, attack,
+                               rng=SeededRng(seed))
     control_monitor = ControlPlaneMonitor()
     injector.add_observer(control_monitor)
     injector.install(setup.network, {"c1": setup.controller})
@@ -130,9 +179,12 @@ def run_suppression_experiment(
     engine.run(until=horizon)
 
     ping_result = ping_monitor.results[0] if ping_monitor.results else None
+    attack_label = attack_name if attack_name is not None else (
+        "flow-mod-suppression" if attacked else None
+    )
     return SuppressionResult(
         controller=controller_kind,
-        attacked=attacked,
+        attacked=attack is not None and attack.name != "passthrough",
         ping_sent=ping_result.sent if ping_result else 0,
         ping_received=ping_result.received if ping_result else 0,
         ping_loss_rate=ping_result.loss_rate if ping_result else 1.0,
@@ -145,4 +197,33 @@ def run_suppression_experiment(
         flow_mods_seen=control_monitor.count_of("FLOW_MOD"),
         flow_mods_dropped=control_monitor.dropped_by_type.get("FLOW_MOD", 0),
         total_control_messages=control_monitor.total_messages(),
+        attack=attack_label,
+        seed=seed,
+        fail_mode=fail_mode.value,
     )
+
+
+def run_cell(
+    controller: str = "floodlight",
+    attack: Optional[str] = "flow-mod-suppression",
+    fail_mode: str = FailMode.SECURE.value,
+    seed: int = 0,
+    attack_params: Optional[Dict[str, object]] = None,
+    **params,
+) -> Dict[str, object]:
+    """Campaign entry point: one suppression-harness run -> metrics dict.
+
+    ``attack`` is a registry name (``None`` means no injector attack at
+    all); remaining keyword arguments are forwarded to
+    :func:`run_suppression_experiment` (``ping_trials`` etc.).
+    """
+    result = run_suppression_experiment(
+        controller,
+        attacked=attack is not None,
+        seed=seed,
+        attack_name=attack,
+        attack_params=attack_params,
+        fail_mode=FailMode(fail_mode),
+        **params,
+    )
+    return result.record()

@@ -222,3 +222,57 @@ class TestCountingBuilders:
         for n in (10, 100):
             assert len(counting_attack_naive(CONN, n).states) == n + 1
             assert len(counting_attack_deque(CONN, n).states) == 2
+
+
+class TestAttackRegistry:
+    """The named registry campaigns and the CLI resolve attacks through."""
+
+    def test_all_stock_attacks_registered(self):
+        from repro.attacks import list_attacks
+
+        names = list_attacks()
+        for expected in (
+            "passthrough", "flow-mod-suppression", "connection-interruption",
+            "blackhole", "delay", "replay", "reordering", "fuzzing",
+            "stats-evasion", "link-fabrication", "stochastic-drop",
+            "counting-naive", "counting-deque",
+        ):
+            assert expected in names
+
+    def test_build_attack_binds_connections_when_wanted(self):
+        from repro.attacks import build_attack
+
+        attack = build_attack("flow-mod-suppression", connections=CONNS)
+        assert attack.name == "flow-mod-suppression"
+        built = build_attack("delay", connections=CONNS, delay_s=0.25)
+        assert built.name == "message-delay"
+        # Factories without a connections parameter still build.
+        deque = build_attack("counting-deque", connections=CONNS, n=3)
+        assert len(deque.states) == 2
+
+    def test_registry_rejects_conflicts_and_unknowns(self):
+        from repro.attacks import get_attack_factory, register_attack
+
+        with pytest.raises(KeyError, match="unknown attack"):
+            get_attack_factory("warp-core")
+        factory = get_attack_factory("delay")
+        # Re-registering the same factory is idempotent...
+        register_attack("delay", factory)
+        # ...but a different callable needs replace=True.
+        with pytest.raises(ValueError, match="already registered"):
+            register_attack("delay", lambda: None)
+
+    def test_custom_registration_roundtrip(self):
+        from repro.attacks import build_attack, register_attack
+
+        def tiny(connections):
+            return passthrough_attack(connections)
+
+        register_attack("test-tiny", tiny, replace=True)
+        try:
+            attack = build_attack("test-tiny", connections=CONNS)
+            assert attack.name == "passthrough"
+        finally:
+            from repro.attacks.library import _REGISTRY
+
+            _REGISTRY.pop("test-tiny", None)

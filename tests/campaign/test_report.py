@@ -1,0 +1,142 @@
+"""Report aggregation: baseline deltas, Table II metrics, rendering."""
+
+from repro.campaign import CampaignSpec, build_report, make_record
+
+
+def suppression_spec(controllers=("pox",), seeds=(1, 2)):
+    return CampaignSpec.from_dict({
+        "name": "report-test",
+        "attacks": ["passthrough", "flow-mod-suppression"],
+        "controllers": list(controllers),
+        "seeds": list(seeds),
+        "baseline": "passthrough",
+    })
+
+
+def ok_record(descriptor, metrics):
+    return make_record(descriptor.to_dict(), "ok", metrics, campaign="x")
+
+
+def suppression_metrics(throughput, rtt, dos=False, loss=0.0):
+    return {
+        "throughput_mbps": throughput,
+        "median_rtt_ms": rtt,
+        "avg_rtt_ms": rtt,
+        "ping_loss": loss,
+        "packet_ins": 10,
+        "flow_mods_dropped": 0,
+        "denial_of_service": dos,
+        "unauthorized_access": False,
+    }
+
+
+def test_baseline_relative_deltas():
+    spec = suppression_spec()
+    records = []
+    for descriptor in spec.expand():
+        if descriptor.attack == "passthrough":
+            records.append(ok_record(descriptor, suppression_metrics(100.0, 2.0)))
+        else:
+            records.append(ok_record(descriptor, suppression_metrics(25.0, 6.0)))
+    report = build_report(spec, records)
+    assert report.ok_runs == 4 and report.missing_runs == 0
+    attacked = next(c for c in report.cells
+                    if c.attack == "flow-mod-suppression")
+    baseline = next(c for c in report.cells if c.attack == "passthrough")
+    assert baseline.is_baseline and not attacked.is_baseline
+    assert baseline.deltas == {}
+    assert attacked.metrics["throughput_mbps"] == 25.0
+    assert attacked.deltas["throughput_delta_mbps"] == -75.0
+    assert attacked.deltas["throughput_delta_pct"] == -75.0
+    assert attacked.deltas["rtt_delta_ms"] == 4.0
+    assert attacked.deltas["rtt_ratio"] == 3.0
+
+
+def test_total_dos_reports_unbounded_latency():
+    spec = suppression_spec(seeds=(1,))
+    records = []
+    for descriptor in spec.expand():
+        if descriptor.attack == "passthrough":
+            records.append(ok_record(descriptor, suppression_metrics(100.0, 2.0)))
+        else:
+            records.append(ok_record(descriptor, {
+                **suppression_metrics(0.0, None, dos=True, loss=1.0),
+                "median_rtt_ms": None,
+            }))
+    report = build_report(spec, records)
+    attacked = next(c for c in report.cells
+                    if c.attack == "flow-mod-suppression")
+    assert attacked.deltas["latency_unbounded"] is True
+    assert attacked.deltas["throughput_delta_pct"] == -100.0
+    assert attacked.metrics["denial_of_service_rate"] == 1.0
+    rendered = report.render()
+    assert "inf*" in rendered
+    assert "-100.0%" in rendered
+
+
+def test_missing_and_failed_runs_are_counted():
+    spec = suppression_spec()
+    runs = spec.expand()
+    records = [ok_record(runs[0], suppression_metrics(100.0, 2.0))]
+    records.append(make_record(runs[1].to_dict(), "failed", None,
+                               attempts=2, error="boom"))
+    report = build_report(spec, records)
+    assert report.ok_runs == 1
+    assert report.failed_runs == 1
+    assert report.missing_runs == 3
+    assert "failed" in report.render() and "missing" in report.render()
+
+
+def test_stale_records_from_other_specs_ignored():
+    spec = suppression_spec()
+    other = CampaignSpec.from_dict({
+        "name": "other", "attacks": ["delay"], "controllers": ["ryu"],
+    })
+    records = [ok_record(other.expand()[0], suppression_metrics(1.0, 1.0))]
+    report = build_report(spec, records)
+    assert report.ok_runs == 0
+    assert report.missing_runs == 4
+
+
+def test_interruption_cells_report_table2_metrics():
+    spec = CampaignSpec.from_dict({
+        "name": "t2",
+        "experiment": "interruption",
+        "attacks": ["connection-interruption"],
+        "controllers": ["floodlight"],
+        "fail_modes": ["standalone", "secure"],
+        "seeds": [1],
+        "baseline": None,
+    })
+    records = []
+    for descriptor in spec.expand():
+        standalone = descriptor.fail_mode == "standalone"
+        records.append(ok_record(descriptor, {
+            "unauthorized_access": standalone,
+            "unauthorized_window_s": 30.0 if standalone else 0.0,
+            "denial_of_service": not standalone,
+            "interruption_happened": True,
+            "external_to_internal_t50": standalone,
+            "internal_to_external_t95": standalone,
+        }))
+    report = build_report(spec, records)
+    by_mode = {c.fail_mode: c for c in report.cells}
+    assert by_mode["standalone"].metrics["unauthorized_access_rate"] == 1.0
+    assert by_mode["standalone"].metrics["unauthorized_window_s"] == 30.0
+    assert by_mode["secure"].metrics["denial_of_service_rate"] == 1.0
+    rendered = report.render()
+    assert "Table II" in rendered
+    assert "30.0" in rendered
+
+
+def test_json_payload_roundtrips():
+    import json
+
+    spec = suppression_spec(seeds=(1,))
+    records = [ok_record(d, suppression_metrics(50.0, 3.0))
+               for d in spec.expand()]
+    payload = build_report(spec, records).to_dict()
+    rebuilt = json.loads(json.dumps(payload))
+    assert rebuilt["campaign"] == "report-test"
+    assert len(rebuilt["cells"]) == 2
+    assert rebuilt["cells"][0]["metrics"]

@@ -1,0 +1,139 @@
+"""Campaign spec parsing, matrix expansion, and run-ID determinism."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, RunDescriptor, load_spec, run_id_for
+from repro.campaign.spec import experiment_for_attack
+
+SMALL = dict(
+    name="matrix",
+    attacks=["passthrough", "flow-mod-suppression"],
+    controllers=["floodlight", "pox", "ryu"],
+    seeds=[1, 2],
+    params={"ping_trials": 3},
+)
+
+XML = """
+<campaign name="matrix" baseline="passthrough">
+  <attacks>
+    <attack name="passthrough"/>
+    <attack name="flow-mod-suppression"/>
+  </attacks>
+  <controllers>
+    <controller name="floodlight"/>
+    <controller name="pox"/>
+    <controller name="ryu"/>
+  </controllers>
+  <seeds><seed value="1"/><seed value="2"/></seeds>
+  <params ping_trials="3"/>
+</campaign>
+"""
+
+
+def test_expand_is_the_full_matrix():
+    runs = CampaignSpec.from_dict(SMALL).expand()
+    assert len(runs) == 2 * 3 * 2
+    assert len({r.run_id for r in runs}) == len(runs)
+    # Axis-major, deterministic order: all passthrough cells first.
+    assert [r.attack for r in runs[:6]] == ["passthrough"] * 6
+    assert {r.seed for r in runs} == {1, 2}
+
+
+def test_run_ids_are_deterministic_and_seed_sensitive():
+    first = CampaignSpec.from_dict(SMALL).expand()
+    second = CampaignSpec.from_dict(SMALL).expand()
+    assert [r.run_id for r in first] == [r.run_id for r in second]
+    descriptor = first[0]
+    reseeded = RunDescriptor.from_dict(
+        {**descriptor.identity(), "seed": descriptor.seed + 1})
+    assert reseeded.run_id != descriptor.run_id
+    # The hash covers params too: a different trial count is a new run.
+    reparam = RunDescriptor.from_dict(
+        {**descriptor.identity(), "params": {"ping_trials": 4}})
+    assert reparam.run_id != descriptor.run_id
+
+
+def test_run_id_ignores_campaign_name():
+    renamed = CampaignSpec.from_dict({**SMALL, "name": "other"})
+    assert ([r.run_id for r in renamed.expand()]
+            == [r.run_id for r in CampaignSpec.from_dict(SMALL).expand()])
+
+
+def test_run_id_for_is_pure_content_hash():
+    identity = {"experiment": "suppression", "seed": 3}
+    assert run_id_for(identity) == run_id_for(dict(identity))
+    assert len(run_id_for(identity)) == 16
+
+
+def test_experiment_derived_per_attack():
+    spec = CampaignSpec.from_dict({
+        **SMALL, "attacks": ["passthrough", "connection-interruption"],
+    })
+    experiments = {r.attack: r.experiment for r in spec.expand()}
+    assert experiments["passthrough"] == "suppression"
+    assert experiments["connection-interruption"] == "interruption"
+    assert experiment_for_attack(None) == "suppression"
+
+
+def test_spec_experiment_override_applies_to_all_runs():
+    spec = CampaignSpec.from_dict({
+        **SMALL, "experiment": "interruption",
+    })
+    assert {r.experiment for r in spec.expand()} == {"interruption"}
+
+
+def test_validation_rejects_unknown_axis_values():
+    with pytest.raises(ValueError, match="unknown attack"):
+        CampaignSpec.from_dict({**SMALL, "attacks": ["warp-core"]}).expand()
+    with pytest.raises(ValueError, match="unknown controller"):
+        CampaignSpec.from_dict(
+            {**SMALL, "controllers": ["opendaylight"]}).expand()
+    with pytest.raises(ValueError):
+        CampaignSpec.from_dict({**SMALL, "fail_modes": ["open"]}).expand()
+    with pytest.raises(ValueError, match="unknown campaign spec keys"):
+        CampaignSpec.from_dict({**SMALL, "attcks": []})
+
+
+def test_xml_and_dict_specs_expand_identically():
+    from_xml = CampaignSpec.from_xml(XML)
+    from_dict = CampaignSpec.from_dict(SMALL)
+    assert ([r.run_id for r in from_xml.expand()]
+            == [r.run_id for r in from_dict.expand()])
+    assert from_xml.params == {"ping_trials": 3}
+
+
+def test_xml_attack_params_and_coercion():
+    spec = CampaignSpec.from_xml("""
+    <campaign name="sweep" timeout-s="9.5" retries="2">
+      <attacks><attack name="stochastic-drop"/></attacks>
+      <controllers><controller name="pox"/></controllers>
+      <params warmup_s="2.5" full="false" label="fast"/>
+      <attack-params attack="stochastic-drop" drop_probability="0.25"/>
+    </campaign>
+    """)
+    assert spec.timeout_s == 9.5 and spec.retries == 2
+    assert spec.params == {"warmup_s": 2.5, "full": False, "label": "fast"}
+    (run,) = [r for r in spec.expand()]
+    assert run.attack_params == {"drop_probability": 0.25}
+
+
+def test_load_spec_json_py_xml(tmp_path):
+    (tmp_path / "spec.json").write_text(json.dumps(SMALL))
+    (tmp_path / "spec.xml").write_text(XML)
+    (tmp_path / "spec.py").write_text(f"SPEC = {SMALL!r}\n")
+    ids = [
+        [r.run_id for r in load_spec(tmp_path / name).expand()]
+        for name in ("spec.json", "spec.xml", "spec.py")
+    ]
+    assert ids[0] == ids[1] == ids[2]
+    (tmp_path / "spec.yaml").write_text("{}")
+    with pytest.raises(ValueError, match="unsupported spec format"):
+        load_spec(tmp_path / "spec.yaml")
+
+
+def test_py_spec_requires_SPEC(tmp_path):
+    (tmp_path / "empty.py").write_text("x = 1\n")
+    with pytest.raises(ValueError, match="defines no SPEC"):
+        load_spec(tmp_path / "empty.py")

@@ -1,0 +1,75 @@
+"""The append-only JSONL result store: durability, resume bookkeeping."""
+
+import json
+
+from repro.campaign import RECORD_SCHEMA, ResultStore, RunDescriptor, make_record
+
+
+def descriptor(seed=0, attack="passthrough"):
+    return RunDescriptor(
+        experiment="suppression", attack=attack, controller="pox",
+        topology="enterprise", fail_mode="secure", seed=seed,
+    )
+
+
+def test_append_and_read_roundtrip(tmp_path):
+    store = ResultStore(tmp_path / "runs.jsonl")
+    record = make_record(descriptor().to_dict(), "ok", {"throughput_mbps": 9.0},
+                         attempts=1, duration_s=0.5, campaign="c")
+    assert record["schema"] == RECORD_SCHEMA
+    store.append(record)
+    (loaded,) = list(store.records())
+    assert loaded["run_id"] == descriptor().run_id
+    assert loaded["metrics"] == {"throughput_mbps": 9.0}
+    assert "recorded_at" in loaded
+    assert len(store) == 1
+
+
+def test_completed_ids_counts_only_ok(tmp_path):
+    store = ResultStore(tmp_path / "runs.jsonl")
+    ok, failed = descriptor(seed=1), descriptor(seed=2)
+    store.append(make_record(ok.to_dict(), "ok", {}, attempts=1))
+    store.append(make_record(failed.to_dict(), "failed", None,
+                             attempts=3, error="boom"))
+    assert store.completed_ids() == {ok.run_id}
+    assert {r["run_id"] for r in store.ok_records()} == {ok.run_id}
+
+
+def test_torn_final_line_is_skipped(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    store = ResultStore(path)
+    store.append(make_record(descriptor(seed=1).to_dict(), "ok", {}))
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write('{"run_id": "deadbeef", "status": "o')  # killed mid-write
+    assert len(list(store.records())) == 1
+    assert store.completed_ids() == {descriptor(seed=1).run_id}
+    # The store stays appendable after the torn line.
+    store.append(make_record(descriptor(seed=2).to_dict(), "ok", {}))
+    assert len(store.completed_ids()) == 2
+
+
+def test_latest_record_per_run_wins(tmp_path):
+    store = ResultStore(tmp_path / "runs.jsonl")
+    run = descriptor(seed=5)
+    store.append(make_record(run.to_dict(), "ok", {"throughput_mbps": 1.0}))
+    store.append(make_record(run.to_dict(), "ok", {"throughput_mbps": 2.0}))
+    (latest,) = store.ok_records()
+    assert latest["metrics"]["throughput_mbps"] == 2.0
+    assert store.latest_by_run()[run.run_id] is not None
+
+
+def test_missing_file_reads_empty(tmp_path):
+    store = ResultStore(tmp_path / "never-written.jsonl")
+    assert list(store.records()) == []
+    assert store.completed_ids() == set()
+
+
+def test_records_are_one_json_object_per_line(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    store = ResultStore(path)
+    for seed in range(3):
+        store.append(make_record(descriptor(seed=seed).to_dict(), "ok", {}))
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 3
+    for line in lines:
+        assert isinstance(json.loads(line), dict)

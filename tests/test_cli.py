@@ -111,3 +111,106 @@ def test_interruption_command_single_controller(capsys):
 def test_bad_controller_rejected():
     with pytest.raises(SystemExit):
         main(["suppression", "--controller", "opendaylight"])
+
+
+def test_suppression_json_mode_emits_record_schema(capsys):
+    import json
+
+    args = ["suppression", "--controller", "pox", "--ping-trials", "3",
+            "--iperf-trials", "1", "--iperf-duration", "0.5",
+            "--seed", "7", "--json"]
+    assert main(args) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    records = [json.loads(line) for line in lines]
+    assert len(records) == 2  # baseline + attack
+    for record in records:
+        assert record["schema"] == "attain.campaign.run.v1"
+        assert record["status"] == "ok"
+        assert record["seed"] == 7
+        assert record["metrics"]["controller"] == "pox"
+    assert {r["attack"] for r in records} == {
+        "passthrough", "flow-mod-suppression"}
+    # The run ID is the deterministic campaign-style content hash.
+    assert main(args) == 0
+    again = [json.loads(line)
+             for line in capsys.readouterr().out.strip().splitlines()]
+    assert [r["run_id"] for r in again] == [r["run_id"] for r in records]
+
+
+def test_interruption_json_mode(capsys):
+    import json
+
+    assert main(["interruption", "--controller", "ryu", "--json"]) == 0
+    records = [json.loads(line)
+               for line in capsys.readouterr().out.strip().splitlines()]
+    assert {r["fail_mode"] for r in records} == {"standalone", "secure"}
+    for record in records:
+        assert record["experiment"] == "interruption"
+        # The Ryu anomaly survives the schema change: phi2 never fires.
+        assert record["metrics"]["interruption_happened"] is False
+
+
+def test_compliance_json_mode(capsys):
+    import json
+
+    assert main(["compliance", "--json"]) == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["experiment"] == "compliance"
+    assert record["metrics"]["all_passed"] is True
+    assert record["metrics"]["checks_passed"] == record["metrics"]["checks_total"]
+
+
+@pytest.fixture
+def campaign_spec_file(tmp_path):
+    import json
+
+    spec = {
+        "name": "cli-selfcheck",
+        "experiment": "selfcheck",
+        "attacks": [None],
+        "controllers": ["x"],
+        "seeds": [0, 1, 2, 3],
+        "timeout_s": 30.0,
+        "retries": 0,
+    }
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec))
+    return path
+
+
+def test_campaign_run_status_report_workflow(campaign_spec_file, capsys):
+    import json
+
+    store = str(campaign_spec_file.with_suffix(".results.jsonl"))
+    assert main(["campaign", "run", str(campaign_spec_file),
+                 "--workers", "2", "--quiet", "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["total"] == 4 and summary["succeeded"] == 4
+    assert summary["store"] == store
+
+    assert main(["campaign", "status", str(campaign_spec_file), "--json"]) == 0
+    status = json.loads(capsys.readouterr().out)
+    assert status["completed"] == 4 and status["pending"] == 0
+
+    assert main(["campaign", "report", str(campaign_spec_file), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok_runs"] == 4 and report["missing_runs"] == 0
+
+    # A second run is a no-op resume: everything is already complete.
+    assert main(["campaign", "run", str(campaign_spec_file),
+                 "--workers", "2", "--quiet", "--json"]) == 0
+    resumed = json.loads(capsys.readouterr().out)
+    assert resumed["skipped"] == 4 and resumed["executed"] == 0
+
+
+def test_campaign_status_before_any_run(campaign_spec_file, capsys):
+    assert main(["campaign", "status", str(campaign_spec_file)]) == 0
+    out = capsys.readouterr().out
+    assert "0/4 runs complete" in out
+    assert out.count("pending") == 4
+
+
+def test_campaign_report_exit_code_reflects_missing_runs(
+        campaign_spec_file, capsys):
+    assert main(["campaign", "report", str(campaign_spec_file)]) == 1
+    assert "4 missing" in capsys.readouterr().out
