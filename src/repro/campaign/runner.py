@@ -1,14 +1,21 @@
-"""The campaign runner: a bounded pool of per-run worker processes.
+"""The campaign runner: a persistent pool of reusable worker processes.
 
-Every run executes in a *fresh* process (per-run seeded isolation: no
-state bleeds between cells, and a crashing experiment takes down only
-its own worker).  The parent keeps up to ``workers`` processes alive,
-enforces a per-run wall-clock timeout, retries failed runs up to
-``retries`` extra attempts, and is the only writer to the result store.
+Workers are long-lived: each executes run descriptors one after another
+off a duplex pipe, resetting per-run global state (sequence counters,
+frame caches) between cells so a run behaves bit-identically to one in a
+fresh process.  Amortizing the interpreter start + import cost over many
+runs is where campaign wall-clock goes on wide matrices — the summary's
+``processes_spawned`` should come out well below the number of runs.
 
-Workers ship their metrics back over a one-shot pipe; a worker that dies
-without reporting (hard crash, kill, timeout) is indistinguishable from
-— and handled the same as — a timed-out one.
+Fault semantics are unchanged from the process-per-run model:
+
+* a run exceeding the wall-clock timeout gets its worker terminated (the
+  only way to preempt a hung simulation) and a fresh worker is spawned
+  on demand;
+* a worker that dies without reporting (hard crash, kill) fails only the
+  run it was executing, which is retried up to ``retries`` extra
+  attempts — on a replacement worker;
+* the parent is the only writer to the result store.
 """
 
 from __future__ import annotations
@@ -17,7 +24,7 @@ import multiprocessing
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.campaign.spec import CampaignSpec, RunDescriptor
 from repro.campaign.store import ResultStore, make_record
@@ -25,33 +32,88 @@ from repro.campaign.store import ResultStore, make_record
 #: How often the scheduler polls its active workers (seconds).
 _POLL_INTERVAL_S = 0.01
 
+#: How long the parent waits for a worker to exit after a shutdown
+#: request before terminating it.
+_SHUTDOWN_GRACE_S = 2.0
 
-def _worker_main(descriptor: Dict[str, object], attempt: int, conn) -> None:
-    """Worker entry point: run one descriptor, ship the outcome, exit."""
+
+def _reset_run_state() -> None:
+    """Reset process-global counters so reused workers stay deterministic.
+
+    A fresh process starts every itertools sequence at its seed value;
+    a reused worker must do the same before each run or frame contents
+    (ICMP identifiers, ephemeral ports, event tie-breaks) would depend on
+    how many runs the worker executed before this one.
+    """
+    import itertools
+
+    from repro.core.lang.properties import InterposedMessage
+    from repro.dataplane.flowtable import FlowEntry
+    from repro.dataplane.host import Host
+    from repro.netlib import fastframe
+    from repro.sim.events import Event
+
+    Event._seq_counter = itertools.count()
+    FlowEntry._order = itertools.count()
+    Host._icmp_id = itertools.count(1)
+    Host._ephemeral = itertools.count(49152)
+    InterposedMessage._id_counter = itertools.count(1)
+    fastframe.clear_pool()
+    fastframe.reset_counters()
+
+
+def _worker_loop(conn) -> None:
+    """Persistent worker: execute descriptors until told to shut down."""
     from repro.campaign.executors import execute_descriptor
 
-    try:
-        metrics = execute_descriptor(descriptor, attempt=attempt)
-    except BaseException:
+    runs_executed = 0
+    while True:
         try:
-            conn.send({"status": "error",
-                       "error": traceback.format_exc(limit=8)})
-        finally:
-            conn.close()
-        return
-    conn.send({"status": "ok", "metrics": metrics})
+            task = conn.recv()
+        except (EOFError, OSError):
+            break
+        if task is None:
+            break
+        descriptor, attempt = task
+        _reset_run_state()
+        try:
+            metrics = execute_descriptor(descriptor, attempt=attempt)
+            runs_executed += 1
+            outcome = {"status": "ok", "metrics": metrics,
+                       "worker_runs": runs_executed}
+        except BaseException:
+            runs_executed += 1
+            outcome = {"status": "error",
+                       "error": traceback.format_exc(limit=8),
+                       "worker_runs": runs_executed}
+        try:
+            conn.send(outcome)
+        except (BrokenPipeError, OSError):
+            break
     conn.close()
 
 
 @dataclass
-class _ActiveRun:
+class _Task:
     descriptor: RunDescriptor
     attempt: int
+    last_error: Optional[str] = None
+
+
+@dataclass
+class _WorkerSlot:
+    """One pooled worker process and the task it is executing (if any)."""
+
     process: multiprocessing.Process
     conn: object
-    started_at: float
-    deadline: float
-    last_error: Optional[str] = None
+    runs_done: int = 0
+    task: Optional[_Task] = None
+    started_at: float = 0.0
+    deadline: float = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.task is not None
 
 
 @dataclass
@@ -67,6 +129,8 @@ class CampaignSummary:
     retries_used: int = 0
     duration_s: float = 0.0
     failed_run_ids: List[str] = field(default_factory=list)
+    processes_spawned: int = 0
+    worker_runs: Dict[str, int] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
@@ -77,12 +141,13 @@ class CampaignSummary:
             f"campaign {self.campaign}: {self.total} runs — "
             f"{self.skipped} already complete, {self.executed} executed "
             f"({self.succeeded} ok, {self.failed} failed, "
-            f"{self.retries_used} retries) in {self.duration_s:.1f}s"
+            f"{self.retries_used} retries) in {self.duration_s:.1f}s "
+            f"across {self.processes_spawned} worker process(es)"
         )
 
 
 class CampaignRunner:
-    """Schedules a spec's pending runs over a process pool."""
+    """Schedules a spec's pending runs over a persistent process pool."""
 
     def __init__(
         self,
@@ -120,112 +185,161 @@ class CampaignRunner:
         if summary.skipped:
             self._progress(
                 f"resume: skipping {summary.skipped} completed run(s)")
-        queue = list(reversed(pending))  # pop() preserves matrix order
-        active: List[_ActiveRun] = []
+        queue: List[_Task] = [
+            _Task(d, attempt=1) for d in reversed(pending)
+        ]  # pop() preserves matrix order
+        slots: List[_WorkerSlot] = []
         try:
-            while queue or active:
-                while queue and len(active) < self.workers:
-                    active.append(self._launch(queue.pop(), attempt=1))
+            while queue or any(slot.busy for slot in slots):
+                self._assign(queue, slots, summary)
                 time.sleep(_POLL_INTERVAL_S)
-                still_active: List[_ActiveRun] = []
-                for run in active:
-                    outcome = self._poll(run)
+                for slot in list(slots):
+                    outcome = self._poll(slot)
                     if outcome is None:
-                        still_active.append(run)
                         continue
-                    retry = self._settle(run, outcome, summary)
+                    if not slot.process.is_alive():
+                        slots.remove(slot)  # replaced lazily by _assign
+                    retry = self._settle(slot, outcome, summary)
                     if retry is not None:
-                        still_active.append(retry)
-                active = still_active
+                        queue.append(retry)  # next pop(): retries run first
         finally:
-            for run in active:  # interrupted: don't leak workers
-                if run.process.is_alive():
-                    run.process.terminate()
-                run.process.join()
+            self._shutdown(slots, summary)
         summary.duration_s = time.time() - started
         self._progress(summary.render())
         return summary
 
-    def _launch(self, descriptor: RunDescriptor, attempt: int,
-                last_error: Optional[str] = None) -> _ActiveRun:
-        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+    def _assign(self, queue: List[_Task], slots: List[_WorkerSlot],
+                summary: CampaignSummary) -> None:
+        """Hand queued tasks to idle workers, spawning up to the cap."""
+        while queue:
+            slot = next((s for s in slots if not s.busy), None)
+            if slot is None:
+                if len(slots) >= self.workers:
+                    return
+                slot = self._spawn(summary)
+                slots.append(slot)
+            task = queue.pop()
+            try:
+                slot.conn.send((task.descriptor.identity(), task.attempt))
+            except (BrokenPipeError, OSError):
+                # The idle worker died between runs; replace it and retry
+                # the hand-off on a fresh one.
+                slots.remove(slot)
+                queue.append(task)
+                continue
+            now = time.time()
+            slot.task = task
+            slot.started_at = now
+            slot.deadline = now + self.timeout_s
+            self._progress(
+                f"run {task.descriptor.run_id} [{task.descriptor.label()}] "
+                f"attempt {task.attempt} started (pid {slot.process.pid})")
+
+    def _spawn(self, summary: CampaignSummary) -> _WorkerSlot:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
-            target=_worker_main,
-            args=(descriptor.identity(), attempt, child_conn),
-            daemon=True,
+            target=_worker_loop, args=(child_conn,), daemon=True,
         )
         process.start()
-        child_conn.close()  # parent keeps only the read end
-        now = time.time()
-        self._progress(
-            f"run {descriptor.run_id} [{descriptor.label()}] "
-            f"attempt {attempt} started (pid {process.pid})")
-        return _ActiveRun(
-            descriptor=descriptor,
-            attempt=attempt,
-            process=process,
-            conn=parent_conn,
-            started_at=now,
-            deadline=now + self.timeout_s,
-            last_error=last_error,
-        )
+        child_conn.close()  # parent keeps only its own end
+        summary.processes_spawned += 1
+        return _WorkerSlot(process=process, conn=parent_conn)
 
-    def _poll(self, run: _ActiveRun) -> Optional[Dict[str, object]]:
+    def _poll(self, slot: _WorkerSlot) -> Optional[Dict[str, object]]:
         """None while running; otherwise this attempt's outcome dict."""
-        if run.process.is_alive():
-            if time.time() < run.deadline:
-                return None
-            run.process.terminate()
-            run.process.join()
-            return {"status": "error",
-                    "error": f"timeout after {self.timeout_s:.1f}s"}
-        run.process.join()
+        if not slot.busy:
+            return None
+        # Results are honoured before liveness: a worker that reported
+        # and then exited still completed its run.
         try:
-            if run.conn.poll():
-                return run.conn.recv()
+            if slot.conn.poll():
+                return slot.conn.recv()
         except (EOFError, OSError):
             pass
-        return {"status": "error",
-                "error": f"worker crashed (exit code {run.process.exitcode})"}
+        if not slot.process.is_alive():
+            slot.process.join()
+            return {"status": "error",
+                    "error": f"worker crashed "
+                             f"(exit code {slot.process.exitcode})"}
+        if time.time() >= slot.deadline:
+            slot.process.terminate()
+            slot.process.join()
+            return {"status": "error",
+                    "error": f"timeout after {self.timeout_s:.1f}s"}
+        return None
 
-    def _settle(self, run: _ActiveRun, outcome: Dict[str, object],
-                summary: CampaignSummary) -> Optional[_ActiveRun]:
-        """Record a finished attempt; relaunch if retries remain."""
-        run.conn.close()
-        duration = time.time() - run.started_at
-        descriptor = run.descriptor
+    def _settle(self, slot: _WorkerSlot, outcome: Dict[str, object],
+                summary: CampaignSummary) -> Optional[_Task]:
+        """Record a finished attempt; return the retry task if any."""
+        task = slot.task
+        slot.task = None
+        duration = time.time() - slot.started_at
+        descriptor = task.descriptor
+        worker_key = str(slot.process.pid)
         if outcome.get("status") == "ok":
+            slot.runs_done = int(
+                outcome.get("worker_runs") or slot.runs_done + 1)
+            summary.worker_runs[worker_key] = slot.runs_done
             summary.executed += 1
             summary.succeeded += 1
-            summary.retries_used += run.attempt - 1
+            summary.retries_used += task.attempt - 1
             self.store.append(make_record(
                 descriptor.to_dict(), "ok", outcome.get("metrics"),
-                attempts=run.attempt, duration_s=duration,
+                attempts=task.attempt, duration_s=duration,
                 campaign=self.spec.name,
+                worker={"pid": slot.process.pid,
+                        "runs_executed": slot.runs_done},
             ))
             self._progress(
                 f"run {descriptor.run_id} ok "
-                f"(attempt {run.attempt}, {duration:.2f}s)")
+                f"(attempt {task.attempt}, {duration:.2f}s)")
             return None
+        if "worker_runs" in outcome:
+            slot.runs_done = int(outcome["worker_runs"])
+            summary.worker_runs[worker_key] = slot.runs_done
         error = str(outcome.get("error") or "unknown failure").strip()
-        if run.attempt <= self.retries:
+        if task.attempt <= self.retries:
             self._progress(
-                f"run {descriptor.run_id} attempt {run.attempt} failed "
+                f"run {descriptor.run_id} attempt {task.attempt} failed "
                 f"({error.splitlines()[-1]}); retrying")
-            return self._launch(descriptor, run.attempt + 1, last_error=error)
+            return _Task(descriptor, task.attempt + 1, last_error=error)
         summary.executed += 1
         summary.failed += 1
-        summary.retries_used += run.attempt - 1
+        summary.retries_used += task.attempt - 1
         summary.failed_run_ids.append(descriptor.run_id)
         self.store.append(make_record(
             descriptor.to_dict(), "failed", None,
-            attempts=run.attempt, duration_s=duration, error=error,
+            attempts=task.attempt, duration_s=duration, error=error,
             campaign=self.spec.name,
+            worker={"pid": slot.process.pid,
+                    "runs_executed": slot.runs_done},
         ))
         self._progress(
-            f"run {descriptor.run_id} FAILED after {run.attempt} attempt(s): "
-            f"{error.splitlines()[-1]}")
+            f"run {descriptor.run_id} FAILED after {task.attempt} "
+            f"attempt(s): {error.splitlines()[-1]}")
         return None
+
+    def _shutdown(self, slots: List[_WorkerSlot],
+                  summary: CampaignSummary) -> None:
+        """Stop every worker: graceful for idle ones, terminate the rest."""
+        for slot in slots:
+            if not slot.busy and slot.process.is_alive():
+                try:
+                    slot.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+        deadline = time.time() + _SHUTDOWN_GRACE_S
+        for slot in slots:
+            if slot.busy and slot.process.is_alive():
+                # Interrupted mid-run: don't leak the worker.
+                slot.process.terminate()
+            slot.process.join(timeout=max(0.0, deadline - time.time()))
+            if slot.process.is_alive():
+                slot.process.terminate()
+                slot.process.join()
+            if slot.process.pid is not None and slot.runs_done:
+                summary.worker_runs.setdefault(
+                    str(slot.process.pid), slot.runs_done)
 
 
 def run_campaign(

@@ -31,8 +31,14 @@ def make_record(
     duration_s: float = 0.0,
     error: Optional[str] = None,
     campaign: Optional[str] = None,
+    worker: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
-    """Build one store record from a run descriptor's ``to_dict()``."""
+    """Build one store record from a run descriptor's ``to_dict()``.
+
+    ``worker`` optionally carries pool observability (the executing
+    worker's pid and its ``runs_executed`` count); absent for runs
+    recorded outside a pool (single-shot CLI runs, pre-pool records).
+    """
     record = {
         "schema": RECORD_SCHEMA,
         "run_id": descriptor["run_id"],
@@ -51,6 +57,8 @@ def make_record(
         "error": error,
         "metrics": metrics,
     }
+    if worker is not None:
+        record["worker"] = worker
     return record
 
 

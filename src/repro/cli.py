@@ -141,14 +141,18 @@ def _campaign_store(args: argparse.Namespace):
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    import os
+
     from repro.campaign import build_report, load_spec, run_campaign
 
     spec = load_spec(args.spec)
     store = _campaign_store(args)
     progress = None if args.quiet else (
         lambda line: print(line, file=sys.stderr))
+    workers = args.workers if args.workers is not None \
+        else (os.cpu_count() or 1)
     summary = run_campaign(
-        spec, store, workers=args.workers,
+        spec, store, workers=workers,
         timeout_s=args.timeout, retries=args.retries, progress=progress,
     )
     if args.json:
@@ -162,6 +166,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             "retries_used": summary.retries_used,
             "duration_s": round(summary.duration_s, 3),
             "failed_run_ids": summary.failed_run_ids,
+            "processes_spawned": summary.processes_spawned,
+            "worker_runs": summary.worker_runs,
             "store": str(store.path),
         }, sort_keys=True))
     else:
@@ -178,6 +184,15 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     descriptors = spec.expand()
     completed = store.completed_ids()
     pending = [d for d in descriptors if d.run_id not in completed]
+    # Pool observability: the highest runs_executed seen per worker pid
+    # across recorded runs (absent for pre-pool or single-shot records).
+    workers = {}
+    for record in store.records():
+        worker = record.get("worker")
+        if isinstance(worker, dict) and worker.get("pid") is not None:
+            pid = str(worker["pid"])
+            runs = int(worker.get("runs_executed") or 0)
+            workers[pid] = max(workers.get(pid, 0), runs)
     payload = {
         "campaign": spec.name,
         "store": str(store.path),
@@ -187,12 +202,15 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
         "pending_runs": [
             {"run_id": d.run_id, "label": d.label()} for d in pending
         ],
+        "worker_runs": workers,
     }
     if args.json:
         print(json.dumps(payload, sort_keys=True))
     else:
         print(f"campaign {spec.name}: {payload['completed']}/"
               f"{payload['total']} runs complete ({store.path})")
+        for pid, runs in sorted(workers.items()):
+            print(f"  worker pid {pid}: {runs} run(s) executed")
         for entry in payload["pending_runs"]:
             print(f"  pending {entry['run_id']} [{entry['label']}]")
     return 0
@@ -325,8 +343,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run = campaign_sub.add_parser(
         "run", help="execute the spec's pending runs in parallel")
     _common_campaign_args(campaign_run)
-    campaign_run.add_argument("--workers", type=int, default=1,
-                              help="parallel worker processes")
+    campaign_run.add_argument("--workers", type=int, default=None,
+                              help="parallel worker processes "
+                                   "(default: os.cpu_count())")
     campaign_run.add_argument("--timeout", type=float, default=None,
                               help="per-run wall-clock timeout (seconds)")
     campaign_run.add_argument("--retries", type=int, default=None,

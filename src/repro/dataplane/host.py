@@ -14,6 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.netlib import fastframe
 from repro.netlib.addresses import BROADCAST_MAC, Ipv4Address, MacAddress
 from repro.netlib.arp import ArpPacket
 from repro.netlib.ethernet import EtherType, EthernetFrame
@@ -422,6 +423,15 @@ class Host:
     def frame_received(self, data: bytes) -> None:
         """Entry point for frames arriving from the access link."""
         self.stats["rx_frames"] += 1
+        if fastframe.fast_lane_enabled():
+            # NIC filter without a full decode: flooded unicast for some
+            # other host is the common case on learning-switch topologies,
+            # and the MAC pair is already memoized on interned frames.
+            macs = fastframe.mac_pair(data)
+            if macs is not None:
+                dst = macs[1]
+                if dst != self.mac and not dst.is_broadcast and not dst.is_multicast:
+                    return
         decoded = decode_ethernet(data)
         frame = decoded.ethernet
         if frame.dst != self.mac and not frame.dst.is_broadcast and not frame.dst.is_multicast:

@@ -52,12 +52,12 @@ class _Direction:
         if self.queued >= self.queue_limit:
             self.dropped_frames += 1
             return False
-        serialization = len(data) * 8.0 / self.bandwidth
-        self.busy_until += serialization
+        size = len(data)
+        self.busy_until += size * 8.0 / self.bandwidth
         arrival = self.busy_until + self.latency
         self.queued += 1
         self.tx_frames += 1
-        self.tx_bytes += len(data)
+        self.tx_bytes += size
         self.engine.schedule_at(arrival, self._arrive, data)
         return True
 

@@ -18,7 +18,8 @@ import enum
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional
 
-from repro.netlib.addresses import MacAddress
+from repro.netlib import fastframe
+from repro.netlib.addresses import Ipv4Address, MacAddress
 from repro.netlib.ethernet import EthernetFrame, FrameDecodeError
 from repro.netlib.ipv4 import Ipv4Packet
 from repro.openflow.actions import (
@@ -36,7 +37,6 @@ from repro.openflow.constants import (
     Port,
     StatsType,
 )
-from repro.openflow.match import extract_packet_fields
 from repro.openflow.messages import (
     BarrierReply,
     BarrierRequest,
@@ -158,6 +158,8 @@ class OpenFlowSwitch:
         self.stats: Dict[str, int] = {
             "rx_frames": 0,
             "tx_frames": 0,
+            "flowkey_cache_hits": 0,
+            "frames_interned": 0,
             "flow_matches": 0,
             "table_misses": 0,
             "packet_ins_sent": 0,
@@ -600,10 +602,15 @@ class OpenFlowSwitch:
     def frame_received(self, port_no: int, data: bytes) -> None:
         """Entry point for frames arriving from a link on ``port_no``."""
         self.stats["rx_frames"] += 1
+        data, pooled = fastframe.intern(data)
+        if pooled:
+            self.stats["frames_interned"] += 1
         if self.standalone_active and not self.connected:
             self._standalone_forward(port_no, data)
             return
-        fields = extract_packet_fields(data, port_no)
+        fields, cached = fastframe.flow_key(data, port_no)
+        if cached:
+            self.stats["flowkey_cache_hits"] += 1
         entry = self.flow_table.lookup(fields)
         if entry is not None:
             self.stats["flow_matches"] += 1
@@ -635,13 +642,15 @@ class OpenFlowSwitch:
     def _standalone_forward(self, in_port: int, data: bytes) -> None:
         """Fail-safe behaviour: autonomous MAC-learning forwarding."""
         self.stats["standalone_forwards"] += 1
-        try:
-            frame = EthernetFrame.unpack(data)
-        except FrameDecodeError:
+        # Only the address pair matters here; mac_pair mirrors
+        # EthernetFrame.unpack's accept/reject (length check only).
+        macs = fastframe.mac_pair(data)
+        if macs is None:
             return
-        self._mac_table[frame.src] = in_port
-        out_port = self._mac_table.get(frame.dst)
-        if frame.dst.is_broadcast or frame.dst.is_multicast or out_port is None:
+        src, dst = macs
+        self._mac_table[src] = in_port
+        out_port = self._mac_table.get(dst)
+        if dst.is_broadcast or dst.is_multicast or out_port is None:
             self._flood(in_port, data)
         elif out_port != in_port:
             self._transmit(out_port, data)
@@ -695,9 +704,17 @@ class OpenFlowSwitch:
             return data
         if isinstance(action, SetDlSrcAction):
             frame.src = action.address
+            field = "dl_src"
         elif isinstance(action, SetDlDstAction):
             frame.dst = action.address
-        return frame.pack()
+            field = "dl_dst"
+        else:
+            return frame.pack()
+        # The rewritten frame differs from `data` only in this one field,
+        # so its flow key is the parent's key with that field replaced.
+        return fastframe.derive_frame(
+            frame.pack(), data, field, MacAddress(action.address)
+        )
 
     @staticmethod
     def _rewrite_nw(data: bytes, action: Action) -> bytes:
@@ -708,10 +725,17 @@ class OpenFlowSwitch:
             return data
         if isinstance(action, SetNwSrcAction):
             ip.src = action.address
+            field = "nw_src"
         elif isinstance(action, SetNwDstAction):
             ip.dst = action.address
+            field = "nw_dst"
+        else:
+            frame.payload = ip.pack()
+            return frame.pack()
         frame.payload = ip.pack()
-        return frame.pack()
+        return fastframe.derive_frame(
+            frame.pack(), data, field, Ipv4Address(action.address)
+        )
 
     def __repr__(self) -> str:
         return (

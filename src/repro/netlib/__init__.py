@@ -11,6 +11,13 @@ Loxi-based injector did.
 from repro.netlib.addresses import BROADCAST_MAC, Ipv4Address, MacAddress
 from repro.netlib.arp import ArpPacket
 from repro.netlib.ethernet import EtherType, EthernetFrame
+from repro.netlib.fastframe import FastFrame, fast_lane_enabled, set_fast_lane
+from repro.netlib.flowkey import (
+    MATCH_FIELD_NAMES,
+    extract_flow_base,
+    extract_flow_key,
+    mac_pair_of,
+)
 from repro.netlib.icmp import IcmpEcho, IcmpType
 from repro.netlib.ipv4 import IpProtocol, Ipv4Packet
 from repro.netlib.lldp import LldpPacket
@@ -23,16 +30,23 @@ __all__ = [
     "BROADCAST_MAC",
     "EtherType",
     "EthernetFrame",
+    "FastFrame",
     "IcmpEcho",
     "IcmpType",
     "IpProtocol",
     "Ipv4Address",
     "Ipv4Packet",
     "LldpPacket",
+    "MATCH_FIELD_NAMES",
     "MacAddress",
     "TcpFlags",
     "TcpSegment",
     "UdpDatagram",
     "decode_ethernet",
+    "extract_flow_base",
+    "extract_flow_key",
+    "fast_lane_enabled",
+    "mac_pair_of",
     "payload_protocol_name",
+    "set_fast_lane",
 ]

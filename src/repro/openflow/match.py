@@ -7,6 +7,11 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.netlib.addresses import Ipv4Address, MacAddress
 from repro.netlib.ethernet import EtherType
+from repro.netlib.flowkey import (
+    FIELD_TUPLE_KEY,
+    MATCH_FIELD_NAMES,
+    extract_flow_key,
+)
 from repro.netlib.icmp import IcmpEcho
 from repro.netlib.ipv4 import Ipv4Packet
 from repro.netlib.packet import decode_ethernet
@@ -40,20 +45,9 @@ _SIMPLE_WILDCARDS: Dict[str, Wildcards] = {
     "nw_tos": Wildcards.NW_TOS,
 }
 
-MATCH_FIELD_NAMES = (
-    "in_port",
-    "dl_src",
-    "dl_dst",
-    "dl_vlan",
-    "dl_vlan_pcp",
-    "dl_type",
-    "nw_tos",
-    "nw_proto",
-    "nw_src",
-    "nw_dst",
-    "tp_src",
-    "tp_dst",
-)
+# MATCH_FIELD_NAMES and FIELD_TUPLE_KEY are re-exported from
+# repro.netlib.flowkey (imported above) — the single-pass extractor and
+# this module must agree on the tuple order.
 
 
 class Match:
@@ -323,7 +317,16 @@ def extract_packet_fields(data: bytes, in_port: int) -> Dict[str, Any]:
     Missing layers yield ``None`` (e.g. ``tp_src`` for an ARP packet);
     ARP's opcode/addresses map into nw_proto/nw_src/nw_dst per the OF 1.0
     spec's ARP_MATCH_IP behaviour.
+
+    Delegates to the single-pass extractor in ``repro.netlib.flowkey``;
+    :func:`extract_packet_fields_reference` keeps the original
+    decode-the-object-graph route as the equivalence/benchmark baseline.
     """
+    return extract_flow_key(data, in_port)
+
+
+def extract_packet_fields_reference(data: bytes, in_port: int) -> Dict[str, Any]:
+    """The original decode-based extraction (semantics oracle)."""
     decoded = decode_ethernet(data)
     frame = decoded.ethernet
     fields: Dict[str, Any] = {
@@ -362,4 +365,7 @@ def extract_packet_fields(data: bytes, in_port: int) -> Dict[str, Any]:
 
 def field_tuple(fields: Dict[str, Any]) -> Tuple[Any, ...]:
     """A hashable key over the twelve match fields (for learning tables)."""
+    memo = fields.get(FIELD_TUPLE_KEY)
+    if memo is not None:
+        return memo
     return tuple(fields.get(name) for name in MATCH_FIELD_NAMES)

@@ -23,12 +23,22 @@ class SimulationEngine:
     the runtime injector" (Section VI-C).
     """
 
+    #: Tombstone compaction thresholds: compact when the heap holds at
+    #: least COMPACT_MIN_QUEUE events and fewer than half are live.  Below
+    #: the floor a compaction saves nothing; above it the 50% rule keeps
+    #: total compaction work amortized O(1) per cancel (each compaction
+    #: removes at least as many tombstones as live events retained).
+    COMPACT_MIN_QUEUE = 64
+    COMPACT_LIVE_NUM = 1
+    COMPACT_LIVE_DEN = 2
+
     def __init__(self) -> None:
         self._now = 0.0
         self._queue: List[Event] = []
         self._running = False
         self._processed = 0
         self._live = 0
+        self.heap_compactions = 0
 
     @property
     def now(self) -> float:
@@ -46,8 +56,29 @@ class SimulationEngine:
 
     def _event_cancelled(self) -> None:
         # Called by Event.cancel(); the tombstone stays heap-resident until
-        # popped, but stops counting as pending immediately.
+        # popped or compacted away, but stops counting as pending
+        # immediately.
         self._live -= 1
+        queue = self._queue
+        if (
+            len(queue) >= self.COMPACT_MIN_QUEUE
+            and self._live * self.COMPACT_LIVE_DEN
+            < len(queue) * self.COMPACT_LIVE_NUM
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events and re-heapify.
+
+        In-place (``queue[:] =``) so the local heap alias held by a
+        ``run()`` in progress keeps seeing the compacted list; cancel-heavy
+        workloads (liveness probes, expiry timers) otherwise degrade every
+        heap operation with dead weight.
+        """
+        queue = self._queue
+        queue[:] = [event for event in queue if not event.cancelled]
+        heapq.heapify(queue)
+        self.heap_compactions += 1
 
     @property
     def processed_events(self) -> int:
@@ -153,6 +184,17 @@ class SimulationEngine:
     def snapshot(self) -> Tuple[float, int, int]:
         """Return ``(now, pending, processed)`` for debugging/metrics."""
         return (self._now, self.pending_events, self._processed)
+
+    def metrics(self) -> dict:
+        """Engine health counters for metrics snapshots and reports."""
+        return {
+            "now": self._now,
+            "pending_events": self._live,
+            "processed_events": self._processed,
+            "heap_size": len(self._queue),
+            "heap_tombstones": len(self._queue) - self._live,
+            "heap_compactions": self.heap_compactions,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,211 @@
+"""The packet fast lane: interning, key memoization, and invalidation."""
+
+import pytest
+
+from repro.netlib import (
+    EtherType,
+    EthernetFrame,
+    Ipv4Address,
+    Ipv4Packet,
+    MacAddress,
+    TcpSegment,
+)
+from repro.netlib import fastframe
+from repro.netlib.fastframe import FastFrame
+from repro.openflow.actions import (
+    OutputAction,
+    SetDlDstAction,
+    SetNwDstAction,
+)
+from repro.openflow.constants import Port
+from repro.openflow.match import Match, extract_packet_fields, field_tuple
+from repro.dataplane.switch import FailMode, OpenFlowSwitch
+from repro.sim.engine import SimulationEngine
+
+MAC_A = MacAddress("00:00:00:00:00:0a")
+MAC_B = MacAddress("00:00:00:00:00:0b")
+IP_A = Ipv4Address("10.0.0.10")
+IP_B = Ipv4Address("10.0.0.11")
+
+
+def tcp_frame(payload=b"x" * 64) -> bytes:
+    segment = TcpSegment(40000, 5001, payload=payload)
+    packet = Ipv4Packet(IP_A, IP_B, 6, segment.pack())
+    return EthernetFrame(MAC_B, MAC_A, EtherType.IPV4, packet.pack()).pack()
+
+
+class TestInterning:
+    def test_identical_content_interns_to_one_object(self):
+        first, hit1 = fastframe.intern(tcp_frame())
+        second, hit2 = fastframe.intern(tcp_frame())
+        assert not hit1 and hit2
+        assert first is second
+        assert type(first) is FastFrame
+
+    def test_interned_frame_passes_through_unchanged(self):
+        frame, _ = fastframe.intern(tcp_frame())
+        again, hit = fastframe.intern(frame)
+        assert again is frame and not hit
+
+    def test_intern_preserves_bytes_semantics(self):
+        raw = tcp_frame()
+        frame, _ = fastframe.intern(raw)
+        assert frame == raw
+        assert bytes(frame) == raw
+        assert hash(frame) == hash(raw)
+        assert len(frame) == len(raw)
+
+    def test_pool_is_bounded(self):
+        for index in range(fastframe.POOL_MAX + 10):
+            fastframe.intern(tcp_frame(payload=index.to_bytes(4, "big")))
+        assert fastframe.counters["pool_evictions"] >= 1
+
+    def test_disabled_fast_lane_is_a_passthrough(self):
+        fastframe.set_fast_lane(False)
+        raw = tcp_frame()
+        frame, hit = fastframe.intern(raw)
+        assert frame is raw and not hit
+
+
+class TestFlowKeyMemoization:
+    def test_key_computed_once_per_port(self):
+        frame, _ = fastframe.intern(tcp_frame())
+        fields1, hit1 = fastframe.flow_key(frame, 1)
+        fields2, hit2 = fastframe.flow_key(frame, 1)
+        assert not hit1 and hit2
+        assert fields2 is fields1  # the same dict, not a re-parse
+
+    def test_key_matches_plain_extraction(self):
+        raw = tcp_frame()
+        frame, _ = fastframe.intern(raw)
+        fields, _ = fastframe.flow_key(frame, 3)
+        expected = extract_packet_fields(raw, 3)
+        assert {k: fields[k] for k in expected} == expected
+        assert field_tuple(fields) == field_tuple(expected)
+
+    def test_distinct_ports_get_distinct_keys(self):
+        frame, _ = fastframe.intern(tcp_frame())
+        fields1, _ = fastframe.flow_key(frame, 1)
+        fields2, hit = fastframe.flow_key(frame, 2)
+        assert not hit
+        assert fields1["in_port"] == 1 and fields2["in_port"] == 2
+        assert field_tuple(fields1) != field_tuple(fields2)
+
+    def test_memoized_tuple_equals_field_tuple(self):
+        frame, _ = fastframe.intern(tcp_frame())
+        fields, _ = fastframe.flow_key(frame, 7)
+        memo = fields[fastframe.TUPLE_KEY]
+        stripped = {k: v for k, v in fields.items() if k != fastframe.TUPLE_KEY}
+        assert memo == field_tuple(stripped)
+
+    def test_plain_bytes_bypass_the_cache(self):
+        raw = tcp_frame()
+        fields, hit = fastframe.flow_key(raw, 1)
+        assert not hit
+        assert fastframe.TUPLE_KEY not in fields
+
+    def test_mac_pair_memoized(self):
+        frame, _ = fastframe.intern(tcp_frame())
+        assert fastframe.mac_pair(frame) == (MAC_A, MAC_B)
+        assert frame._macs == (MAC_A, MAC_B)
+        assert fastframe.mac_pair(b"\x00" * 5) is None
+
+
+class TestDeriveFrame:
+    def test_set_dl_dst_replaces_only_that_field(self):
+        parent, _ = fastframe.intern(tcp_frame())
+        parent_fields, _ = fastframe.flow_key(parent, 1)
+        new_mac = MacAddress("00:00:00:00:00:99")
+        frame = EthernetFrame.unpack(parent)
+        frame.dst = new_mac
+        derived = fastframe.derive_frame(frame.pack(), parent, "dl_dst", new_mac)
+        derived_fields, _ = fastframe.flow_key(derived, 1)
+        # The derived key equals a from-scratch extraction of the new bytes.
+        expected = extract_packet_fields(bytes(derived), 1)
+        assert {k: derived_fields[k] for k in expected} == expected
+        assert derived_fields["dl_dst"] == new_mac
+        assert derived_fields["dl_src"] == parent_fields["dl_src"]
+
+    def test_unparsed_parent_passes_through(self):
+        parent, _ = fastframe.intern(tcp_frame())  # key never computed
+        derived = fastframe.derive_frame(b"\x00" * 60, parent, "dl_dst", MAC_A)
+        assert type(derived) is bytes
+
+
+def make_switch(fail_mode=FailMode.SECURE):
+    engine = SimulationEngine()
+    switch = OpenFlowSwitch(engine, "s1", 1, fail_mode=fail_mode)
+    received = {1: [], 2: []}
+    switch.attach_port(1, received[1].append)
+    switch.attach_port(2, received[2].append)
+    return engine, switch, received
+
+
+class TestSwitchFastLane:
+    def install(self, switch, raw, in_port=1, out_port=2, actions=None):
+        match = Match.from_packet(raw, in_port)
+        from repro.openflow.messages import FlowMod
+
+        flow_mod = FlowMod(match, actions=actions or [OutputAction(out_port)])
+        switch.flow_table.apply_flow_mod(flow_mod, switch.engine.now)
+
+    def test_repeat_frames_hit_the_key_cache(self):
+        engine, switch, received = make_switch()
+        raw = tcp_frame()
+        self.install(switch, raw)
+        for _ in range(5):
+            switch.frame_received(1, raw)
+        assert len(received[2]) == 5
+        assert switch.stats["flowkey_cache_hits"] == 4
+        assert switch.stats["frames_interned"] == 4
+        # Delivered bytes are exactly the sent bytes.
+        assert all(frame == raw for frame in received[2])
+
+    def test_stats_counters_exist_in_snapshot(self):
+        _, switch, _ = make_switch()
+        assert "flowkey_cache_hits" in switch.stats
+        assert "frames_interned" in switch.stats
+
+    def test_set_field_actions_deliver_rewritten_bytes(self):
+        engine, switch, received = make_switch()
+        raw = tcp_frame()
+        new_mac = MacAddress("00:00:00:00:00:42")
+        new_ip = Ipv4Address("10.9.9.9")
+        self.install(
+            switch, raw,
+            actions=[SetDlDstAction(new_mac), SetNwDstAction(new_ip),
+                     OutputAction(2)],
+        )
+        switch.frame_received(1, raw)
+        (delivered,) = received[2]
+        fields = extract_packet_fields(bytes(delivered), 1)
+        assert fields["dl_dst"] == new_mac
+        assert fields["nw_dst"] == new_ip
+        assert fields["tp_src"] == 40000  # L4 untouched
+        # And the carried (derived) key agrees with the bytes.
+        carried, _ = fastframe.flow_key(delivered, 1)
+        assert {k: carried[k] for k in fields} == fields
+
+    def test_standalone_forwarding_learns_from_mac_pair(self):
+        engine, switch, received = make_switch(fail_mode=FailMode.STANDALONE)
+        switch.standalone_active = True
+        raw = tcp_frame()
+        switch.frame_received(1, raw)  # unknown dst: flooded out 2
+        assert received[2] == [raw]
+        # Runt frames are silently dropped, as EthernetFrame.unpack was.
+        switch.frame_received(1, b"\x00" * 8)
+        assert received[2] == [raw]
+
+    def test_fast_lane_off_produces_identical_forwarding(self):
+        raw = tcp_frame()
+        outputs = {}
+        for enabled in (True, False):
+            fastframe.set_fast_lane(enabled)
+            fastframe.clear_pool()
+            engine, switch, received = make_switch()
+            self.install(switch, raw)
+            for _ in range(3):
+                switch.frame_received(1, raw)
+            outputs[enabled] = [bytes(f) for f in received[2]]
+            assert switch.stats["flow_matches"] == 3
+        assert outputs[True] == outputs[False]

@@ -1,0 +1,93 @@
+"""Tombstone compaction in the simulation engine's event heap."""
+
+from repro.sim.engine import SimulationEngine
+
+
+def test_compaction_triggers_below_live_fraction():
+    engine = SimulationEngine()
+    events = [engine.schedule(float(i + 1), lambda: None) for i in range(100)]
+    assert engine.heap_compactions == 0
+    for event in events[:60]:
+        event.cancel()
+    assert engine.heap_compactions >= 1
+    metrics = engine.metrics()
+    assert metrics["pending_events"] == 40
+    # The sweep dropped dead weight; only tombstones accrued after the
+    # queue fell below COMPACT_MIN_QUEUE may remain.
+    assert metrics["heap_size"] < 100
+    assert metrics["heap_size"] == 40 + metrics["heap_tombstones"]
+
+
+def test_no_compaction_below_minimum_queue_size():
+    engine = SimulationEngine()
+    events = [engine.schedule(float(i + 1), lambda: None) for i in range(20)]
+    for event in events:
+        event.cancel()
+    assert engine.heap_compactions == 0
+
+
+def test_compaction_preserves_event_order_and_content():
+    engine = SimulationEngine()
+    fired = []
+    events = [engine.schedule(float(i), fired.append, i) for i in range(200)]
+    for i, event in enumerate(events):
+        if i % 3 != 0:
+            event.cancel()
+    assert engine.heap_compactions >= 1
+    engine.run()
+    assert fired == [i for i in range(200) if i % 3 == 0]
+
+
+def test_compaction_is_in_place():
+    # run() keeps a local alias of the queue list, so compaction must
+    # mutate the list in place rather than rebind the attribute.
+    engine = SimulationEngine()
+    queue = engine._queue
+    events = [engine.schedule(float(i + 1), lambda: None) for i in range(100)]
+    for event in events[:80]:
+        event.cancel()
+    assert engine.heap_compactions >= 1
+    assert engine._queue is queue
+    assert len(queue) < 100
+
+
+def test_cancel_during_run_compacts_safely():
+    engine = SimulationEngine()
+    fired = []
+    victims = []
+
+    def massacre():
+        for event in victims:
+            event.cancel()
+
+    engine.schedule(0.5, massacre)
+    for i in range(100):
+        victims.append(engine.schedule(10.0 + i, fired.append, i))
+    for i in range(10):
+        engine.schedule(100.0 + i, fired.append, 1000 + i)
+    engine.run()
+    # All victims were cancelled mid-run (triggering in-run compaction);
+    # the survivors still fire, in order.
+    assert fired == [1000 + i for i in range(10)]
+    assert engine.heap_compactions >= 1
+
+
+def test_metrics_exposes_compaction_counter():
+    engine = SimulationEngine()
+    metrics = engine.metrics()
+    assert metrics["heap_compactions"] == 0
+    assert metrics["processed_events"] == 0
+    assert metrics["pending_events"] == 0
+    engine.schedule(1.0, lambda: None)
+    assert engine.metrics()["pending_events"] == 1
+
+
+def test_pending_events_stays_consistent_after_compaction():
+    engine = SimulationEngine()
+    events = [engine.schedule(float(i + 1), lambda: None) for i in range(128)]
+    for event in events[::2]:
+        event.cancel()
+    assert engine.pending_events == 64
+    engine.run()
+    assert engine.pending_events == 0
+    assert engine.processed_events == 64
