@@ -268,3 +268,59 @@ def test_multihop_forwarding_speedup(benchmark):
     benchmark(send_one)
     benchmark.extra_info["switches"] = N_SWITCHES
     benchmark.extra_info["speedup_vs_decode_per_hop"] = round(speedup, 2)
+
+
+def test_tracing_disabled_keeps_the_fast_lane(benchmark):
+    """Trace instrumentation must cost nothing when no collector is
+    attached (the default).  Every emit site is gated on a single
+    ``tracer is not None`` check, so the untraced executor still clears
+    the same 5x no-fire floor, while an attached collector records the
+    work the guard skips."""
+    from repro.obs import TraceCollector
+
+    untraced = _executor(fast_path=True)
+    traced = _executor(fast_path=True)
+    traced.set_tracer(TraceCollector())
+    linear = _executor(fast_path=False)
+    assert untraced.tracer is None  # the zero-overhead configuration
+    raw = Hello().pack()
+    fired = FlowMod(Match()).pack()
+
+    def no_fire():
+        return untraced.handle_message(
+            InterposedMessage(CONN, Direction.TO_CONTROLLER, 0.0, raw)
+        )
+
+    def no_fire_linear():
+        return linear.handle_message(
+            InterposedMessage(CONN, Direction.TO_CONTROLLER, 0.0, raw)
+        )
+
+    def fire(executor):
+        return lambda: executor.handle_message(
+            InterposedMessage(CONN, Direction.TO_CONTROLLER, 0.0, fired)
+        )
+
+    untraced_time = median_time(no_fire)
+    linear_time = median_time(no_fire_linear)
+    speedup = linear_time / untraced_time
+    untraced_fire = median_time(fire(untraced), iterations=500)
+    traced_fire = median_time(fire(traced), iterations=500)
+    print_table(
+        "Fast lane — tracing guards on the executor hot path",
+        ("variant", "per-message", "note"),
+        [
+            ("untraced no-fire", f"{untraced_time * 1e6:8.2f} us",
+             f"{speedup:.1f}x vs linear"),
+            ("untraced rule-fire", f"{untraced_fire * 1e6:8.2f} us", "-"),
+            ("traced rule-fire", f"{traced_fire * 1e6:8.2f} us",
+             f"{traced.tracer.events_total} events"),
+        ],
+    )
+    # The regression guard: disabled tracing leaves the floor intact.
+    assert speedup >= SPEEDUP_FLOOR, f"tracing guards cost the floor: {speedup:.1f}x"
+    # And the guard really did skip all trace work on the untraced side.
+    assert traced.tracer.events_total > 0
+    assert untraced.tracer is None
+    benchmark(no_fire)
+    benchmark.extra_info["speedup_vs_linear_untraced"] = round(speedup, 2)

@@ -21,7 +21,12 @@ The CLI front-end is ``repro campaign run|status|report``.
 """
 
 from repro.campaign.report import CampaignReport, build_report
-from repro.campaign.runner import CampaignRunner, CampaignSummary, run_campaign
+from repro.campaign.runner import (
+    CampaignRunner,
+    CampaignSummary,
+    reset_run_state,
+    run_campaign,
+)
 from repro.campaign.spec import (
     CampaignSpec,
     RunDescriptor,
@@ -41,6 +46,7 @@ __all__ = [
     "build_report",
     "load_spec",
     "make_record",
+    "reset_run_state",
     "run_campaign",
     "run_id_for",
 ]

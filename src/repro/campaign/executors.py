@@ -9,6 +9,7 @@ generation) plug in without touching the runner.
 
 from __future__ import annotations
 
+import inspect
 import os
 import time
 from typing import Callable, Dict, Optional
@@ -89,9 +90,25 @@ def _selfcheck_cell(
     }
 
 
+def _accepts_trace(executor: Executor) -> bool:
+    try:
+        parameters = inspect.signature(executor).parameters
+    except (TypeError, ValueError):
+        return False
+    return "trace" in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+
+
 def execute_descriptor(descriptor: Dict[str, object],
-                       attempt: int = 1) -> Dict[str, object]:
-    """Run one descriptor dict in-process and return its metrics."""
+                       attempt: int = 1,
+                       tracer=None) -> Dict[str, object]:
+    """Run one descriptor dict in-process and return its metrics.
+
+    ``tracer`` is forwarded to executors that accept a ``trace`` keyword
+    (the stock suppression/interruption harnesses); executors without
+    trace support simply run untraced.
+    """
     _ensure_builtin_executors()
     experiment = str(descriptor.get("experiment") or "suppression")
     executor = _EXECUTORS.get(experiment)
@@ -119,4 +136,6 @@ def execute_descriptor(descriptor: Dict[str, object],
     if experiment == "compliance":
         # The suite has no controller/attack axes.
         kwargs = {"fail_mode": kwargs["fail_mode"], "seed": kwargs["seed"]}
+    if tracer is not None and _accepts_trace(executor):
+        kwargs["trace"] = tracer
     return executor(**kwargs)

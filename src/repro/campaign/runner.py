@@ -37,13 +37,14 @@ _POLL_INTERVAL_S = 0.01
 _SHUTDOWN_GRACE_S = 2.0
 
 
-def _reset_run_state() -> None:
-    """Reset process-global counters so reused workers stay deterministic.
+def reset_run_state() -> None:
+    """Reset process-global counters so repeated runs stay deterministic.
 
     A fresh process starts every itertools sequence at its seed value;
-    a reused worker must do the same before each run or frame contents
-    (ICMP identifiers, ephemeral ports, event tie-breaks) would depend on
-    how many runs the worker executed before this one.
+    a reused worker (or any caller running experiments back to back in
+    one process) must do the same before each run or frame contents
+    (ICMP identifiers, ephemeral ports, OpenFlow xids, event tie-breaks)
+    would depend on how many runs the process executed before this one.
     """
     import itertools
 
@@ -51,6 +52,7 @@ def _reset_run_state() -> None:
     from repro.dataplane.flowtable import FlowEntry
     from repro.dataplane.host import Host
     from repro.netlib import fastframe
+    from repro.openflow import messages as of_messages
     from repro.sim.events import Event
 
     Event._seq_counter = itertools.count()
@@ -58,8 +60,13 @@ def _reset_run_state() -> None:
     Host._icmp_id = itertools.count(1)
     Host._ephemeral = itertools.count(49152)
     InterposedMessage._id_counter = itertools.count(1)
+    of_messages.reset_xid_counter()
     fastframe.clear_pool()
     fastframe.reset_counters()
+
+
+#: Backwards-compatible private alias (pre-existing callers/tests).
+_reset_run_state = reset_run_state
 
 
 def _worker_loop(conn) -> None:
@@ -74,13 +81,22 @@ def _worker_loop(conn) -> None:
             break
         if task is None:
             break
-        descriptor, attempt = task
+        descriptor, attempt, trace_enabled = task
         _reset_run_state()
+        tracer = None
+        if trace_enabled:
+            from repro.obs import TraceCollector
+
+            tracer = TraceCollector()
         try:
-            metrics = execute_descriptor(descriptor, attempt=attempt)
+            metrics = execute_descriptor(descriptor, attempt=attempt,
+                                         tracer=tracer)
             runs_executed += 1
             outcome = {"status": "ok", "metrics": metrics,
                        "worker_runs": runs_executed}
+            if tracer is not None:
+                outcome["trace_jsonl"] = tracer.to_jsonl()
+                outcome["trace_events"] = tracer.events_total
         except BaseException:
             runs_executed += 1
             outcome = {"status": "error",
@@ -158,6 +174,7 @@ class CampaignRunner:
         retries: Optional[int] = None,
         progress: Optional[Callable[[str], None]] = None,
         mp_context: Optional[str] = None,
+        trace: bool = False,
     ) -> None:
         self.spec = spec
         self.store = store
@@ -165,6 +182,7 @@ class CampaignRunner:
         self.timeout_s = float(timeout_s if timeout_s is not None
                                else spec.timeout_s)
         self.retries = int(retries if retries is not None else spec.retries)
+        self.trace = bool(trace)
         self._progress = progress or (lambda line: None)
         self._ctx = multiprocessing.get_context(mp_context)
 
@@ -220,7 +238,8 @@ class CampaignRunner:
                 slots.append(slot)
             task = queue.pop()
             try:
-                slot.conn.send((task.descriptor.identity(), task.attempt))
+                slot.conn.send((task.descriptor.identity(), task.attempt,
+                                self.trace))
             except (BrokenPipeError, OSError):
                 # The idle worker died between runs; replace it and retry
                 # the hand-off on a fresh one.
@@ -283,12 +302,21 @@ class CampaignRunner:
             summary.executed += 1
             summary.succeeded += 1
             summary.retries_used += task.attempt - 1
+            trace_info = None
+            trace_jsonl = outcome.get("trace_jsonl")
+            if isinstance(trace_jsonl, str):
+                # Only the parent touches the store directory: workers
+                # ship trace JSONL back over the pipe like any result.
+                path = self.store.write_trace(descriptor.run_id, trace_jsonl)
+                trace_info = {"path": str(path),
+                              "events": int(outcome.get("trace_events") or 0)}
             self.store.append(make_record(
                 descriptor.to_dict(), "ok", outcome.get("metrics"),
                 attempts=task.attempt, duration_s=duration,
                 campaign=self.spec.name,
                 worker={"pid": slot.process.pid,
                         "runs_executed": slot.runs_done},
+                trace=trace_info,
             ))
             self._progress(
                 f"run {descriptor.run_id} ok "
@@ -349,9 +377,10 @@ def run_campaign(
     timeout_s: Optional[float] = None,
     retries: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    trace: bool = False,
 ) -> CampaignSummary:
     """Convenience wrapper: build a :class:`CampaignRunner` and run it."""
     return CampaignRunner(
         spec, store, workers=workers, timeout_s=timeout_s,
-        retries=retries, progress=progress,
+        retries=retries, progress=progress, trace=trace,
     ).run()

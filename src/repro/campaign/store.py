@@ -32,13 +32,26 @@ def make_record(
     error: Optional[str] = None,
     campaign: Optional[str] = None,
     worker: Optional[Dict[str, object]] = None,
+    sim_duration_s: Optional[float] = None,
+    trace: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Build one store record from a run descriptor's ``to_dict()``.
 
     ``worker`` optionally carries pool observability (the executing
     worker's pid and its ``runs_executed`` count); absent for runs
     recorded outside a pool (single-shot CLI runs, pre-pool records).
+
+    ``duration_s`` is the run's wall-clock duration; it is recorded both
+    under its legacy name and explicitly as ``wall_duration_s``.
+    ``sim_duration_s`` is the simulated horizon the run reached — taken
+    from ``metrics["sim_duration_s"]`` when not given.  ``trace``
+    optionally points at the run's exported trace artifact
+    (``{"path": ..., "events": ...}``).
     """
+    if sim_duration_s is None and metrics is not None:
+        raw = metrics.get("sim_duration_s")
+        if isinstance(raw, (int, float)):
+            sim_duration_s = float(raw)
     record = {
         "schema": RECORD_SCHEMA,
         "run_id": descriptor["run_id"],
@@ -54,11 +67,17 @@ def make_record(
         "status": status,
         "attempts": attempts,
         "duration_s": round(duration_s, 4),
+        "wall_duration_s": round(duration_s, 4),
+        "sim_duration_s": (
+            round(sim_duration_s, 6) if sim_duration_s is not None else None
+        ),
         "error": error,
         "metrics": metrics,
     }
     if worker is not None:
         record["worker"] = worker
+    if trace is not None:
+        record["trace"] = trace
     return record
 
 
@@ -75,23 +94,63 @@ class ResultStore:
     # Writing
     # ------------------------------------------------------------------ #
 
+    @staticmethod
+    def _terminate_tail(handle) -> bool:
+        """Newline-terminate a torn final line; True if healing happened.
+
+        A parent killed mid-append leaves a record fragment with no
+        trailing newline.  Starting the next record on a line of its own
+        keeps the torn record the only casualty: the fragment never
+        parses as JSON (``records`` skips it), so a resume neither
+        mis-skips the interrupted run nor double-counts a healthy one.
+        """
+        handle.seek(0, 2)
+        if handle.tell() == 0:
+            return False
+        handle.seek(-1, 2)
+        if handle.read(1) == b"\n":
+            return False
+        handle.write(b"\n")
+        return True
+
+    def heal(self) -> bool:
+        """Explicitly repair a torn final line; True if a repair happened."""
+        if not self.path.exists():
+            return False
+        with self.path.open("a+b") as handle:
+            return self._terminate_tail(handle)
+
     def append(self, record: Dict[str, object]) -> None:
         """Append one record (adds a wall-clock ``recorded_at`` stamp)."""
         payload = dict(record)
         payload.setdefault("recorded_at", round(time.time(), 3))
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a+b") as handle:
-            # Heal a torn final line (a run killed mid-write left no
-            # newline): start this record on a line of its own so the
-            # torn record stays the only casualty.
-            handle.seek(0, 2)
-            if handle.tell() > 0:
-                handle.seek(-1, 2)
-                if handle.read(1) != b"\n":
-                    handle.write(b"\n")
+            self._terminate_tail(handle)
             line = json.dumps(payload, sort_keys=True) + "\n"
             handle.write(line.encode("utf-8"))
             handle.flush()
+
+    # ------------------------------------------------------------------ #
+    # Trace artifacts
+    # ------------------------------------------------------------------ #
+
+    @property
+    def traces_dir(self) -> Path:
+        """Directory holding per-run trace exports (``<store>.traces/``)."""
+        return self.path.with_name(self.path.name + ".traces")
+
+    def trace_path(self, run_id: str) -> Path:
+        return self.traces_dir / f"{run_id}.jsonl"
+
+    def write_trace(self, run_id: str, jsonl: str) -> Path:
+        """Persist one run's trace JSONL next to the ledger (parent-only)."""
+        path = self.trace_path(run_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if jsonl and not jsonl.endswith("\n"):
+            jsonl += "\n"
+        path.write_text(jsonl, encoding="utf-8")
+        return path
 
     # ------------------------------------------------------------------ #
     # Reading

@@ -5,9 +5,11 @@ Usage::
     python -m repro suppression --controller pox --seed 7 --json
     python -m repro interruption
     python -m repro compliance
-    python -m repro campaign run matrix.xml --workers 4
+    python -m repro campaign run matrix.xml --workers 4 --trace
     python -m repro campaign status matrix.xml
     python -m repro campaign report matrix.xml
+    python -m repro interruption --controller pox --trace run.jsonl
+    python -m repro trace run-pox-secure.jsonl
     python -m repro compile --system sys.xml --attack-model model.xml \\
         --attack attack.xml --output attack_module.py
     python -m repro graph --system sys.xml --attack attack.xml
@@ -26,8 +28,14 @@ CONTROLLERS = ("floodlight", "pox", "ryu")
 
 def _print_run_record(experiment: str, attack: Optional[str], controller: str,
                       fail_mode: str, seed: int, params: dict, metrics: dict,
-                      duration_s: float) -> None:
-    """Emit one single-shot run in the campaign ResultStore record schema."""
+                      wall_duration_s: float,
+                      trace: Optional[dict] = None) -> None:
+    """Emit one single-shot run in the campaign ResultStore record schema.
+
+    Durations are explicit: ``wall_duration_s`` is what this process
+    measured around the run; the simulated horizon is lifted from
+    ``metrics["sim_duration_s"]`` by ``make_record``.
+    """
     from repro.campaign import RunDescriptor, make_record
 
     descriptor = RunDescriptor(
@@ -36,8 +44,32 @@ def _print_run_record(experiment: str, attack: Optional[str], controller: str,
         params=dict(params),
     )
     record = make_record(descriptor.to_dict(), "ok", metrics,
-                         duration_s=duration_s)
+                         duration_s=wall_duration_s, trace=trace)
     print(json.dumps(record, sort_keys=True))
+
+
+def _make_collector(enabled: bool):
+    if not enabled:
+        return None
+    from repro.obs import TraceCollector
+
+    return TraceCollector()
+
+
+def _dump_trace(tracer, base_path: str, label: str, multi: bool):
+    """Write one cell's trace; per-cell suffixes when a command runs many."""
+    if tracer is None:
+        return None
+    from pathlib import Path
+
+    path = Path(base_path)
+    if multi:
+        suffix = path.suffix or ".jsonl"
+        path = path.with_name(f"{path.stem}-{label}{suffix}")
+    tracer.dump_jsonl(path)
+    print(f"trace: {tracer.events_total} event(s) -> {path}",
+          file=sys.stderr)
+    return {"path": str(path), "events": tracer.events_total}
 
 
 def _cmd_suppression(args: argparse.Namespace) -> int:
@@ -59,14 +91,24 @@ def _cmd_suppression(args: argparse.Namespace) -> int:
     for controller in controllers:
         for attacked in (False, True):
             started = time.time()
+            tracer = _make_collector(bool(args.trace))
             result = run_suppression_experiment(controller, attacked,
-                                                seed=args.seed, **config)
+                                                seed=args.seed, trace=tracer,
+                                                **config)
+            # Suppression always runs baseline + attack, so per-cell
+            # trace files are always suffixed.
+            trace_info = _dump_trace(
+                tracer, args.trace,
+                f"{controller}-{'attack' if attacked else 'baseline'}",
+                multi=True,
+            ) if tracer is not None else None
             if args.json:
                 _print_run_record(
                     "suppression",
                     "flow-mod-suppression" if attacked else "passthrough",
                     controller, "secure", args.seed, config,
                     result.record(), time.time() - started,
+                    trace=trace_info,
                 )
                 continue
             rtt = (f"{result.median_rtt_s * 1000:.2f} ms"
@@ -87,13 +129,18 @@ def _cmd_interruption(args: argparse.Namespace) -> int:
     for controller in controllers:
         for mode in (FailMode.STANDALONE, FailMode.SECURE):
             started = time.time()
+            tracer = _make_collector(bool(args.trace))
             result = run_interruption_experiment(controller, mode,
-                                                 seed=args.seed)
+                                                 seed=args.seed, trace=tracer)
+            trace_info = _dump_trace(
+                tracer, args.trace, f"{controller}-{mode.value}", multi=True,
+            ) if tracer is not None else None
             if args.json:
                 _print_run_record(
                     "interruption", "connection-interruption", controller,
                     mode.value, args.seed, {}, result.record(),
                     time.time() - started,
+                    trace=trace_info,
                 )
                 continue
             row = result.row()
@@ -154,6 +201,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     summary = run_campaign(
         spec, store, workers=workers,
         timeout_s=args.timeout, retries=args.retries, progress=progress,
+        trace=bool(getattr(args, "trace", False)),
     )
     if args.json:
         print(json.dumps({
@@ -227,6 +275,25 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
     else:
         print(report.render())
     return 0 if not report.missing_runs and not report.failed_runs else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import load_events, render_summary, render_timeline, summarize
+
+    events = load_events(args.trace_file)
+    if not events:
+        print(f"no events in {args.trace_file}", file=sys.stderr)
+        return 1
+    summary = summarize(events)
+    if args.json:
+        print(json.dumps(summary, sort_keys=True))
+        return 0
+    if not args.summary_only:
+        print(render_timeline(events, kinds=args.kinds or None,
+                              limit=args.limit))
+        print()
+    print(render_summary(summary))
+    return 0
 
 
 def _load_system(path: str):
@@ -305,6 +372,9 @@ def build_parser() -> argparse.ArgumentParser:
                              help="root seed for the run's random streams")
     suppression.add_argument("--json", action="store_true",
                              help="emit campaign-schema JSONL records")
+    suppression.add_argument("--trace", metavar="PATH",
+                             help="export a per-cell control-plane trace "
+                                  "(JSONL; cells suffix the file name)")
     suppression.set_defaults(handler=_cmd_suppression)
 
     interruption = subparsers.add_parser(
@@ -316,6 +386,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="root seed for the run's random streams")
     interruption.add_argument("--json", action="store_true",
                               help="emit campaign-schema JSONL records")
+    interruption.add_argument("--trace", metavar="PATH",
+                              help="export a per-cell control-plane trace "
+                                   "(JSONL; cells suffix the file name)")
     interruption.set_defaults(handler=_cmd_interruption)
 
     compliance = subparsers.add_parser(
@@ -352,6 +425,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="extra attempts after a worker failure")
     campaign_run.add_argument("--quiet", action="store_true",
                               help="suppress per-run progress on stderr")
+    campaign_run.add_argument("--trace", action="store_true",
+                              help="collect per-run control-plane traces "
+                                   "into <store>.traces/<run_id>.jsonl")
     campaign_run.set_defaults(handler=_cmd_campaign_run)
 
     campaign_status = campaign_sub.add_parser(
@@ -363,6 +439,21 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="aggregate the store into security metrics")
     _common_campaign_args(campaign_report)
     campaign_report.set_defaults(handler=_cmd_campaign_report)
+
+    trace = subparsers.add_parser(
+        "trace", help="render an exported control-plane trace "
+                      "(timeline + per-rule summary)"
+    )
+    trace.add_argument("trace_file", help="trace JSONL file to render")
+    trace.add_argument("--kinds", nargs="*",
+                       help="only show these event kinds in the timeline")
+    trace.add_argument("--limit", type=int, default=None,
+                       help="cap the timeline at N events")
+    trace.add_argument("--summary-only", action="store_true",
+                       help="skip the timeline, print only the summary")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the summary as JSON")
+    trace.set_defaults(handler=_cmd_trace)
 
     compile_cmd = subparsers.add_parser(
         "compile", help="compile attack XML into executable Python code"

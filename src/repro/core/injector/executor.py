@@ -29,6 +29,7 @@ from repro.core.lang.properties import InterposedMessage
 from repro.core.lang.rules import Rule
 from repro.core.lang.states import AttackState
 from repro.core.injector.modifier import MessageModifier
+from repro.openflow.messages import peek_xid
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import SeededRng
 
@@ -121,6 +122,9 @@ class AttackExecutor:
         self.fast_path = fast_path
         self._syscmd_router = syscmd_router or (lambda host, cmd: None)
         self._observers: List[ExecutorObserver] = []
+        # Trace hook: None keeps every hot-path guard to one attribute
+        # load + identity check (the zero-overhead-when-disabled contract).
+        self.tracer = None
         self.stats: Dict[str, int] = {
             "messages_processed": 0,
             "rules_evaluated": 0,
@@ -145,6 +149,11 @@ class AttackExecutor:
 
     def add_observer(self, observer: ExecutorObserver) -> None:
         self._observers.append(observer)
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a :class:`~repro.obs.trace.TraceCollector` (or None)."""
+        self.tracer = tracer
+        self.storage.set_tracer(tracer)
 
     def set_syscmd_router(self, router: Callable[[str, str], None]) -> None:
         self._syscmd_router = router
@@ -181,9 +190,15 @@ class AttackExecutor:
         eval_ctx = EvalContext(incoming, self.storage, self.engine.now,
                                rng=self.rng)
         action_ctx: Optional[ActionContext] = None
+        tracer = self.tracer
         for rule in candidates:                                        # line 7
             stats["rules_evaluated"] += 1
-            if rule.compiled_conditional()(eval_ctx):                  # line 9
+            fired = rule.compiled_conditional()(eval_ctx)              # line 9
+            if tracer is not None:
+                tracer.emit("rule_eval", state=previous_state.name,
+                            rule=rule.name, msg_id=incoming.msg_id,
+                            fired=bool(fired))
+            if fired:
                 stats["rules_fired"] += 1
                 self._notify_rule(previous_state.name, rule.name, incoming)
                 if action_ctx is None:
@@ -192,10 +207,16 @@ class AttackExecutor:
                     if isinstance(action, GoToState):                  # lines 11–12
                         self._goto(action.state_name)
                     else:                                              # line 14
+                        if tracer is not None:
+                            tracer.emit("action", state=previous_state.name,
+                                        rule=rule.name,
+                                        action=type(action).__name__)
                         self.modifier.apply(action, action_ctx)
         if action_ctx is not None:
             if not any(entry.message is incoming for entry in out):
                 stats["messages_dropped"] += 1
+                if tracer is not None:
+                    self._trace_drop(previous_state.name, incoming)
             stats["messages_injected"] += sum(1 for entry in out if entry.injected)
         return out                                                     # lines 19–21
 
@@ -212,20 +233,32 @@ class AttackExecutor:
         eval_ctx = EvalContext(incoming, self.storage, self.engine.now,
                                rng=self.rng)
         action_ctx = self._action_context(eval_ctx, out)
+        tracer = self.tracer
         for rule in previous_state.rules:                              # line 7
             if not rule.binds(incoming.connection):
                 continue
             self.stats["rules_evaluated"] += 1
-            if rule.conditional.evaluate(eval_ctx):                    # line 9
+            fired = rule.conditional.evaluate(eval_ctx)                # line 9
+            if tracer is not None:
+                tracer.emit("rule_eval", state=previous_state.name,
+                            rule=rule.name, msg_id=incoming.msg_id,
+                            fired=bool(fired))
+            if fired:
                 self.stats["rules_fired"] += 1
                 self._notify_rule(previous_state.name, rule.name, incoming)
                 for action in rule.actions:                            # line 10
                     if isinstance(action, GoToState):                  # lines 11–12
                         self._goto(action.state_name)
                     else:                                              # line 14
+                        if tracer is not None:
+                            tracer.emit("action", state=previous_state.name,
+                                        rule=rule.name,
+                                        action=type(action).__name__)
                         self.modifier.apply(action, action_ctx)
         if not any(entry.message is incoming for entry in out):
             self.stats["messages_dropped"] += 1
+            if tracer is not None:
+                self._trace_drop(previous_state.name, incoming)
         self.stats["messages_injected"] += sum(1 for entry in out if entry.injected)
         return out                                                     # lines 19–21
 
@@ -257,6 +290,8 @@ class AttackExecutor:
         previous = self.current_state_name
         self.current_state_name = state_name
         self.stats["state_transitions"] += 1
+        if self.tracer is not None:
+            self.tracer.emit("state", **{"from": previous, "to": state_name})
         for observer in self._observers:
             observer.state_changed(previous, state_name, self.engine.now)
 
@@ -267,12 +302,34 @@ class AttackExecutor:
         self._syscmd_router(host, command)
 
     def _record(self, kind: str, data: dict) -> None:
+        if self.tracer is not None:
+            self.tracer.emit("record", record_kind=kind, data=dict(data))
         for observer in self._observers:
             observer.action_record(kind, data, self.engine.now)
 
     def _notify_rule(self, state: str, rule_name: str, message: InterposedMessage) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                "rule_fired",
+                state=state,
+                rule=rule_name,
+                msg_id=message.msg_id,
+                type=message.coarse_type_name,
+                xid=peek_xid(message.raw),
+                connection=list(message.connection),
+                direction=message.direction.value,
+            )
         for observer in self._observers:
             observer.rule_fired(state, rule_name, message)
+
+    def _trace_drop(self, state: str, message: InterposedMessage) -> None:
+        self.tracer.emit(
+            "message_drop",
+            state=state,
+            msg_id=message.msg_id,
+            type=message.coarse_type_name,
+            xid=peek_xid(message.raw),
+        )
 
     def __repr__(self) -> str:
         return (

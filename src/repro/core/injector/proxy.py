@@ -17,7 +17,11 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.dataplane.control import ControlChannel
 from repro.openflow.connection import MessageFramer
-from repro.openflow.messages import OpenFlowDecodeError
+from repro.openflow.messages import (
+    OpenFlowDecodeError,
+    peek_message_type_name,
+    peek_xid,
+)
 from repro.core.lang.actions import OutgoingMessage
 from repro.core.lang.properties import Direction, InterposedMessage
 
@@ -35,6 +39,7 @@ class ConnectionProxy:
         self._to_controller_framer = MessageFramer()
         self._to_switch_framer = MessageFramer()
         self._interposed = bool(injector.attack_model.gamma(connection))
+        self.tracer = getattr(injector, "tracer", None)
         self.closed = False
         self.stats: Dict[str, int] = {
             "to_controller_messages": 0,
@@ -97,6 +102,16 @@ class ConnectionProxy:
                 self.stats["to_controller_messages"] += 1
             else:
                 self.stats["to_switch_messages"] += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "message",
+                    connection=list(self.connection),
+                    direction=direction.value,
+                    type=peek_message_type_name(frame),
+                    xid=peek_xid(frame),
+                    length=len(frame),
+                    msg_id=interposed.msg_id,
+                )
             self.injector.submit(self, interposed)
 
     def channel_closed(self, channel: ControlChannel) -> None:

@@ -51,6 +51,7 @@ class RuntimeInjector:
         self._ports: Dict[ConnectionKey, ProxyPort] = {}
         self.active_proxies: Dict[ConnectionKey, ConnectionProxy] = {}
         self._observers: List = []
+        self.tracer = None
         self.stats: Dict[str, int] = {
             "messages_interposed": 0,
             "messages_deferred": 0,
@@ -114,6 +115,14 @@ class RuntimeInjector:
     def set_syscmd_router(self, router: Callable[[str, str], None]) -> None:
         if self.executor is not None:
             self.executor.set_syscmd_router(router)
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a trace collector to the executor and every proxy."""
+        self.tracer = tracer
+        if self.executor is not None:
+            self.executor.set_tracer(tracer)
+        for proxy in self.active_proxies.values():
+            proxy.tracer = tracer
 
     # ------------------------------------------------------------------ #
     # Proxy lifecycle (called by ProxyPort / ConnectionProxy)

@@ -23,6 +23,11 @@ class Deque:
         self._items: _deque = _deque(initial)
         self.total_prepends = 0
         self.total_appends = 0
+        self.tracer = None
+
+    def _trace(self, op: str) -> None:
+        self.tracer.emit("deque", deque=self.name, op=op,
+                         size=len(self._items))
 
     # -- mutations (the Section V-D deque operations) -------------------- #
 
@@ -30,23 +35,33 @@ class Deque:
         """PREPEND(δ, value): add value to the front of δ."""
         self.total_prepends += 1
         self._items.appendleft(value)
+        if self.tracer is not None:
+            self._trace("prepend")
 
     def append(self, value: Any) -> None:
         """APPEND(δ, value): add value to the end of δ."""
         self.total_appends += 1
         self._items.append(value)
+        if self.tracer is not None:
+            self._trace("append")
 
     def shift(self) -> Any:
         """value ← SHIFT(δ): remove and return the front element."""
         if not self._items:
             raise DequeEmptyError(f"SHIFT on empty deque {self.name!r}")
-        return self._items.popleft()
+        value = self._items.popleft()
+        if self.tracer is not None:
+            self._trace("shift")
+        return value
 
     def pop(self) -> Any:
         """value ← POP(δ): remove and return the end element."""
         if not self._items:
             raise DequeEmptyError(f"POP on empty deque {self.name!r}")
-        return self._items.pop()
+        value = self._items.pop()
+        if self.tracer is not None:
+            self._trace("pop")
+        return value
 
     # -- reads ----------------------------------------------------------- #
 
@@ -80,11 +95,19 @@ class StorageSet:
 
     def __init__(self) -> None:
         self._deques: Dict[str, Deque] = {}
+        self._tracer = None
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a trace collector to every current and future deque."""
+        self._tracer = tracer
+        for stored in self._deques.values():
+            stored.tracer = tracer
 
     def declare(self, name: str, initial: Iterable[Any] = ()) -> Deque:
         if name in self._deques:
             raise ValueError(f"deque {name!r} already declared")
         created = Deque(name, initial)
+        created.tracer = self._tracer
         self._deques[name] = created
         return created
 
@@ -93,6 +116,7 @@ class StorageSet:
         existing = self._deques.get(name)
         if existing is None:
             existing = Deque(name)
+            existing.tracer = self._tracer
             self._deques[name] = existing
         return existing
 

@@ -36,12 +36,17 @@ class RecordingMonitor:
         self.capacity = capacity
         self.events: List[MonitorEvent] = []
         self.dropped_events = 0
+        self.tracer = None
 
     def record(self, time: float, kind: str, data: Optional[Dict[str, Any]] = None) -> None:
         if self.capacity is not None and len(self.events) >= self.capacity:
             self.dropped_events += 1
             return
-        self.events.append(MonitorEvent(time, kind, dict(data or {})))
+        payload = dict(data or {})
+        self.events.append(MonitorEvent(time, kind, payload))
+        if self.tracer is not None:
+            self.tracer.emit("monitor", t=time, monitor=self.name,
+                             sample=kind, data=payload)
 
     def events_of(self, kind: str) -> List[MonitorEvent]:
         return [event for event in self.events if event.kind == kind]

@@ -58,10 +58,12 @@ class IperfMonitor(RecordingMonitor):
         return [result.throughput_mbps for result in self.results]
 
     def mean_throughput_mbps(self) -> Optional[float]:
+        """Mean over completed trials; None (not an error) with zero trials."""
         values = self.throughputs_mbps()
         return sum(values) / len(values) if values else None
 
     def median_throughput_mbps(self) -> Optional[float]:
+        """Median over completed trials; None with zero trials."""
         values = sorted(self.throughputs_mbps())
         if not values:
             return None

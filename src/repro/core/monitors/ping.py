@@ -62,11 +62,17 @@ class PingMonitor(RecordingMonitor):
         return rtts
 
     def overall_loss_rate(self) -> float:
+        """Loss across every series; 0.0 (not an error) with zero pings sent.
+
+        Experiments that end before a probe window opens must still be
+        able to aggregate their monitors.
+        """
         sent = sum(result.sent for result in self.results)
         received = sum(result.received for result in self.results)
         return 1.0 - received / sent if sent else 0.0
 
     def median_rtt(self) -> Optional[float]:
+        """Median of all successful RTTs; None when there are none."""
         rtts = sorted(self.all_rtts())
         if not rtts:
             return None

@@ -34,6 +34,7 @@ from repro.openflow.connection import MessageFramer
 from repro.openflow.constants import (
     OFP_NO_BUFFER,
     Capabilities,
+    FlowModCommand,
     Port,
     StatsType,
 )
@@ -176,6 +177,7 @@ class OpenFlowSwitch:
             "control_messages_received": 0,
             "control_messages_sent": 0,
         }
+        self.tracer = None
         self._started = False
 
     # ------------------------------------------------------------------ #
@@ -390,6 +392,14 @@ class OpenFlowSwitch:
             self.engine.schedule(self.EXPIRY_TICK, self._expiry_tick)
         now = self.engine.now
         for entry, reason in self.flow_table.expire(now):
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "flow_evict",
+                    switch=self.name,
+                    reason=reason,
+                    priority=entry.priority,
+                    match=str(entry.match),
+                )
             if entry.sends_flow_removed and self.connected:
                 self.stats["flow_removed_sent"] += 1
                 duration = max(0.0, now - entry.install_time)
@@ -489,6 +499,26 @@ class OpenFlowSwitch:
             self._send_on(link, ErrorMessage(3, 0, flow_mod.pack()[:64],
                                              xid=flow_mod.xid))
             return
+        if self.tracer is not None:
+            if flow_mod.command in (FlowModCommand.ADD,
+                                    FlowModCommand.MODIFY,
+                                    FlowModCommand.MODIFY_STRICT):
+                self.tracer.emit(
+                    "flow_install",
+                    switch=self.name,
+                    command=flow_mod.command.name,
+                    priority=flow_mod.priority,
+                    match=str(flow_mod.match),
+                    xid=flow_mod.xid,
+                )
+            for entry in removed:
+                self.tracer.emit(
+                    "flow_evict",
+                    switch=self.name,
+                    reason="delete",
+                    priority=entry.priority,
+                    match=str(entry.match),
+                )
         for entry in removed:
             if entry.sends_flow_removed:
                 self.stats["flow_removed_sent"] += 1

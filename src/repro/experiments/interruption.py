@@ -54,6 +54,7 @@ class InterruptionResult:
     connection_deaths: int
     seed: int = 0
     unauthorized_window_s: float = 0.0
+    sim_duration_s: float = 0.0
 
     @property
     def unauthorized_increased_access(self) -> bool:
@@ -97,6 +98,7 @@ class InterruptionResult:
             "unauthorized_access": self.unauthorized_increased_access,
             "unauthorized_window_s": round(self.unauthorized_window_s, 3),
             "denial_of_service": self.denial_of_service,
+            "sim_duration_s": round(self.sim_duration_s, 6),
         }
 
 
@@ -107,6 +109,7 @@ def run_interruption_experiment(
     time_scale: float = 1.0,
     behavior_override=None,
     seed: int = 0,
+    trace=None,
 ) -> InterruptionResult:
     """Run one Table II cell.
 
@@ -114,7 +117,9 @@ def run_interruption_experiment(
     offsets and ping windows; liveness timeouts are protocol constants and
     are NOT scaled, so very small scales will not leave room for the
     interruption to be detected — keep >= 0.5).  ``seed`` roots the run's
-    random streams so repeated runs are bit-identical.
+    random streams so repeated runs are bit-identical.  ``trace`` accepts a
+    :class:`~repro.obs.trace.TraceCollector` that will observe every layer
+    of the run (see ``docs/OBSERVABILITY.md``).
     """
     engine = SimulationEngine()
     setup = build_enterprise(
@@ -152,6 +157,12 @@ def run_interruption_experiment(
         name: PingMonitor(name)
         for name in ("ext_ext_t30", "int_ext_t30", "ext_int_t50", "int_ext_t95")
     }
+    if trace is not None:
+        from repro.obs import wire_run
+
+        wire_run(trace, engine, injector=injector,
+                 switches=network.switches.values(),
+                 monitors=monitors.values())
     short = max(3, int(10 * time_scale))
     long = max(30, int(60 * time_scale))
 
@@ -198,6 +209,7 @@ def run_interruption_experiment(
         # probe ran for `long` seconds, all of them unauthorized if any
         # probe got through (the firewall rule never recovers mid-series).
         unauthorized_window_s=float(long) if breached else 0.0,
+        sim_duration_s=engine.now,
     )
 
 
@@ -207,6 +219,7 @@ def run_cell(
     fail_mode: str = FailMode.SECURE.value,
     seed: int = 0,
     attack_params: Optional[Dict[str, object]] = None,
+    trace=None,
     **params,
 ) -> Dict[str, object]:
     """Campaign entry point: one Table II cell -> metrics dict.
@@ -226,6 +239,7 @@ def run_cell(
         FailMode(fail_mode),
         attacked=attack == "connection-interruption",
         seed=seed,
+        trace=trace,
         **params,
     )
     return result.record()

@@ -49,6 +49,7 @@ class SuppressionResult:
     attack: Optional[str] = None
     seed: int = 0
     fail_mode: str = FailMode.SECURE.value
+    sim_duration_s: float = 0.0
 
     @property
     def denial_of_service(self) -> bool:
@@ -95,6 +96,7 @@ class SuppressionResult:
             "total_control_messages": self.total_control_messages,
             "denial_of_service": self.denial_of_service,
             "unauthorized_access": False,
+            "sim_duration_s": round(self.sim_duration_s, 6),
         }
 
 
@@ -113,6 +115,7 @@ def run_suppression_experiment(
     attack_name: Optional[str] = None,
     attack_params: Optional[Dict[str, object]] = None,
     fail_mode: FailMode = FailMode.SECURE,
+    trace=None,
 ) -> SuppressionResult:
     """Run one (controller, attacked?) cell of the Fig. 11 matrix.
 
@@ -154,6 +157,12 @@ def run_suppression_experiment(
 
     ping_monitor = PingMonitor()
     iperf_monitor = IperfMonitor()
+    if trace is not None:
+        from repro.obs import wire_run
+
+        wire_run(trace, engine, injector=injector,
+                 switches=setup.network.switches.values(),
+                 monitors=(ping_monitor, iperf_monitor))
     source_host = setup.network.host(source)
     target_host = setup.network.host(target)
 
@@ -200,6 +209,7 @@ def run_suppression_experiment(
         attack=attack_label,
         seed=seed,
         fail_mode=fail_mode.value,
+        sim_duration_s=engine.now,
     )
 
 
@@ -209,6 +219,7 @@ def run_cell(
     fail_mode: str = FailMode.SECURE.value,
     seed: int = 0,
     attack_params: Optional[Dict[str, object]] = None,
+    trace=None,
     **params,
 ) -> Dict[str, object]:
     """Campaign entry point: one suppression-harness run -> metrics dict.
@@ -224,6 +235,7 @@ def run_cell(
         attack_name=attack,
         attack_params=attack_params,
         fail_mode=FailMode(fail_mode),
+        trace=trace,
         **params,
     )
     return result.record()

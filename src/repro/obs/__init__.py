@@ -1,0 +1,24 @@
+"""Observability layer: the control-plane trace subsystem.
+
+See ``docs/OBSERVABILITY.md`` for the event schema and workflow.
+"""
+
+from repro.obs.render import render_summary, render_timeline, summarize
+from repro.obs.trace import (
+    DEFAULT_CAPACITY,
+    TraceCollector,
+    event_to_json,
+    load_events,
+    wire_run,
+)
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "TraceCollector",
+    "event_to_json",
+    "load_events",
+    "render_summary",
+    "render_timeline",
+    "summarize",
+    "wire_run",
+]

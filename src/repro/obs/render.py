@@ -1,0 +1,243 @@
+"""Rendering of trace exports: merged timeline and per-rule summary.
+
+``repro trace run.jsonl`` is the debugging front door: the timeline
+interleaves every layer's events in simulation order, and the summary
+answers the Fig. 12 / Table II forensic questions directly — which
+message fired which rule in which state, and when the attack state
+machine moved.  A traced interruption run reproduces the paper's
+unauthorized-access window from the summary alone: the firewall's
+FLOW_MOD shows up as the message a σ2 rule fired on, immediately
+followed by the ``sigma2 -> sigma3`` transition that severed the
+connection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+#: How many triggering messages to keep per rule in the summary.
+_SAMPLES_PER_RULE = 5
+
+
+def _fmt_connection(connection: Any) -> str:
+    if isinstance(connection, (list, tuple)) and len(connection) == 2:
+        return f"({connection[0]}, {connection[1]})"
+    return str(connection)
+
+
+def _event_detail(event: Dict[str, Any]) -> str:
+    """One-line human rendering of an event's payload."""
+    kind = event.get("kind")
+    if kind == "message":
+        return (f"{_fmt_connection(event.get('connection'))} "
+                f"{event.get('direction')} {event.get('type')} "
+                f"xid={event.get('xid')} len={event.get('length')} "
+                f"msg={event.get('msg_id')}")
+    if kind == "rule_eval":
+        fired = "FIRED" if event.get("fired") else "no match"
+        return (f"{event.get('state')}/{event.get('rule')} on "
+                f"msg={event.get('msg_id')}: {fired}")
+    if kind == "rule_fired":
+        return (f"{event.get('state')}/{event.get('rule')} on "
+                f"{event.get('type')} xid={event.get('xid')} "
+                f"msg={event.get('msg_id')} "
+                f"{_fmt_connection(event.get('connection'))}")
+    if kind == "action":
+        return (f"{event.get('action')} by {event.get('state')}/"
+                f"{event.get('rule')}")
+    if kind == "state":
+        return f"{event.get('from')} -> {event.get('to')}"
+    if kind == "message_drop":
+        return (f"msg={event.get('msg_id')} {event.get('type')} "
+                f"dropped in {event.get('state')}")
+    if kind == "deque":
+        return (f"{event.get('op')}({event.get('deque')}) "
+                f"size={event.get('size')}")
+    if kind in ("flow_install", "flow_evict"):
+        return (f"{event.get('switch')} {event.get('command') or event.get('reason')} "
+                f"prio={event.get('priority')} {event.get('match')}")
+    if kind == "monitor":
+        data = event.get("data")
+        return (f"{event.get('monitor')} {event.get('sample')}"
+                + (f" {data}" if data else ""))
+    payload = {k: v for k, v in event.items()
+               if k not in ("seq", "t", "kind")}
+    return " ".join(f"{k}={v}" for k, v in sorted(payload.items()))
+
+
+def render_timeline(
+    events: Iterable[Dict[str, Any]],
+    kinds: Optional[Iterable[str]] = None,
+    limit: Optional[int] = None,
+) -> str:
+    """The merged per-event timeline, in (t, seq) order."""
+    wanted = set(kinds) if kinds else None
+    ordered = sorted(
+        (e for e in events
+         if wanted is None or e.get("kind") in wanted),
+        key=lambda e: (e.get("t", 0.0), e.get("seq", 0)),
+    )
+    shown = ordered if limit is None else ordered[:limit]
+    lines = [
+        f"t={event.get('t', 0.0):>12.6f}  {event.get('kind', '?'):<13} "
+        f"{_event_detail(event)}"
+        for event in shown
+    ]
+    if limit is not None and len(ordered) > limit:
+        lines.append(f"... {len(ordered) - limit} more event(s)")
+    return "\n".join(lines)
+
+
+def summarize(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate a trace into the per-rule / per-layer summary dict."""
+    events = list(events)
+    by_kind: Dict[str, int] = {}
+    messages_by_type: Dict[str, int] = {}
+    rules: Dict[str, Dict[str, Any]] = {}
+    transitions: List[Dict[str, Any]] = []
+    drops: Dict[str, int] = {}
+    deque_ops: Dict[str, int] = {}
+    flow_installs: Dict[str, int] = {}
+    flow_evictions: Dict[str, int] = {}
+    monitors: Dict[str, int] = {}
+    t_first: Optional[float] = None
+    t_last: Optional[float] = None
+
+    for event in events:
+        kind = event.get("kind", "?")
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        t = event.get("t")
+        if isinstance(t, (int, float)):
+            t_first = t if t_first is None else min(t_first, t)
+            t_last = t if t_last is None else max(t_last, t)
+        if kind == "message":
+            type_name = str(event.get("type"))
+            messages_by_type[type_name] = messages_by_type.get(type_name, 0) + 1
+        elif kind == "rule_fired":
+            key = f"{event.get('state')}/{event.get('rule')}"
+            entry = rules.get(key)
+            if entry is None:
+                entry = rules[key] = {
+                    "state": event.get("state"),
+                    "rule": event.get("rule"),
+                    "count": 0,
+                    "first_t": event.get("t"),
+                    "last_t": event.get("t"),
+                    "messages": [],
+                }
+            entry["count"] += 1
+            entry["last_t"] = event.get("t")
+            if len(entry["messages"]) < _SAMPLES_PER_RULE:
+                entry["messages"].append({
+                    "t": event.get("t"),
+                    "type": event.get("type"),
+                    "xid": event.get("xid"),
+                    "msg_id": event.get("msg_id"),
+                    "connection": event.get("connection"),
+                    "direction": event.get("direction"),
+                })
+        elif kind == "state":
+            transitions.append({
+                "t": event.get("t"),
+                "from": event.get("from"),
+                "to": event.get("to"),
+            })
+        elif kind == "message_drop":
+            type_name = str(event.get("type"))
+            drops[type_name] = drops.get(type_name, 0) + 1
+        elif kind == "deque":
+            name = str(event.get("deque"))
+            deque_ops[name] = deque_ops.get(name, 0) + 1
+        elif kind == "flow_install":
+            name = str(event.get("switch"))
+            flow_installs[name] = flow_installs.get(name, 0) + 1
+        elif kind == "flow_evict":
+            name = str(event.get("switch"))
+            flow_evictions[name] = flow_evictions.get(name, 0) + 1
+        elif kind == "monitor":
+            name = str(event.get("monitor"))
+            monitors[name] = monitors.get(name, 0) + 1
+
+    return {
+        "events": len(events),
+        "t_first": t_first,
+        "t_last": t_last,
+        "by_kind": by_kind,
+        "messages_by_type": messages_by_type,
+        "rules": [rules[key] for key in sorted(rules)],
+        "transitions": transitions,
+        "drops_by_type": drops,
+        "deque_ops": deque_ops,
+        "flow_installs": flow_installs,
+        "flow_evictions": flow_evictions,
+        "monitors": monitors,
+    }
+
+
+def render_summary(summary: Dict[str, Any]) -> str:
+    """Human rendering of :func:`summarize`'s output."""
+    span = ""
+    if summary["t_first"] is not None:
+        span = (f" spanning t={summary['t_first']:.6f}"
+                f" .. t={summary['t_last']:.6f}")
+    lines = [f"trace: {summary['events']} event(s){span}"]
+
+    if summary["messages_by_type"]:
+        counted = ", ".join(
+            f"{name} x{count}"
+            for name, count in sorted(summary["messages_by_type"].items())
+        )
+        lines.append(f"messages interposed: {counted}")
+    if summary["drops_by_type"]:
+        counted = ", ".join(
+            f"{name} x{count}"
+            for name, count in sorted(summary["drops_by_type"].items())
+        )
+        lines.append(f"messages dropped: {counted}")
+
+    if summary["rules"]:
+        lines.append("")
+        lines.append("rule firings:")
+        for entry in summary["rules"]:
+            lines.append(
+                f"  {entry['state']}/{entry['rule']} x{entry['count']} "
+                f"first=t{entry['first_t']:.6f} last=t{entry['last_t']:.6f}"
+            )
+            for sample in entry["messages"]:
+                lines.append(
+                    f"    t={sample['t']:.6f} {sample['type']} "
+                    f"xid={sample['xid']} msg={sample['msg_id']} "
+                    f"{_fmt_connection(sample['connection'])} "
+                    f"{sample['direction']}"
+                )
+            if entry["count"] > len(entry["messages"]):
+                lines.append(
+                    f"    ... {entry['count'] - len(entry['messages'])} "
+                    f"more firing(s)"
+                )
+
+    if summary["transitions"]:
+        lines.append("")
+        lines.append("state transitions:")
+        for hop in summary["transitions"]:
+            lines.append(
+                f"  t={hop['t']:.6f} {hop['from']} -> {hop['to']}"
+            )
+
+    extras = []
+    if summary["flow_installs"]:
+        extras.append("flow installs: " + ", ".join(
+            f"{k} x{v}" for k, v in sorted(summary["flow_installs"].items())))
+    if summary["flow_evictions"]:
+        extras.append("flow evictions: " + ", ".join(
+            f"{k} x{v}" for k, v in sorted(summary["flow_evictions"].items())))
+    if summary["deque_ops"]:
+        extras.append("deque ops: " + ", ".join(
+            f"{k} x{v}" for k, v in sorted(summary["deque_ops"].items())))
+    if summary["monitors"]:
+        extras.append("monitor samples: " + ", ".join(
+            f"{k} x{v}" for k, v in sorted(summary["monitors"].items())))
+    if extras:
+        lines.append("")
+        lines.extend(extras)
+    return "\n".join(lines)

@@ -53,6 +53,31 @@ def next_xid() -> int:
     return xid
 
 
+def reset_xid_counter() -> None:
+    """Restart xid allocation at 1 (pooled-worker run isolation).
+
+    A reused campaign worker must allocate the same xids a fresh process
+    would, or message bytes — and therefore traces — depend on how many
+    runs the worker executed before this one.
+    """
+    global _xid_next
+    _xid_next = 1
+
+
+def peek_xid(data: bytes) -> Optional[int]:
+    """Header-only transaction-id peek — no body decode.
+
+    Returns ``None`` when the buffer cannot plausibly hold an OpenFlow
+    1.0 message (same acceptance rule as :func:`peek_message_type_name`).
+    """
+    if len(data) < OFP_HEADER_SIZE:
+        return None
+    version, _msg_type, length, xid = _HEADER.unpack_from(data)
+    if version != OFP_VERSION or length < OFP_HEADER_SIZE:
+        return None
+    return xid
+
+
 def peek_message_type_name(data: bytes) -> Optional[str]:
     """Header-only message-type peek — no body decode.
 

@@ -107,9 +107,33 @@ class TestPingMonitor:
         assert len(monitor.all_rtts()) == 4
 
     def test_empty_monitor_aggregates(self):
+        # The satellite contract: zero samples must aggregate to
+        # well-defined values, never raise — experiments that end before
+        # a probe window opens still summarize their monitors.
         monitor = PingMonitor()
         assert monitor.median_rtt() is None
         assert monitor.overall_loss_rate() == 0.0
+        assert monitor.all_rtts() == []
+
+    def test_zero_sent_series_aggregates(self):
+        # A series can complete with nothing sent (e.g. the run's horizon
+        # cut it off immediately); aggregates stay well-defined.
+        from repro.dataplane.host import PingResult
+
+        monitor = PingMonitor()
+        monitor.results.append(PingResult(target=Ipv4Address("10.0.0.9")))
+        assert monitor.overall_loss_rate() == 0.0
+        assert monitor.median_rtt() is None
+
+    def test_all_lost_series_aggregates(self):
+        from repro.dataplane.host import PingResult
+
+        monitor = PingMonitor()
+        monitor.results.append(PingResult(
+            target=Ipv4Address("10.0.0.9"), sent=4, received=0,
+            rtts=[None] * 4))
+        assert monitor.overall_loss_rate() == 1.0
+        assert monitor.median_rtt() is None
 
 
 class TestIperfMonitor:
@@ -131,6 +155,35 @@ class TestIperfMonitor:
         monitor = IperfMonitor()
         assert monitor.mean_throughput_mbps() is None
         assert monitor.median_throughput_mbps() is None
+        assert monitor.throughputs_mbps() == []
+        assert monitor.connect_failures() == 0
+
+
+class TestMonitorTracing:
+    def test_record_emits_trace_event_with_sample_time(self):
+        from repro.obs import TraceCollector
+
+        monitor = RecordingMonitor(name="probe")
+        tracer = TraceCollector(clock=lambda: 999.0)
+        monitor.tracer = tracer
+        monitor.record(12.5, "sample", {"value": 1})
+        (event,) = tracer.events("monitor")
+        # The sample's own timestamp wins over the collector clock.
+        assert event["t"] == 12.5
+        assert event["monitor"] == "probe"
+        assert event["sample"] == "sample"
+        assert event["data"] == {"value": 1}
+
+    def test_capacity_drop_is_not_traced(self):
+        from repro.obs import TraceCollector
+
+        monitor = RecordingMonitor(name="probe", capacity=1)
+        tracer = TraceCollector()
+        monitor.tracer = tracer
+        monitor.record(1.0, "kept")
+        monitor.record(2.0, "dropped")
+        assert monitor.dropped_events == 1
+        assert tracer.count("monitor") == 1
 
 
 class TestLinkCapture:

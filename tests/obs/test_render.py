@@ -1,0 +1,103 @@
+"""Trace rendering: merged timeline order and per-rule summary content."""
+
+from repro.obs import render_summary, render_timeline, summarize
+
+
+def _events():
+    return [
+        {"seq": 1, "t": 0.5, "kind": "message", "connection": ["c1", "s2"],
+         "direction": "to_controller", "type": "HELLO", "xid": 1,
+         "length": 8, "msg_id": 1},
+        {"seq": 2, "t": 0.5, "kind": "rule_eval", "state": "sigma1",
+         "rule": "phi1", "msg_id": 1, "fired": True},
+        {"seq": 3, "t": 0.5, "kind": "rule_fired", "state": "sigma1",
+         "rule": "phi1", "msg_id": 1, "type": "HELLO", "xid": 1,
+         "connection": ["c1", "s2"], "direction": "to_controller"},
+        {"seq": 4, "t": 0.5, "kind": "state", "from": "sigma1",
+         "to": "sigma2"},
+        {"seq": 5, "t": 50.0, "kind": "rule_fired", "state": "sigma2",
+         "rule": "phi2", "msg_id": 9, "type": "FLOW_MOD", "xid": 42,
+         "connection": ["c1", "s2"], "direction": "to_switch"},
+        {"seq": 6, "t": 50.0, "kind": "state", "from": "sigma2",
+         "to": "sigma3"},
+        {"seq": 7, "t": 50.0, "kind": "message_drop", "state": "sigma2",
+         "msg_id": 9, "type": "FLOW_MOD", "xid": 42},
+        {"seq": 8, "t": 12.0, "kind": "deque", "deque": "delta1",
+         "op": "append", "size": 3},
+        {"seq": 9, "t": 13.0, "kind": "flow_install", "switch": "s1",
+         "command": "ADD", "priority": 10, "match": "m", "xid": 5},
+        {"seq": 10, "t": 14.0, "kind": "flow_evict", "switch": "s1",
+         "reason": "idle", "priority": 10, "match": "m"},
+        {"seq": 11, "t": 60.0, "kind": "monitor", "monitor": "ping",
+         "sample": "ping_series_done", "data": {"sent": 10}},
+    ]
+
+
+def test_timeline_sorts_by_time_then_seq():
+    text = render_timeline(_events())
+    lines = text.splitlines()
+    assert len(lines) == 11
+    times = [float(line.split("t=", 1)[1].split()[0]) for line in lines]
+    assert times == sorted(times)
+    # Ties broken by seq: rule_eval follows the message that triggered it.
+    assert "message" in lines[0] and "rule_eval" in lines[1]
+
+
+def test_timeline_kind_filter_and_limit():
+    text = render_timeline(_events(), kinds=["rule_fired"])
+    assert len(text.splitlines()) == 2
+    assert "phi1" in text and "phi2" in text
+    limited = render_timeline(_events(), limit=3)
+    assert "8 more event(s)" in limited
+
+
+def test_summarize_aggregates_every_layer():
+    summary = summarize(_events())
+    assert summary["events"] == 11
+    assert summary["t_first"] == 0.5 and summary["t_last"] == 60.0
+    assert summary["by_kind"]["rule_fired"] == 2
+    assert summary["messages_by_type"] == {"HELLO": 1}
+    rules = {f"{r['state']}/{r['rule']}": r for r in summary["rules"]}
+    assert rules["sigma2/phi2"]["count"] == 1
+    assert rules["sigma2/phi2"]["messages"][0]["xid"] == 42
+    assert summary["transitions"] == [
+        {"t": 0.5, "from": "sigma1", "to": "sigma2"},
+        {"t": 50.0, "from": "sigma2", "to": "sigma3"},
+    ]
+    assert summary["drops_by_type"] == {"FLOW_MOD": 1}
+    assert summary["deque_ops"] == {"delta1": 1}
+    assert summary["flow_installs"] == {"s1": 1}
+    assert summary["flow_evictions"] == {"s1": 1}
+    assert summary["monitors"] == {"ping": 1}
+
+
+def test_render_summary_answers_the_forensic_questions():
+    text = render_summary(summarize(_events()))
+    # Which rule fired on the firewall FLOW_MOD, and when?
+    assert "sigma2/phi2 x1" in text
+    assert "FLOW_MOD xid=42" in text
+    assert "(c1, s2)" in text
+    # And the transition it caused:
+    assert "t=50.000000 sigma2 -> sigma3" in text
+
+
+def test_summary_samples_are_capped_per_rule():
+    events = [
+        {"seq": i, "t": float(i), "kind": "rule_fired", "state": "s",
+         "rule": "r", "msg_id": i, "type": "PACKET_IN", "xid": i,
+         "connection": ["c1", "s2"], "direction": "to_controller"}
+        for i in range(1, 10)
+    ]
+    summary = summarize(events)
+    (entry,) = summary["rules"]
+    assert entry["count"] == 9
+    assert len(entry["messages"]) == 5
+    assert "4 more firing(s)" in render_summary(summary)
+
+
+def test_empty_trace_renders():
+    summary = summarize([])
+    assert summary["events"] == 0
+    assert summary["t_first"] is None
+    assert render_summary(summary).startswith("trace: 0 event(s)")
+    assert render_timeline([]) == ""

@@ -1,0 +1,135 @@
+"""TraceCollector unit behaviour: ring, counts, export, wiring."""
+
+import json
+
+import pytest
+
+from repro.obs import TraceCollector, event_to_json, load_events, wire_run
+
+
+def test_emit_stamps_seq_time_and_kind():
+    clock_value = [1.25]
+    tracer = TraceCollector(clock=lambda: clock_value[0])
+    tracer.emit("message", msg_id=1)
+    clock_value[0] = 2.5
+    tracer.emit("rule_fired", rule="phi1")
+    first, second = tracer.events()
+    assert first["seq"] == 1 and first["t"] == 1.25
+    assert first["kind"] == "message" and first["msg_id"] == 1
+    assert second["seq"] == 2 and second["t"] == 2.5
+    assert second["rule"] == "phi1"
+
+
+def test_explicit_timestamp_overrides_clock():
+    tracer = TraceCollector(clock=lambda: 99.0)
+    tracer.emit("monitor", t=3.0, monitor="ping")
+    (event,) = tracer.events()
+    assert event["t"] == 3.0
+
+
+def test_ring_drops_oldest_but_keeps_totals():
+    tracer = TraceCollector(capacity=3)
+    for i in range(5):
+        tracer.emit("deque", op="append", i=i)
+    assert len(tracer) == 3
+    assert tracer.events_total == 5
+    assert tracer.events_dropped == 2
+    assert [e["i"] for e in tracer.events()] == [2, 3, 4]
+    # Sequence numbers keep counting through the drops.
+    assert [e["seq"] for e in tracer.events()] == [3, 4, 5]
+
+
+def test_counts_by_kind_and_filtered_read():
+    tracer = TraceCollector()
+    tracer.emit("message")
+    tracer.emit("message")
+    tracer.emit("state")
+    assert tracer.count("message") == 2
+    assert tracer.count("state") == 1
+    assert tracer.count("never") == 0
+    assert len(tracer.events("message")) == 2
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        TraceCollector(capacity=0)
+
+
+def test_clear_resets_everything():
+    tracer = TraceCollector()
+    tracer.emit("message")
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.events_total == 0
+    assert tracer.counts == {}
+    tracer.emit("message")
+    assert tracer.events()[0]["seq"] == 1
+
+
+def test_event_to_json_is_canonical():
+    line = event_to_json({"b": 1, "a": 2, "kind": "x"})
+    assert line == '{"a":2,"b":1,"kind":"x"}'
+    # Non-JSON values are stringified rather than crashing the export.
+    json.loads(event_to_json({"v": object()}))
+    assert json.loads(event_to_json({"v": ("c1", "s2")}))["v"] == ["c1", "s2"]
+
+
+def test_jsonl_roundtrip(tmp_path):
+    tracer = TraceCollector(clock=lambda: 1.0)
+    tracer.emit("message", msg_id=7)
+    tracer.emit("state", **{"from": "sigma1", "to": "sigma2"})
+    path = tmp_path / "trace.jsonl"
+    assert tracer.dump_jsonl(path) == 2
+    events = load_events(path)
+    assert [e["kind"] for e in events] == ["message", "state"]
+    assert events[1]["from"] == "sigma1"
+
+
+def test_load_events_skips_torn_tail(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"kind":"message","seq":1,"t":0.0}\n{"kind":"ru')
+    events = load_events(path)
+    assert len(events) == 1
+
+
+def test_empty_collector_exports_empty_string(tmp_path):
+    tracer = TraceCollector()
+    assert tracer.to_jsonl() == ""
+    path = tmp_path / "empty.jsonl"
+    assert tracer.dump_jsonl(path) == 0
+    assert load_events(path) == []
+
+
+class _FakeEngine:
+    now = 4.5
+
+
+class _FakeInjector:
+    def __init__(self):
+        self.tracer = None
+
+    def set_tracer(self, tracer):
+        self.tracer = tracer
+
+
+class _Sink:
+    tracer = None
+
+
+def test_wire_run_attaches_every_layer():
+    tracer = TraceCollector()
+    injector = _FakeInjector()
+    switch, monitor = _Sink(), _Sink()
+    engine = _FakeEngine()
+    wired = wire_run(tracer, engine, injector=injector,
+                     switches=[switch], monitors=[monitor])
+    assert wired is tracer
+    assert injector.tracer is tracer
+    assert switch.tracer is tracer
+    assert monitor.tracer is tracer
+    tracer.emit("message")
+    assert tracer.events()[0]["t"] == 4.5
+
+
+def test_wire_run_none_is_a_noop():
+    assert wire_run(None, _FakeEngine(), injector=_FakeInjector()) is None

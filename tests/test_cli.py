@@ -214,3 +214,116 @@ def test_campaign_report_exit_code_reflects_missing_runs(
         campaign_spec_file, capsys):
     assert main(["campaign", "report", str(campaign_spec_file)]) == 1
     assert "4 missing" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------- #
+# Tracing
+# ---------------------------------------------------------------------- #
+
+
+def test_interruption_trace_export_and_render(tmp_path, capsys):
+    import json
+
+    base = tmp_path / "run.jsonl"
+    assert main(["interruption", "--controller", "pox", "--json",
+                 "--trace", str(base)]) == 0
+    captured = capsys.readouterr()
+    records = [json.loads(line)
+               for line in captured.out.strip().splitlines()]
+    # Per-cell trace files, advertised in the records and on stderr.
+    for record in records:
+        trace = record["trace"]
+        assert trace["events"] > 0
+        assert f"run-pox-{record['fail_mode']}.jsonl" in trace["path"]
+    assert "trace:" in captured.err
+
+    trace_file = tmp_path / "run-pox-standalone.jsonl"
+    assert trace_file.exists()
+    assert main(["trace", str(trace_file)]) == 0
+    out = capsys.readouterr().out
+    # The merged timeline and the per-rule summary in one report.
+    assert "rule_fired" in out
+    assert "rule firings:" in out
+    assert "sigma2/phi2" in out
+    assert "FLOW_MOD" in out
+    assert "sigma2 -> sigma3" in out
+
+
+def test_trace_command_summary_only_and_filters(tmp_path, capsys):
+    assert main(["interruption", "--controller", "pox",
+                 "--trace", str(tmp_path / "t.jsonl")]) == 0
+    capsys.readouterr()
+    trace_file = tmp_path / "t-pox-secure.jsonl"
+
+    assert main(["trace", str(trace_file), "--summary-only"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("trace:")
+    assert not [l for l in out.splitlines() if l.startswith("t=")]
+
+    assert main(["trace", str(trace_file), "--kinds", "state",
+                 "--limit", "1"]) == 0
+    out = capsys.readouterr().out
+    timeline = [l for l in out.splitlines() if l.startswith("t=")]
+    assert len(timeline) == 1 and "state" in timeline[0]
+
+
+def test_trace_command_json_summary(tmp_path, capsys):
+    import json
+
+    assert main(["interruption", "--controller", "pox",
+                 "--trace", str(tmp_path / "t.jsonl")]) == 0
+    capsys.readouterr()
+    assert main(["trace", str(tmp_path / "t-pox-secure.jsonl"),
+                 "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["events"] > 0
+    assert summary["by_kind"]["rule_fired"] >= 1
+    assert summary["transitions"]
+
+
+def test_trace_command_empty_file_fails(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["trace", str(empty)]) == 1
+    assert "no events" in capsys.readouterr().err
+
+
+def test_single_shot_json_records_explicit_durations(capsys):
+    import json
+
+    assert main(["suppression", "--controller", "pox", "--ping-trials", "3",
+                 "--iperf-trials", "1", "--iperf-duration", "0.5",
+                 "--json"]) == 0
+    records = [json.loads(line)
+               for line in capsys.readouterr().out.strip().splitlines()]
+    for record in records:
+        assert record["wall_duration_s"] >= 0.0
+        assert record["wall_duration_s"] == record["duration_s"]
+        # The simulated horizon comes from the run itself, not wall time.
+        assert record["sim_duration_s"] == record["metrics"]["sim_duration_s"]
+        assert record["sim_duration_s"] > record["wall_duration_s"]
+
+
+def test_campaign_run_trace_flag(tmp_path, capsys):
+    import json
+
+    spec = {
+        "name": "cli-traced",
+        "experiment": "interruption",
+        "attacks": ["connection-interruption"],
+        "controllers": ["pox"],
+        "fail_modes": ["standalone"],
+        "seeds": [0],
+        "timeout_s": 120.0,
+    }
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(spec))
+    assert main(["campaign", "run", str(spec_path),
+                 "--workers", "1", "--quiet", "--json", "--trace"]) == 0
+    capsys.readouterr()
+    store_path = spec_path.with_suffix(".results.jsonl")
+    traces = sorted(store_path.parent.glob("*.traces/*.jsonl"))
+    assert len(traces) == 1
+    # The stored artifact renders through the same CLI front door.
+    assert main(["trace", str(traces[0]), "--summary-only"]) == 0
+    assert "sigma2/phi2" in capsys.readouterr().out
