@@ -10,6 +10,9 @@ at scale:
 * :mod:`repro.campaign.runner` — a multiprocessing pool executing runs
   in parallel with per-run seeded isolation, per-run timeouts, and
   bounded retry on worker failure;
+* :mod:`repro.campaign.preflight` — lint every cell's attack before any
+  worker is spawned, rejecting defective cells with per-cell diagnostics
+  in the result store;
 * :mod:`repro.campaign.store` — an append-only JSONL
   :class:`ResultStore` keyed by run ID, so an interrupted campaign
   resumes by skipping completed runs;
@@ -20,6 +23,11 @@ at scale:
 The CLI front-end is ``repro campaign run|status|report``.
 """
 
+from repro.campaign.preflight import (
+    lint_descriptors,
+    partition_pending,
+    rejection_error,
+)
 from repro.campaign.report import CampaignReport, build_report
 from repro.campaign.runner import (
     CampaignRunner,
@@ -44,8 +52,11 @@ __all__ = [
     "ResultStore",
     "RunDescriptor",
     "build_report",
+    "lint_descriptors",
     "load_spec",
     "make_record",
+    "partition_pending",
+    "rejection_error",
     "reset_run_state",
     "run_campaign",
     "run_id_for",

@@ -1,0 +1,99 @@
+"""Campaign pre-flight: lint every cell's attack before spawning workers.
+
+A mistyped GOTOSTATE target or a capability actuation outside Γ_NC used to
+surface only when a worker process picked the cell up — wasting a whole
+cell (and its retries) per defect, once per matrix point.  Pre-flight
+builds each *distinct* (attack, attack_params) combination once, runs the
+``repro.lint`` pass battery over it, and rejects every cell whose attack
+carries error-severity diagnostics before any worker is spawned.  The
+rejected cells get ordinary ``failed`` records (with the diagnostics as
+the error text) in the result store, so ``campaign report`` accounts for
+them and a rerun retries them after the attack is fixed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.campaign.spec import RunDescriptor
+from repro.lint.diagnostics import LintReport
+
+
+def _combination_key(descriptor: RunDescriptor) -> Tuple:
+    """Cells sharing an attack + params share one lint verdict."""
+    return (
+        descriptor.attack,
+        tuple(sorted(descriptor.attack_params.items())),
+    )
+
+
+def lint_descriptors(
+    descriptors: Iterable[RunDescriptor],
+) -> Dict[Tuple, LintReport]:
+    """Lint each distinct attack combination among ``descriptors``.
+
+    Returns ``{combination key: LintReport}`` for every combination that
+    produced at least one diagnostic (clean combinations are omitted).
+    Baseline cells (``attack is None``) are never linted.  An attack that
+    cannot even be built (unknown name, factory raising on its params)
+    yields an ``ATN000`` error report.
+    """
+    from repro.core.model.threat import AttackModel
+    from repro.experiments.enterprise import enterprise_system_model
+    from repro.lint import build_registry_attack, failure_report, lint_attack
+
+    system = enterprise_system_model()
+    model = AttackModel.no_tls_everywhere(system)
+    reports: Dict[Tuple, LintReport] = {}
+    seen: set = set()
+    for descriptor in descriptors:
+        if descriptor.attack is None:
+            continue
+        key = _combination_key(descriptor)
+        if key in seen:
+            continue
+        seen.add(key)
+        try:
+            attack = build_registry_attack(
+                descriptor.attack, system, dict(descriptor.attack_params)
+            )
+        except Exception as exc:  # any factory failure is an ATN000
+            reports[key] = failure_report(
+                descriptor.attack, f"{type(exc).__name__}: {exc}"
+            )
+            continue
+        report = lint_attack(attack, model)
+        if report.diagnostics:
+            reports[key] = report
+    return reports
+
+
+def partition_pending(
+    pending: List[RunDescriptor],
+) -> Tuple[List[RunDescriptor], List[Tuple[RunDescriptor, LintReport]]]:
+    """Split pending cells into (runnable, rejected-with-report).
+
+    A cell is rejected only for *error*-severity diagnostics; warnings and
+    infos never block a campaign.
+    """
+    reports = lint_descriptors(pending)
+    runnable: List[RunDescriptor] = []
+    rejected: List[Tuple[RunDescriptor, LintReport]] = []
+    for descriptor in pending:
+        report = (
+            reports.get(_combination_key(descriptor))
+            if descriptor.attack is not None
+            else None
+        )
+        if report is not None and report.has_errors:
+            rejected.append((descriptor, report))
+        else:
+            runnable.append(descriptor)
+    return runnable, rejected
+
+
+def rejection_error(report: LintReport) -> str:
+    """The error text stored on a lint-rejected cell's record."""
+    lines = [f"lint rejected attack {report.attack_name!r} in pre-flight:"]
+    lines.extend(f"  {d.render()}" for d in report.errors)
+    return "\n".join(lines)

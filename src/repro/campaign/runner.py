@@ -147,17 +147,22 @@ class CampaignSummary:
     failed_run_ids: List[str] = field(default_factory=list)
     processes_spawned: int = 0
     worker_runs: Dict[str, int] = field(default_factory=dict)
+    lint_rejected: int = 0
 
     @property
     def complete(self) -> bool:
         return self.failed == 0
 
     def render(self) -> str:
+        rejected = (
+            f", {self.lint_rejected} rejected by lint pre-flight"
+            if self.lint_rejected else ""
+        )
         return (
             f"campaign {self.campaign}: {self.total} runs — "
             f"{self.skipped} already complete, {self.executed} executed "
             f"({self.succeeded} ok, {self.failed} failed, "
-            f"{self.retries_used} retries) in {self.duration_s:.1f}s "
+            f"{self.retries_used} retries{rejected}) in {self.duration_s:.1f}s "
             f"across {self.processes_spawned} worker process(es)"
         )
 
@@ -175,6 +180,7 @@ class CampaignRunner:
         progress: Optional[Callable[[str], None]] = None,
         mp_context: Optional[str] = None,
         trace: bool = False,
+        preflight: bool = True,
     ) -> None:
         self.spec = spec
         self.store = store
@@ -183,6 +189,7 @@ class CampaignRunner:
                                else spec.timeout_s)
         self.retries = int(retries if retries is not None else spec.retries)
         self.trace = bool(trace)
+        self.preflight = bool(preflight)
         self._progress = progress or (lambda line: None)
         self._ctx = multiprocessing.get_context(mp_context)
 
@@ -203,6 +210,8 @@ class CampaignRunner:
         if summary.skipped:
             self._progress(
                 f"resume: skipping {summary.skipped} completed run(s)")
+        if self.preflight and pending:
+            pending = self._preflight(pending, summary)
         queue: List[_Task] = [
             _Task(d, attempt=1) for d in reversed(pending)
         ]  # pop() preserves matrix order
@@ -225,6 +234,29 @@ class CampaignRunner:
         summary.duration_s = time.time() - started
         self._progress(summary.render())
         return summary
+
+    def _preflight(self, pending: List[RunDescriptor],
+                   summary: CampaignSummary) -> List[RunDescriptor]:
+        """Lint pending cells; record and drop the rejects before any
+        worker process exists."""
+        from repro.campaign.preflight import partition_pending, rejection_error
+
+        runnable, rejected = partition_pending(pending)
+        for descriptor, report in rejected:
+            error = rejection_error(report)
+            summary.executed += 1
+            summary.failed += 1
+            summary.lint_rejected += 1
+            summary.failed_run_ids.append(descriptor.run_id)
+            self.store.append(make_record(
+                descriptor.to_dict(), "failed", None,
+                attempts=0, duration_s=0.0, error=error,
+                campaign=self.spec.name,
+            ))
+            self._progress(
+                f"run {descriptor.run_id} [{descriptor.label()}] "
+                f"REJECTED by lint pre-flight: {report.errors[0].render()}")
+        return runnable
 
     def _assign(self, queue: List[_Task], slots: List[_WorkerSlot],
                 summary: CampaignSummary) -> None:
@@ -378,9 +410,11 @@ def run_campaign(
     retries: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
     trace: bool = False,
+    preflight: bool = True,
 ) -> CampaignSummary:
     """Convenience wrapper: build a :class:`CampaignRunner` and run it."""
     return CampaignRunner(
         spec, store, workers=workers, timeout_s=timeout_s,
         retries=retries, progress=progress, trace=trace,
+        preflight=preflight,
     ).run()

@@ -10,6 +10,8 @@ Usage::
     python -m repro campaign report matrix.xml
     python -m repro interruption --controller pox --trace run.jsonl
     python -m repro trace run-pox-secure.jsonl
+    python -m repro lint attack.xml --system sys.xml
+    python -m repro lint --all --json
     python -m repro compile --system sys.xml --attack-model model.xml \\
         --attack attack.xml --output attack_module.py
     python -m repro graph --system sys.xml --attack attack.xml
@@ -202,6 +204,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         spec, store, workers=workers,
         timeout_s=args.timeout, retries=args.retries, progress=progress,
         trace=bool(getattr(args, "trace", False)),
+        preflight=not getattr(args, "no_preflight", False),
     )
     if args.json:
         print(json.dumps({
@@ -212,6 +215,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             "succeeded": summary.succeeded,
             "failed": summary.failed,
             "retries_used": summary.retries_used,
+            "lint_rejected": summary.lint_rejected,
             "duration_s": round(summary.duration_s, 3),
             "failed_run_ids": summary.failed_run_ids,
             "processes_spawned": summary.processes_spawned,
@@ -340,6 +344,81 @@ def _cmd_graph(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.core.compiler import CompileError, parse_attack_states_xml
+    from repro.core.model.threat import AttackModel
+    from repro.lint import build_registry_attack, failure_report, lint_attack
+
+    try:
+        if args.system:
+            system = _load_system(args.system)
+        else:
+            from repro.experiments.enterprise import enterprise_system_model
+
+            system = enterprise_system_model()
+        if args.attack_model:
+            from repro.core.compiler import parse_attack_model_xml
+
+            with open(args.attack_model, encoding="utf-8") as handle:
+                model = parse_attack_model_xml(handle.read(), system)
+        else:
+            # The broadest attacker: every declared rule is admissible, so
+            # only genuinely malformed attacks produce capability errors.
+            model = AttackModel.no_tls_everywhere(system)
+    except (OSError, CompileError) as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+    names = list(args.name or [])
+    if args.all:
+        from repro.attacks import list_attacks
+
+        names.extend(n for n in list_attacks() if n not in names)
+
+    reports = []
+    for name in names:
+        try:
+            attack = build_registry_attack(name, system)
+        except Exception as exc:
+            reports.append(
+                failure_report(name, f"{type(exc).__name__}: {exc}"))
+            continue
+        reports.append(lint_attack(attack, model))
+    for path in args.paths:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            reports.append(failure_report(path, str(exc)))
+            continue
+        try:
+            attack = parse_attack_states_xml(text, system, strict=False)
+        except CompileError as exc:
+            reports.append(failure_report(path, str(exc), line=exc.line))
+            continue
+        reports.append(lint_attack(attack, model))
+
+    if not reports:
+        print("nothing to lint: pass attack XML paths, --name, or --all",
+              file=sys.stderr)
+        return 2
+    errors = sum(len(r.errors) for r in reports)
+    warnings = sum(len(r.warnings) for r in reports)
+    if args.json:
+        print(json.dumps({
+            "attacks": len(reports),
+            "errors": errors,
+            "warnings": warnings,
+            "reports": [r.to_dict() for r in reports],
+        }, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.render_text(verbose=not args.quiet))
+        print(f"linted {len(reports)} attack(s): "
+              f"{errors} error(s), {warnings} warning(s)")
+    return 1 if errors else 0
+
+
 def _cmd_show(args: argparse.Namespace) -> int:
     from repro.core.compiler import parse_attack_states_xml
     from repro.core.lang.render import render_attack_text
@@ -428,6 +507,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run.add_argument("--trace", action="store_true",
                               help="collect per-run control-plane traces "
                                    "into <store>.traces/<run_id>.jsonl")
+    campaign_run.add_argument("--no-preflight", action="store_true",
+                              help="skip the lint pre-flight that rejects "
+                                   "defective attack cells before workers "
+                                   "spawn")
     campaign_run.set_defaults(handler=_cmd_campaign_run)
 
     campaign_status = campaign_sub.add_parser(
@@ -467,6 +550,27 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument("--output", "-o",
                              help="write generated code here (default stdout)")
     compile_cmd.set_defaults(handler=_cmd_compile)
+
+    lint = subparsers.add_parser(
+        "lint", help="static-analyse attack descriptions (ATNxxx diagnostics)"
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="attack-states XML files to lint")
+    lint.add_argument("--name", action="append", metavar="ATTACK",
+                      help="lint a registered attack by name (repeatable)")
+    lint.add_argument("--all", action="store_true",
+                      help="lint every registered attack")
+    lint.add_argument("--system",
+                      help="system-model XML (default: the enterprise "
+                           "evaluation topology)")
+    lint.add_argument("--attack-model",
+                      help="attacker-capabilities XML for the Γ_NC checks "
+                           "(default: no-TLS attacker on every connection)")
+    lint.add_argument("--quiet", action="store_true",
+                      help="hide info-severity diagnostics")
+    lint.add_argument("--json", action="store_true",
+                      help="emit reports as JSON")
+    lint.set_defaults(handler=_cmd_lint)
 
     graph = subparsers.add_parser(
         "graph", help="render an attack's state graph in Graphviz dot"

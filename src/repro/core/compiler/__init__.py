@@ -8,19 +8,78 @@ injector can run at runtime."
 * :mod:`repro.core.compiler.attack_parser` — attack-model (capability map)
   XML;
 * :mod:`repro.core.compiler.states_parser` — attack-states XML;
+* :mod:`repro.core.compiler.source` — line-aware XML parsing shared by the
+  parsers, so compile errors and lint diagnostics carry source locations;
 * :mod:`repro.core.compiler.codegen` — the executable-code generator: emit
   a standalone Python module that rebuilds the attack, and load such
   modules back.
+
+:func:`compile_attack` is the front door that composes parsing with the
+``repro.lint`` static analysis.
 """
+
+from __future__ import annotations
+
+from typing import Optional
 
 from repro.core.compiler.attack_parser import parse_attack_model_xml
 from repro.core.compiler.codegen import compile_attack_source, generate_attack_source
 from repro.core.compiler.errors import CompileError
+from repro.core.compiler.source import SourceMap, parse_xml_with_source
 from repro.core.compiler.states_parser import parse_attack_states_xml
 from repro.core.compiler.system_parser import parse_system_model_xml
 
+
+class LintFailure(CompileError):
+    """Compilation aborted because lint found error-severity diagnostics.
+
+    ``report`` carries the full :class:`~repro.lint.diagnostics.LintReport`
+    (errors and advisories) for callers that render diagnostics themselves.
+    """
+
+    def __init__(self, report) -> None:
+        self.report = report
+        summary = "; ".join(d.render() for d in report.errors)
+        super().__init__("attack-states", f"lint failed: {summary}")
+
+
+def compile_attack(
+    states_xml: str,
+    system,
+    attack_model=None,
+    lint: bool = False,
+):
+    """Parse attack-states XML and optionally lint the result.
+
+    Without ``lint`` this is strict parsing (structural graph problems
+    raise :class:`CompileError`, the historical behaviour).  With
+    ``lint=True`` the parse is lenient, the full ``repro.lint`` pass
+    battery runs (against ``attack_model`` when given), the report is
+    attached to the attack as ``attack.lint_report``, and error-severity
+    diagnostics raise :class:`LintFailure` — warnings and infos are
+    collected, not fatal.
+    """
+    if not lint:
+        attack = parse_attack_states_xml(states_xml, system, strict=True)
+        if attack_model is not None:
+            attack.validate_against(attack_model)
+        return attack
+
+    from repro.lint import lint_attack
+
+    attack = parse_attack_states_xml(states_xml, system, strict=False)
+    report = lint_attack(attack, attack_model)
+    attack.lint_report = report
+    if report.has_errors:
+        raise LintFailure(report)
+    return attack
+
+
 __all__ = [
     "CompileError",
+    "LintFailure",
+    "SourceMap",
+    "compile_attack",
     "compile_attack_source",
     "generate_attack_source",
     "parse_attack_model_xml",

@@ -17,8 +17,8 @@ explicit ``<capability>`` children override the class.
 
 from __future__ import annotations
 
-import xml.etree.ElementTree as ET
 from repro.core.compiler.errors import CompileError
+from repro.core.compiler.source import parse_xml_with_source
 from repro.core.model.capabilities import (
     Capability,
     CapabilityMap,
@@ -40,25 +40,30 @@ _CLASSES = {
 
 def parse_attack_model_xml(text: str, system: SystemModel) -> AttackModel:
     """Parse attack-model XML against a system model."""
-    try:
-        root = ET.fromstring(text)
-    except ET.ParseError as exc:
-        raise CompileError(KIND, f"not well-formed XML: {exc}") from exc
+    root, source = parse_xml_with_source(text, KIND)
     if root.tag != "attackmodel":
-        raise CompileError(KIND, f"root element must be <attackmodel>, got <{root.tag}>")
+        raise CompileError(
+            KIND, f"root element must be <attackmodel>, got <{root.tag}>",
+            line=source.line(root), tag=root.tag,
+        )
 
     capability_map = CapabilityMap()
     known = set(system.connection_keys())
     for element in root.iterfind("./connection"):
+        line = source.line(element)
         controller = element.get("controller")
         switch = element.get("switch")
         if not controller or not switch:
-            raise CompileError(KIND, "<connection> needs controller and switch attributes")
+            raise CompileError(
+                KIND, "<connection> needs controller and switch attributes",
+                line=line, tag="connection",
+            )
         connection = (controller, switch)
         if connection not in known:
             raise CompileError(
                 KIND,
                 f"connection {connection} is not in the system model's N_C",
+                line=line, tag="connection",
             )
         explicit = [
             child for child in element.iterfind("./capability")
@@ -68,11 +73,17 @@ def parse_attack_model_xml(text: str, system: SystemModel) -> AttackModel:
             for child in explicit:
                 name = child.get("name")
                 if not name:
-                    raise CompileError(KIND, "<capability> needs a name attribute")
+                    raise CompileError(
+                        KIND, "<capability> needs a name attribute",
+                        line=source.line(child), tag="capability",
+                    )
                 try:
                     capabilities.add(Capability.from_name(name))
                 except ValueError as exc:
-                    raise CompileError(KIND, str(exc)) from exc
+                    raise CompileError(
+                        KIND, str(exc),
+                        line=source.line(child), tag="capability",
+                    ) from exc
             capability_map.assign(connection, capabilities)
         else:
             class_name = (element.get("class") or "no-tls").lower()
@@ -82,6 +93,7 @@ def parse_attack_model_xml(text: str, system: SystemModel) -> AttackModel:
                     KIND,
                     f"unknown capability class {class_name!r}; "
                     f"expected one of {sorted(_CLASSES)}",
+                    line=line, tag="connection",
                 )
             capability_map.assign(connection, maker())
     return AttackModel(system, capability_map)

@@ -2,15 +2,34 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class CompileError(Exception):
     """A user-supplied model/attack file is malformed or inconsistent.
 
     The message carries the file kind and element context so practitioners
-    can locate the problem in their XML.
+    can locate the problem in their XML; ``line``/``tag`` (when the parser
+    could attribute the problem to a source element) point at the
+    offending element, and ``repro lint`` reuses them for its diagnostics.
     """
 
-    def __init__(self, kind: str, detail: str) -> None:
+    def __init__(
+        self,
+        kind: str,
+        detail: str,
+        line: Optional[int] = None,
+        tag: Optional[str] = None,
+    ) -> None:
         self.kind = kind
         self.detail = detail
-        super().__init__(f"{kind}: {detail}")
+        self.line = line
+        self.tag = tag
+        location = ""
+        if line is not None and tag is not None:
+            location = f" (line {line}: <{tag}>)"
+        elif line is not None:
+            location = f" (line {line})"
+        elif tag is not None:
+            location = f" (<{tag}>)"
+        super().__init__(f"{kind}: {detail}{location}")

@@ -1,0 +1,68 @@
+"""Line-aware XML parsing for compiler diagnostics.
+
+``xml.etree.ElementTree`` discards source positions, so a
+:class:`CompileError` raised halfway through a big attack-states file
+could historically only say *what* was wrong, never *where*.  This module
+parses XML through expat directly, building the same
+:class:`~xml.etree.ElementTree.Element` tree while recording each
+element's source line in a :class:`SourceMap`.  The parsers thread those
+lines into :class:`~repro.core.compiler.errors.CompileError` and attach
+them to the compiled language objects (``source_line`` attributes on
+attacks, states, and rules) so ``repro lint`` diagnostics point at the
+offending element.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional, Tuple
+from xml.parsers import expat
+
+from repro.core.compiler.errors import CompileError
+
+
+class SourceMap:
+    """Element -> source line lookup for one parsed document."""
+
+    def __init__(self) -> None:
+        self.root: Optional[ET.Element] = None
+        # Values keep the element alive so id() keys stay unambiguous.
+        self._lines: dict = {}
+
+    def record(self, element: ET.Element, line: int) -> None:
+        self._lines[id(element)] = (line, element)
+
+    def line(self, element: Optional[ET.Element]) -> Optional[int]:
+        """The 1-based source line ``element`` started on, if known."""
+        if element is None:
+            return None
+        entry = self._lines.get(id(element))
+        return entry[0] if entry is not None else None
+
+
+def parse_xml_with_source(text: str, kind: str) -> Tuple[ET.Element, SourceMap]:
+    """Parse ``text`` into an Element tree plus a :class:`SourceMap`.
+
+    Malformed XML raises :class:`CompileError` with ``kind`` and the
+    expat-reported line, matching the parsers' historical behaviour.
+    """
+    source = SourceMap()
+    builder = ET.TreeBuilder()
+    parser = expat.ParserCreate()
+
+    def handle_start(tag: str, attrs: dict) -> None:
+        element = builder.start(tag, attrs)
+        source.record(element, parser.CurrentLineNumber)
+
+    parser.StartElementHandler = handle_start
+    parser.EndElementHandler = lambda tag: builder.end(tag)
+    parser.CharacterDataHandler = builder.data
+    parser.buffer_text = True
+    try:
+        parser.Parse(text, True)
+        root = builder.close()
+    except (expat.ExpatError, ET.ParseError) as exc:
+        line = getattr(exc, "lineno", None)
+        raise CompileError(kind, f"not well-formed XML: {exc}", line=line) from exc
+    source.root = root
+    return root, source

@@ -21,6 +21,12 @@ Input format::
 Supported action elements (Section V-D): ``pass drop delay duplicate
 read-metadata modify-metadata fuzz read modify inject prepend append shift
 pop goto sleep syscmd``.
+
+Parsing is line-aware: every :class:`CompileError` carries the offending
+element's tag and source line, and the compiled ``Attack``/``AttackState``/
+``Rule`` objects get ``source_line`` attributes for ``repro lint``.
+``strict=False`` defers graph-structural validation (undefined GOTOSTATE
+targets, unreachable states, ...) to the lint passes instead of raising.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ import xml.etree.ElementTree as ET
 from typing import Any, List
 
 from repro.core.compiler.errors import CompileError
+from repro.core.compiler.source import SourceMap, parse_xml_with_source
 from repro.core.lang.actions import (
     AppendAction,
     AttackAction,
@@ -50,6 +57,7 @@ from repro.core.lang.actions import (
     SysCmd,
 )
 from repro.core.lang.attack import Attack
+from repro.core.lang.graph import GraphValidationError
 from repro.core.lang.parser import ConditionParseError, parse_condition, parse_expression
 from repro.core.lang.rules import Rule, RuleValidationError
 from repro.core.lang.states import AttackState
@@ -59,51 +67,77 @@ from repro.core.model.system import SystemModel
 KIND = "attack-states"
 
 
-def parse_attack_states_xml(text: str, system: SystemModel) -> Attack:
-    """Parse attack-states XML into a validated :class:`Attack`."""
-    try:
-        root = ET.fromstring(text)
-    except ET.ParseError as exc:
-        raise CompileError(KIND, f"not well-formed XML: {exc}") from exc
+def parse_attack_states_xml(
+    text: str, system: SystemModel, strict: bool = True
+) -> Attack:
+    """Parse attack-states XML into a validated :class:`Attack`.
+
+    ``strict=False`` skips graph-structural validation so ``repro lint``
+    can report those problems as diagnostics; rule-level errors (bad
+    conditionals, γ not covering usage, ...) always raise.
+    """
+    root, source = parse_xml_with_source(text, KIND)
     if root.tag != "attack":
-        raise CompileError(KIND, f"root element must be <attack>, got <{root.tag}>")
+        raise CompileError(
+            KIND, f"root element must be <attack>, got <{root.tag}>",
+            line=source.line(root), tag=root.tag,
+        )
     name = root.get("name") or "unnamed-attack"
     start = root.get("start")
     if not start:
-        raise CompileError(KIND, "<attack> needs a start attribute")
+        raise CompileError(
+            KIND, "<attack> needs a start attribute",
+            line=source.line(root), tag="attack",
+        )
 
     deques = {}
     for element in root.iterfind("./deque"):
         deque_name = element.get("name")
         if not deque_name:
-            raise CompileError(KIND, "<deque> needs a name attribute")
-        deques[deque_name] = [_parse_value(child) for child in element.iterfind("./value")]
+            raise CompileError(
+                KIND, "<deque> needs a name attribute",
+                line=source.line(element), tag="deque",
+            )
+        deques[deque_name] = [
+            _parse_value(child, source) for child in element.iterfind("./value")
+        ]
 
     states: List[AttackState] = []
     for state_element in root.iterfind("./state"):
         state_name = state_element.get("name")
         if not state_name:
-            raise CompileError(KIND, "<state> needs a name attribute")
+            raise CompileError(
+                KIND, "<state> needs a name attribute",
+                line=source.line(state_element), tag="state",
+            )
         rules = [
-            _parse_rule(rule_element, system, state_name)
+            _parse_rule(rule_element, system, state_name, source)
             for rule_element in state_element.iterfind("./rule")
         ]
-        states.append(AttackState(state_name, rules))
-    if not states:
-        raise CompileError(KIND, "an attack must declare at least one <state>")
+        state = AttackState(state_name, rules)
+        state.source_line = source.line(state_element)
+        states.append(state)
+    if not states and strict:
+        raise CompileError(
+            KIND, "an attack must declare at least one <state>",
+            line=source.line(root), tag="attack",
+        )
     try:
-        return Attack(
+        attack = Attack(
             name,
             states,
             start=start,
             deque_declarations=deques,
             description=root.get("description", ""),
+            strict=strict,
         )
-    except Exception as exc:
-        raise CompileError(KIND, str(exc)) from exc
+    except GraphValidationError as exc:
+        raise CompileError(KIND, str(exc), line=source.line(root)) from exc
+    attack.source_line = source.line(root)
+    return attack
 
 
-def _parse_value(element: ET.Element) -> Any:
+def _parse_value(element: ET.Element, source: SourceMap) -> Any:
     value_type = element.get("type", "str")
     text = element.text or ""
     if value_type == "int":
@@ -112,15 +146,21 @@ def _parse_value(element: ET.Element) -> Any:
         return float(text)
     if value_type == "str":
         return text
-    raise CompileError(KIND, f"unknown deque value type {value_type!r}")
+    raise CompileError(
+        KIND, f"unknown deque value type {value_type!r}",
+        line=source.line(element), tag="value",
+    )
 
 
-def _parse_rule(element: ET.Element, system: SystemModel, state_name: str) -> Rule:
+def _parse_rule(
+    element: ET.Element, system: SystemModel, state_name: str, source: SourceMap
+) -> Rule:
     rule_name = element.get("name") or f"{state_name}-rule"
     context = f"state {state_name!r} rule {rule_name!r}"
+    line = source.line(element)
 
-    connections = _parse_connections(element, system, context)
-    gamma = _parse_gamma(element, context)
+    connections = _parse_connections(element, system, context, source)
+    gamma = _parse_gamma(element, context, source)
 
     condition_element = element.find("./condition")
     condition_text = (
@@ -129,26 +169,36 @@ def _parse_rule(element: ET.Element, system: SystemModel, state_name: str) -> Ru
     try:
         conditional = parse_condition(condition_text)
     except ConditionParseError as exc:
-        raise CompileError(KIND, f"{context}: bad condition: {exc}") from exc
+        raise CompileError(
+            KIND, f"{context}: bad condition: {exc}",
+            line=source.line(condition_element) or line, tag="condition",
+        ) from exc
 
     actions_element = element.find("./actions")
     if actions_element is None:
-        raise CompileError(KIND, f"{context}: missing <actions>")
+        raise CompileError(
+            KIND, f"{context}: missing <actions>", line=line, tag="rule"
+        )
     actions = [
-        _parse_action(child, context) for child in actions_element
+        _parse_action(child, context, source) for child in actions_element
     ]
     try:
-        return Rule(rule_name, connections, gamma, conditional, actions)
+        rule = Rule(rule_name, connections, gamma, conditional, actions)
     except RuleValidationError as exc:
-        raise CompileError(KIND, f"{context}: {exc}") from exc
+        raise CompileError(KIND, f"{context}: {exc}", line=line, tag="rule") from exc
+    rule.source_line = line
+    return rule
 
 
 def _parse_connections(
-    element: ET.Element, system: SystemModel, context: str
+    element: ET.Element, system: SystemModel, context: str, source: SourceMap
 ) -> frozenset:
     container = element.find("./connections")
     if container is None:
-        raise CompileError(KIND, f"{context}: missing <connections>")
+        raise CompileError(
+            KIND, f"{context}: missing <connections>",
+            line=source.line(element), tag="rule",
+        )
     if container.find("./all-connections") is not None:
         return frozenset(system.connection_keys())
     connections: set = set()
@@ -157,15 +207,19 @@ def _parse_connections(
         switch = child.get("switch")
         if not controller or not switch:
             raise CompileError(
-                KIND, f"{context}: <connection> needs controller and switch"
+                KIND, f"{context}: <connection> needs controller and switch",
+                line=source.line(child), tag="connection",
             )
         connections.add((controller, switch))
     if not connections:
-        raise CompileError(KIND, f"{context}: no connections declared")
+        raise CompileError(
+            KIND, f"{context}: no connections declared",
+            line=source.line(container), tag="connections",
+        )
     return frozenset(connections)
 
 
-def _parse_gamma(element: ET.Element, context: str) -> frozenset:
+def _parse_gamma(element: ET.Element, context: str, source: SourceMap) -> frozenset:
     gamma_element = element.find("./gamma")
     if gamma_element is None:
         return gamma_no_tls()
@@ -175,22 +229,32 @@ def _parse_gamma(element: ET.Element, context: str) -> frozenset:
         for child in explicit:
             name = child.get("name")
             if not name:
-                raise CompileError(KIND, f"{context}: <capability> needs a name")
+                raise CompileError(
+                    KIND, f"{context}: <capability> needs a name",
+                    line=source.line(child), tag="capability",
+                )
             try:
                 capabilities.add(Capability.from_name(name))
             except ValueError as exc:
-                raise CompileError(KIND, f"{context}: {exc}") from exc
+                raise CompileError(
+                    KIND, f"{context}: {exc}",
+                    line=source.line(child), tag="capability",
+                ) from exc
         return frozenset(capabilities)
     class_name = (gamma_element.get("class") or "no-tls").lower()
     if class_name in ("no-tls", "notls"):
         return gamma_no_tls()
     if class_name == "tls":
         return gamma_tls()
-    raise CompileError(KIND, f"{context}: unknown gamma class {class_name!r}")
+    raise CompileError(
+        KIND, f"{context}: unknown gamma class {class_name!r}",
+        line=source.line(gamma_element), tag="gamma",
+    )
 
 
-def _parse_action(element: ET.Element, context: str) -> AttackAction:
+def _parse_action(element: ET.Element, context: str, source: SourceMap) -> AttackAction:
     tag = element.tag.lower()
+    line = source.line(element)
     try:
         if tag == "pass":
             return PassMessage()
@@ -204,8 +268,8 @@ def _parse_action(element: ET.Element, context: str) -> AttackAction:
             return ReadMessageMetadata(store_to=element.get("store-to"))
         if tag == "modify-metadata":
             return ModifyMessageMetadata(
-                _require_attr(element, "field", context),
-                _expr_or_str(element, "value", context),
+                _require_attr(element, "field", context, source),
+                _expr_or_str(element, "value", context, source),
             )
         if tag == "fuzz":
             return FuzzMessage(
@@ -216,46 +280,54 @@ def _parse_action(element: ET.Element, context: str) -> AttackAction:
             return ReadMessage(store_to=element.get("store-to"))
         if tag == "modify":
             return ModifyMessage(
-                _require_attr(element, "field", context),
-                _expr_or_str(element, "value", context),
+                _require_attr(element, "field", context, source),
+                _expr_or_str(element, "value", context, source),
             )
         if tag == "inject":
             return InjectNewMessage(
-                parse_expression(_require_attr(element, "from", context))
+                parse_expression(_require_attr(element, "from", context, source))
             )
         if tag == "prepend":
             return PrependAction(
-                _require_attr(element, "deque", context),
-                parse_expression(_require_attr(element, "value", context)),
+                _require_attr(element, "deque", context, source),
+                parse_expression(_require_attr(element, "value", context, source)),
             )
         if tag == "append":
             return AppendAction(
-                _require_attr(element, "deque", context),
-                parse_expression(_require_attr(element, "value", context)),
+                _require_attr(element, "deque", context, source),
+                parse_expression(_require_attr(element, "value", context, source)),
             )
         if tag == "shift":
-            return ShiftAction(_require_attr(element, "deque", context))
+            return ShiftAction(_require_attr(element, "deque", context, source))
         if tag == "pop":
-            return PopAction(_require_attr(element, "deque", context))
+            return PopAction(_require_attr(element, "deque", context, source))
         if tag == "goto":
-            return GoToState(_require_attr(element, "state", context))
+            return GoToState(_require_attr(element, "state", context, source))
         if tag == "sleep":
-            return Sleep(float(_require_attr(element, "seconds", context)))
+            return Sleep(float(_require_attr(element, "seconds", context, source)))
         if tag == "syscmd":
             return SysCmd(
-                _require_attr(element, "host", context),
-                _require_attr(element, "command", context),
+                _require_attr(element, "host", context, source),
+                _require_attr(element, "command", context, source),
             )
     except (ConditionParseError, ValueError) as exc:
-        raise CompileError(KIND, f"{context}: bad <{tag}> action: {exc}") from exc
-    raise CompileError(KIND, f"{context}: unknown action element <{tag}>")
+        raise CompileError(
+            KIND, f"{context}: bad <{tag}> action: {exc}", line=line, tag=tag
+        ) from exc
+    raise CompileError(
+        KIND, f"{context}: unknown action element <{tag}>", line=line, tag=tag
+    )
 
 
-def _require_attr(element: ET.Element, attr: str, context: str) -> str:
+def _require_attr(
+    element: ET.Element, attr: str, context: str, source: SourceMap
+) -> str:
     value = element.get(attr)
     if value is None:
         raise CompileError(
-            KIND, f"{context}: <{element.tag}> missing required attribute {attr!r}"
+            KIND,
+            f"{context}: <{element.tag}> missing required attribute {attr!r}",
+            line=source.line(element), tag=element.tag,
         )
     return value
 
@@ -268,8 +340,8 @@ def _expr_or_float(element: ET.Element, attr: str):
         return parse_expression(value)
 
 
-def _expr_or_str(element: ET.Element, attr: str, context: str):
-    value = _require_attr(element, attr, context)
+def _expr_or_str(element: ET.Element, attr: str, context: str, source: SourceMap):
+    value = _require_attr(element, attr, context, source)
     if value.startswith("expr:"):
         return parse_expression(value[5:])
     return value

@@ -29,6 +29,7 @@ from typing import List, Optional
 
 from repro.netlib.addresses import Ipv4Address, MacAddress
 from repro.core.compiler.errors import CompileError
+from repro.core.compiler.source import SourceMap, parse_xml_with_source
 from repro.core.model.system import (
     ControlConnection,
     ControllerSpec,
@@ -44,23 +45,23 @@ KIND = "system-model"
 
 def parse_system_model_xml(text: str) -> SystemModel:
     """Parse system-model XML text into a validated :class:`SystemModel`."""
-    try:
-        root = ET.fromstring(text)
-    except ET.ParseError as exc:
-        raise CompileError(KIND, f"not well-formed XML: {exc}") from exc
+    root, source = parse_xml_with_source(text, KIND)
     if root.tag != "system":
-        raise CompileError(KIND, f"root element must be <system>, got <{root.tag}>")
+        raise CompileError(
+            KIND, f"root element must be <system>, got <{root.tag}>",
+            line=source.line(root), tag=root.tag,
+        )
 
     controllers = [
         ControllerSpec(
-            name=_require(element, "name"),
+            name=_require(element, "name", source),
             address=element.get("address", ""),
         )
         for element in root.iterfind("./controllers/controller")
     ]
     switches = []
     for element in root.iterfind("./switches/switch"):
-        name = _require(element, "name")
+        name = _require(element, "name", source)
         ports_attr = element.get("ports", "")
         try:
             ports = tuple(
@@ -69,12 +70,13 @@ def parse_system_model_xml(text: str) -> SystemModel:
         except ValueError as exc:
             raise CompileError(
                 KIND, f"switch {name!r} has a malformed ports list "
-                f"{ports_attr!r}"
+                f"{ports_attr!r}",
+                line=source.line(element), tag="switch",
             ) from exc
         switches.append(
             SwitchSpec(
                 name=name,
-                datapath_id=_int_attr(element, "dpid", default=len(switches) + 1),
+                datapath_id=_int_attr(element, "dpid", len(switches) + 1, source),
                 ports=ports,
             )
         )
@@ -85,58 +87,70 @@ def parse_system_model_xml(text: str) -> SystemModel:
         try:
             hosts.append(
                 HostSpec(
-                    name=_require(element, "name"),
+                    name=_require(element, "name", source),
                     mac=MacAddress(mac) if mac else None,
                     ip=Ipv4Address(ip) if ip else None,
                 )
             )
         except ValueError as exc:
-            raise CompileError(KIND, f"bad host address: {exc}") from exc
+            raise CompileError(
+                KIND, f"bad host address: {exc}",
+                line=source.line(element), tag="host",
+            ) from exc
 
     edges: List[DataPlaneEdge] = []
     for element in root.iterfind("./dataplane/link"):
-        a = _require(element, "a")
-        b = _require(element, "b")
-        a_port = _optional_int(element, "a-port")
-        b_port = _optional_int(element, "b-port")
+        a = _require(element, "a", source)
+        b = _require(element, "b", source)
+        a_port = _optional_int(element, "a-port", source)
+        b_port = _optional_int(element, "b-port", source)
         edges.append(DataPlaneEdge(a, b, a_port, b_port))
         edges.append(DataPlaneEdge(b, a, b_port, a_port))
 
     connections = [
         ControlConnection(
-            controller=_require(element, "controller"),
-            switch=_require(element, "switch"),
+            controller=_require(element, "controller", source),
+            switch=_require(element, "switch", source),
         )
         for element in root.iterfind("./controlplane/connection")
     ]
     try:
         return SystemModel(controllers, switches, hosts, edges, connections)
     except SystemModelError as exc:
-        raise CompileError(KIND, str(exc)) from exc
+        raise CompileError(KIND, str(exc), line=source.line(root)) from exc
 
 
-def _require(element: ET.Element, attr: str) -> str:
+def _require(element: ET.Element, attr: str, source: SourceMap) -> str:
     value = element.get(attr)
     if value is None or not value.strip():
-        raise CompileError(KIND, f"<{element.tag}> missing required attribute {attr!r}")
+        raise CompileError(
+            KIND, f"<{element.tag}> missing required attribute {attr!r}",
+            line=source.line(element), tag=element.tag,
+        )
     return value.strip()
 
 
-def _int_attr(element: ET.Element, attr: str, default: int) -> int:
+def _int_attr(element: ET.Element, attr: str, default: int, source: SourceMap) -> int:
     value = element.get(attr)
     if value is None:
         return default
     try:
         return int(value, 0)
     except ValueError as exc:
-        raise CompileError(KIND, f"<{element.tag}> attribute {attr!r} not an int") from exc
+        raise CompileError(
+            KIND, f"<{element.tag}> attribute {attr!r} not an int",
+            line=source.line(element), tag=element.tag,
+        ) from exc
 
 
-def _optional_int(element: ET.Element, attr: str) -> Optional[int]:
+def _optional_int(element: ET.Element, attr: str, source: SourceMap) -> Optional[int]:
     value = element.get(attr)
     if value is None:
         return None
     try:
         return int(value, 0)
     except ValueError as exc:
-        raise CompileError(KIND, f"<{element.tag}> attribute {attr!r} not an int") from exc
+        raise CompileError(
+            KIND, f"<{element.tag}> attribute {attr!r} not an int",
+            line=source.line(element), tag=element.tag,
+        ) from exc

@@ -11,9 +11,10 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.lang.graph import AttackStateGraph
+from repro.core.lang.rules import RuleValidationError
 from repro.core.lang.states import AttackState
 from repro.core.lang.storage import StorageSet
-from repro.core.model.threat import AttackModel
+from repro.core.model.threat import AttackModel, CapabilityViolation
 
 
 class AttackValidationError(Exception):
@@ -30,10 +31,11 @@ class Attack:
         start: str,
         deque_declarations: Optional[Dict[str, List]] = None,
         description: str = "",
+        strict: bool = True,
     ) -> None:
         self.name = name
         self.description = description
-        self.graph = AttackStateGraph(states, start)
+        self.graph = AttackStateGraph(states, start, strict=strict)
         self.deque_declarations: Dict[str, List] = dict(deque_declarations or {})
 
     @property
@@ -80,7 +82,7 @@ class Attack:
                 continue
             try:
                 rule.validate_against(attack_model)
-            except Exception as exc:
+            except (RuleValidationError, CapabilityViolation) as exc:
                 problems.append(f"state {state.name!r}: {exc}")
         if problems:
             raise AttackValidationError("; ".join(problems))

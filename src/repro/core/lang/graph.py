@@ -4,11 +4,18 @@ The graph is *derived* from the states' GOTOSTATE actions: vertices are the
 attack states, an edge (σ_x, σ_y) exists when some rule in σ_x transitions
 to σ_y, and the edge attribute is the set of actions of the transitioning
 rules.  Validation checks the structural properties the paper requires.
+
+Construction is either **strict** (the default — any structural problem
+raises :class:`GraphValidationError`, the historical behaviour) or lenient
+(``strict=False``), in which case problems are recorded as
+:class:`GraphProblem` entries for ``repro lint`` to surface as
+diagnostics instead of a hard stop.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.lang.actions import GoToState
 from repro.core.lang.states import AttackState
@@ -18,24 +25,51 @@ class GraphValidationError(Exception):
     """Raised when a set of attack states is not a valid Σ_G."""
 
 
+@dataclass(frozen=True)
+class GraphProblem:
+    """One structural defect of a (possibly invalid) Σ_G."""
+
+    kind: str                      # empty | bad-start | duplicate-state
+    message: str                   # | undefined-target | unreachable
+    state: Optional[str] = None    # the state the problem anchors to
+    target: Optional[str] = None   # the offending GOTOSTATE target, if any
+
+
 class AttackStateGraph:
     """The derived attack state graph for a set of states."""
 
-    def __init__(self, states: Iterable[AttackState], start: str) -> None:
+    def __init__(
+        self, states: Iterable[AttackState], start: str, strict: bool = True
+    ) -> None:
         self.states: Dict[str, AttackState] = {}
+        self._duplicates: List[str] = []
         for state in states:
             if state.name in self.states:
-                raise GraphValidationError(f"duplicate attack state {state.name!r}")
+                if strict:
+                    raise GraphValidationError(
+                        f"duplicate attack state {state.name!r}"
+                    )
+                self._duplicates.append(state.name)
+                continue  # lenient mode keeps the first declaration
             self.states[state.name] = state
         self.start = start
         self.edges: Dict[Tuple[str, str], List] = {}
+        # Successor adjacency, built once alongside the edge dict and
+        # reused by every reachability/absorbing analysis (the historical
+        # per-frontier-node rescan of the edge dict was O(V·E)).
+        self.adjacency: Dict[str, Set[str]] = {
+            name: set() for name in self.states
+        }
         self._build_edges()
-        self.validate()
+        if strict:
+            self.validate()
 
     def _build_edges(self) -> None:
         for state in self.states.values():
+            successors = self.adjacency[state.name]
             for rule in state.rules:
                 for target in rule.goto_targets():
+                    successors.add(target)
                     key = (state.name, target)
                     self.edges.setdefault(key, [])
                     # A_ΣG: the actions of the rules that transition x -> y.
@@ -45,21 +79,44 @@ class AttackStateGraph:
     # Validation
     # ------------------------------------------------------------------ #
 
-    def validate(self) -> None:
+    def structural_problems(self) -> List[GraphProblem]:
+        """Every structural defect, in diagnostic order."""
+        problems: List[GraphProblem] = []
         if not self.states:
-            raise GraphValidationError("an attack must have at least one state (|Σ| >= 1)")
+            problems.append(GraphProblem(
+                "empty", "an attack must have at least one state (|Σ| >= 1)"
+            ))
+            return problems
+        for name in self._duplicates:
+            problems.append(GraphProblem(
+                "duplicate-state", f"duplicate attack state {name!r}",
+                state=name,
+            ))
         if self.start not in self.states:
-            raise GraphValidationError(f"start state {self.start!r} is not in Σ")
+            problems.append(GraphProblem(
+                "bad-start", f"start state {self.start!r} is not in Σ",
+            ))
         for (src, dst) in self.edges:
             if dst not in self.states:
-                raise GraphValidationError(
-                    f"state {src!r} transitions to undefined state {dst!r}"
-                )
-        unreachable = set(self.states) - self.reachable_states()
-        if unreachable:
-            raise GraphValidationError(
-                f"states unreachable from {self.start!r}: {sorted(unreachable)}"
-            )
+                problems.append(GraphProblem(
+                    "undefined-target",
+                    f"state {src!r} transitions to undefined state {dst!r}",
+                    state=src, target=dst,
+                ))
+        if self.start in self.states:
+            unreachable = sorted(set(self.states) - self.reachable_states())
+            for name in unreachable:
+                problems.append(GraphProblem(
+                    "unreachable",
+                    f"states unreachable from {self.start!r}: {unreachable}",
+                    state=name,
+                ))
+        return problems
+
+    def validate(self) -> None:
+        problems = self.structural_problems()
+        if problems:
+            raise GraphValidationError(problems[0].message)
 
     # ------------------------------------------------------------------ #
     # Analyses
@@ -69,25 +126,26 @@ class AttackStateGraph:
         """States reachable from σ_start (including itself)."""
         seen: Set[str] = set()
         frontier = [self.start]
+        adjacency = self.adjacency
         while frontier:
             current = frontier.pop()
             if current in seen:
                 continue
             seen.add(current)
-            for (src, dst) in self.edges:
-                if src == current and dst not in seen:
-                    frontier.append(dst)
+            successors = adjacency.get(current)
+            if successors:
+                frontier.extend(successors - seen)
         return frozenset(seen)
 
     def successors(self, state_name: str) -> FrozenSet[str]:
-        return frozenset(dst for (src, dst) in self.edges if src == state_name)
+        return frozenset(self.adjacency.get(state_name, ()))
 
     def absorbing_states(self) -> FrozenSet[str]:
         """σ_absorbing — states with no outgoing transition to another state."""
         return frozenset(
             name
-            for name, state in self.states.items()
-            if self.successors(name) <= {name}
+            for name in self.states
+            if self.adjacency.get(name, set()) <= {name}
         )
 
     def end_states(self) -> FrozenSet[str]:

@@ -1,0 +1,27 @@
+"""Static analysis over compiled attack descriptions (``repro lint``).
+
+The lint engine runs a battery of analysis passes over an
+:class:`~repro.core.lang.attack.Attack` — structural graph checks
+(migrated from :class:`~repro.core.lang.graph.GraphValidationError`),
+capability containment against Γ_NC, deque dataflow, rule shadowing,
+type-option consistency, and SLEEP/SYSCMD hygiene — and reports findings
+as stable ``ATNxxx`` diagnostics (see docs/LINT.md).
+
+It is wired in at three layers: ``compile_attack(..., lint=True)``, the
+``repro lint`` CLI subcommand, and campaign pre-flight.
+"""
+
+from repro.lint.diagnostics import DIAGNOSTIC_CODES, Diagnostic, LintReport, Severity
+from repro.lint.engine import failure_report, lint_attack
+from repro.lint.registry import DEFAULT_PARAMS, build_registry_attack
+
+__all__ = [
+    "DEFAULT_PARAMS",
+    "DIAGNOSTIC_CODES",
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "build_registry_attack",
+    "failure_report",
+    "lint_attack",
+]

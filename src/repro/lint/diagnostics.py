@@ -1,0 +1,170 @@
+"""Diagnostic records for ``repro lint``.
+
+Every finding carries a stable ``ATNxxx`` code so CI jobs, allowlists, and
+docs can reference it; a severity (``error`` findings fail compilation and
+campaign pre-flight, ``warning``/``info`` findings are advisory); and the
+state/rule/source-line context the analysis could attribute it to.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+#: The full diagnostic vocabulary: code -> (default severity, title).
+#: docs/LINT.md documents each with a minimal triggering example.
+DIAGNOSTIC_CODES: Dict[str, Tuple[Severity, str]] = {
+    "ATN000": (Severity.ERROR, "attack failed to build or compile"),
+    "ATN001": (Severity.ERROR, "attack has no states (|Σ| >= 1 violated)"),
+    "ATN002": (Severity.ERROR, "start state is not declared"),
+    "ATN003": (Severity.ERROR, "duplicate state name"),
+    "ATN004": (Severity.ERROR, "GOTOSTATE targets an undefined state"),
+    "ATN005": (Severity.ERROR, "state is unreachable from the start state"),
+    "ATN006": (Severity.INFO, "no reachable absorbing state (attack never settles)"),
+    "ATN007": (Severity.INFO, "GOTOSTATE to the current state is a no-op"),
+    "ATN010": (Severity.ERROR, "rule binds a connection that is not in N_C"),
+    "ATN011": (Severity.ERROR, "rule γ exceeds Γ_NC(n) for a bound connection"),
+    "ATN012": (Severity.INFO, "rule declares capabilities it never uses"),
+    "ATN020": (Severity.WARNING, "deque is read but never written"),
+    "ATN021": (Severity.WARNING, "deque is declared but never used"),
+    "ATN022": (Severity.WARNING, "deque is used but never declared"),
+    "ATN030": (Severity.WARNING, "rule is shadowed by an earlier dropping rule"),
+    "ATN031": (Severity.WARNING, "type option impossible for the matched TYPE"),
+    "ATN032": (Severity.WARNING, "TYPE compared against an unknown message type"),
+    "ATN040": (Severity.WARNING, "SLEEP hygiene"),
+    "ATN041": (Severity.WARNING, "SYSCMD hygiene"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding."""
+
+    code: str
+    severity: Severity
+    message: str
+    state: Optional[str] = None
+    rule: Optional[str] = None
+    line: Optional[int] = None
+
+    def location(self) -> str:
+        parts = []
+        if self.line is not None:
+            parts.append(f"line {self.line}")
+        if self.state is not None:
+            parts.append(f"state {self.state!r}")
+        if self.rule is not None:
+            parts.append(f"rule {self.rule!r}")
+        return ", ".join(parts)
+
+    def render(self) -> str:
+        location = self.location()
+        prefix = f"[{location}] " if location else ""
+        return f"{self.code} {self.severity.value}: {prefix}{self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "state": self.state,
+            "rule": self.rule,
+            "line": self.line,
+        }
+
+
+class LintReport:
+    """All diagnostics for one attack, ordered by severity then source line."""
+
+    def __init__(self, attack_name: str, diagnostics: Optional[List[Diagnostic]] = None) -> None:
+        self.attack_name = attack_name
+        self.diagnostics: List[Diagnostic] = list(diagnostics or [])
+
+    def add(
+        self,
+        code: str,
+        message: str,
+        state: Optional[str] = None,
+        rule: Optional[str] = None,
+        line: Optional[int] = None,
+        severity: Optional[Severity] = None,
+    ) -> Diagnostic:
+        if code not in DIAGNOSTIC_CODES:
+            raise ValueError(f"unknown diagnostic code {code!r}")
+        resolved = severity or DIAGNOSTIC_CODES[code][0]
+        diagnostic = Diagnostic(code, resolved, message, state, rule, line)
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def codes(self) -> List[str]:
+        return sorted({d.code for d in self.diagnostics})
+
+    def sorted(self) -> List[Diagnostic]:
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (d.severity.rank, d.line or 0, d.code, d.message),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Output
+    # ------------------------------------------------------------------ #
+
+    def render_text(self, verbose: bool = True) -> str:
+        lines = [f"lint: {self.attack_name}"]
+        shown = self.sorted()
+        if not verbose:
+            shown = [d for d in shown if d.severity is not Severity.INFO]
+        for diagnostic in shown:
+            lines.append(f"  {diagnostic.render()}")
+        counts = (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.by_severity(Severity.INFO))} info"
+        )
+        lines.append(f"  -> {counts}" if self.diagnostics else "  -> clean")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "attack": self.attack_name,
+            "clean": not self.diagnostics,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.to_dict() for d in self.sorted()],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<LintReport {self.attack_name!r} errors={len(self.errors)} "
+            f"warnings={len(self.warnings)} total={len(self.diagnostics)}>"
+        )

@@ -1,0 +1,34 @@
+"""The lint driver: run every analysis pass over a compiled attack."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.lang.attack import Attack
+from repro.core.model.threat import AttackModel
+from repro.lint.diagnostics import LintReport
+from repro.lint.passes import ALL_PASSES
+
+
+def lint_attack(attack: Attack, attack_model: Optional[AttackModel] = None) -> LintReport:
+    """Run all analysis passes and return the combined report.
+
+    ``attack_model`` enables the capability passes (ATN010/ATN011) and the
+    SYSCMD host check; without one, those passes are skipped — the purely
+    syntactic passes still run.
+    """
+    report = LintReport(attack.name)
+    for analysis in ALL_PASSES:
+        analysis(attack, attack_model, report)
+    return report
+
+
+def failure_report(name: str, message: str, line: Optional[int] = None) -> LintReport:
+    """An ATN000 report for an attack that could not even be built.
+
+    Used by the CLI and campaign pre-flight when compilation or the
+    attack factory raises before there is an :class:`Attack` to analyse.
+    """
+    report = LintReport(name)
+    report.add("ATN000", message, line=line)
+    return report

@@ -1,0 +1,428 @@
+"""The lint analysis passes.
+
+Each pass walks a compiled :class:`~repro.core.lang.attack.Attack` (and,
+when available, the :class:`~repro.core.model.threat.AttackModel`) and
+emits diagnostics into a :class:`~repro.lint.diagnostics.LintReport`.
+Passes are pure static analysis — nothing here executes a rule.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.core.lang.actions import (
+    AppendAction,
+    AttackAction,
+    DelayMessage,
+    DropMessage,
+    GoToState,
+    PopAction,
+    PrependAction,
+    ReadMessage,
+    ReadMessageMetadata,
+    ShiftAction,
+    Sleep,
+    SysCmd,
+)
+from repro.core.lang.attack import Attack
+from repro.core.lang.conditionals import (
+    And,
+    Comparison,
+    Condition,
+    ExamineEnd,
+    ExamineFront,
+    Expression,
+    Not,
+    Or,
+    PopExpr,
+    ShiftExpr,
+    TrueCondition,
+    TypeOption,
+)
+from repro.core.lang.rules import Rule
+from repro.core.lang.states import AttackState
+from repro.core.model.threat import AttackModel
+from repro.lint.diagnostics import LintReport, Severity
+from repro.openflow.constants import MessageType
+from repro.openflow.match import MATCH_FIELD_NAMES
+
+#: Valid MESSAGETYPEOPTIONS roots per message type, mirroring
+#: :meth:`InterposedMessage._type_option_root`.  Types absent from this
+#: table expose no options at all.
+TYPE_OPTION_ROOTS = {
+    "FLOW_MOD": frozenset({
+        "match", "command", "idle_timeout", "hard_timeout", "priority",
+        "buffer_id", "cookie", "out_port", "n_actions", "output_ports",
+        "output_port",
+    }),
+    "PACKET_IN": frozenset({"packet", "in_port", "reason", "buffer_id", "total_len"}),
+    "PACKET_OUT": frozenset({"in_port", "buffer_id", "n_actions", "output_ports",
+                             "output_port"}),
+    "FLOW_REMOVED": frozenset({"match", "reason", "priority", "packet_count",
+                               "byte_count"}),
+    "FEATURES_REPLY": frozenset({"datapath_id", "n_ports", "n_buffers"}),
+    "ECHO_REQUEST": frozenset({"payload_len"}),
+    "ECHO_REPLY": frozenset({"payload_len"}),
+    "ERROR": frozenset({"error_type", "code"}),
+    "PORT_STATUS": frozenset({"reason", "port_no"}),
+    "STATS_REQUEST": frozenset({"stats_type"}),
+    "STATS_REPLY": frozenset({"stats_type"}),
+}
+
+KNOWN_MESSAGE_TYPES = frozenset(member.name for member in MessageType)
+
+#: A long SLEEP stalls every message on the rule's connections; past this
+#: bound the controller side will have declared the switch dead (echo
+#: timeouts), which is rarely what the author wants from a single action.
+LONG_SLEEP_SECONDS = 300.0
+
+_SHELL_METACHARACTERS = set(";|&`$><")
+
+
+# ---------------------------------------------------------------------- #
+# AST walkers
+# ---------------------------------------------------------------------- #
+
+
+def iter_expressions(expression: Expression) -> Iterator[Expression]:
+    """The expression node and every descendant."""
+    yield expression
+    for child in expression.children():
+        yield from iter_expressions(child)
+
+
+def iter_condition_expressions(condition: Condition) -> Iterator[Expression]:
+    """Every expression node reachable from a conditional."""
+    if isinstance(condition, Comparison):
+        yield from iter_expressions(condition.left)
+        yield from iter_expressions(condition.right)
+    elif isinstance(condition, (And, Or)):
+        for term in condition.terms:
+            yield from iter_condition_expressions(term)
+    elif isinstance(condition, Not):
+        yield from iter_condition_expressions(condition.term)
+
+
+def rule_expressions(rule: Rule) -> Iterator[Expression]:
+    """Every expression the rule evaluates: conditional + action arguments."""
+    yield from iter_condition_expressions(rule.conditional)
+    for action in rule.actions:
+        for expr in action.argument_expressions():
+            yield from iter_expressions(expr)
+
+
+def _rule_line(rule: Rule) -> Optional[int]:
+    return getattr(rule, "source_line", None)
+
+
+def _state_line(state: AttackState) -> Optional[int]:
+    return getattr(state, "source_line", None)
+
+
+# ---------------------------------------------------------------------- #
+# Structural passes (ATN001-ATN007)
+# ---------------------------------------------------------------------- #
+
+_STRUCTURAL_CODES = {
+    "empty": "ATN001",
+    "bad-start": "ATN002",
+    "duplicate-state": "ATN003",
+    "undefined-target": "ATN004",
+    "unreachable": "ATN005",
+}
+
+
+def check_structure(attack: Attack, model: Optional[AttackModel], report: LintReport) -> None:
+    """Migrate the graph's structural validation into diagnostics."""
+    graph = attack.graph
+    for problem in graph.structural_problems():
+        state = problem.state
+        line = None
+        if state is not None and state in graph.states:
+            line = _state_line(graph.states[state])
+        report.add(
+            _STRUCTURAL_CODES[problem.kind], problem.message,
+            state=state, line=line,
+        )
+
+
+def check_absorbing(attack: Attack, model: Optional[AttackModel], report: LintReport) -> None:
+    """ATN006/ATN007: absorbing-state reachability and no-op self-gotos."""
+    graph = attack.graph
+    if attack.start not in graph.states:
+        return  # structural errors already reported
+    reachable = graph.reachable_states() & set(graph.states)
+    if reachable and not (graph.absorbing_states() & reachable):
+        report.add(
+            "ATN006",
+            "no absorbing state is reachable from "
+            f"{attack.start!r}: the attack cycles forever and never settles",
+        )
+    for state, rule in attack.all_rules():
+        for action in rule.actions:
+            if isinstance(action, GoToState) and action.state_name == state.name:
+                report.add(
+                    "ATN007",
+                    f"GOTOSTATE({state.name!r}) from its own state is a no-op",
+                    state=state.name, rule=rule.name, line=_rule_line(rule),
+                )
+
+
+# ---------------------------------------------------------------------- #
+# Capability passes (ATN010-ATN012)
+# ---------------------------------------------------------------------- #
+
+
+def check_capabilities(attack: Attack, model: Optional[AttackModel], report: LintReport) -> None:
+    """ATN010/ATN011/ATN012: connections in N_C, γ ⊆ Γ_NC(n), γ minimality."""
+    known = set(model.system.connection_keys()) if model is not None else None
+    for state, rule in attack.all_rules():
+        line = _rule_line(rule)
+        if known is not None:
+            unknown = rule.connections - known
+            if unknown:
+                report.add(
+                    "ATN010",
+                    f"binds connections not in N_C: {sorted(unknown)}",
+                    state=state.name, rule=rule.name, line=line,
+                )
+            for connection in sorted(rule.connections & known):
+                missing = rule.gamma - model.gamma(connection)
+                if missing:
+                    names = ", ".join(sorted(c.value for c in missing))
+                    report.add(
+                        "ATN011",
+                        f"γ exceeds Γ_NC({connection}): missing {names}",
+                        state=state.name, rule=rule.name, line=line,
+                    )
+        unused = rule.gamma - rule.required_capabilities()
+        if unused:
+            names = ", ".join(sorted(c.value for c in unused))
+            report.add(
+                "ATN012",
+                f"declares capabilities it never uses: {names}",
+                state=state.name, rule=rule.name, line=line,
+            )
+
+
+# ---------------------------------------------------------------------- #
+# Deque dataflow (ATN020-ATN022)
+# ---------------------------------------------------------------------- #
+
+
+def _deque_usage(attack: Attack) -> Tuple[Set[str], Set[str]]:
+    """(read deques, written deques) across every rule of the attack."""
+    reads: Set[str] = set()
+    writes: Set[str] = set()
+    for _state, rule in attack.all_rules():
+        for expr in rule_expressions(rule):
+            if isinstance(expr, (ExamineFront, ExamineEnd, ShiftExpr, PopExpr)):
+                reads.add(expr.deque_name)
+        for action in rule.actions:
+            if isinstance(action, (PrependAction, AppendAction)):
+                writes.add(action.deque_name)
+            elif isinstance(action, (ShiftAction, PopAction)):
+                reads.add(action.deque_name)
+            elif isinstance(action, (ReadMessage, ReadMessageMetadata)):
+                if action.store_to is not None:
+                    writes.add(action.store_to)
+    return reads, writes
+
+
+def check_deque_dataflow(attack: Attack, model: Optional[AttackModel], report: LintReport) -> None:
+    """ATN020/ATN021/ATN022: read-before-write, unused, undeclared deques."""
+    reads, writes = _deque_usage(attack)
+    declared = set(attack.deque_declarations)
+    seeded = {
+        name for name, initial in attack.deque_declarations.items() if initial
+    }
+    for name in sorted(reads - writes - seeded):
+        report.add(
+            "ATN020",
+            f"deque {name!r} is read (EXAMINE/SHIFT/POP) but never written "
+            "and has no initial contents — reads always yield None",
+        )
+    for name in sorted(declared - reads - writes):
+        report.add("ATN021", f"deque {name!r} is declared but never used")
+    for name in sorted((reads | writes) - declared):
+        report.add(
+            "ATN022",
+            f"deque {name!r} is used but never declared — it is auto-created "
+            "empty, which hides typos in deque names",
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Rule shadowing (ATN030)
+# ---------------------------------------------------------------------- #
+
+
+def _subsumes(earlier: Rule, later: Rule) -> bool:
+    """Whenever ``later`` matches a message, does ``earlier`` match too?
+
+    Conservative syntactic check: the earlier conditional is TRUE, or the
+    two conditionals are structurally identical.
+    """
+    if isinstance(earlier.conditional, TrueCondition):
+        return True
+    return repr(earlier.conditional) == repr(later.conditional)
+
+
+def check_shadowing(attack: Attack, model: Optional[AttackModel], report: LintReport) -> None:
+    """ATN030: a dropping rule starves later rules' current-entry actions.
+
+    All matching rules in a state fire (the executor has no first-match
+    short-circuit), but DROPMESSAGE removes the triggering message from the
+    outgoing list, so a *later* rule whose condition is subsumed and whose
+    connections are covered can never see its DROPMESSAGE/DELAYMESSAGE
+    actions take effect — they silently no-op on every message.
+    """
+    for state in attack.states.values():
+        for later_index, later in enumerate(state.rules):
+            dead_kinds = {
+                type(action).__name__
+                for action in later.actions
+                if isinstance(action, (DropMessage, DelayMessage))
+            }
+            if not dead_kinds:
+                continue
+            for earlier in state.rules[:later_index]:
+                drops = any(isinstance(a, DropMessage) for a in earlier.actions)
+                if not drops:
+                    continue
+                if not later.connections <= earlier.connections:
+                    continue
+                if not _subsumes(earlier, later):
+                    continue
+                report.add(
+                    "ATN030",
+                    f"actions {sorted(dead_kinds)} can never take effect: "
+                    f"rule {earlier.name!r} already matches every message this "
+                    "rule matches and drops it first",
+                    state=state.name, rule=later.name, line=_rule_line(later),
+                )
+                break
+
+
+# ---------------------------------------------------------------------- #
+# Type-option consistency (ATN031/ATN032)
+# ---------------------------------------------------------------------- #
+
+
+def _option_valid_for(path: str, type_name: str) -> bool:
+    head, _, rest = path.partition(".")
+    head = head.lower()
+    roots = TYPE_OPTION_ROOTS.get(type_name, frozenset())
+    if head not in roots:
+        return False
+    if head == "match":
+        return bool(rest) and rest in MATCH_FIELD_NAMES
+    if head == "packet":
+        return bool(rest)
+    return not rest
+
+
+def check_type_options(attack: Attack, model: Optional[AttackModel], report: LintReport) -> None:
+    """ATN031/ATN032: option paths vs the TYPEs the rule can match."""
+    for state, rule in attack.all_rules():
+        line = _rule_line(rule)
+        pinned = rule.message_types()
+        if pinned is not None:
+            unknown = sorted(t for t in pinned if t not in KNOWN_MESSAGE_TYPES)
+            for name in unknown:
+                report.add(
+                    "ATN032",
+                    f"conditional pins TYPE = {name!r}, which is not an "
+                    "OpenFlow 1.0 message type — the rule can never fire",
+                    state=state.name, rule=rule.name, line=line,
+                )
+            pinned = frozenset(pinned) - set(unknown)
+            if not pinned:
+                continue
+        for expr in rule_expressions(rule):
+            if not isinstance(expr, TypeOption):
+                continue
+            if pinned is None:
+                # Unpinned rules read options opportunistically (absent
+                # options evaluate to None); only flag globally-bogus paths.
+                if not any(
+                    _option_valid_for(expr.path, name)
+                    for name in TYPE_OPTION_ROOTS
+                ):
+                    report.add(
+                        "ATN031",
+                        f"type option {expr.path!r} is not defined for any "
+                        "message type — it always evaluates to None",
+                        state=state.name, rule=rule.name, line=line,
+                    )
+                continue
+            if not any(_option_valid_for(expr.path, name) for name in pinned):
+                report.add(
+                    "ATN031",
+                    f"type option {expr.path!r} does not exist for the matched "
+                    f"TYPE(s) {sorted(pinned)} — it always evaluates to None",
+                    state=state.name, rule=rule.name, line=line,
+                )
+
+
+# ---------------------------------------------------------------------- #
+# SLEEP / SYSCMD hygiene (ATN040/ATN041)
+# ---------------------------------------------------------------------- #
+
+
+def check_hygiene(attack: Attack, model: Optional[AttackModel], report: LintReport) -> None:
+    """ATN040/ATN041: suspicious SLEEP durations and SYSCMD targets."""
+    hosts = None
+    if model is not None:
+        system = model.system
+        # SYSCMD usually targets hosts (iperf, tcpdump), but the harness
+        # also accepts switch/controller names for management commands.
+        hosts = set(system.hosts) | set(system.switches) | set(system.controllers)
+    for state, rule in attack.all_rules():
+        line = _rule_line(rule)
+        for action in rule.actions:
+            if isinstance(action, Sleep):
+                if action.seconds == 0.0:
+                    report.add(
+                        "ATN040", "SLEEP(0) is a no-op",
+                        state=state.name, rule=rule.name, line=line,
+                        severity=Severity.INFO,
+                    )
+                elif action.seconds > LONG_SLEEP_SECONDS:
+                    report.add(
+                        "ATN040",
+                        f"SLEEP({action.seconds:g}) stalls the injector for "
+                        f"over {LONG_SLEEP_SECONDS:g}s — the controller will "
+                        "declare the connection dead long before it returns",
+                        state=state.name, rule=rule.name, line=line,
+                    )
+            elif isinstance(action, SysCmd):
+                if hosts is not None and action.host not in hosts:
+                    report.add(
+                        "ATN041",
+                        f"SYSCMD targets host {action.host!r}, which is not "
+                        "in the system model — the command will never run",
+                        state=state.name, rule=rule.name, line=line,
+                    )
+                meta = sorted(_SHELL_METACHARACTERS & set(action.command))
+                if meta:
+                    report.add(
+                        "ATN041",
+                        f"SYSCMD command contains shell metacharacters "
+                        f"{meta} — harness handlers execute argv-style, "
+                        "without a shell",
+                        state=state.name, rule=rule.name, line=line,
+                        severity=Severity.INFO,
+                    )
+
+
+#: Pass registry, in report order.
+ALL_PASSES = (
+    check_structure,
+    check_absorbing,
+    check_capabilities,
+    check_deque_dataflow,
+    check_shadowing,
+    check_type_options,
+    check_hygiene,
+)

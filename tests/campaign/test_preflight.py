@@ -1,0 +1,115 @@
+"""Campaign pre-flight: defective cells are rejected before any worker.
+
+The canonical defect here is a typo'd attack parameter (the factory
+raises ``TypeError``), which pre-flight turns into an ``ATN000`` report.
+"""
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ResultStore,
+    lint_descriptors,
+    partition_pending,
+    rejection_error,
+    run_campaign,
+)
+
+
+def spec_with_bad_attack(seeds=(0, 1), **overrides):
+    """selfcheck matrix: a baseline axis plus a cell whose factory raises."""
+    return CampaignSpec.from_dict({
+        "name": "preflight-check",
+        "experiment": "selfcheck",
+        "attacks": [None, "blackhole"],
+        "controllers": ["x"],
+        "seeds": list(seeds),
+        "attack_params": {"blackhole": {"bogus_param": 1}},
+        "retries": 0,
+        "timeout_s": 30.0,
+        **overrides,
+    })
+
+
+class TestPartitioning:
+    def test_bad_combination_yields_atn000(self):
+        pending = spec_with_bad_attack().expand()
+        reports = lint_descriptors(pending)
+        flagged = {key[0] for key in reports}
+        assert "blackhole" in flagged
+        (report,) = [r for r in reports.values() if r.has_errors]
+        assert report.codes() == ["ATN000"]
+        assert "bogus_param" in report.errors[0].message
+
+    def test_baseline_cells_never_linted(self):
+        spec = spec_with_bad_attack(attacks=[None])
+        assert lint_descriptors(spec.expand()) == {}
+
+    def test_partition_rejects_only_error_reports(self):
+        pending = spec_with_bad_attack().expand()
+        runnable, rejected = partition_pending(pending)
+        assert len(runnable) == 2 and len(rejected) == 2
+        assert all(d.attack is None for d in runnable)
+        assert all(d.attack == "blackhole" for d, _ in rejected)
+
+    def test_clean_attacks_stay_runnable(self):
+        spec = spec_with_bad_attack(
+            attacks=["passthrough"], attack_params={})
+        runnable, rejected = partition_pending(spec.expand())
+        assert len(runnable) == 2 and not rejected
+
+    def test_rejection_error_names_attack_and_diagnostics(self):
+        pending = spec_with_bad_attack().expand()
+        _, rejected = partition_pending(pending)
+        error = rejection_error(rejected[0][1])
+        assert error.startswith("lint rejected attack 'blackhole'")
+        assert "ATN000" in error
+
+
+class TestRunnerIntegration:
+    def test_rejected_cells_fail_fast_without_workers(self, tmp_path):
+        spec = spec_with_bad_attack(attacks=["blackhole"])
+        store = ResultStore(tmp_path / "runs.jsonl")
+        summary = run_campaign(spec, store, workers=2)
+        # Every cell was rejected before the pool came up.
+        assert summary.lint_rejected == 2
+        assert summary.processes_spawned == 0
+        assert summary.executed == summary.failed == 2
+        records = list(store.records())
+        assert len(records) == 2
+        for record in records:
+            assert record["status"] == "failed"
+            assert record["attempts"] == 0
+            assert "lint rejected" in record["error"]
+            assert "ATN000" in record["error"]
+
+    def test_mixed_matrix_runs_clean_cells(self, tmp_path):
+        spec = spec_with_bad_attack()
+        store = ResultStore(tmp_path / "runs.jsonl")
+        summary = run_campaign(spec, store, workers=2)
+        assert summary.lint_rejected == 2
+        assert summary.succeeded == 2
+        assert summary.total == summary.executed == 4
+        assert "rejected by lint pre-flight" in summary.render()
+
+    def test_no_preflight_flag_bypasses_lint(self, tmp_path):
+        spec = spec_with_bad_attack(attacks=["blackhole"], seeds=[0])
+        store = ResultStore(tmp_path / "runs.jsonl")
+        summary = run_campaign(spec, store, workers=1, preflight=False)
+        assert summary.lint_rejected == 0
+        # The cell reached a worker process and burned a real attempt
+        # (the selfcheck harness itself never builds the attack).
+        assert summary.processes_spawned >= 1
+        (record,) = list(store.records())
+        assert record["attempts"] >= 1
+
+    def test_preflight_failures_retry_on_resume(self, tmp_path):
+        spec = spec_with_bad_attack(attacks=["blackhole"], seeds=[0])
+        store = ResultStore(tmp_path / "runs.jsonl")
+        first = run_campaign(spec, store, workers=1)
+        assert first.lint_rejected == 1
+        # Failed records do not complete the run: a rerun retries the cell
+        # (and rejects it again while the attack stays broken).
+        second = run_campaign(spec, store, workers=1)
+        assert second.skipped == 0
+        assert second.lint_rejected == 1

@@ -1,0 +1,77 @@
+"""Shared fixtures for the lint test suite.
+
+Tests build small attack-states XML snippets against a two-switch demo
+system and lint the (leniently parsed) result.  ``lint_xml`` is the
+one-stop helper: XML in, :class:`LintReport` out.
+"""
+
+import pytest
+
+from repro.core.compiler import parse_attack_states_xml, parse_system_model_xml
+from repro.core.model.threat import AttackModel
+from repro.lint import lint_attack
+
+SYSTEM_XML = """
+<system name="demo">
+  <controllers><controller name="c1" address="10.1.0.1"/></controllers>
+  <switches>
+    <switch name="s1" dpid="1" ports="1,2,3"/>
+    <switch name="s2" dpid="2" ports="1,2"/>
+  </switches>
+  <hosts>
+    <host name="h1" ip="10.0.0.1"/>
+    <host name="h2" ip="10.0.0.2"/>
+  </hosts>
+  <dataplane>
+    <link a="h1" b="s1" b-port="1"/>
+    <link a="s1" a-port="3" b="s2" b-port="1"/>
+    <link a="h2" b="s2" b-port="2"/>
+  </dataplane>
+  <controlplane>
+    <connection controller="c1" switch="s1"/>
+    <connection controller="c1" switch="s2"/>
+  </controlplane>
+</system>
+"""
+
+
+@pytest.fixture(scope="session")
+def system():
+    return parse_system_model_xml(SYSTEM_XML)
+
+
+@pytest.fixture(scope="session")
+def model(system):
+    return AttackModel.no_tls_everywhere(system)
+
+
+def rule_xml(
+    name="r",
+    connections='<connection controller="c1" switch="s1"/>',
+    gamma='<gamma class="no-tls"/>',
+    condition="true",
+    actions="<pass/>",
+):
+    return (
+        f'<rule name="{name}">'
+        f"<connections>{connections}</connections>"
+        f"{gamma}"
+        f"<condition>{condition}</condition>"
+        f"<actions>{actions}</actions>"
+        f"</rule>"
+    )
+
+
+def attack_xml(states, deques="", start="s", name="probe"):
+    return f'<attack name="{name}" start="{start}">{deques}{states}</attack>'
+
+
+@pytest.fixture(scope="session")
+def lint_xml(system, model):
+    """Leniently parse ``xml`` and lint it against the demo model."""
+
+    def _lint(xml, attack_model=model):
+        attack = parse_attack_states_xml(xml, system, strict=False)
+        return lint_attack(attack, attack_model)
+
+    return _lint

@@ -1,0 +1,60 @@
+"""compile_attack's lint mode: lenient parse + pass battery + LintFailure."""
+
+import pytest
+
+from repro.core.compiler import CompileError, LintFailure, compile_attack
+from repro.core.model.threat import AttackModel
+from repro.lint import LintReport
+
+from tests.lint.conftest import attack_xml, rule_xml
+
+_GHOST_GOTO = rule_xml(actions="<goto state='ghost'/>")
+BAD_GOTO = attack_xml(f'<state name="s">{_GHOST_GOTO}</state>')
+CLEAN = attack_xml(f'<state name="s">{rule_xml(actions="<drop/>")}</state>')
+WARN_ONLY = attack_xml(
+    f'<state name="s">{rule_xml()}</state>', deques='<deque name="spare"/>')
+
+
+class TestStrictMode:
+    def test_structural_problem_raises_compile_error(self, system):
+        with pytest.raises(CompileError):
+            compile_attack(BAD_GOTO, system)
+
+    def test_clean_attack_compiles(self, system):
+        attack = compile_attack(CLEAN, system)
+        assert attack.start == "s"
+        assert not hasattr(attack, "lint_report")
+
+    def test_validates_against_model_when_given(self, system):
+        tls = AttackModel.tls_everywhere(system)
+        with pytest.raises(Exception):
+            compile_attack(CLEAN, system, attack_model=tls)
+
+
+class TestLintMode:
+    def test_error_diagnostics_raise_lint_failure(self, system):
+        with pytest.raises(LintFailure) as excinfo:
+            compile_attack(BAD_GOTO, system, lint=True)
+        report = excinfo.value.report
+        assert isinstance(report, LintReport)
+        assert "ATN004" in report.codes()
+        assert "lint failed" in str(excinfo.value)
+
+    def test_lint_failure_is_a_compile_error(self, system):
+        with pytest.raises(CompileError):
+            compile_attack(BAD_GOTO, system, lint=True)
+
+    def test_clean_attack_gets_report_attached(self, system):
+        attack = compile_attack(CLEAN, system, lint=True)
+        assert isinstance(attack.lint_report, LintReport)
+        assert not attack.lint_report.has_errors
+
+    def test_warnings_do_not_fail_compilation(self, system):
+        attack = compile_attack(WARN_ONLY, system, lint=True)
+        assert "ATN021" in attack.lint_report.codes()
+
+    def test_model_enables_capability_lint(self, system):
+        tls = AttackModel.tls_everywhere(system)
+        with pytest.raises(LintFailure) as excinfo:
+            compile_attack(CLEAN, system, attack_model=tls, lint=True)
+        assert "ATN011" in excinfo.value.report.codes()

@@ -1,0 +1,100 @@
+"""Unit tests for the diagnostic vocabulary, records, and reports."""
+
+import pytest
+
+from repro.lint import DIAGNOSTIC_CODES, Diagnostic, LintReport, Severity, failure_report
+
+
+class TestVocabulary:
+    def test_every_code_has_severity_and_title(self):
+        for code, (severity, title) in DIAGNOSTIC_CODES.items():
+            assert code.startswith("ATN") and len(code) == 6
+            assert isinstance(severity, Severity)
+            assert title
+
+    def test_severity_ranks_order_error_first(self):
+        assert Severity.ERROR.rank < Severity.WARNING.rank < Severity.INFO.rank
+
+
+class TestDiagnostic:
+    def test_render_includes_code_severity_location(self):
+        diagnostic = Diagnostic(
+            "ATN004", Severity.ERROR, "boom", state="s", rule="r", line=7
+        )
+        rendered = diagnostic.render()
+        assert rendered.startswith("ATN004 error: ")
+        assert "line 7" in rendered and "state 's'" in rendered
+        assert "rule 'r'" in rendered and rendered.endswith("boom")
+
+    def test_render_without_location_has_no_brackets(self):
+        assert Diagnostic("ATN001", Severity.ERROR, "x").render() == \
+            "ATN001 error: x"
+
+    def test_to_dict_round_trips_fields(self):
+        diagnostic = Diagnostic("ATN020", Severity.WARNING, "m", line=3)
+        payload = diagnostic.to_dict()
+        assert payload["code"] == "ATN020"
+        assert payload["severity"] == "warning"
+        assert payload["line"] == 3
+
+
+class TestLintReport:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            LintReport("x").add("ATN999", "nope")
+
+    def test_default_severity_from_vocabulary(self):
+        report = LintReport("x")
+        assert report.add("ATN005", "m").severity is Severity.ERROR
+        assert report.add("ATN030", "m").severity is Severity.WARNING
+
+    def test_severity_override(self):
+        report = LintReport("x")
+        diagnostic = report.add("ATN040", "m", severity=Severity.INFO)
+        assert diagnostic.severity is Severity.INFO
+        assert not report.warnings
+
+    def test_sorted_orders_by_severity_then_line(self):
+        report = LintReport("x")
+        report.add("ATN021", "w", line=2)
+        report.add("ATN004", "e", line=9)
+        report.add("ATN012", "i", line=1)
+        assert [d.code for d in report.sorted()] == \
+            ["ATN004", "ATN021", "ATN012"]
+
+    def test_render_text_hides_info_when_not_verbose(self):
+        report = LintReport("x")
+        report.add("ATN012", "informational")
+        assert "informational" in report.render_text(verbose=True)
+        assert "informational" not in report.render_text(verbose=False)
+        # The tallies still count hidden findings.
+        assert "1 info" in report.render_text(verbose=False)
+
+    def test_clean_report_renders_clean(self):
+        assert LintReport("x").render_text().endswith("-> clean")
+
+    def test_has_errors_and_codes(self):
+        report = LintReport("x")
+        report.add("ATN022", "w")
+        assert not report.has_errors
+        report.add("ATN010", "e")
+        assert report.has_errors
+        assert report.codes() == ["ATN010", "ATN022"]
+
+    def test_to_dict_summarises(self):
+        report = LintReport("atk")
+        report.add("ATN003", "dup")
+        payload = report.to_dict()
+        assert payload["attack"] == "atk"
+        assert payload["clean"] is False
+        assert payload["errors"] == 1
+        assert payload["diagnostics"][0]["code"] == "ATN003"
+
+
+class TestFailureReport:
+    def test_failure_report_is_atn000_error(self):
+        report = failure_report("broken", "could not build", line=4)
+        assert report.has_errors
+        assert report.codes() == ["ATN000"]
+        assert report.errors[0].line == 4
+        assert "could not build" in report.errors[0].message

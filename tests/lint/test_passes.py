@@ -1,0 +1,327 @@
+"""One positive (fires) and one negative (clean) fixture per diagnostic.
+
+Each test builds a minimal attack-states XML around the defect under test,
+lenient-parses it, runs the full pass battery, and asserts on the codes.
+"""
+
+from repro.core.lang.attack import Attack
+from repro.core.lang.rules import Rule
+from repro.core.lang.states import AttackState
+from repro.core.lang.conditionals import TrueCondition
+from repro.core.lang.actions import PassMessage
+from repro.core.model import gamma_no_tls
+from repro.core.model.threat import AttackModel
+from repro.lint import Severity, lint_attack
+
+from tests.lint.conftest import attack_xml, rule_xml
+
+CONN_S1 = '<connection controller="c1" switch="s1"/>'
+CONN_S2 = '<connection controller="c1" switch="s2"/>'
+
+
+class TestStructure:
+    def test_atn001_no_states(self, lint_xml):
+        report = lint_xml('<attack name="x" start="s"/>')
+        assert report.codes() == ["ATN001"]
+
+    def test_atn001_negative(self, lint_xml):
+        report = lint_xml(attack_xml('<state name="s"/>'))
+        assert "ATN001" not in report.codes()
+
+    def test_atn002_start_not_declared(self, lint_xml):
+        report = lint_xml(attack_xml('<state name="other"/>', start="ghost"))
+        assert "ATN002" in report.codes()
+
+    def test_atn002_negative(self, lint_xml):
+        report = lint_xml(attack_xml('<state name="s"/>'))
+        assert "ATN002" not in report.codes()
+
+    def test_atn003_duplicate_state(self, lint_xml):
+        report = lint_xml(attack_xml('<state name="s"/><state name="s"/>'))
+        assert "ATN003" in report.codes()
+
+    def test_atn003_negative(self, lint_xml):
+        report = lint_xml(attack_xml('<state name="s"/><state name="t"/>'))
+        assert "ATN003" not in report.codes()
+        assert "ATN005" in report.codes()  # t is merely unreachable
+
+    def test_atn004_goto_undefined_state(self, lint_xml):
+        rule = rule_xml(actions='<goto state="ghost"/>')
+        report = lint_xml(attack_xml(f'<state name="s">{rule}</state>'))
+        assert "ATN004" in report.codes()
+
+    def test_atn004_diagnostic_carries_state_and_line(self, lint_xml):
+        rule = rule_xml(actions='<goto state="ghost"/>')
+        report = lint_xml(attack_xml(f'<state name="s">{rule}</state>'))
+        diagnostic = next(d for d in report.diagnostics if d.code == "ATN004")
+        assert diagnostic.state == "s"
+        assert diagnostic.line is not None
+
+    def test_atn004_negative(self, lint_xml):
+        rule = rule_xml(actions='<goto state="t"/>')
+        report = lint_xml(attack_xml(
+            f'<state name="s">{rule}</state><state name="t"/>'))
+        assert "ATN004" not in report.codes()
+
+    def test_atn005_unreachable_state(self, lint_xml):
+        report = lint_xml(attack_xml('<state name="s"/><state name="orphan"/>'))
+        codes = report.codes()
+        assert "ATN005" in codes
+        assert "ATN006" not in codes  # the start state itself absorbs
+
+    def test_atn005_negative(self, lint_xml):
+        rule = rule_xml(actions='<goto state="t"/>')
+        report = lint_xml(attack_xml(
+            f'<state name="s">{rule}</state><state name="t"/>'))
+        assert "ATN005" not in report.codes()
+
+
+class TestAbsorbing:
+    def test_atn006_no_reachable_absorbing_state(self, lint_xml):
+        to_b = rule_xml(name="ab", actions='<goto state="b"/>')
+        to_a = rule_xml(name="ba", actions='<goto state="a"/>')
+        report = lint_xml(attack_xml(
+            f'<state name="a">{to_b}</state><state name="b">{to_a}</state>',
+            start="a"))
+        assert "ATN006" in report.codes()
+        assert not report.has_errors  # advisory only
+
+    def test_atn006_negative(self, lint_xml):
+        rule = rule_xml(actions='<goto state="t"/>')
+        report = lint_xml(attack_xml(
+            f'<state name="s">{rule}</state><state name="t"/>'))
+        assert "ATN006" not in report.codes()
+
+    def test_atn007_self_goto(self, lint_xml):
+        rule = rule_xml(actions='<goto state="s"/>')
+        report = lint_xml(attack_xml(f'<state name="s">{rule}</state>'))
+        assert "ATN007" in report.codes()
+        # The self-edge does not make the state non-absorbing.
+        assert "ATN006" not in report.codes()
+
+    def test_atn007_negative(self, lint_xml):
+        rule = rule_xml(actions='<goto state="t"/>')
+        report = lint_xml(attack_xml(
+            f'<state name="s">{rule}</state><state name="t"/>'))
+        assert "ATN007" not in report.codes()
+
+
+class TestCapabilities:
+    def test_atn010_connection_not_in_nc(self, lint_xml):
+        rule = rule_xml(
+            connections='<connection controller="c1" switch="s9"/>')
+        report = lint_xml(attack_xml(f'<state name="s">{rule}</state>'))
+        assert "ATN010" in report.codes()
+
+    def test_atn010_negative(self, lint_xml):
+        report = lint_xml(attack_xml(f'<state name="s">{rule_xml()}</state>'))
+        assert "ATN010" not in report.codes()
+
+    def test_atn011_gamma_exceeds_granted(self, lint_xml, system):
+        tls = AttackModel.tls_everywhere(system)
+        rule = rule_xml(actions="<drop/>")  # γ = Γ_NoTLS ⊄ Γ_TLS
+        report = lint_xml(
+            attack_xml(f'<state name="s">{rule}</state>'), attack_model=tls)
+        assert "ATN011" in report.codes()
+
+    def test_atn011_negative_under_no_tls(self, lint_xml):
+        rule = rule_xml(actions="<drop/>")
+        report = lint_xml(attack_xml(f'<state name="s">{rule}</state>'))
+        assert "ATN011" not in report.codes()
+
+    def test_atn012_overdeclared_gamma(self, lint_xml):
+        rule = rule_xml(actions="<drop/>")  # declares Γ, uses DropMessage
+        report = lint_xml(attack_xml(f'<state name="s">{rule}</state>'))
+        diagnostic = next(d for d in report.diagnostics if d.code == "ATN012")
+        assert diagnostic.severity is Severity.INFO
+
+    def test_atn012_negative_minimal_gamma(self, lint_xml):
+        rule = rule_xml(
+            gamma='<gamma><capability name="DropMessage"/></gamma>',
+            actions="<drop/>")
+        report = lint_xml(attack_xml(f'<state name="s">{rule}</state>'))
+        assert "ATN012" not in report.codes()
+
+    def test_capability_passes_skipped_without_model(self, lint_xml):
+        rule = rule_xml(
+            connections='<connection controller="c1" switch="s9"/>')
+        report = lint_xml(
+            attack_xml(f'<state name="s">{rule}</state>'), attack_model=None)
+        assert "ATN010" not in report.codes()
+
+
+class TestDequeDataflow:
+    def test_atn020_read_never_written(self, lint_xml):
+        rule = rule_xml(condition="shift(d) = 1")
+        report = lint_xml(attack_xml(
+            f'<state name="s">{rule}</state>', deques='<deque name="d"/>'))
+        assert "ATN020" in report.codes()
+
+    def test_atn020_negative_when_seeded(self, lint_xml):
+        rule = rule_xml(condition="shift(d) = 1")
+        report = lint_xml(attack_xml(
+            f'<state name="s">{rule}</state>',
+            deques='<deque name="d"><value type="int">0</value></deque>'))
+        assert "ATN020" not in report.codes()
+
+    def test_atn020_negative_when_written(self, lint_xml):
+        rule = rule_xml(condition="shift(d) = 1",
+                        actions='<append deque="d" value="1"/>')
+        report = lint_xml(attack_xml(
+            f'<state name="s">{rule}</state>', deques='<deque name="d"/>'))
+        assert "ATN020" not in report.codes()
+
+    def test_atn021_declared_never_used(self, lint_xml):
+        report = lint_xml(attack_xml(
+            f'<state name="s">{rule_xml()}</state>',
+            deques='<deque name="spare"/>'))
+        assert "ATN021" in report.codes()
+
+    def test_atn021_negative(self, lint_xml):
+        rule = rule_xml(actions='<append deque="d" value="1"/>')
+        report = lint_xml(attack_xml(
+            f'<state name="s">{rule}</state>', deques='<deque name="d"/>'))
+        assert "ATN021" not in report.codes()
+
+    def test_atn022_used_never_declared(self, lint_xml):
+        rule = rule_xml(actions='<pop deque="ghost"/>')
+        report = lint_xml(attack_xml(f'<state name="s">{rule}</state>'))
+        assert "ATN022" in report.codes()
+
+    def test_atn022_negative(self, lint_xml):
+        rule = rule_xml(actions='<pop deque="d"/>')
+        report = lint_xml(attack_xml(
+            f'<state name="s">{rule}</state>', deques='<deque name="d"/>'))
+        assert "ATN022" not in report.codes()
+
+    def test_read_message_store_counts_as_write(self, lint_xml):
+        rule = rule_xml(actions='<read store-to="d"/><pop deque="d"/>')
+        report = lint_xml(attack_xml(
+            f'<state name="s">{rule}</state>', deques='<deque name="d"/>'))
+        assert "ATN020" not in report.codes()
+
+
+class TestShadowing:
+    def test_atn030_identical_condition_shadowed(self, lint_xml):
+        first = rule_xml(name="a", condition="type = FLOW_MOD",
+                         actions="<drop/>")
+        second = rule_xml(name="b", condition="type = FLOW_MOD",
+                          actions='<delay seconds="1"/>')
+        report = lint_xml(attack_xml(f'<state name="s">{first}{second}</state>'))
+        diagnostic = next(d for d in report.diagnostics if d.code == "ATN030")
+        assert diagnostic.rule == "b"
+
+    def test_atn030_true_condition_subsumes_everything(self, lint_xml):
+        first = rule_xml(name="a", condition="true", actions="<drop/>")
+        second = rule_xml(name="b", condition="type = PACKET_IN",
+                          actions="<drop/>")
+        report = lint_xml(attack_xml(f'<state name="s">{first}{second}</state>'))
+        assert "ATN030" in report.codes()
+
+    def test_atn030_negative_earlier_rule_passes(self, lint_xml):
+        first = rule_xml(name="a", condition="true", actions="<pass/>")
+        second = rule_xml(name="b", condition="true", actions="<drop/>")
+        report = lint_xml(attack_xml(f'<state name="s">{first}{second}</state>'))
+        assert "ATN030" not in report.codes()
+
+    def test_atn030_negative_disjoint_connections(self, lint_xml):
+        first = rule_xml(name="a", connections=CONN_S1, condition="true",
+                         actions="<drop/>")
+        second = rule_xml(name="b", connections=CONN_S2, condition="true",
+                          actions="<drop/>")
+        report = lint_xml(attack_xml(f'<state name="s">{first}{second}</state>'))
+        assert "ATN030" not in report.codes()
+
+
+class TestTypeOptions:
+    def test_atn031_option_impossible_for_pinned_type(self, lint_xml):
+        rule = rule_xml(
+            condition="type = PACKET_IN and opt.match.nw_src = 10.0.0.1")
+        report = lint_xml(attack_xml(f'<state name="s">{rule}</state>'))
+        assert "ATN031" in report.codes()
+
+    def test_atn031_negative_valid_for_pinned_type(self, lint_xml):
+        rule = rule_xml(
+            condition="type = FLOW_MOD and opt.match.nw_src = 10.0.0.1")
+        report = lint_xml(attack_xml(f'<state name="s">{rule}</state>'))
+        assert "ATN031" not in report.codes()
+
+    def test_atn031_unpinned_globally_bogus_path(self, lint_xml):
+        rule = rule_xml(condition="opt.zorp = 1")
+        report = lint_xml(attack_xml(f'<state name="s">{rule}</state>'))
+        assert "ATN031" in report.codes()
+
+    def test_atn031_negative_unpinned_valid_somewhere(self, lint_xml):
+        rule = rule_xml(condition="opt.in_port = 3")
+        report = lint_xml(attack_xml(f'<state name="s">{rule}</state>'))
+        assert "ATN031" not in report.codes()
+
+    def test_atn032_unknown_message_type(self, lint_xml):
+        rule = rule_xml(condition="type = FLOWMOD")
+        report = lint_xml(attack_xml(f'<state name="s">{rule}</state>'))
+        assert "ATN032" in report.codes()
+
+    def test_atn032_suppresses_cascading_atn031(self, lint_xml):
+        rule = rule_xml(condition="type = FLOWMOD and opt.idle_timeout = 5")
+        report = lint_xml(attack_xml(f'<state name="s">{rule}</state>'))
+        assert "ATN032" in report.codes()
+        assert "ATN031" not in report.codes()
+
+    def test_atn032_negative(self, lint_xml):
+        rule = rule_xml(condition="type = FLOW_MOD")
+        report = lint_xml(attack_xml(f'<state name="s">{rule}</state>'))
+        assert "ATN032" not in report.codes()
+
+
+class TestHygiene:
+    def test_atn040_long_sleep_warns(self, lint_xml):
+        rule = rule_xml(actions='<sleep seconds="600"/>')
+        report = lint_xml(attack_xml(f'<state name="s">{rule}</state>'))
+        diagnostic = next(d for d in report.diagnostics if d.code == "ATN040")
+        assert diagnostic.severity is Severity.WARNING
+
+    def test_atn040_zero_sleep_is_info(self, lint_xml):
+        rule = rule_xml(actions='<sleep seconds="0"/>')
+        report = lint_xml(attack_xml(f'<state name="s">{rule}</state>'))
+        diagnostic = next(d for d in report.diagnostics if d.code == "ATN040")
+        assert diagnostic.severity is Severity.INFO
+
+    def test_atn040_negative_ordinary_sleep(self, lint_xml):
+        rule = rule_xml(actions='<sleep seconds="1"/>')
+        report = lint_xml(attack_xml(f'<state name="s">{rule}</state>'))
+        assert "ATN040" not in report.codes()
+
+    def test_atn041_unknown_host_warns(self, lint_xml):
+        rule = rule_xml(actions='<syscmd host="h99" command="iperf -s"/>')
+        report = lint_xml(attack_xml(f'<state name="s">{rule}</state>'))
+        diagnostic = next(d for d in report.diagnostics if d.code == "ATN041")
+        assert diagnostic.severity is Severity.WARNING
+
+    def test_atn041_shell_metacharacters_are_info(self, lint_xml):
+        rule = rule_xml(actions='<syscmd host="h1" command="a; b"/>')
+        report = lint_xml(attack_xml(f'<state name="s">{rule}</state>'))
+        diagnostic = next(d for d in report.diagnostics if d.code == "ATN041")
+        assert diagnostic.severity is Severity.INFO
+
+    def test_atn041_negative(self, lint_xml):
+        rule = rule_xml(actions='<syscmd host="h1" command="iperf -s"/>')
+        report = lint_xml(attack_xml(f'<state name="s">{rule}</state>'))
+        assert "ATN041" not in report.codes()
+
+    def test_atn041_host_check_accepts_switches(self, lint_xml):
+        rule = rule_xml(actions='<syscmd host="s1" command="ovs-vsctl show"/>')
+        report = lint_xml(attack_xml(f'<state name="s">{rule}</state>'))
+        assert not any(
+            d.code == "ATN041" and d.severity is Severity.WARNING
+            for d in report.diagnostics
+        )
+
+
+class TestPythonBuiltAttacks:
+    def test_lint_handles_rules_without_source_lines(self, model):
+        rule = Rule("r", frozenset({("c1", "s1")}), gamma_no_tls(),
+                    TrueCondition(), [PassMessage()])
+        attack = Attack("native", [AttackState("s", [rule])], "s")
+        report = lint_attack(attack, model)
+        assert not report.has_errors
+        assert all(d.line is None for d in report.diagnostics)

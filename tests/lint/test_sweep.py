@@ -1,0 +1,70 @@
+"""Sweep: every registered attack and every examples/ spec lints clean.
+
+"Clean" here means no error- or warning-severity diagnostics.  INFO
+findings are allowed: the library attacks declare ``gamma_no_tls()``
+(the paper's Γ_NoTLS) rather than hand-minimised capability sets, which
+legitimately trips the ATN012 over-declaration note.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.attacks import list_attacks
+from repro.core.compiler import parse_attack_states_xml, parse_system_model_xml
+from repro.core.model.threat import AttackModel
+from repro.experiments.enterprise import enterprise_system_model
+from repro.lint import build_registry_attack, lint_attack
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples" / "attacks"
+
+
+def _assert_clean(report):
+    noisy = report.errors + report.warnings
+    assert not noisy, "\n" + report.render_text()
+
+
+class TestRegistrySweep:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return enterprise_system_model()
+
+    @pytest.fixture(scope="class")
+    def model(self, system):
+        return AttackModel.no_tls_everywhere(system)
+
+    def test_registry_has_the_thirteen_attacks(self):
+        assert len(list_attacks()) >= 13
+
+    @pytest.mark.parametrize("name", list_attacks())
+    def test_registered_attack_lints_clean(self, name, system, model):
+        attack = build_registry_attack(name, system)
+        _assert_clean(lint_attack(attack, model))
+
+
+class TestExamplesSweep:
+    @pytest.fixture(scope="class")
+    def system(self):
+        text = (EXAMPLES_DIR / "system.xml").read_text(encoding="utf-8")
+        return parse_system_model_xml(text)
+
+    @pytest.fixture(scope="class")
+    def model(self, system):
+        return AttackModel.no_tls_everywhere(system)
+
+    def example_specs():
+        return sorted(
+            path for path in EXAMPLES_DIR.glob("*.xml")
+            if path.name != "system.xml"
+        )
+
+    def test_examples_directory_is_populated(self):
+        # Guard against glob rot silently skipping the sweep below.
+        assert len(TestExamplesSweep.example_specs()) >= 3
+
+    @pytest.mark.parametrize(
+        "path", example_specs(), ids=lambda p: p.name)
+    def test_example_spec_lints_clean(self, path, system, model):
+        attack = parse_attack_states_xml(
+            path.read_text(encoding="utf-8"), system, strict=False)
+        _assert_clean(lint_attack(attack, model))

@@ -327,3 +327,131 @@ def test_campaign_run_trace_flag(tmp_path, capsys):
     # The stored artifact renders through the same CLI front door.
     assert main(["trace", str(traces[0]), "--summary-only"]) == 0
     assert "sigma2/phi2" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------- #
+# repro lint
+# --------------------------------------------------------------------- #
+
+BAD_ATTACK_XML = """
+<attack name="cli-broken" start="sigma1">
+  <state name="sigma1">
+    <rule name="phi1">
+      <connections><all-connections/></connections>
+      <gamma class="no-tls"/>
+      <condition>true</condition>
+      <actions><goto state="ghost"/></actions>
+    </rule>
+  </state>
+</attack>
+"""
+
+
+def test_lint_registry_all_is_clean(capsys):
+    assert main(["lint", "--all", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s), 0 warning(s)" in out
+
+
+def test_lint_single_registry_name(capsys):
+    assert main(["lint", "--name", "passthrough"]) == 0
+    assert "lint: passthrough" in capsys.readouterr().out
+
+
+def test_lint_clean_xml_path(xml_files, capsys):
+    system, attack, _model = xml_files
+    assert main(["lint", str(attack), "--system", str(system)]) == 0
+    assert "linted 1 attack(s)" in capsys.readouterr().out
+
+
+def test_lint_defective_xml_fails_with_code(xml_files, tmp_path, capsys):
+    system, _attack, _model = xml_files
+    bad = tmp_path / "bad.xml"
+    bad.write_text(BAD_ATTACK_XML)
+    assert main(["lint", str(bad), "--system", str(system)]) == 1
+    out = capsys.readouterr().out
+    assert "ATN004" in out and "ghost" in out
+
+
+def test_lint_unparseable_xml_is_atn000(xml_files, tmp_path, capsys):
+    system, _attack, _model = xml_files
+    mangled = tmp_path / "mangled.xml"
+    mangled.write_text("<attack><unclosed></attack>")
+    assert main(["lint", str(mangled), "--system", str(system)]) == 1
+    assert "ATN000" in capsys.readouterr().out
+
+
+def test_lint_json_output(xml_files, tmp_path, capsys):
+    import json
+
+    system, _attack, _model = xml_files
+    bad = tmp_path / "bad.xml"
+    bad.write_text(BAD_ATTACK_XML)
+    assert main(["lint", str(bad), "--system", str(system), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["attacks"] == 1 and payload["errors"] >= 1
+    codes = {d["code"] for r in payload["reports"]
+             for d in r["diagnostics"]}
+    assert "ATN004" in codes
+
+
+def test_lint_quiet_hides_info_diagnostics(xml_files, capsys):
+    system, attack, _model = xml_files
+    # The demo attack declares Γ_NoTLS but only drops: ATN012 info.
+    assert main(["lint", str(attack), "--system", str(system)]) == 0
+    assert "ATN012" in capsys.readouterr().out
+    assert main(["lint", str(attack), "--system", str(system),
+                 "--quiet"]) == 0
+    assert "ATN012" not in capsys.readouterr().out
+
+
+def test_lint_with_nothing_to_lint_errors(capsys):
+    assert main(["lint"]) == 2
+    assert "nothing to lint" in capsys.readouterr().err
+
+
+def test_lint_missing_system_file(tmp_path, capsys):
+    assert main(["lint", "--all", "--system",
+                 str(tmp_path / "nope.xml")]) == 2
+    assert "lint:" in capsys.readouterr().err
+
+
+def test_lint_respects_attack_model(xml_files, tmp_path, capsys):
+    system, attack, _model = xml_files
+    tls = tmp_path / "tls.xml"
+    tls.write_text('<attackmodel>'
+                   '<connection controller="c1" switch="s1" class="tls"/>'
+                   '</attackmodel>')
+    # Under Γ_TLS the drop rule's Γ_NoTLS declaration exceeds the grant.
+    assert main(["lint", str(attack), "--system", str(system),
+                 "--attack-model", str(tls)]) == 1
+    assert "ATN011" in capsys.readouterr().out
+
+
+def test_campaign_run_reports_lint_rejections(tmp_path, capsys):
+    import json
+
+    spec = {
+        "name": "cli-preflight",
+        "experiment": "selfcheck",
+        "attacks": ["blackhole"],
+        "controllers": ["x"],
+        "seeds": [0],
+        "attack_params": {"blackhole": {"bogus_param": 1}},
+        "timeout_s": 30.0,
+        "retries": 0,
+    }
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec))
+    assert main(["campaign", "run", str(path),
+                 "--workers", "1", "--quiet", "--json"]) == 1
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["lint_rejected"] == 1 and summary["failed"] == 1
+
+    # --no-preflight hands the cell to a worker instead.
+    store2 = tmp_path / "bypass.jsonl"
+    assert main(["campaign", "run", str(path), "--store", str(store2),
+                 "--workers", "1", "--quiet", "--json",
+                 "--no-preflight"]) in (0, 1)
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["lint_rejected"] == 0
