@@ -1,0 +1,164 @@
+"""Sharded fabric scaling: packets/sec across worker processes.
+
+The tentpole claim: partitioning a generated fat-tree into per-pod
+regions and executing them on the persistent worker pool scales the
+simulation's packet throughput near-linearly in the number of shards.
+
+Two throughput figures are reported per shard count:
+
+* ``wall_pps`` — delivered packets over wall-clock time.  On a
+  multi-core host this is the scaling headline; on the single-CPU CI
+  container every worker timeshares one core, so wall time is flat (plus
+  IPC overhead) no matter how many shards run.
+* ``capacity_pps`` — delivered packets over the *critical-path* CPU
+  seconds: the busiest worker's ``time.process_time()`` plus the
+  coordinator's.  This is the wall throughput the same run achieves once
+  each worker owns a core, measured rather than extrapolated: sharding
+  genuinely removes work from the critical path or this number does not
+  move.  The acceptance floor (>= 2x at 4 shards on fat-tree-k8) is
+  asserted on capacity.
+
+``REPRO_BENCH_QUICK=1`` shrinks the workload (fat-tree-k4, shards {1,2})
+for CI smoke; the committed ``BENCH_fabric.json`` is generated at full
+scale with ``--benchmark-json``.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.campaign import reset_run_state
+from repro.experiments.fabric import run_fabric_experiment
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0", "false")
+
+if QUICK:
+    FABRIC = "fat-tree-k4"
+    SHARD_COUNTS = (1, 2)
+    PAIRS, PACKETS = 4, 50
+    SPEEDUP_FLOOR = None  # smoke: shapes only, too small to assert scaling
+else:
+    FABRIC = "fat-tree-k8"
+    SHARD_COUNTS = (1, 2, 4)
+    PAIRS, PACKETS = 64, 250
+    SPEEDUP_FLOOR = 2.0  # the PR acceptance bar: >= 2x capacity at 4 shards
+
+INTERVAL_S = 0.002
+
+
+def _run(shards):
+    reset_run_state()
+    return run_fabric_experiment(
+        FABRIC, pairs=PAIRS, packets=PACKETS, interval_s=INTERVAL_S,
+        shards=shards,
+    )
+
+
+def test_fabric_packets_per_sec_scaling(benchmark):
+    results = benchmark.pedantic(
+        lambda: {shards: _run(shards) for shards in SHARD_COUNTS},
+        rounds=1, iterations=1,
+    )
+
+    baseline = results[SHARD_COUNTS[0]]
+    rows = []
+    for shards, result in results.items():
+        capacity_speedup = (
+            result.capacity_packets_per_sec / baseline.capacity_packets_per_sec
+        )
+        rows.append((
+            shards,
+            f"{result.wall_s:.2f} s",
+            f"{result.wall_packets_per_sec:,.0f}",
+            f"{result.capacity_packets_per_sec:,.0f}",
+            f"{capacity_speedup:.2f}x",
+        ))
+    cpus = os.cpu_count() or 1
+    print_table(
+        f"Sharded {FABRIC}: {baseline.switches} switches, "
+        f"{PAIRS} pairs x {PACKETS} packets (host cpus={cpus})",
+        ("shards", "wall", "wall pps", "capacity pps", "capacity speedup"),
+        rows,
+    )
+
+    expected = PAIRS * PACKETS
+    for shards, result in results.items():
+        # Shard-count invariance: identical delivery and event counts.
+        assert result.packets_delivered == result.packets_sent == expected
+        assert result.processed_events == baseline.processed_events
+        assert result.cross_shard_messages == baseline.cross_shard_messages
+
+    benchmark.extra_info["fabric"] = FABRIC
+    benchmark.extra_info["switches"] = baseline.switches
+    benchmark.extra_info["hosts"] = baseline.hosts
+    benchmark.extra_info["regions"] = baseline.regions
+    benchmark.extra_info["packets"] = expected
+    benchmark.extra_info["cpus"] = cpus
+    benchmark.extra_info["quick"] = QUICK
+    for shards, result in results.items():
+        benchmark.extra_info[f"shards{shards}_wall_s"] = round(result.wall_s, 3)
+        benchmark.extra_info[f"shards{shards}_wall_pps"] = round(
+            result.wall_packets_per_sec, 1
+        )
+        benchmark.extra_info[f"shards{shards}_capacity_pps"] = round(
+            result.capacity_packets_per_sec, 1
+        )
+        benchmark.extra_info[f"shards{shards}_worker_cpu_s"] = [
+            round(cpu, 3) for cpu in result.worker_cpu_s
+        ]
+
+    top = results[SHARD_COUNTS[-1]]
+    speedup = top.capacity_packets_per_sec / baseline.capacity_packets_per_sec
+    benchmark.extra_info["capacity_speedup_at_max_shards"] = round(speedup, 2)
+    if SPEEDUP_FLOOR is not None:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"capacity speedup at {SHARD_COUNTS[-1]} shards only "
+            f"{speedup:.2f}x (floor {SPEEDUP_FLOOR}x)"
+        )
+
+
+@pytest.mark.skipif(QUICK, reason="quick mode skips the large-fabric campaign")
+def test_registered_attack_campaign_on_125_switch_fabric(benchmark):
+    """A registered attack campaign completes against a 125-switch
+    fat-tree-k10, and its trace export is shard-count invariant."""
+
+    def run_pair():
+        reset_run_state()
+        inline = run_fabric_experiment(
+            "fat-tree-k10", controller="floodlight",
+            attack="flow-mod-suppression", pairs=8, packets=2,
+            shards=1, trace=True,
+        )
+        reset_run_state()
+        pooled = run_fabric_experiment(
+            "fat-tree-k10", controller="floodlight",
+            attack="flow-mod-suppression", pairs=8, packets=2,
+            shards=4, trace=True,
+        )
+        return inline, pooled
+
+    inline, pooled = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert inline.switches == 125
+    assert inline.flow_mods_dropped > 0
+    assert inline.ping_sent == 16
+    assert inline.trace_jsonl == pooled.trace_jsonl
+    assert inline.trace_events == pooled.trace_events > 0
+    print_table(
+        "fat-tree-k10 suppression campaign (125 switches)",
+        ("shards", "pings", "flow-mods dropped", "trace events", "wall"),
+        [
+            (1, f"{inline.ping_received}/{inline.ping_sent}",
+             inline.flow_mods_dropped, inline.trace_events,
+             f"{inline.wall_s:.2f} s"),
+            (4, f"{pooled.ping_received}/{pooled.ping_sent}",
+             pooled.flow_mods_dropped, pooled.trace_events,
+             f"{pooled.wall_s:.2f} s"),
+        ],
+    )
+    benchmark.extra_info["switches"] = inline.switches
+    benchmark.extra_info["flow_mods_dropped"] = inline.flow_mods_dropped
+    benchmark.extra_info["trace_events"] = inline.trace_events
+    benchmark.extra_info["shard_invariant"] = (
+        inline.trace_jsonl == pooled.trace_jsonl
+    )

@@ -41,6 +41,7 @@ def _ensure_builtin_executors() -> None:
         return
     from repro.experiments import (
         run_compliance_cell,
+        run_fabric_cell,
         run_interruption_cell,
         run_suppression_cell,
     )
@@ -48,6 +49,7 @@ def _ensure_builtin_executors() -> None:
     _EXECUTORS.setdefault("suppression", run_suppression_cell)
     _EXECUTORS.setdefault("interruption", run_interruption_cell)
     _EXECUTORS.setdefault("compliance", run_compliance_cell)
+    _EXECUTORS.setdefault("fabric", run_fabric_cell)
     _EXECUTORS.setdefault("selfcheck", _selfcheck_cell)
 
 
@@ -133,6 +135,10 @@ def execute_descriptor(descriptor: Dict[str, object],
     )
     if experiment == "selfcheck":
         kwargs["attempt"] = attempt
+    if experiment == "fabric":
+        # Fabric cells take the generated-fabric descriptor by name
+        # (fat-tree-k8, leaf-spine-8x4, waxman-s64-h128, ...).
+        kwargs["topology"] = topology
     if experiment == "compliance":
         # The suite has no controller/attack axes.
         kwargs = {"fail_mode": kwargs["fail_mode"], "seed": kwargs["seed"]}

@@ -69,11 +69,21 @@ def reset_run_state() -> None:
 _reset_run_state = reset_run_state
 
 
-def _worker_loop(conn) -> None:
-    """Persistent worker: execute descriptors until told to shut down."""
+def _worker_loop(conn, peer_queues=None, peer_index=None) -> None:
+    """Persistent worker: execute descriptors until told to shut down.
+
+    Two task shapes share the pipe: legacy ``(descriptor, attempt,
+    trace_enabled)`` tuples run one campaign cell to completion, and
+    ``{"op": "shard_*"}`` dicts drive one epoch-stepped slice of a
+    sharded simulation (see :mod:`repro.sim.shard`).  ``peer_queues``
+    (one queue per pool worker, this worker reading ``peer_index``'s)
+    lets shard workers exchange cross-region messages directly instead
+    of routing them through the coordinator.
+    """
     from repro.campaign.executors import execute_descriptor
 
     runs_executed = 0
+    shard_session = None
     while True:
         try:
             task = conn.recv()
@@ -81,6 +91,21 @@ def _worker_loop(conn) -> None:
             break
         if task is None:
             break
+        if isinstance(task, dict):
+            if shard_session is None:
+                from repro.sim.shard import ShardWorkerSession
+
+                shard_session = ShardWorkerSession(peer_queues, peer_index)
+            try:
+                reply = shard_session.handle(task)
+            except BaseException:
+                reply = {"status": "error",
+                         "error": traceback.format_exc(limit=8)}
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                break
+            continue
         descriptor, attempt, trace_enabled = task
         _reset_run_state()
         tracer = None
@@ -400,6 +425,109 @@ class CampaignRunner:
             if slot.process.pid is not None and slot.runs_done:
                 summary.worker_runs.setdefault(
                     str(slot.process.pid), slot.runs_done)
+
+
+class ShardWorkerPool:
+    """A fixed set of persistent workers executing simulation shards.
+
+    Reuses the campaign ``_worker_loop`` processes but drives them with
+    ``shard_*`` dict tasks in lock-step: every worker runs its regions to
+    the same epoch barrier, exchanges cross-shard messages directly with
+    its peers over per-worker queues, and the loop repeats — the parent
+    only carries barrier control traffic, which keeps its per-epoch CPU
+    off the scaling-critical path.  Workers are plain (non-daemonic from
+    the pool's perspective only if the parent is the main process —
+    campaign workers are daemonic and cannot spawn children, so fabric
+    cells inside a campaign fall back to the inline executor).
+    """
+
+    def __init__(self, workers: int, mp_context: Optional[str] = None) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers!r}")
+        ctx = multiprocessing.get_context(mp_context)
+        self._slots: List[Tuple[multiprocessing.Process, object]] = []
+        # Full queues (not SimpleQueues): the feeder thread makes puts
+        # non-blocking, so a burst of large batches cannot deadlock two
+        # workers putting into each other's filled pipes.
+        self._queues = [ctx.Queue() for _ in range(workers)]
+        for index in range(workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=_worker_loop,
+                args=(child_conn, self._queues, index),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._slots.append((process, parent_conn))
+
+    @property
+    def workers(self) -> int:
+        return len(self._slots)
+
+    def _call_all(self, tasks: List[dict]) -> List[dict]:
+        for (_process, conn), task in zip(self._slots, tasks):
+            conn.send(task)
+        replies = []
+        for process, conn in self._slots:
+            try:
+                reply = conn.recv()
+            except (EOFError, OSError):
+                raise RuntimeError(
+                    f"shard worker pid {process.pid} died mid-epoch "
+                    f"(exit code {process.exitcode})"
+                )
+            if reply.get("status") != "ok":
+                raise RuntimeError(
+                    "shard worker failed:\n" + str(reply.get("error"))
+                )
+            replies.append(reply)
+        return replies
+
+    def init(self, config: dict, assignment: List[List[int]]) -> List[dict]:
+        """Build each worker's regions; ``assignment[i]`` lists worker
+        ``i``'s region ids."""
+        if len(assignment) != len(self._slots):
+            raise ValueError(
+                f"assignment covers {len(assignment)} workers, "
+                f"pool has {len(self._slots)}"
+            )
+        return self._call_all([
+            {"op": "shard_init", "config": config, "rids": rids,
+             "assignment": assignment}
+            for rids in assignment
+        ])
+
+    def epoch(self, until: float) -> List[dict]:
+        """Run every worker's regions to ``until``; workers deliver the
+        previous barrier's peer-queue batches themselves.  Returns
+        per-worker ``{"next_time", "min_arrival", "sent"}``."""
+        return self._call_all([
+            {"op": "shard_epoch", "until": until} for _ in self._slots
+        ])
+
+    def collect(self) -> List[dict]:
+        """Fetch per-region results and per-worker CPU accounting."""
+        return self._call_all([
+            {"op": "shard_collect"} for _ in self._slots
+        ])
+
+    def shutdown(self) -> None:
+        for _process, conn in self._slots:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.time() + _SHUTDOWN_GRACE_S
+        for process, _conn in self._slots:
+            process.join(timeout=max(0.0, deadline - time.time()))
+            if process.is_alive():
+                process.terminate()
+                process.join()
+        for queue in self._queues:
+            queue.close()
+        self._queues = []
+        self._slots = []
 
 
 def run_campaign(

@@ -175,6 +175,100 @@ def _cmd_compliance(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------- #
+# Generated fabrics
+# ---------------------------------------------------------------------- #
+
+
+def _cmd_fabric_gen(args: argparse.Namespace) -> int:
+    from repro.dataplane.fabrics import generate_fabric, partition_topology, cut_links
+
+    fabric = generate_fabric(args.name)
+    topo = fabric.topology
+    info = {
+        "fabric": fabric.name,
+        "switches": fabric.switch_count,
+        "hosts": fabric.host_count,
+        "links": len(topo.links),
+        "groups": len(fabric.groups),
+    }
+    if args.regions:
+        partition = partition_topology(topo, args.regions,
+                                       groups=fabric.groups or None)
+        info["regions"] = [len(devices) for devices in partition]
+        info["cut_links"] = cut_links(topo, partition)
+    if args.json:
+        print(json.dumps(info, sort_keys=True))
+    else:
+        print(f"{fabric.name}: {info['switches']} switches, "
+              f"{info['hosts']} hosts, {info['links']} links, "
+              f"{info['groups']} partition groups")
+        if args.regions:
+            sizes = ", ".join(str(s) for s in info["regions"])
+            print(f"{len(info['regions'])} regions ({sizes} devices), "
+                  f"{info['cut_links']} cut links")
+    return 0
+
+
+def _cmd_fabric_run(args: argparse.Namespace) -> int:
+    from repro.experiments.fabric import run_fabric_experiment
+
+    kwargs = {}
+    if args.workload:
+        kwargs["workload"] = args.workload
+    if args.packets is not None:
+        kwargs["packets"] = args.packets
+    if args.horizon is not None:
+        kwargs["horizon_s"] = args.horizon
+    started = time.time()
+    result = run_fabric_experiment(
+        topology=args.name,
+        controller=None if args.controller == "none" else args.controller,
+        attack=args.attack,
+        fail_mode=args.fail_mode,
+        seed=args.seed,
+        regions=args.regions,
+        shards=args.shards,
+        pairs=args.pairs,
+        trace=bool(args.trace),
+        **kwargs,
+    )
+    if args.trace:
+        from pathlib import Path
+
+        path = Path(args.trace)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(result.trace_jsonl or "", encoding="utf-8")
+        print(f"trace: {result.trace_events} event(s) -> {path}",
+              file=sys.stderr)
+    metrics = result.record()
+    if args.json:
+        _print_run_record("fabric", args.attack,
+                          args.controller, args.fail_mode, args.seed,
+                          {"topology": args.name, "shards": args.shards},
+                          metrics, time.time() - started)
+        return 0
+    print(f"{result.fabric}: {result.switches} switches / {result.hosts} hosts "
+          f"in {result.regions} regions on {result.shards} shard(s)")
+    if result.packets_sent:
+        print(f"udp: {result.packets_delivered}/{result.packets_sent} delivered "
+              f"({100 * result.delivery_rate:.1f}%)")
+    if result.ping_sent:
+        rtt = (f", median rtt {result.median_rtt_s * 1000:.2f} ms"
+               if result.median_rtt_s is not None else "")
+        print(f"ping: {result.ping_received}/{result.ping_sent} answered{rtt}")
+    if result.controller:
+        print(f"control: {result.packet_ins} packet-ins, "
+              f"{result.flow_mods_seen} flow-mods seen, "
+              f"{result.flow_mods_dropped} dropped")
+    print(f"events: {result.processed_events} across {result.epochs} epochs, "
+          f"{result.cross_shard_messages} cross-shard messages")
+    print(f"wall {result.wall_s:.2f}s, "
+          f"{result.wall_packets_per_sec:.0f} pkt/s wall, "
+          f"{result.capacity_packets_per_sec:.0f} pkt/s capacity")
+    return 0
+
+
+# ---------------------------------------------------------------------- #
 # Campaigns
 # ---------------------------------------------------------------------- #
 
@@ -476,6 +570,51 @@ def build_parser() -> argparse.ArgumentParser:
     compliance.add_argument("--json", action="store_true",
                             help="emit a campaign-schema JSON record")
     compliance.set_defaults(handler=_cmd_compliance)
+
+    fabric = subparsers.add_parser(
+        "fabric",
+        help="generate datacenter fabrics and run sharded workloads on them")
+    fabric_sub = fabric.add_subparsers(dest="fabric_command", required=True)
+
+    fabric_gen = fabric_sub.add_parser(
+        "gen", help="generate a fabric and print its shape")
+    fabric_gen.add_argument("name",
+                            help="fabric descriptor (fat-tree-k4, "
+                                 "leaf-spine-8x4, waxman-s64-h128)")
+    fabric_gen.add_argument("--regions", type=int, default=None,
+                            help="also partition into N regions")
+    fabric_gen.add_argument("--json", action="store_true",
+                            help="machine-readable output")
+    fabric_gen.set_defaults(handler=_cmd_fabric_gen)
+
+    fabric_run = fabric_sub.add_parser(
+        "run", help="run a sharded workload (optionally attacked) on a fabric")
+    fabric_run.add_argument("name", help="fabric descriptor")
+    fabric_run.add_argument("--controller", default="none",
+                            choices=("none",) + CONTROLLERS,
+                            help="controller model (none = proactive routes)")
+    fabric_run.add_argument("--attack", default=None,
+                            help="registered attack name (needs a controller)")
+    fabric_run.add_argument("--fail-mode", default="secure",
+                            choices=("secure", "standalone"))
+    fabric_run.add_argument("--seed", type=int, default=0)
+    fabric_run.add_argument("--regions", type=int, default=None,
+                            help="region count (default: fabric groups)")
+    fabric_run.add_argument("--shards", type=int, default=1,
+                            help="worker processes executing the regions")
+    fabric_run.add_argument("--workload", default=None,
+                            choices=("udp", "ping"))
+    fabric_run.add_argument("--pairs", type=int, default=4,
+                            help="communicating host pairs")
+    fabric_run.add_argument("--packets", type=int, default=None,
+                            help="packets (or pings) per pair")
+    fabric_run.add_argument("--horizon", type=float, default=None,
+                            help="simulated seconds to run")
+    fabric_run.add_argument("--trace", metavar="PATH", default=None,
+                            help="write the merged region trace to PATH")
+    fabric_run.add_argument("--json", action="store_true",
+                            help="emit the run record as JSON")
+    fabric_run.set_defaults(handler=_cmd_fabric_run)
 
     campaign = subparsers.add_parser(
         "campaign",

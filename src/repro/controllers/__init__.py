@@ -27,7 +27,12 @@ Consequences reproduced in the evaluation:
   never fires — the Table II anomaly.
 """
 
-from repro.controllers.apps import ControllerApp, LearningSwitchApp, LearningSwitchBehavior
+from repro.controllers.apps import (
+    ControllerApp,
+    FabricRoutingApp,
+    LearningSwitchApp,
+    LearningSwitchBehavior,
+)
 from repro.controllers.base import Controller, SwitchSession
 from repro.controllers.discovery import DiscoveredLink, TopologyDiscoveryApp
 from repro.controllers.firewall import DmzFirewallApp, FirewallPolicy
@@ -48,6 +53,7 @@ __all__ = [
     "ControllerApp",
     "DiscoveredLink",
     "DmzFirewallApp",
+    "FabricRoutingApp",
     "FirewallPolicy",
     "FloodlightController",
     "LearningSwitchApp",

@@ -199,3 +199,84 @@ class LearningSwitchApp(ControllerApp):
 
     def switch_down(self, controller, session) -> None:
         session.app_state.pop(self.STATE_KEY, None)
+
+
+class FabricRoutingApp(ControllerApp):
+    """Topology-aware unicast routing for generated fabrics.
+
+    MAC learning floods unknown destinations, and on a multi-path fabric
+    (fat-tree, leaf-spine) flooding is a broadcast storm: the topology has
+    cycles and no spanning-tree protocol is modelled.  This app is the
+    idealized alternative every real controller ships in some form
+    (Floodlight's topology/forwarding, ONOS intents): next-hop ports are
+    precomputed from the fabric graph, unknown or broadcast destinations
+    are dropped, and nothing is ever flooded.
+
+    ``routes`` maps ``datapath_id -> {dst MacAddress -> out_port}``.  The
+    installed flows use the same behavior knobs (match granularity,
+    timeouts, buffered-packet release) as the learning switch, so attack
+    semantics — which control messages matter, what a dropped FLOW_MOD
+    costs — carry over from the paper's evaluation unchanged.
+    """
+
+    def __init__(
+        self,
+        routes: Dict[int, Dict[MacAddress, int]],
+        behavior: LearningSwitchBehavior,
+    ) -> None:
+        self.routes = routes
+        self.behavior = behavior
+        self.flows_installed = 0
+        self.dropped_unroutable = 0
+
+    def packet_in(self, controller, session, message: PacketIn,
+                  fields: Dict[str, Any], decoded: DecodedPacket) -> bool:
+        dst: MacAddress = fields["dl_dst"]
+        if dst.is_broadcast or dst.is_multicast:
+            self.dropped_unroutable += 1
+            return True
+        table = self.routes.get(session.datapath_id)
+        out_port = None if table is None else table.get(dst)
+        if out_port is None:
+            self.dropped_unroutable += 1
+            return True
+        in_port: int = fields["in_port"]
+        if out_port == in_port:
+            return True  # destination is behind the ingress port: drop
+
+        behavior = self.behavior
+        actions = [OutputAction(out_port)]
+        flow_buffer = (
+            message.buffer_id if behavior.release_via == "flow_mod" else OFP_NO_BUFFER
+        )
+        controller.stats["flow_mods_sent"] += 1
+        self.flows_installed += 1
+        session.send(
+            FlowMod(
+                behavior.build_match(fields),
+                idle_timeout=behavior.idle_timeout,
+                hard_timeout=behavior.hard_timeout,
+                priority=behavior.priority,
+                buffer_id=flow_buffer,
+                actions=actions,
+            )
+        )
+        if behavior.release_via == "packet_out":
+            controller.stats["packet_outs_sent"] += 1
+            if message.buffer_id != OFP_NO_BUFFER:
+                session.send(
+                    PacketOut(
+                        buffer_id=message.buffer_id,
+                        in_port=in_port,
+                        actions=actions,
+                    )
+                )
+            else:
+                session.send(
+                    PacketOut(
+                        in_port=in_port,
+                        actions=actions,
+                        data=message.data,
+                    )
+                )
+        return True

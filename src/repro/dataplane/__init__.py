@@ -7,6 +7,15 @@ by :mod:`repro.sim`.
 """
 
 from repro.dataplane.control import ControlChannel, ControlEndpoint, connect_endpoints
+from repro.dataplane.fabrics import (
+    Fabric,
+    fat_tree,
+    generate_fabric,
+    is_fabric_name,
+    leaf_spine,
+    partition_topology,
+    waxman,
+)
 from repro.dataplane.flowtable import FlowEntry, FlowTable
 from repro.dataplane.host import Host, IperfResult, PingResult
 from repro.dataplane.link import DataLink
@@ -18,6 +27,7 @@ __all__ = [
     "ControlChannel",
     "ControlEndpoint",
     "DataLink",
+    "Fabric",
     "FailMode",
     "FlowEntry",
     "FlowTable",
@@ -29,4 +39,10 @@ __all__ = [
     "Topology",
     "TopologyError",
     "connect_endpoints",
+    "fat_tree",
+    "generate_fabric",
+    "is_fabric_name",
+    "leaf_spine",
+    "partition_topology",
+    "waxman",
 ]

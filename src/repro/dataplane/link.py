@@ -58,8 +58,15 @@ class _Direction:
         self.queued += 1
         self.tx_frames += 1
         self.tx_bytes += size
-        self.engine.schedule_at(arrival, self._arrive, data)
+        self._schedule_arrival(arrival, data)
         return True
+
+    def _schedule_arrival(self, arrival: float, data: bytes) -> None:
+        # Seam for the shard boundary (repro.sim.shard): a cross-region
+        # direction computes the identical serialization timeline but
+        # ships the frame to the far region instead of scheduling a local
+        # delivery.
+        self.engine.schedule_at(arrival, self._arrive, data)
 
     def _arrive(self, data: bytes) -> None:
         self.queued = max(0, self.queued - 1)

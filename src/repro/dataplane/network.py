@@ -17,20 +17,36 @@ from repro.dataplane.control import ControlChannel, ControlEndpoint, connect_end
 from repro.dataplane.host import Host
 from repro.dataplane.link import DataLink
 from repro.dataplane.switch import FailMode, OpenFlowSwitch
-from repro.dataplane.topology import Topology
+from repro.dataplane.topology import LinkSpec, Topology
 from repro.sim.engine import SimulationEngine
 
 DEFAULT_CONTROL_LATENCY = 0.00025
 
+#: A boundary factory receives ``(link_index, link_spec, local_side)`` for
+#: every topology link with exactly one endpoint inside this network's
+#: ``include`` subset, and returns a half-link object exposing
+#: ``transmit(data) -> bool`` (local device sends toward the far region)
+#: and ``attach(deliver)`` (frames arriving from the far region).
+BoundaryFactory = Callable[[int, LinkSpec, str], object]
+
 
 class Network:
-    """A fully wired simulated network."""
+    """A fully wired simulated network.
+
+    By default the whole topology is instantiated.  A sharded region
+    passes ``include`` (the device names it owns) and ``boundary`` (a
+    factory for the cross-region half-links); links between two excluded
+    devices are skipped entirely, links with one excluded endpoint are
+    wired through the boundary.
+    """
 
     def __init__(
         self,
         engine: SimulationEngine,
         topology: Topology,
         fail_mode: FailMode = FailMode.SECURE,
+        include: Optional[set] = None,
+        boundary: Optional[BoundaryFactory] = None,
     ) -> None:
         topology.validate()
         # A new network is a new run: drop interned frames from earlier
@@ -42,40 +58,72 @@ class Network:
         self.hosts: Dict[str, Host] = {}
         self.switches: Dict[str, OpenFlowSwitch] = {}
         self.links: Dict[str, DataLink] = {}
+        self.boundary_halves: Dict[int, object] = {}
         # switch name -> {target name: (endpoint, latency)}
         self._control_targets: Dict[str, Dict[str, tuple]] = {}
         self._started = False
 
+        included = set(include) if include is not None else None
         for spec in topology.hosts.values():
-            self.hosts[spec.name] = Host(engine, spec.name, spec.mac, spec.ip)
+            if included is None or spec.name in included:
+                self.hosts[spec.name] = Host(engine, spec.name, spec.mac, spec.ip)
         for spec in topology.switches.values():
-            self.switches[spec.name] = OpenFlowSwitch(
-                engine, spec.name, spec.datapath_id, fail_mode=fail_mode
-            )
+            if included is None or spec.name in included:
+                self.switches[spec.name] = OpenFlowSwitch(
+                    engine, spec.name, spec.datapath_id, fail_mode=fail_mode
+                )
         for index, link_spec in enumerate(topology.links):
-            name = f"{link_spec.a}-{link_spec.b}#{index}"
-            link = DataLink(
-                engine,
-                link_spec.bandwidth_bps,
-                link_spec.latency_s,
-                name=name,
-            )
-            self.links[name] = link
-            self._attach(link, "a", link_spec.a, link_spec.a_port)
-            self._attach(link, "b", link_spec.b, link_spec.b_port)
+            a_in = included is None or link_spec.a in included
+            b_in = included is None or link_spec.b in included
+            if not a_in and not b_in:
+                continue
+            if a_in and b_in:
+                name = f"{link_spec.a}-{link_spec.b}#{index}"
+                link = DataLink(
+                    engine,
+                    link_spec.bandwidth_bps,
+                    link_spec.latency_s,
+                    name=name,
+                )
+                self.links[name] = link
+                self._attach(link, "a", link_spec.a, link_spec.a_port)
+                self._attach(link, "b", link_spec.b, link_spec.b_port)
+                continue
+            if boundary is None:
+                raise ValueError(
+                    f"link {link_spec.a}-{link_spec.b} crosses the include "
+                    f"boundary but no boundary factory was given"
+                )
+            side = "a" if a_in else "b"
+            device = link_spec.a if a_in else link_spec.b
+            port = link_spec.a_port if a_in else link_spec.b_port
+            half = boundary(index, link_spec, side)
+            self.boundary_halves[index] = half
+            self._wire(half.transmit, half.attach, None, device, port)
 
     def _attach(self, link: DataLink, side: str, device: str, port: Optional[int]) -> None:
         send = link.send_from_a if side == "a" else link.send_from_b
         attach_receiver = link.attach_a if side == "a" else link.attach_b
+        self._wire(send, attach_receiver, link.add_status_observer, device, port)
+
+    def _wire(
+        self,
+        send: Callable[[bytes], bool],
+        attach_receiver: Callable[[Callable[[bytes], None]], None],
+        add_status_observer: Optional[Callable],
+        device: str,
+        port: Optional[int],
+    ) -> None:
         if device in self.switches:
             switch = self.switches[device]
             if port is None:
                 raise ValueError(f"switch endpoint {device!r} missing a port number")
             switch.attach_port(port, send)
             attach_receiver(lambda data, s=switch, p=port: s.frame_received(p, data))
-            link.add_status_observer(
-                lambda up, s=switch, p=port: s.port_link_status(p, up)
-            )
+            if add_status_observer is not None:
+                add_status_observer(
+                    lambda up, s=switch, p=port: s.port_link_status(p, up)
+                )
         else:
             host = self.hosts[device]
             host.attach(send)

@@ -492,6 +492,23 @@ class OpenFlowSwitch:
         # Everything else (VENDOR, unexpected replies) is ignored, matching
         # OVS's tolerance for unknown-but-well-formed messages.
 
+    def preinstall_flow(
+        self,
+        match,
+        actions: List[Action],
+        priority: int = 0x8000,
+    ) -> None:
+        """Install a permanent flow entry without a controller round trip.
+
+        The controllerless fabric workloads (and any proactively routed
+        deployment) seed switch tables directly — semantically a FLOW_MOD
+        applied before the first packet, minus the control connection.
+        """
+        flow_mod = FlowMod(match, priority=priority, actions=list(actions))
+        _removed, full = self.flow_table.apply_flow_mod(flow_mod, self.engine.now)
+        if full:
+            raise RuntimeError(f"flow table full on switch {self.name!r}")
+
     def _handle_flow_mod(self, link: _ControlLink, flow_mod: FlowMod) -> None:
         self.stats["flow_mods_received"] += 1
         removed, full = self.flow_table.apply_flow_mod(flow_mod, self.engine.now)

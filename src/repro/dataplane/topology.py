@@ -68,6 +68,7 @@ class Topology:
         self.links: List[LinkSpec] = []
         self._next_port: Dict[str, int] = {}
         self._used_ports: Dict[str, set] = {}
+        self._link_pairs: set = set()
 
     # ------------------------------------------------------------------ #
     # Declaration
@@ -110,15 +111,30 @@ class Topology:
         latency_s: float = DEFAULT_LATENCY,
     ) -> LinkSpec:
         """Declare a link; switch endpoints may name an explicit port."""
-        a_name, a_port = self._resolve_endpoint(a)
-        b_name, b_port = self._resolve_endpoint(b)
+        a_name = a[0] if isinstance(a, tuple) else a
+        b_name = b[0] if isinstance(b, tuple) else b
         if a_name == b_name:
             raise TopologyError(f"self-loop link on {a_name!r}")
+        pair = frozenset((a_name, b_name))
+        if pair in self._link_pairs:
+            raise TopologyError(
+                f"duplicate link between {a_name!r} and {b_name!r}"
+            )
+        for name in (a_name, b_name):
+            if name in self.hosts and any(
+                name in (link.a, link.b) for link in self.links
+            ):
+                raise TopologyError(
+                    f"host {name!r} already has a link (hosts have a single interface)"
+                )
+        a_name, a_port = self._resolve_endpoint(a)
+        b_name, b_port = self._resolve_endpoint(b)
         if bandwidth_bps <= 0:
             raise TopologyError(f"bandwidth must be positive, got {bandwidth_bps!r}")
         if latency_s < 0:
             raise TopologyError(f"latency must be non-negative, got {latency_s!r}")
         link = LinkSpec(a_name, a_port, b_name, b_port, bandwidth_bps, latency_s)
+        self._link_pairs.add(pair)
         self.links.append(link)
         return link
 
@@ -153,11 +169,55 @@ class Topology:
     # ------------------------------------------------------------------ #
 
     def validate(self) -> None:
-        """Check the system-model preconditions from Section IV-A."""
+        """Check the system-model preconditions from Section IV-A.
+
+        Besides the paper's minimum-size rules this re-checks every link
+        record, so topologies assembled by appending ``LinkSpec`` entries
+        directly (generators, loaders) fail fast with an error naming the
+        offending node rather than failing obscurely at build time.
+        """
         if len(self.switches) < 1:
             raise TopologyError("a functional SDN network needs at least one switch")
         if len(self.hosts) < 2:
             raise TopologyError("a functional SDN network needs at least two end hosts")
+        seen_pairs: set = set()
+        seen_ports: Dict[str, set] = {name: set() for name in self.switches}
+        host_degree: Dict[str, int] = {name: 0 for name in self.hosts}
+        for link in self.links:
+            if link.a == link.b:
+                raise TopologyError(f"self-loop link on {link.a!r}")
+            pair = frozenset((link.a, link.b))
+            if pair in seen_pairs:
+                raise TopologyError(
+                    f"duplicate link between {link.a!r} and {link.b!r}"
+                )
+            seen_pairs.add(pair)
+            for name, port in ((link.a, link.a_port), (link.b, link.b_port)):
+                if name in self.switches:
+                    if port is None:
+                        raise TopologyError(
+                            f"switch endpoint {name!r} is missing a port number"
+                        )
+                    if port in seen_ports[name]:
+                        raise TopologyError(
+                            f"port {port} on switch {name!r} referenced by two links"
+                        )
+                    seen_ports[name].add(port)
+                elif name in self.hosts:
+                    if port is not None:
+                        raise TopologyError(
+                            f"host endpoint {name!r} carries a port number"
+                        )
+                    host_degree[name] += 1
+                    if host_degree[name] > 1:
+                        raise TopologyError(
+                            f"host {name!r} has more than one link "
+                            f"(hosts have a single interface)"
+                        )
+                else:
+                    raise TopologyError(
+                        f"link references unknown device {name!r}"
+                    )
         attached = {link.a for link in self.links} | {link.b for link in self.links}
         for name in list(self.hosts) + list(self.switches):
             if name not in attached:

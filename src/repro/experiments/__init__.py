@@ -7,6 +7,14 @@ returns the flat metrics dict the campaign ResultStore records.
 
 from repro.experiments.compliance import ComplianceReport, run_compliance_suite
 from repro.experiments.compliance import run_cell as run_compliance_cell
+from repro.experiments.fabric import (
+    FabricResult,
+    build_fabric_regions,
+    fabric_config,
+    plan_fabric,
+    run_fabric_experiment,
+)
+from repro.experiments.fabric import run_cell as run_fabric_cell
 from repro.experiments.enterprise import (
     EnterpriseSetup,
     INTERNAL_HOST_NAMES,
@@ -29,15 +37,21 @@ from repro.experiments.syscmd import HostCommandRouter
 __all__ = [
     "ComplianceReport",
     "EnterpriseSetup",
+    "FabricResult",
     "HostCommandRouter",
     "INTERNAL_HOST_NAMES",
     "InterruptionResult",
     "SuppressionResult",
     "build_enterprise",
+    "build_fabric_regions",
     "enterprise_system_model",
     "enterprise_topology",
+    "fabric_config",
+    "plan_fabric",
     "run_compliance_cell",
     "run_compliance_suite",
+    "run_fabric_cell",
+    "run_fabric_experiment",
     "run_interruption_cell",
     "run_interruption_experiment",
     "run_suppression_cell",

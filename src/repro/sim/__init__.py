@@ -12,14 +12,24 @@ from repro.sim.engine import SimulationEngine, SimulationError
 from repro.sim.events import Event, EventCancelled
 from repro.sim.process import Process, Signal, sleep
 from repro.sim.rng import SeededRng
+from repro.sim.shard import (
+    RegionContext,
+    ShardRegion,
+    ShardedSimulation,
+    assign_regions,
+)
 
 __all__ = [
     "Event",
     "EventCancelled",
     "Process",
+    "RegionContext",
     "SeededRng",
+    "ShardRegion",
+    "ShardedSimulation",
     "Signal",
     "SimulationEngine",
     "SimulationError",
+    "assign_regions",
     "sleep",
 ]

@@ -24,10 +24,17 @@ class SimulationEngine:
     """
 
     #: Tombstone compaction thresholds: compact when the heap holds at
-    #: least COMPACT_MIN_QUEUE events and fewer than half are live.  Below
-    #: the floor a compaction saves nothing; above it the 50% rule keeps
-    #: total compaction work amortized O(1) per cancel (each compaction
-    #: removes at least as many tombstones as live events retained).
+    #: least the current floor of events and fewer than half are live.
+    #: Below the floor a compaction saves nothing; above it the 50% rule
+    #: keeps total compaction work amortized O(1) per cancel (each
+    #: compaction removes at least as many tombstones as live events
+    #: retained).  The floor itself scales with the live-event count: a
+    #: large fabric legitimately holds tens of thousands of live timers,
+    #: and a fixed floor of 64 would re-heapify that entire population on
+    #: nearly every cancel.  After each sweep the floor is raised to twice
+    #: the surviving live count (never below COMPACT_MIN_QUEUE), so the
+    #: next sweep happens only after the tombstones again outnumber the
+    #: live events.
     COMPACT_MIN_QUEUE = 64
     COMPACT_LIVE_NUM = 1
     COMPACT_LIVE_DEN = 2
@@ -38,7 +45,16 @@ class SimulationEngine:
         self._running = False
         self._processed = 0
         self._live = 0
+        self._compact_min = self.COMPACT_MIN_QUEUE
         self.heap_compactions = 0
+        #: Sharded execution bookkeeping (see :mod:`repro.sim.shard`).  A
+        #: standalone engine is its own single shard; a region engine run
+        #: under a ShardedSimulation is stamped with its place in the
+        #: partition and counts the messages it exchanged across shard
+        #: boundaries, so ``metrics()`` stays accurate at scale.
+        self.shards = 1
+        self.shard_id = 0
+        self.cross_shard_messages = 0
 
     @property
     def now(self) -> float:
@@ -61,7 +77,7 @@ class SimulationEngine:
         self._live -= 1
         queue = self._queue
         if (
-            len(queue) >= self.COMPACT_MIN_QUEUE
+            len(queue) >= self._compact_min
             and self._live * self.COMPACT_LIVE_DEN
             < len(queue) * self.COMPACT_LIVE_NUM
         ):
@@ -79,6 +95,9 @@ class SimulationEngine:
         queue[:] = [event for event in queue if not event.cancelled]
         heapq.heapify(queue)
         self.heap_compactions += 1
+        # Scale the floor with the surviving population (and let it decay
+        # back toward the static minimum as the simulation empties out).
+        self._compact_min = max(self.COMPACT_MIN_QUEUE, 2 * self._live)
 
     @property
     def processed_events(self) -> int:
@@ -177,6 +196,15 @@ class SimulationEngine:
             return self._queue[0]
         return None
 
+    def next_event_time(self) -> Optional[float]:
+        """The time of the next live event, or None when the queue is empty.
+
+        Used by the sharded coordinator to fast-forward epoch barriers
+        over globally idle stretches of simulated time.
+        """
+        event = self._peek()
+        return event.time if event is not None else None
+
     def drain(self, horizon: float = 1e9, max_events: int = 10_000_000) -> int:
         """Run to completion with a generous safety budget (for tests)."""
         return self.run(until=horizon, max_events=max_events)
@@ -194,6 +222,9 @@ class SimulationEngine:
             "heap_size": len(self._queue),
             "heap_tombstones": len(self._queue) - self._live,
             "heap_compactions": self.heap_compactions,
+            "shards": self.shards,
+            "shard_id": self.shard_id,
+            "cross_shard_messages": self.cross_shard_messages,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,684 @@
+"""Shared-nothing sharded execution of a partitioned simulation.
+
+The monolithic engine runs every device of a fabric on one event heap.
+For generated fabrics (hundreds of switches) this module splits the
+simulation into *regions* — disjoint device groups produced by
+:func:`repro.dataplane.fabrics.partition_topology` — each with its own
+:class:`~repro.sim.engine.SimulationEngine`, its own isolated copies of
+every process-global counter, and its own slice of the device graph.
+Regions exchange frames and control-plane bytes as explicit messages at
+conservative epoch barriers.
+
+Determinism contract
+--------------------
+
+The region partition is a pure function of the topology and the requested
+region count; the *shard count* (how many worker processes execute the
+regions) only groups regions onto execution units.  Every source of
+nondeterminism is region-local:
+
+* each region has a private event heap and private sequence counters
+  (:class:`RegionContext`), so event tie-breaking never depends on what
+  other regions did;
+* cross-region messages carry a ``(arrival, channel, seq)`` key and are
+  sorted before delivery, so the receiving heap ingests them in one
+  deterministic order;
+* conservative barriers: every boundary channel has latency >= the
+  lookahead ``L``, and epochs are ``L`` wide, so a message generated in
+  epoch ``k`` can only arrive in epoch ``k+1`` or later — no region ever
+  needs to roll back.
+
+Consequently a run's results (metrics, traces) are byte-identical whether
+its regions execute inline in one process or spread over any number of
+pool workers.
+
+Epoch fast-forward
+------------------
+
+At every barrier the coordinator knows each region's next event time and
+all undelivered message arrivals; the next epoch jumps directly to the
+earliest of these instead of grinding through empty ``L``-wide slots, so
+sparse stretches (liveness timers, ping intervals) cost one barrier per
+occupied epoch, not one per lookahead quantum.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.dataplane.link import _Direction
+from repro.sim.engine import SimulationEngine
+
+#: A cross-region message: (arrival_time, channel, seq, op, payload).
+#: Tuples sort naturally into the deterministic delivery order.
+ShardMessage = Tuple[float, str, int, str, bytes]
+
+#: Channel-op vocabulary.
+OP_FRAME = "frame"   # a data-plane frame crossing a boundary link
+OP_DATA = "data"     # control-plane stream bytes
+OP_OPEN = "open"     # control-plane dial
+OP_CLOSE = "close"   # control-plane teardown
+
+
+class RegionContext:
+    """Region-private instances of every process-global counter.
+
+    The simulation's determinism leans on process-global sequences (event
+    tie-breaks, ICMP identifiers, OpenFlow xids, the FastFrame intern
+    pool).  Sharding gives each region its own copies and swaps them into
+    place around every slice of region execution, so the sequences a
+    region observes depend only on that region's own history.
+    """
+
+    def __init__(self) -> None:
+        from repro.netlib import fastframe
+
+        self.event_seq = itertools.count()
+        self.flow_order = itertools.count()
+        self.icmp_id = itertools.count(1)
+        self.ephemeral = itertools.count(49152)
+        self.msg_id = itertools.count(1)
+        self.xid_next = 1
+        self.frame_pool: Dict[bytes, object] = {}
+        self.frame_counters: Dict[str, int] = {key: 0 for key in fastframe.counters}
+        self._saved: Optional[tuple] = None
+
+    def __enter__(self) -> "RegionContext":
+        from repro.core.lang.properties import InterposedMessage
+        from repro.dataplane.flowtable import FlowEntry
+        from repro.dataplane.host import Host
+        from repro.netlib import fastframe
+        from repro.openflow import messages as of_messages
+        from repro.sim.events import Event
+
+        if self._saved is not None:
+            raise RuntimeError("RegionContext is not re-entrant")
+        self._saved = (
+            Event._seq_counter,
+            FlowEntry._order,
+            Host._icmp_id,
+            Host._ephemeral,
+            InterposedMessage._id_counter,
+            of_messages._xid_next,
+            fastframe._pool,
+            fastframe.counters,
+        )
+        Event._seq_counter = self.event_seq
+        FlowEntry._order = self.flow_order
+        Host._icmp_id = self.icmp_id
+        Host._ephemeral = self.ephemeral
+        InterposedMessage._id_counter = self.msg_id
+        of_messages._xid_next = self.xid_next
+        fastframe._pool = self.frame_pool
+        fastframe.counters = self.frame_counters
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        from repro.core.lang.properties import InterposedMessage
+        from repro.dataplane.flowtable import FlowEntry
+        from repro.dataplane.host import Host
+        from repro.netlib import fastframe
+        from repro.openflow import messages as of_messages
+        from repro.sim.events import Event
+
+        # xids are a plain module int, so read the advanced value back.
+        self.xid_next = of_messages._xid_next
+        (
+            Event._seq_counter,
+            FlowEntry._order,
+            Host._icmp_id,
+            Host._ephemeral,
+            InterposedMessage._id_counter,
+            of_messages._xid_next,
+            fastframe._pool,
+            fastframe.counters,
+        ) = self._saved
+        self._saved = None
+
+
+# --------------------------------------------------------------------- #
+# Boundary plumbing
+# --------------------------------------------------------------------- #
+
+class BoundaryTx(_Direction):
+    """The local transmit half of a cross-region data link.
+
+    Reuses the stock direction's serialization timeline (busy_until,
+    drop-tail queue) byte for byte, but the computed arrival becomes a
+    cross-region message instead of a local delivery; a local no-op at
+    the arrival instant keeps the queue-occupancy dynamics identical to
+    an unsharded link.
+    """
+
+    __slots__ = ("emit", "chan")
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        bandwidth: float,
+        latency: float,
+        queue_limit: int,
+        emit: Callable[[str, float, str, bytes], None],
+        chan: str,
+    ) -> None:
+        super().__init__(engine, bandwidth, latency, queue_limit)
+        self.emit = emit
+        self.chan = chan
+        self.deliver = self._no_local_delivery  # satisfies transmit()'s guard
+
+    @staticmethod
+    def _no_local_delivery(data: bytes) -> None:  # pragma: no cover
+        raise AssertionError("boundary direction delivers remotely")
+
+    def _schedule_arrival(self, arrival: float, data: bytes) -> None:
+        self.emit(self.chan, arrival, OP_FRAME, data)
+        self.engine.schedule_at(arrival, self._depart)
+
+    def _depart(self) -> None:
+        self.queued = max(0, self.queued - 1)
+
+
+class BoundaryHalf:
+    """What a region's :class:`~repro.dataplane.network.Network` sees for
+    a link whose far endpoint lives in another region."""
+
+    __slots__ = ("tx", "_deliver")
+
+    def __init__(self, tx: BoundaryTx) -> None:
+        self.tx = tx
+        self._deliver: Optional[Callable[[bytes], None]] = None
+
+    def transmit(self, data: bytes) -> bool:
+        return self.tx.transmit(data)
+
+    def attach(self, deliver: Callable[[bytes], None]) -> None:
+        self._deliver = deliver
+
+    def deliver(self, data: bytes) -> None:
+        if self._deliver is not None:
+            self._deliver(data)
+
+
+class BoundaryControlChannel:
+    """A duck-typed :class:`~repro.dataplane.control.ControlChannel` whose
+    peer lives in another region.
+
+    Sends become cross-region messages with arrival ``now + latency`` —
+    the same timeline a local channel's ``engine.schedule`` would produce.
+    The boundary latency is always >= the sharding lookahead, so these
+    arrivals respect the barrier contract.
+    """
+
+    __slots__ = ("owner", "latency_s", "name", "label", "peer", "open",
+                 "bytes_sent", "bytes_delivered", "_engine", "_emit",
+                 "_out_chan")
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        owner,
+        latency_s: float,
+        name: str,
+        emit: Callable[[str, float, str, bytes], None],
+        out_chan: str,
+    ) -> None:
+        self._engine = engine
+        self.owner = owner
+        self.latency_s = latency_s
+        self.name = name
+        self.label = name
+        self.peer = None  # the far half is in another region
+        self.open = True
+        self.bytes_sent = 0
+        self.bytes_delivered = 0
+        self._emit = emit
+        self._out_chan = out_chan
+
+    def send(self, data: bytes) -> None:
+        if not self.open:
+            return
+        self.bytes_sent += len(data)
+        self._emit(self._out_chan, self._engine.now + self.latency_s,
+                   OP_DATA, bytes(data))
+
+    def close(self) -> None:
+        if not self.open:
+            return
+        self.open = False
+        self._emit(self._out_chan, self._engine.now + self.latency_s,
+                   OP_CLOSE, b"")
+
+    # Inbound side, invoked by the region dispatcher at the arrival time.
+    def _deliver(self, data: bytes) -> None:
+        if not self.open:
+            return
+        self.bytes_delivered += len(data)
+        self.owner.bytes_received(self, data)
+
+    def _peer_closed(self) -> None:
+        if not self.open:
+            return
+        self.open = False
+        self.owner.channel_closed(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.open else "closed"
+        return f"<BoundaryControlChannel {self.name} {state}>"
+
+
+# --------------------------------------------------------------------- #
+# Region protocol
+# --------------------------------------------------------------------- #
+
+class ShardRegion:
+    """Base for one shard-executable region of a simulation.
+
+    Subclasses (the fabric builder in :mod:`repro.experiments.fabric`)
+    populate the engine/devices inside ``self.ctx``; this base carries the
+    message plumbing every region shares.
+    """
+
+    def __init__(self, rid: int, total_regions: int) -> None:
+        self.rid = rid
+        self.ctx = RegionContext()
+        self.engine = SimulationEngine()
+        self.engine.shards = total_regions
+        self.engine.shard_id = rid
+        self.outbox: List[Tuple[int, ShardMessage]] = []
+        self.messages_received = 0
+        self._out_seq = itertools.count()
+        #: chan -> BoundaryHalf for inbound boundary-link frames.
+        self.link_sinks: Dict[str, BoundaryHalf] = {}
+        #: chan -> BoundaryControlChannel for inbound control streams.
+        self.ctrl_sinks: Dict[str, BoundaryControlChannel] = {}
+        #: chan -> destination region id.
+        self.chan_dest: Dict[str, int] = {}
+
+    # -- outbound ------------------------------------------------------ #
+
+    def emit(self, chan: str, arrival: float, op: str, payload: bytes) -> None:
+        dest = self.route(chan)
+        self.engine.cross_shard_messages += 1
+        self.outbox.append(
+            (dest, (arrival, chan, next(self._out_seq), op, payload))
+        )
+
+    def route(self, chan: str) -> int:
+        return self.chan_dest[chan]
+
+    # -- inbound ------------------------------------------------------- #
+
+    def deliver(self, messages: Sequence[ShardMessage]) -> None:
+        """Schedule a barrier's worth of inbound messages.
+
+        Sorting by the full ``(arrival, chan, seq)`` key before scheduling
+        fixes the event-sequence assignment, which is what makes delivery
+        deterministic regardless of how the coordinator batched them.
+        """
+        with self.ctx:
+            for message in sorted(messages):
+                arrival, chan, _seq, op, payload = message
+                self.messages_received += 1
+                self.engine.schedule_at(arrival, self._dispatch, chan, op,
+                                        payload)
+
+    def _dispatch(self, chan: str, op: str, payload: bytes) -> None:
+        if op == OP_FRAME:
+            self.link_sinks[chan].deliver(payload)
+            return
+        if op == OP_OPEN:
+            self.control_opened(chan)
+            return
+        sink = self.ctrl_sinks.get(chan)
+        if sink is None:
+            return  # stream raced a teardown; bytes vanish like closed TCP
+        if op == OP_DATA:
+            sink._deliver(payload)
+        elif op == OP_CLOSE:
+            sink._peer_closed()
+
+    def control_opened(self, chan: str) -> None:
+        """Hook: a far region dialled a control connection (ctrl region)."""
+        raise NotImplementedError(
+            f"region {self.rid} received an unexpected control dial on {chan!r}"
+        )
+
+    # -- execution ----------------------------------------------------- #
+
+    def run_until(self, until: float) -> Tuple[List[Tuple[int, ShardMessage]], Optional[float]]:
+        """Advance this region's clock to ``until``; drain the outbox."""
+        with self.ctx:
+            self.engine.run(until=until)
+            out = self.outbox
+            self.outbox = []
+            next_time = self.engine.next_event_time()
+        return out, next_time
+
+    def collect(self) -> Dict[str, Any]:
+        """Region results (metrics, workload counters, trace events)."""
+        with self.ctx:
+            return self._collect()
+
+    def _collect(self) -> Dict[str, Any]:
+        return {"engine": self.engine.metrics()}
+
+
+# --------------------------------------------------------------------- #
+# Executors
+# --------------------------------------------------------------------- #
+
+def _build_regions(config: Dict[str, Any], rids: Sequence[int]) -> Dict[int, ShardRegion]:
+    # The builder lives with the experiment (it knows about controllers,
+    # workloads, fabrics); imported lazily to keep the sim layer free of
+    # upward dependencies at import time.
+    from repro.experiments.fabric import build_fabric_regions
+
+    return {region.rid: region for region in build_fabric_regions(config, rids)}
+
+
+class ShardWorkerSession:
+    """Per-process state behind the pool's ``shard_*`` tasks.
+
+    Lives inside a pool worker; the coordinator drives it with
+    ``shard_init`` / ``shard_epoch`` / ``shard_collect`` messages.  When
+    the pool wires peer queues, cross-shard messages travel directly
+    between workers at each barrier and the coordinator only sees tiny
+    control replies; without queues (legacy / single worker) the
+    coordinator routes messages through the epoch replies instead.
+    """
+
+    def __init__(self, peer_queues=None, peer_index: Optional[int] = None) -> None:
+        self.regions: Dict[int, ShardRegion] = {}
+        self.cpu_s = 0.0
+        self._peers = list(peer_queues) if peer_queues else None
+        self._index = peer_index
+        self._owner: Dict[int, int] = {}
+        self._round = 0
+        self._local_inbox: Dict[int, List[ShardMessage]] = {}
+        self._deferred: Dict[Tuple[int, int], Dict[int, List[ShardMessage]]] = {}
+
+    def handle(self, task: Dict[str, Any]) -> Dict[str, Any]:
+        op = task["op"]
+        if op == "shard_init":
+            started = time.process_time()
+            from repro.campaign.runner import reset_run_state
+
+            reset_run_state()
+            self.regions = _build_regions(task["config"], task["rids"])
+            self._owner = {
+                rid: worker
+                for worker, rids in enumerate(task.get("assignment") or [])
+                for rid in rids
+            }
+            self._round = 0
+            self._local_inbox = {}
+            self._deferred = {}
+            self.cpu_s += time.process_time() - started
+            return {"status": "ok", "rids": sorted(self.regions)}
+        if op == "shard_epoch":
+            started = time.process_time()
+            if self._peers is not None and len(self._peers) > 1:
+                reply = self._peer_epoch(task["until"])
+            else:
+                outbox, next_time = run_region_epoch(
+                    self.regions, task["until"], task.get("inbox") or {}
+                )
+                reply = {"status": "ok", "outbox": outbox,
+                         "next_time": next_time}
+            self.cpu_s += time.process_time() - started
+            return reply
+        if op == "shard_collect":
+            started = time.process_time()
+            results = {rid: region.collect()
+                       for rid, region in sorted(self.regions.items())}
+            self.cpu_s += time.process_time() - started
+            return {"status": "ok", "regions": results, "cpu_s": self.cpu_s}
+        raise ValueError(f"unknown shard op {op!r}")
+
+    def _peer_epoch(self, until: float) -> Dict[str, Any]:
+        """One barrier with peer-to-peer message exchange.
+
+        Every worker puts exactly one (possibly empty) batch per round on
+        every other worker's queue, so collecting one batch per peer for
+        the previous round is a complete exchange.  Queue puts are
+        asynchronous (a feeder thread flushes them), so a fast peer's
+        round ``r+1`` batch can arrive before a slow peer's round ``r``
+        one — ahead-of-round batches are parked in ``_deferred`` until
+        their round comes up.  ``deliver`` re-sorts by the total key
+        ``(t, chan, seq)``, so neither the sender interleaving nor the
+        merge order can leak into results.
+        """
+        inbox = self._local_inbox
+        self._local_inbox = {}
+        if self._round > 0:
+            want = self._round - 1
+            pending = set(range(len(self._peers))) - {self._index}
+            for sender in sorted(pending):
+                batch = self._deferred.pop((sender, want), None)
+                if batch is not None:
+                    pending.discard(sender)
+                    for rid, messages in batch.items():
+                        inbox.setdefault(rid, []).extend(messages)
+            while pending:
+                sender, round_no, batch = self._peers[self._index].get()
+                if round_no == want and sender in pending:
+                    pending.discard(sender)
+                    for rid, messages in batch.items():
+                        inbox.setdefault(rid, []).extend(messages)
+                elif round_no > want:
+                    self._deferred[(sender, round_no)] = batch
+                else:
+                    raise RuntimeError(
+                        f"shard worker {self._index} got a duplicate or "
+                        f"stale batch from worker {sender} for round "
+                        f"{round_no} while collecting round {want}"
+                    )
+        outbox, next_time = run_region_epoch(self.regions, until, inbox)
+        grouped: List[Dict[int, List[ShardMessage]]] = [
+            {} for _ in self._peers
+        ]
+        min_arrival: Optional[float] = None
+        for dest, message in outbox:
+            grouped[self._owner[dest]].setdefault(dest, []).append(message)
+            if min_arrival is None or message[0] < min_arrival:
+                min_arrival = message[0]
+        for worker, queue in enumerate(self._peers):
+            if worker != self._index:
+                queue.put((self._index, self._round, grouped[worker]))
+        # Messages between this worker's own regions stay local: they are
+        # delivered at the next barrier, exactly as a coordinator-routed
+        # round trip would have.
+        self._local_inbox = grouped[self._index]
+        self._round += 1
+        return {"status": "ok", "next_time": next_time,
+                "min_arrival": min_arrival, "sent": len(outbox)}
+
+
+def run_region_epoch(
+    regions: Dict[int, ShardRegion],
+    until: float,
+    inbox: Dict[int, List[ShardMessage]],
+) -> Tuple[List[Tuple[int, ShardMessage]], Optional[float]]:
+    """Deliver one barrier's messages and run every region to ``until``."""
+    outbox: List[Tuple[int, ShardMessage]] = []
+    next_time: Optional[float] = None
+    for rid in sorted(regions):
+        region = regions[rid]
+        messages = inbox.get(rid)
+        if messages:
+            region.deliver(messages)
+        out, region_next = region.run_until(until)
+        outbox.extend(out)
+        if region_next is not None:
+            next_time = region_next if next_time is None else min(next_time, region_next)
+    return outbox, next_time
+
+
+def assign_regions(
+    region_ids: Sequence[int],
+    weights: Dict[int, int],
+    shards: int,
+) -> List[List[int]]:
+    """Pack regions onto ``shards`` workers, heaviest first (LPT).
+
+    Purely an execution-grouping decision: any assignment produces the
+    same simulation results.
+    """
+    shards = max(1, min(shards, len(region_ids)))
+    bins: List[List[int]] = [[] for _ in range(shards)]
+    loads = [0] * shards
+    for rid in sorted(region_ids, key=lambda r: (-weights.get(r, 1), r)):
+        target = min(range(shards), key=lambda b: (loads[b], b))
+        bins[target].append(rid)
+        loads[target] += weights.get(rid, 1)
+    return [sorted(b) for b in bins]
+
+
+class ShardedSimulation:
+    """The conservative barrier coordinator.
+
+    ``shards <= 1`` executes every region inline (no IPC); ``shards > 1``
+    spreads regions over a persistent pool of worker processes (the
+    campaign runner's worker loop) and exchanges messages at each barrier.
+    """
+
+    def __init__(
+        self,
+        config: Dict[str, Any],
+        region_ids: Sequence[int],
+        weights: Dict[int, int],
+        lookahead: float,
+        horizon: float,
+        shards: int = 1,
+    ) -> None:
+        if lookahead <= 0:
+            raise ValueError(f"lookahead must be positive, got {lookahead!r}")
+        self.config = config
+        self.region_ids = list(region_ids)
+        self.weights = dict(weights)
+        self.lookahead = float(lookahead)
+        self.horizon = float(horizon)
+        self.shards = max(1, int(shards))
+        self.epochs = 0
+        self.messages = 0
+
+    def run(self) -> Dict[str, Any]:
+        wall_started = time.perf_counter()
+        cpu_started = time.process_time()
+        if self.shards <= 1:
+            payload = self._run_inline()
+        else:
+            payload = self._run_pooled()
+        payload["wall_s"] = time.perf_counter() - wall_started
+        payload["coordinator_cpu_s"] = time.process_time() - cpu_started
+        payload["epochs"] = self.epochs
+        payload["messages"] = self.messages
+        payload["shards"] = self.shards
+        payload["regions_count"] = len(self.region_ids)
+        return payload
+
+    # -- barrier loop shared by both executors ------------------------- #
+
+    def _barrier_loop(
+        self,
+        epoch: Callable[[float, Dict[int, List[ShardMessage]]],
+                        Tuple[Dict[int, List[ShardMessage]], Optional[float],
+                              Optional[float], int]],
+    ) -> None:
+        """Drive ``epoch(until, inbox)`` until the horizon.
+
+        The callback returns ``(next_inbox, next_time, pending_arrival,
+        sent)``: the messages the coordinator must route at the next
+        barrier (empty when workers exchange peer-to-peer), the earliest
+        local event any region still holds, the earliest arrival among
+        the messages produced this epoch, and how many were produced.
+        """
+        lookahead = self.lookahead
+        horizon = self.horizon
+        inbox: Dict[int, List[ShardMessage]] = {}
+        k = 0
+        while True:
+            until = min((k + 1) * lookahead, horizon)
+            inbox, next_time, pending_arrival, sent = epoch(until, inbox)
+            self.epochs += 1
+            self.messages += sent
+            if until >= horizon:
+                break
+            wake = next_time
+            if pending_arrival is not None and (wake is None or pending_arrival < wake):
+                wake = pending_arrival
+            if wake is None:
+                # Globally idle with nothing in flight: jump to the end so
+                # every clock lands on the horizon.
+                k = max(k + 1, int(horizon / lookahead))
+                continue
+            # The epoch whose (k+1)*L boundary first covers `wake`.
+            k = max(k + 1, -int(-wake / lookahead) - 1)
+
+    # -- inline -------------------------------------------------------- #
+
+    def _run_inline(self) -> Dict[str, Any]:
+        regions = _build_regions(self.config, self.region_ids)
+
+        def epoch(until, inbox):
+            outbox, next_time = run_region_epoch(regions, until, inbox)
+            next_inbox: Dict[int, List[ShardMessage]] = {}
+            pending_arrival: Optional[float] = None
+            for dest, message in outbox:
+                next_inbox.setdefault(dest, []).append(message)
+                if pending_arrival is None or message[0] < pending_arrival:
+                    pending_arrival = message[0]
+            return next_inbox, next_time, pending_arrival, len(outbox)
+
+        self._barrier_loop(epoch)
+        results = {rid: region.collect()
+                   for rid, region in sorted(regions.items())}
+        return {"regions": results, "worker_cpu_s": []}
+
+    # -- pooled -------------------------------------------------------- #
+
+    def _run_pooled(self) -> Dict[str, Any]:
+        from repro.campaign.runner import ShardWorkerPool
+
+        assignment = assign_regions(self.region_ids, self.weights, self.shards)
+        pool = ShardWorkerPool(len(assignment))
+        try:
+            pool.init(self.config, assignment)
+
+            def epoch(until, inbox):
+                # Workers exchange messages peer-to-peer; the replies
+                # carry only barrier control data.
+                replies = pool.epoch(until)
+                next_time: Optional[float] = None
+                pending_arrival: Optional[float] = None
+                sent = 0
+                for reply in replies:
+                    worker_next = reply["next_time"]
+                    if worker_next is not None and (
+                        next_time is None or worker_next < next_time
+                    ):
+                        next_time = worker_next
+                    arrival = reply["min_arrival"]
+                    if arrival is not None and (
+                        pending_arrival is None or arrival < pending_arrival
+                    ):
+                        pending_arrival = arrival
+                    sent += reply["sent"]
+                return {}, next_time, pending_arrival, sent
+
+            self._barrier_loop(epoch)
+            collected = pool.collect()
+            results: Dict[int, Dict[str, Any]] = {}
+            worker_cpu = []
+            for reply in collected:
+                results.update(reply["regions"])
+                worker_cpu.append(reply["cpu_s"])
+            return {
+                "regions": dict(sorted(results.items())),
+                "worker_cpu_s": worker_cpu,
+                "assignment": assignment,
+            }
+        finally:
+            pool.shutdown()

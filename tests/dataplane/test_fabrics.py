@@ -1,0 +1,219 @@
+"""Fabric generators: shapes, determinism, partitioning, validation."""
+
+import pytest
+
+from repro.dataplane import TopologyError
+from repro.dataplane.fabrics import (
+    cut_links,
+    fat_tree,
+    generate_fabric,
+    is_fabric_name,
+    leaf_spine,
+    partition_topology,
+    waxman,
+)
+
+
+# --------------------------------------------------------------------- #
+# Shapes
+# --------------------------------------------------------------------- #
+
+def test_fat_tree_k4_shape():
+    fabric = fat_tree(4)
+    # (k/2)^2 core + k pods of k switches; (k/2)^2 hosts per pod... k=4:
+    # 4 core + 4 pods * (2 edge + 2 agg) = 20 switches, 4 pods * 4 = 16 hosts.
+    assert fabric.switch_count == 20
+    assert fabric.host_count == 16
+    # Pod-major partition groups: one per pod plus one per core row.
+    assert len(fabric.groups) == 6
+    fabric.topology.validate()
+
+
+def test_fat_tree_k10_crosses_one_hundred_switches():
+    fabric = fat_tree(10)
+    # (k/2)^2 + k*k = 25 + 100
+    assert fabric.switch_count == 125
+    assert fabric.host_count == 250
+    fabric.topology.validate()
+
+
+def test_fat_tree_rejects_bad_k():
+    with pytest.raises(TopologyError):
+        fat_tree(3)  # odd
+    with pytest.raises(TopologyError):
+        fat_tree(2)  # too small
+
+
+def test_leaf_spine_shape():
+    fabric = leaf_spine(8, 4, hosts_per_leaf=4)
+    assert fabric.switch_count == 12
+    assert fabric.host_count == 32
+    # Full bipartite leaf-spine mesh plus one link per host.
+    assert len(fabric.topology.links) == 8 * 4 + 32
+    fabric.topology.validate()
+
+
+def test_waxman_is_connected_and_validates():
+    fabric = waxman(24, 48, seed=3)
+    fabric.topology.validate()
+    # Connectivity: BFS from any switch reaches every other.
+    adjacency = {name: set() for name in fabric.topology.switches}
+    for link in fabric.topology.links:
+        if link.a in adjacency and link.b in adjacency:
+            adjacency[link.a].add(link.b)
+            adjacency[link.b].add(link.a)
+    start = next(iter(adjacency))
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        frontier = [
+            neighbor
+            for node in frontier
+            for neighbor in adjacency[node]
+            if neighbor not in seen and not seen.add(neighbor)
+        ]
+    assert seen == set(adjacency)
+
+
+def test_waxman_is_seed_deterministic():
+    first = waxman(16, 16, seed=7)
+    second = waxman(16, 16, seed=7)
+    different = waxman(16, 16, seed=8)
+    as_pairs = lambda fabric: [
+        (link.a, link.b) for link in fabric.topology.links
+    ]
+    assert as_pairs(first) == as_pairs(second)
+    assert as_pairs(first) != as_pairs(different)
+
+
+# --------------------------------------------------------------------- #
+# Name registry
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("name,switches", [
+    ("fat-tree-k4", 20),
+    ("leaf-spine-8x4", 12),
+    ("leaf-spine-8x4x2", 12),
+    ("waxman-s16-h16", 16),
+    ("waxman-s16-h16-seed9", 16),
+])
+def test_generate_fabric_by_name(name, switches):
+    assert is_fabric_name(name)
+    assert generate_fabric(name).switch_count == switches
+
+
+def test_generate_fabric_rejects_unknown_names():
+    for name in ("enterprise", "fat-tree", "fat-tree-k5", "waxman-s16"):
+        assert not is_fabric_name(name)
+        with pytest.raises(TopologyError):
+            generate_fabric(name)
+
+
+# --------------------------------------------------------------------- #
+# Partitioning
+# --------------------------------------------------------------------- #
+
+def test_partition_covers_all_devices_disjointly():
+    fabric = fat_tree(4)
+    partition = partition_topology(fabric.topology, 5, groups=fabric.groups)
+    everything = [name for devices in partition for name in devices]
+    assert len(everything) == len(set(everything))
+    assert set(everything) == (
+        set(fabric.topology.hosts) | set(fabric.topology.switches)
+    )
+
+
+def test_partition_keeps_hosts_with_their_edge_switch():
+    fabric = fat_tree(4)
+    partition = partition_topology(fabric.topology, 5, groups=fabric.groups)
+    owner = {
+        name: rid for rid, devices in enumerate(partition) for name in devices
+    }
+    for link in fabric.topology.links:
+        if link.a in fabric.topology.hosts:
+            assert owner[link.a] == owner[link.b]
+        if link.b in fabric.topology.hosts:
+            assert owner[link.b] == owner[link.a]
+
+
+def test_partition_is_deterministic():
+    fabric = fat_tree(6)
+    first = partition_topology(fabric.topology, 4, groups=fabric.groups)
+    second = partition_topology(fabric.topology, 4, groups=fabric.groups)
+    assert first == second
+
+
+def test_partition_without_groups_uses_bfs_growth():
+    fabric = waxman(20, 20, seed=1)
+    partition = partition_topology(fabric.topology, 4)
+    assert len(partition) == 4
+    assert all(devices for devices in partition)
+    assert cut_links(fabric.topology, partition) > 0
+
+
+def test_single_region_partition_has_no_cut_links():
+    fabric = fat_tree(4)
+    partition = partition_topology(fabric.topology, 1)
+    assert len(partition) == 1
+    assert cut_links(fabric.topology, partition) == 0
+
+
+# --------------------------------------------------------------------- #
+# Validation hardening (generators append LinkSpecs; validate() is the net)
+# --------------------------------------------------------------------- #
+
+def _tiny():
+    from repro.dataplane import Topology
+
+    topo = Topology("tiny")
+    topo.add_switch("s1")
+    topo.add_host("h1")
+    topo.add_host("h2")
+    topo.add_link("h1", "s1")
+    topo.add_link("h2", "s1")
+    return topo
+
+
+def test_validate_rejects_appended_duplicate_link():
+    topo = _tiny()
+    topo.links.append(topo.links[0])
+    with pytest.raises(TopologyError, match="duplicate link"):
+        topo.validate()
+
+
+def test_validate_rejects_appended_self_loop():
+    from repro.dataplane.topology import LinkSpec
+
+    topo = _tiny()
+    topo.links.append(LinkSpec("s1", 3, "s1", 4, 1e6, 0.001))
+    with pytest.raises(TopologyError, match="self-loop"):
+        topo.validate()
+
+
+def test_validate_rejects_port_referenced_twice():
+    from repro.dataplane.topology import LinkSpec
+
+    topo = _tiny()
+    topo.add_host("h3")
+    topo.links.append(LinkSpec("h3", None, "s1", 1, 1e6, 0.001))
+    with pytest.raises(TopologyError, match="referenced by two links"):
+        topo.validate()
+
+
+def test_validate_rejects_dangling_device_reference():
+    from repro.dataplane.topology import LinkSpec
+
+    topo = _tiny()
+    topo.links.append(LinkSpec("s1", 9, "ghost", 1, 1e6, 0.001))
+    with pytest.raises(TopologyError, match="unknown device"):
+        topo.validate()
+
+
+def test_validate_rejects_switch_endpoint_without_port():
+    from repro.dataplane.topology import LinkSpec
+
+    topo = _tiny()
+    topo.add_switch("s2")
+    topo.links.append(LinkSpec("s1", 5, "s2", None, 1e6, 0.001))
+    with pytest.raises(TopologyError, match="missing a port"):
+        topo.validate()

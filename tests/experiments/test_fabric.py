@@ -1,0 +1,158 @@
+"""Fabric experiments: routing, workloads, campaign integration."""
+
+from repro.campaign import CampaignSpec, ResultStore, run_campaign
+from repro.campaign.executors import execute_descriptor
+from repro.dataplane.fabrics import generate_fabric
+from repro.experiments.fabric import (
+    controller_routes,
+    fabric_config,
+    plan_fabric,
+    proactive_routes,
+    run_cell,
+    run_fabric_experiment,
+    workload_pairs,
+)
+
+
+# --------------------------------------------------------------------- #
+# Deterministic routing helpers
+# --------------------------------------------------------------------- #
+
+def test_workload_pairs_are_cross_pod():
+    fabric = generate_fabric("fat-tree-k4")
+    pairs = workload_pairs(fabric, 4)
+    assert len(pairs) == 4
+    for src, dst in pairs:
+        assert src.split("e")[0] != dst.split("e")[0]  # different pods
+
+
+def test_proactive_routes_cover_both_directions():
+    fabric = generate_fabric("fat-tree-k4")
+    pairs = workload_pairs(fabric, 2)
+    routes = proactive_routes(fabric.topology, pairs)
+    for src, dst in pairs:
+        src_mac = fabric.topology.hosts[src].mac
+        dst_mac = fabric.topology.hosts[dst].mac
+        forward = [s for s, table in routes.items()
+                   if any(mac == dst_mac for mac, _ in table)]
+        reverse = [s for s, table in routes.items()
+                   if any(mac == src_mac for mac, _ in table)]
+        # A k=4 cross-pod path: edge -> agg -> core -> agg -> edge.
+        assert len(forward) == 5
+        assert len(reverse) == 5
+
+
+def test_controller_routes_reach_every_host_from_every_switch():
+    fabric = generate_fabric("fat-tree-k4")
+    routes = controller_routes(fabric.topology)
+    assert len(routes) == fabric.switch_count
+    for table in routes.values():
+        assert len(table) == fabric.host_count
+
+
+def test_plan_is_a_pure_function_of_the_config():
+    config = fabric_config("fat-tree-k4", controller="floodlight")
+    first = plan_fabric(config)
+    second = plan_fabric(config)
+    assert first.partition == second.partition
+    assert first.owner == second.owner
+    assert first.weights == second.weights
+    assert first.ctrl_rid == len(first.partition)
+
+
+# --------------------------------------------------------------------- #
+# Workloads
+# --------------------------------------------------------------------- #
+
+def test_controllerless_udp_delivers_everything():
+    result = run_fabric_experiment("fat-tree-k4", pairs=4, packets=10)
+    assert result.packets_sent == 40
+    assert result.packets_delivered == 40
+    assert result.cross_shard_messages > 0
+    assert result.regions == 6  # 4 pods + 2 core rows
+
+
+def test_leaf_spine_udp_delivers_everything():
+    result = run_fabric_experiment("leaf-spine-4x2", pairs=4, packets=5)
+    assert result.packets_delivered == result.packets_sent == 20
+
+
+def test_controller_ping_installs_flows_and_answers():
+    result = run_fabric_experiment(
+        "fat-tree-k4", controller="floodlight", pairs=2, packets=2,
+    )
+    assert result.ping_received == result.ping_sent == 4
+    assert result.packet_ins > 0
+    assert result.flow_mods_seen > 0
+    assert result.flow_mods_dropped == 0
+    assert result.median_rtt_s is not None
+
+
+def test_suppression_attack_drops_flow_mods_but_floodlight_survives():
+    result = run_fabric_experiment(
+        "fat-tree-k4", controller="floodlight",
+        attack="flow-mod-suppression", pairs=2, packets=2,
+    )
+    # Floodlight releases buffered packets via PACKET_OUT, so pings still
+    # complete even though every FLOW_MOD is suppressed (the paper's
+    # degraded-but-alive case).
+    assert result.flow_mods_dropped > 0
+    assert result.ping_received == result.ping_sent
+
+
+def test_config_rejects_ping_without_controller():
+    import pytest
+
+    with pytest.raises(ValueError):
+        fabric_config("fat-tree-k4", workload="ping")
+
+
+# --------------------------------------------------------------------- #
+# Campaign integration
+# --------------------------------------------------------------------- #
+
+def test_execute_descriptor_runs_fabric_cells():
+    metrics = execute_descriptor({
+        "experiment": "fabric",
+        "topology": "fat-tree-k4",
+        "controller": "none",
+        "params": {"pairs": 2, "packets": 5},
+    })
+    assert metrics["experiment"] == "fabric"
+    assert metrics["topology"] == "fat-tree-k4"
+    assert metrics["packets_delivered"] == 10
+    assert metrics["delivery_rate"] == 1.0
+
+
+def test_run_cell_matches_direct_experiment():
+    direct = run_fabric_experiment("fat-tree-k4", pairs=2, packets=5).record()
+    via_cell = run_cell(topology="fat-tree-k4", pairs=2, packets=5)
+    for key in ("packets_sent", "packets_delivered", "cross_shard_messages",
+                "processed_events", "epochs"):
+        assert direct[key] == via_cell[key]
+
+
+def test_fabric_campaign_through_worker_processes(tmp_path):
+    """Fabric cells run inside campaign workers (which are daemonic, so
+    the sharded executor falls back to inline multi-region execution)."""
+    spec = CampaignSpec.from_dict({
+        "name": "fabric-smoke",
+        "experiment": "fabric",
+        "attacks": [None, "flow-mod-suppression"],
+        "controllers": ["floodlight"],
+        "topologies": ["fat-tree-k4"],
+        "seeds": [1],
+        "params": {"pairs": 2, "packets": 2, "shards": 2},
+        "timeout_s": 120.0,
+    })
+    store = ResultStore(tmp_path / "runs.jsonl")
+    summary = run_campaign(spec, store, workers=2)
+    assert summary.total == summary.succeeded == 2
+    records = store.ok_records()
+    by_attack = {r["attack"]: r["metrics"] for r in records}
+    assert by_attack[None]["flow_mods_dropped"] == 0
+    assert by_attack["flow-mod-suppression"]["flow_mods_dropped"] > 0
+    for metrics in by_attack.values():
+        assert metrics["ping_received"] == metrics["ping_sent"] > 0
+        # Daemonic campaign workers force the inline executor.
+        assert metrics["shards"] == 1

@@ -1,0 +1,181 @@
+"""Sharded-execution machinery: contexts, boundaries, packing, barriers."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.shard import (
+    OP_FRAME,
+    BoundaryHalf,
+    BoundaryTx,
+    RegionContext,
+    ShardRegion,
+    assign_regions,
+)
+
+
+# --------------------------------------------------------------------- #
+# RegionContext
+# --------------------------------------------------------------------- #
+
+def test_region_context_isolates_event_sequence():
+    from repro.sim.events import Event
+
+    outer = SimulationEngine()
+    outer.schedule(1.0, lambda: None)
+    outer_seq = Event._seq_counter
+
+    ctx = RegionContext()
+    with ctx:
+        inner = SimulationEngine()
+        first = inner.schedule(1.0, lambda: None)
+        second = inner.schedule(1.0, lambda: None)
+        # A fresh context starts its sequence from zero, regardless of
+        # how many events the outer simulation has created.
+        assert first.seq == 0
+        assert second.seq == 1
+    assert Event._seq_counter is outer_seq
+
+
+def test_region_context_isolates_xids():
+    from repro.openflow import messages as of_messages
+
+    before = of_messages._xid_next
+    ctx = RegionContext()
+    with ctx:
+        of_messages.next_xid()
+        of_messages.next_xid()
+    assert of_messages._xid_next == before
+    # The context remembers its own progress across entries.
+    assert ctx.xid_next == 3
+    with ctx:
+        assert of_messages.next_xid() == 3
+
+
+def test_region_context_is_not_reentrant():
+    ctx = RegionContext()
+    with ctx:
+        with pytest.raises(RuntimeError):
+            ctx.__enter__()
+
+
+# --------------------------------------------------------------------- #
+# Boundary link direction
+# --------------------------------------------------------------------- #
+
+def _region_with_boundary():
+    region = ShardRegion(0, 2)
+    tx = BoundaryTx(region.engine, 1e9, 0.001, 10, region.emit, "link:000000:a")
+    region.chan_dest["link:000000:a"] = 1
+    return region, tx
+
+
+def test_boundary_tx_emits_instead_of_delivering():
+    region, tx = _region_with_boundary()
+    with region.ctx:
+        assert tx.transmit(b"x" * 100)
+        region.engine.run(until=0.01)
+    assert len(region.outbox) == 1
+    dest, (arrival, chan, seq, op, payload) = region.outbox[0]
+    assert dest == 1
+    assert chan == "link:000000:a"
+    assert op == OP_FRAME
+    assert payload == b"x" * 100
+    # serialization (100 B at 1 Gb/s) + propagation latency
+    assert arrival == pytest.approx(100 * 8 / 1e9 + 0.001)
+    assert region.engine.cross_shard_messages == 1
+
+
+def test_boundary_tx_queue_drains_like_a_local_link():
+    region, tx = _region_with_boundary()
+    with region.ctx:
+        for _ in range(5):
+            assert tx.transmit(b"y" * 50)
+        assert tx.queued == 5
+        region.engine.run(until=0.05)
+        assert tx.queued == 0
+    assert len(region.outbox) == 5
+    arrivals = [message[0] for _, message in region.outbox]
+    assert arrivals == sorted(arrivals)
+    assert len(set(arrivals)) == 5  # back-to-back serialization, no overlap
+
+
+def test_boundary_half_routes_inbound_to_attached_receiver():
+    region, tx = _region_with_boundary()
+    half = BoundaryHalf(tx)
+    received = []
+    half.attach(received.append)
+    half.deliver(b"frame")
+    assert received == [b"frame"]
+
+
+def test_region_delivers_sorted_messages_to_sinks():
+    region, tx = _region_with_boundary()
+    half = BoundaryHalf(tx)
+    region.link_sinks["link:000001:b"] = half
+    received = []
+    half.attach(received.append)
+    # Deliberately unsorted batch: delivery must re-sort by (t, chan, seq).
+    region.deliver([
+        (0.004, "link:000001:b", 1, OP_FRAME, b"late"),
+        (0.002, "link:000001:b", 0, OP_FRAME, b"early"),
+    ])
+    with region.ctx:
+        region.engine.run(until=0.01)
+    assert received == [b"early", b"late"]
+    assert region.messages_received == 2
+
+
+# --------------------------------------------------------------------- #
+# Region -> shard packing
+# --------------------------------------------------------------------- #
+
+def test_assign_regions_is_lpt_by_weight():
+    assignment = assign_regions(
+        [0, 1, 2, 3], weights={0: 10, 1: 1, 2: 1, 3: 1}, shards=2
+    )
+    # The heavy region gets its own shard; the rest pack together.
+    assert assignment == [[0], [1, 2, 3]]
+
+
+def test_assign_regions_never_exceeds_region_count():
+    assignment = assign_regions([0, 1], weights={}, shards=8)
+    assert len(assignment) == 2
+    assert sorted(rid for rids in assignment for rid in rids) == [0, 1]
+
+
+def test_assign_regions_is_deterministic_under_ties():
+    first = assign_regions([3, 1, 2, 0], weights={}, shards=2)
+    second = assign_regions([0, 1, 2, 3], weights={}, shards=2)
+    assert first == second
+
+
+# --------------------------------------------------------------------- #
+# Engine metrics / compaction floor
+# --------------------------------------------------------------------- #
+
+def test_engine_metrics_report_shard_fields():
+    engine = SimulationEngine()
+    metrics = engine.metrics()
+    assert metrics["shards"] == 1
+    assert metrics["shard_id"] == 0
+    assert metrics["cross_shard_messages"] == 0
+
+    region = ShardRegion(2, 4)
+    metrics = region.engine.metrics()
+    assert metrics["shards"] == 4
+    assert metrics["shard_id"] == 2
+
+
+def test_barrier_loop_epoch_skip_on_sparse_timeline():
+    """A sparse workload (events every ~0.5 s, lookahead 1 ms) must not
+    grind through 500 empty barriers per event."""
+    from repro.experiments.fabric import run_fabric_experiment
+
+    result = run_fabric_experiment(
+        "leaf-spine-2x2", pairs=1, packets=3, interval_s=0.5,
+        horizon_s=2.0, shards=1,
+    )
+    assert result.packets_delivered == 3
+    # 2.0 s / 1 ms lookahead = 2000 naive epochs; the skip logic should
+    # need only a handful per packet exchange.
+    assert result.epochs < 200

@@ -1,0 +1,82 @@
+"""Shard-count invariance: the tentpole determinism contract.
+
+The same fabric run must produce byte-identical merged trace exports and
+identical metrics whether its regions execute inline in one process or
+spread across any number of pool workers.  Suppression and interruption
+attacks are both exercised — the injector, proxies, and control-plane
+boundary channels all sit on the sharded path.
+"""
+
+import pytest
+
+from repro.campaign import reset_run_state
+from repro.experiments.fabric import run_fabric_experiment
+
+
+def _run(shards, **kwargs):
+    reset_run_state()
+    return run_fabric_experiment(
+        "fat-tree-k4", controller="floodlight", pairs=4, packets=3,
+        shards=shards, trace=True, **kwargs,
+    )
+
+
+def _comparable(result):
+    metrics = result.record()
+    for key in ("shards", "wall_s", "wall_packets_per_sec",
+                "capacity_packets_per_sec"):
+        metrics.pop(key)
+    return metrics
+
+
+def test_suppression_attack_is_shard_invariant():
+    inline = _run(1, attack="flow-mod-suppression")
+    pooled = _run(3, attack="flow-mod-suppression")
+    assert inline.trace_jsonl == pooled.trace_jsonl
+    assert inline.trace_events == pooled.trace_events > 0
+    assert _comparable(inline) == _comparable(pooled)
+    assert inline.flow_mods_dropped > 0  # the attack actually fired
+
+
+def test_interruption_attack_is_shard_invariant():
+    # The Fig. 12 interruption attack, retargeted at the first workload
+    # pair's edge switch: FLOW_MODs for pings from p00e00h00 toward its
+    # partner trip the state machine.
+    from repro.dataplane.fabrics import generate_fabric
+
+    hosts = generate_fabric("fat-tree-k4").topology.hosts
+    params = {
+        "connection": ("c1", "p00e00"),
+        "trigger_source_ip": str(hosts["p00e00h00"].ip),
+        "protected_destination_ips": [str(hosts["p02e00h00"].ip)],
+    }
+    inline = _run(1, attack="connection-interruption", attack_params=params)
+    pooled = _run(4, attack="connection-interruption", attack_params=params)
+    assert inline.trace_jsonl == pooled.trace_jsonl
+    assert _comparable(inline) == _comparable(pooled)
+    assert inline.flow_mods_dropped > 0  # the state machine reached phi2
+
+
+def test_unattacked_controller_run_is_shard_invariant():
+    inline = _run(1)
+    pooled = _run(2)
+    assert inline.trace_jsonl == pooled.trace_jsonl
+    assert inline.ping_received == inline.ping_sent > 0
+
+
+def test_controllerless_udp_run_is_shard_invariant():
+    reset_run_state()
+    inline = run_fabric_experiment("fat-tree-k4", pairs=4, packets=10,
+                                   shards=1, trace=True)
+    reset_run_state()
+    pooled = run_fabric_experiment("fat-tree-k4", pairs=4, packets=10,
+                                   shards=2, trace=True)
+    assert inline.trace_jsonl == pooled.trace_jsonl
+    assert _comparable(inline) == _comparable(pooled)
+    assert inline.packets_delivered == inline.packets_sent == 40
+
+
+def test_rerun_same_config_is_byte_identical():
+    first = _run(2)
+    second = _run(2)
+    assert first.trace_jsonl == second.trace_jsonl

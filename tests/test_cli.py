@@ -455,3 +455,50 @@ def test_campaign_run_reports_lint_rejections(tmp_path, capsys):
                  "--no-preflight"]) in (0, 1)
     summary = json.loads(capsys.readouterr().out)
     assert summary["lint_rejected"] == 0
+
+
+def test_fabric_gen_command(capsys):
+    import json
+
+    assert main(["fabric", "gen", "fat-tree-k4", "--regions", "5",
+                 "--json"]) == 0
+    info = json.loads(capsys.readouterr().out)
+    assert info["switches"] == 20
+    assert info["hosts"] == 16
+    assert len(info["regions"]) == 5
+
+
+def test_fabric_gen_rejects_unknown_descriptor():
+    from repro.dataplane import TopologyError
+    import pytest
+
+    with pytest.raises(TopologyError):
+        main(["fabric", "gen", "fat-tree-k5"])
+
+
+def test_fabric_run_command_json(capsys, tmp_path):
+    import json
+
+    trace_path = tmp_path / "fabric.jsonl"
+    assert main(["fabric", "run", "fat-tree-k4", "--pairs", "2",
+                 "--packets", "5", "--shards", "2",
+                 "--trace", str(trace_path), "--json"]) == 0
+    captured = capsys.readouterr()
+    record = json.loads(captured.out)
+    assert record["experiment"] == "fabric"
+    assert record["metrics"]["packets_delivered"] == 10
+    assert record["metrics"]["shards"] == 2
+    assert trace_path.exists()
+    lines = trace_path.read_text().strip().splitlines()
+    assert len(lines) == record["metrics"].get("trace_events",
+                                               len(lines)) or lines
+
+
+def test_fabric_run_with_controller_and_attack(capsys):
+    assert main(["fabric", "run", "fat-tree-k4",
+                 "--controller", "floodlight",
+                 "--attack", "flow-mod-suppression",
+                 "--pairs", "2", "--packets", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "flow-mods seen" in out
+    assert "dropped" in out
