@@ -44,12 +44,14 @@ def _ensure_builtin_executors() -> None:
         run_fabric_cell,
         run_interruption_cell,
         run_suppression_cell,
+        run_workload_cell,
     )
 
     _EXECUTORS.setdefault("suppression", run_suppression_cell)
     _EXECUTORS.setdefault("interruption", run_interruption_cell)
     _EXECUTORS.setdefault("compliance", run_compliance_cell)
     _EXECUTORS.setdefault("fabric", run_fabric_cell)
+    _EXECUTORS.setdefault("workload", run_workload_cell)
     _EXECUTORS.setdefault("selfcheck", _selfcheck_cell)
 
 
@@ -135,8 +137,8 @@ def execute_descriptor(descriptor: Dict[str, object],
     )
     if experiment == "selfcheck":
         kwargs["attempt"] = attempt
-    if experiment == "fabric":
-        # Fabric cells take the generated-fabric descriptor by name
+    if experiment in ("fabric", "workload"):
+        # These cells take the generated-fabric descriptor by name
         # (fat-tree-k8, leaf-spine-8x4, waxman-s64-h128, ...).
         kwargs["topology"] = topology
     if experiment == "compliance":

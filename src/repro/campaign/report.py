@@ -100,6 +100,18 @@ def _aggregate_cell(cell: CellSummary,
         metrics["checks_total"] = _mean(series("checks_total"))
         metrics["checks_passed"] = _mean(series("checks_passed"))
         metrics["all_passed_rate"] = rate("all_passed")
+    elif cell.experiment in ("fabric", "workload"):
+        # Table-pressure and PACKET_IN-storm metrics (PR 7 workloads).
+        metrics["packets_synthesized"] = _mean(series("packets_synthesized"))
+        metrics["packets_delivered"] = _mean(series("packets_delivered"))
+        metrics["delivery_rate"] = _mean(series("delivery_rate"))
+        metrics["packet_in_rate"] = _mean(series("packet_in_rate"))
+        metrics["table_occupancy_peak"] = _mean(series("table_occupancy_peak"))
+        metrics["evictions_capacity"] = _mean(series("evictions_capacity"))
+        metrics["evictions_idle"] = _mean(series("evictions_idle"))
+        metrics["evictions_hard"] = _mean(series("evictions_hard"))
+        metrics["flow_mods_seen"] = _mean(series("flow_mods_seen"))
+        metrics["median_rtt_ms"] = _mean(series("median_rtt_ms"))
     else:  # unknown harness: surface whatever numeric metrics exist
         for name in sorted({k for p in payloads for k in p}):
             values = series(name)
@@ -188,6 +200,8 @@ class CampaignReport:
             return self._render_suppression(cells)
         if experiment == "interruption":
             return self._render_interruption(cells)
+        if experiment in ("fabric", "workload"):
+            return self._render_workload(experiment, cells)
         return self._render_generic(experiment, cells)
 
     def _render_suppression(self, cells: List[CellSummary]) -> List[str]:
@@ -231,6 +245,27 @@ class CampaignReport:
                 f"{_num(m.get('unauthorized_window_s'), '{:.1f}'):>9} "
                 f"{m.get('denial_of_service_rate', 0):>5.0%} "
                 f"{m.get('interruption_rate', 0):>5.0%}"
+            )
+        return lines
+
+    def _render_workload(self, experiment: str,
+                         cells: List[CellSummary]) -> List[str]:
+        header = (f"{'attack':<22} {'controller':<11} {'fail':<10} "
+                  f"{'seeds':>5} {'synth':>8} {'pktin/s':>9} "
+                  f"{'occ pk':>7} {'ev cap':>8} {'ev idle':>8} {'deliv':>6}")
+        lines = [f"{experiment} harness (flow-table / PACKET_IN pressure)",
+                 header, "-" * len(header)]
+        for cell in cells:
+            m = cell.metrics
+            lines.append(
+                f"{cell.attack or 'baseline':<22} {cell.controller:<11} "
+                f"{cell.fail_mode:<10} {len(cell.seeds):>5} "
+                f"{_num(m.get('packets_synthesized'), '{:.0f}'):>8} "
+                f"{_num(m.get('packet_in_rate'), '{:.1f}'):>9} "
+                f"{_num(m.get('table_occupancy_peak'), '{:.0f}'):>7} "
+                f"{_num(m.get('evictions_capacity'), '{:.0f}'):>8} "
+                f"{_num(m.get('evictions_idle'), '{:.0f}'):>8} "
+                f"{_num(m.get('delivery_rate'), '{:.0%}'):>6}"
             )
         return lines
 

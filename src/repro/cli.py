@@ -269,6 +269,95 @@ def _cmd_fabric_run(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------- #
+# Adversarial workloads
+# ---------------------------------------------------------------------- #
+
+
+def _cmd_workload_list(args: argparse.Namespace) -> int:
+    from repro.workloads import list_sources
+
+    sources = list_sources()
+    if args.json:
+        print(json.dumps(sources, indent=2, sort_keys=True))
+        return 0
+    width = max(len(s["name"]) for s in sources)
+    for source in sources:
+        needs = " [needs controller]" if source["needs_controller"] else ""
+        print(f"{source['name']:<{width}}  {source['description']}{needs}")
+    return 0
+
+
+def _cmd_workload_run(args: argparse.Namespace) -> int:
+    from repro.experiments.fabric import run_fabric_experiment
+
+    workload_params = {}
+    if args.schedule:
+        workload_params["schedule"] = args.schedule
+    if args.senders is not None:
+        workload_params["senders"] = args.senders
+    if args.duration is not None:
+        workload_params["duration_s"] = args.duration
+    if args.keys is not None:
+        workload_params["keys"] = args.keys
+    if args.spoof_macs is not None:
+        workload_params["spoof_macs"] = args.spoof_macs
+    started = time.time()
+    result = run_fabric_experiment(
+        topology=args.topology,
+        controller=None if args.controller == "none" else args.controller,
+        attack=args.attack,
+        fail_mode=args.fail_mode,
+        seed=args.seed,
+        shards=args.shards,
+        workload=args.source,
+        workload_params=workload_params,
+        table_capacity=args.table_capacity,
+        table_eviction=args.table_eviction,
+        trace=bool(args.trace),
+    )
+    if args.trace:
+        from pathlib import Path
+
+        path = Path(args.trace)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(result.trace_jsonl or "", encoding="utf-8")
+        print(f"trace: {result.trace_events} event(s) -> {path}",
+              file=sys.stderr)
+    metrics = dict(result.record(), experiment="workload")
+    if args.json:
+        _print_run_record("workload", args.attack,
+                          args.controller, args.fail_mode, args.seed,
+                          {"topology": args.topology, "workload": args.source,
+                           "shards": args.shards},
+                          metrics, time.time() - started)
+        return 0
+    print(f"{args.source} on {result.fabric}: {result.switches} switches / "
+          f"{result.hosts} hosts on {result.shards} shard(s)")
+    print(f"synthesized {result.packets_synthesized} frames over "
+          f"{result.sim_duration_s:.2f}s sim")
+    if result.packets_sent:
+        print(f"udp: {result.packets_delivered}/{result.packets_sent} "
+              f"delivered ({100 * result.delivery_rate:.1f}%)")
+    if result.controller:
+        print(f"control: {result.switch_packet_ins} PACKET_INs "
+              f"({result.packet_in_rate:.0f}/s), "
+              f"{result.flow_mods_seen} flow-mods seen")
+    evictions = {
+        "capacity": result.evictions_capacity,
+        "idle": result.evictions_idle,
+        "hard": result.evictions_hard,
+        "delete": result.evictions_delete,
+    }
+    counted = ", ".join(f"{k} x{v}" for k, v in evictions.items() if v)
+    print(f"tables: occupancy peak {result.table_occupancy_peak}, "
+          f"{result.table_misses} misses"
+          + (f", evictions: {counted}" if counted else ", no evictions"))
+    print(f"wall {result.wall_s:.2f}s, "
+          f"{result.processed_events} events across {result.epochs} epochs")
+    return 0
+
+
+# ---------------------------------------------------------------------- #
 # Campaigns
 # ---------------------------------------------------------------------- #
 
@@ -603,7 +692,8 @@ def build_parser() -> argparse.ArgumentParser:
     fabric_run.add_argument("--shards", type=int, default=1,
                             help="worker processes executing the regions")
     fabric_run.add_argument("--workload", default=None,
-                            choices=("udp", "ping"))
+                            help="udp, ping, or a registered traffic "
+                                 "source (see `repro workload list`)")
     fabric_run.add_argument("--pairs", type=int, default=4,
                             help="communicating host pairs")
     fabric_run.add_argument("--packets", type=int, default=None,
@@ -615,6 +705,58 @@ def build_parser() -> argparse.ArgumentParser:
     fabric_run.add_argument("--json", action="store_true",
                             help="emit the run record as JSON")
     fabric_run.set_defaults(handler=_cmd_fabric_run)
+
+    workload = subparsers.add_parser(
+        "workload",
+        help="run adversarial traffic generators (floods, table overflow)")
+    workload_sub = workload.add_subparsers(dest="workload_command",
+                                           required=True)
+
+    workload_list = workload_sub.add_parser(
+        "list", help="list the registered traffic sources")
+    workload_list.add_argument("--json", action="store_true",
+                               help="emit the source table as JSON")
+    workload_list.set_defaults(handler=_cmd_workload_list)
+
+    workload_run = workload_sub.add_parser(
+        "run", help="drive one traffic source on a generated fabric")
+    workload_run.add_argument("source",
+                              help="traffic source name (see `workload list`)")
+    workload_run.add_argument("--topology", default="fat-tree-k4",
+                              help="fabric descriptor (default fat-tree-k4)")
+    workload_run.add_argument("--controller", default="none",
+                              choices=("none",) + CONTROLLERS)
+    workload_run.add_argument("--attack", default=None,
+                              help="registry attack composed on the control "
+                                   "channel")
+    workload_run.add_argument("--fail-mode", default="secure",
+                              choices=("secure", "insecure"))
+    workload_run.add_argument("--seed", type=int, default=0)
+    workload_run.add_argument("--shards", type=int, default=1,
+                              help="worker processes executing the regions")
+    workload_run.add_argument("--schedule", default=None,
+                              help="rate schedule: constant:PPS, "
+                                   "ramp:START:END:DUR, "
+                                   "burst:PEAK:BASE:PERIOD:DUTY, "
+                                   "onoff:PPS:ON:OFF")
+    workload_run.add_argument("--senders", type=int, default=None,
+                              help="sending hosts (default: fabric pairs)")
+    workload_run.add_argument("--duration", type=float, default=None,
+                              help="emission window in simulated seconds")
+    workload_run.add_argument("--keys", type=int, default=None,
+                              help="distinct flow keys (table-overflow)")
+    workload_run.add_argument("--spoof-macs", type=int, default=None,
+                              help="spoofed MAC pool size, 0=fresh each "
+                                   "packet (packetin-flood)")
+    workload_run.add_argument("--table-capacity", type=int, default=None,
+                              help="bound every switch flow table")
+    workload_run.add_argument("--table-eviction", default="refuse",
+                              choices=("refuse", "lru", "fifo"))
+    workload_run.add_argument("--trace", metavar="PATH", default=None,
+                              help="write the merged region trace to PATH")
+    workload_run.add_argument("--json", action="store_true",
+                              help="emit the run record as JSON")
+    workload_run.set_defaults(handler=_cmd_workload_run)
 
     campaign = subparsers.add_parser(
         "campaign",

@@ -126,16 +126,35 @@ def _wild_sort_key(entry: FlowEntry) -> Tuple[int, int]:
     return (-entry.priority, entry.order)
 
 
+#: How a full table treats a new ADD.  ``refuse`` mirrors stock OVS v1.9
+#: (OFPFMFC_ALL_TABLES_FULL error); ``lru``/``fifo`` model the eviction
+#: behaviour overflow attacks probe for ("An Inference Attack Model for
+#: Flow Table Capacity and Usage").
+EVICTION_POLICIES = ("refuse", "lru", "fifo")
+
+
 class FlowTable:
     """A single OF 1.0 flow table (OVS v1.9 exposed one to OpenFlow 1.0)."""
 
-    def __init__(self, max_entries: int = 65536, indexed: bool = True) -> None:
+    def __init__(
+        self,
+        max_entries: int = 65536,
+        indexed: bool = True,
+        eviction: str = "refuse",
+    ) -> None:
+        if eviction not in EVICTION_POLICIES:
+            raise ValueError(
+                f"unknown eviction policy {eviction!r}; choose from {EVICTION_POLICIES}"
+            )
         self.max_entries = max_entries
+        self.eviction = eviction
         self.entries: List[FlowEntry] = []
         self.indexed = indexed
         self.lookups = 0
         self.matched = 0
         self.lookup_fast_hits = 0
+        self.capacity_evictions = 0
+        self.occupancy_peak = 0
         self._exact: Dict[Tuple[Any, ...], List[FlowEntry]] = {}
         self._wild: List[FlowEntry] = []
 
@@ -183,7 +202,10 @@ class FlowTable:
         """Apply a FLOW_MOD; return (removed_entries, table_full).
 
         Removed entries are returned so the switch can emit FLOW_REMOVED
-        messages for DELETE commands when entries requested it.
+        messages when entries requested it.  For DELETE commands they are
+        the deleted entries; for ADD against a full table under an
+        ``lru``/``fifo`` policy they are the capacity-eviction victims.
+        ``table_full`` is only ever True under the ``refuse`` policy.
         """
         command = flow_mod.command
         if command == FlowModCommand.ADD:
@@ -205,8 +227,15 @@ class FlowTable:
         for entry in replaced:
             self.entries.remove(entry)
             self._index_remove(entry)
-        if len(self.entries) >= self.max_entries:
-            return [], True
+        evicted: List[FlowEntry] = []
+        while len(self.entries) >= self.max_entries:
+            victim = self._eviction_victim()
+            if victim is None:
+                return [], True
+            self.entries.remove(victim)
+            self._index_remove(victim)
+            self.capacity_evictions += 1
+            evicted.append(victim)
         entry = FlowEntry(
             flow_mod.match,
             flow_mod.priority,
@@ -219,7 +248,22 @@ class FlowTable:
         )
         self.entries.append(entry)
         self._index_add(entry)
-        return [], False
+        if len(self.entries) > self.occupancy_peak:
+            self.occupancy_peak = len(self.entries)
+        return evicted, False
+
+    def _eviction_victim(self) -> Optional[FlowEntry]:
+        """The entry a full table sacrifices for a new ADD, or None (refuse).
+
+        LRU picks the least-recently-used entry (install time counts as a
+        use); FIFO the earliest-installed.  Ties break on install order,
+        so the choice is deterministic for a deterministic workload.
+        """
+        if self.eviction == "refuse" or not self.entries:
+            return None
+        if self.eviction == "lru":
+            return min(self.entries, key=lambda e: (e.last_used, e.order))
+        return min(self.entries, key=lambda e: e.order)
 
     def _modify(self, flow_mod: FlowMod, now: float, strict: bool) -> Tuple[List[FlowEntry], bool]:
         # Only actions/cookie change — match and priority stay, so the

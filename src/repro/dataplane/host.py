@@ -382,6 +382,19 @@ class Host:
         self.stats["tx_frames"] += 1
         self._transmit(frame.pack())
 
+    def inject_frame(self, data: bytes) -> None:
+        """Put pre-packed frame bytes on the wire as-is.
+
+        The traffic-generator subsystem synthesizes frames from templates
+        (``repro.workloads``) — including spoofed source MACs/IPs the
+        normal stack would never emit — so they bypass ARP resolution and
+        EthernetFrame re-packing entirely.
+        """
+        if self._transmit is None:
+            raise RuntimeError(f"host {self.name} is not attached to a link")
+        self.stats["tx_frames"] += 1
+        self._transmit(data)
+
     # ------------------------------------------------------------------ #
     # ARP + IP send path
     # ------------------------------------------------------------------ #

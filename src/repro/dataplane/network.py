@@ -47,6 +47,8 @@ class Network:
         fail_mode: FailMode = FailMode.SECURE,
         include: Optional[set] = None,
         boundary: Optional[BoundaryFactory] = None,
+        table_capacity: Optional[int] = None,
+        table_eviction: str = "refuse",
     ) -> None:
         topology.validate()
         # A new network is a new run: drop interned frames from earlier
@@ -70,7 +72,9 @@ class Network:
         for spec in topology.switches.values():
             if included is None or spec.name in included:
                 self.switches[spec.name] = OpenFlowSwitch(
-                    engine, spec.name, spec.datapath_id, fail_mode=fail_mode
+                    engine, spec.name, spec.datapath_id, fail_mode=fail_mode,
+                    table_capacity=table_capacity,
+                    table_eviction=table_eviction,
                 )
         for index, link_spec in enumerate(topology.links):
             a_in = included is None or link_spec.a in included

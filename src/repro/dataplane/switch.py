@@ -130,13 +130,18 @@ class OpenFlowSwitch:
         name: str,
         datapath_id: int,
         fail_mode: FailMode = FailMode.SECURE,
+        table_capacity: Optional[int] = None,
+        table_eviction: str = "refuse",
     ) -> None:
         self.engine = engine
         self.name = name
         self.datapath_id = datapath_id
         self.fail_mode = fail_mode
 
-        self.flow_table = FlowTable()
+        self.flow_table = FlowTable(
+            max_entries=table_capacity if table_capacity else 65536,
+            eviction=table_eviction,
+        )
         self._ports: Dict[int, Callable[[bytes], None]] = {}
         self._port_up: Dict[int, bool] = {}
 
@@ -167,6 +172,10 @@ class OpenFlowSwitch:
             "packet_outs_received": 0,
             "flow_mods_received": 0,
             "flow_removed_sent": 0,
+            "evictions_idle": 0,
+            "evictions_hard": 0,
+            "evictions_capacity": 0,
+            "evictions_delete": 0,
             "dropped_no_controller": 0,
             "dropped_no_buffer_release": 0,
             "standalone_forwards": 0,
@@ -387,19 +396,33 @@ class OpenFlowSwitch:
                 self.stats["echo_requests_sent"] += 1
                 self._send_on(link, EchoRequest(payload=b"ovs-probe"))
 
+    def _note_eviction(self, entry, reason: str) -> None:
+        """Single exit point for every flow-removal path.
+
+        Counts the eviction by reason (``idle``/``hard``/``capacity``/
+        ``delete``) and emits a ``flow_evict`` trace record carrying the
+        reason plus the table occupancy after the removal, so overflow
+        campaigns can reconstruct occupancy curves from the trace alone.
+        """
+        key = "evictions_" + reason
+        if key in self.stats:
+            self.stats[key] += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "flow_evict",
+                switch=self.name,
+                reason=reason,
+                priority=entry.priority,
+                match=str(entry.match),
+                size=len(self.flow_table),
+            )
+
     def _expiry_tick(self) -> None:
         if self._started:
             self.engine.schedule(self.EXPIRY_TICK, self._expiry_tick)
         now = self.engine.now
         for entry, reason in self.flow_table.expire(now):
-            if self.tracer is not None:
-                self.tracer.emit(
-                    "flow_evict",
-                    switch=self.name,
-                    reason=reason,
-                    priority=entry.priority,
-                    match=str(entry.match),
-                )
+            self._note_eviction(entry, reason)
             if entry.sends_flow_removed and self.connected:
                 self.stats["flow_removed_sent"] += 1
                 duration = max(0.0, now - entry.install_time)
@@ -505,9 +528,11 @@ class OpenFlowSwitch:
         applied before the first packet, minus the control connection.
         """
         flow_mod = FlowMod(match, priority=priority, actions=list(actions))
-        _removed, full = self.flow_table.apply_flow_mod(flow_mod, self.engine.now)
+        removed, full = self.flow_table.apply_flow_mod(flow_mod, self.engine.now)
         if full:
             raise RuntimeError(f"flow table full on switch {self.name!r}")
+        for entry in removed:
+            self._note_eviction(entry, "capacity")
 
     def _handle_flow_mod(self, link: _ControlLink, flow_mod: FlowMod) -> None:
         self.stats["flow_mods_received"] += 1
@@ -516,27 +541,22 @@ class OpenFlowSwitch:
             self._send_on(link, ErrorMessage(3, 0, flow_mod.pack()[:64],
                                              xid=flow_mod.xid))
             return
-        if self.tracer is not None:
-            if flow_mod.command in (FlowModCommand.ADD,
-                                    FlowModCommand.MODIFY,
-                                    FlowModCommand.MODIFY_STRICT):
-                self.tracer.emit(
-                    "flow_install",
-                    switch=self.name,
-                    command=flow_mod.command.name,
-                    priority=flow_mod.priority,
-                    match=str(flow_mod.match),
-                    xid=flow_mod.xid,
-                )
-            for entry in removed:
-                self.tracer.emit(
-                    "flow_evict",
-                    switch=self.name,
-                    reason="delete",
-                    priority=entry.priority,
-                    match=str(entry.match),
-                )
+        deleting = flow_mod.command in (FlowModCommand.DELETE,
+                                        FlowModCommand.DELETE_STRICT)
+        if self.tracer is not None and not deleting:
+            self.tracer.emit(
+                "flow_install",
+                switch=self.name,
+                command=flow_mod.command.name,
+                priority=flow_mod.priority,
+                match=str(flow_mod.match),
+                xid=flow_mod.xid,
+                size=len(self.flow_table),
+            )
         for entry in removed:
+            # ADD against a full lru/fifo table returns the capacity
+            # victims; DELETE returns the deleted entries.
+            self._note_eviction(entry, "delete" if deleting else "capacity")
             if entry.sends_flow_removed:
                 self.stats["flow_removed_sent"] += 1
                 self._send(

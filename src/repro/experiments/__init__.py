@@ -33,6 +33,7 @@ from repro.experiments.suppression import (
 )
 from repro.experiments.suppression import run_cell as run_suppression_cell
 from repro.experiments.syscmd import HostCommandRouter
+from repro.experiments.workload import run_cell as run_workload_cell
 
 __all__ = [
     "ComplianceReport",
@@ -56,4 +57,5 @@ __all__ = [
     "run_interruption_experiment",
     "run_suppression_cell",
     "run_suppression_experiment",
+    "run_workload_cell",
 ]

@@ -86,6 +86,9 @@ def fabric_config(
     start_s: Optional[float] = None,
     horizon_s: Optional[float] = None,
     attack_params: Optional[Dict[str, Any]] = None,
+    workload_params: Optional[Dict[str, Any]] = None,
+    table_capacity: Optional[int] = None,
+    table_eviction: str = "refuse",
     trace: bool = False,
     trace_capacity: int = 262_144,
 ) -> Dict[str, Any]:
@@ -94,7 +97,15 @@ def fabric_config(
 
     Every derived default (horizon, workload, region count) is resolved
     here, so each worker sees the identical fully-specified config.
+
+    ``workload`` is ``udp``/``ping`` (the PR 6 built-ins) or any name
+    from the :mod:`repro.workloads` source registry; registered sources
+    take ``workload_params`` (``schedule``, ``senders``, ``duration_s``,
+    source-specific keys).  ``table_capacity``/``table_eviction`` bound
+    every switch's flow table (the overflow campaigns' lever).
     """
+    from repro.workloads import source_info, source_names
+
     if controller in (None, "", "none"):
         controller = None
     fabric = generate_fabric(topology)  # validates the name eagerly
@@ -104,21 +115,52 @@ def fabric_config(
         )
     if workload is None:
         workload = "ping" if controller else "udp"
-    if workload not in ("udp", "ping"):
-        raise ValueError(f"unknown workload {workload!r}")
+    registered = workload not in ("udp", "ping")
+    if registered and workload not in source_names():
+        raise ValueError(
+            f"unknown workload {workload!r}; built-ins are 'udp'/'ping', "
+            f"registered sources: {source_names()}"
+        )
     if workload == "ping" and controller is None:
         raise ValueError("the ping workload needs a controller "
                          "(reactive flow setup); use workload='udp'")
+    if registered and controller is None and source_info(workload).needs_controller:
+        raise ValueError(f"workload {workload!r} needs a controller "
+                         "(it provokes reactive control-plane load)")
     if packets is None:
         packets = 5 if workload == "ping" else 50
     if interval_s is None:
         interval_s = 1.0 if workload == "ping" else 0.002
     if start_s is None:
         start_s = 0.25 if controller else 0.05
+    workload_params = dict(workload_params or {})
+    if registered:
+        # Resolve source defaults here so every shard worker builds the
+        # identical source, and the horizon covers the emission window.
+        workload_params.setdefault("senders", pairs)
+        workload_params.setdefault("duration_s", 1.0)
+        workload_params["start_s"] = start_s
+        from repro.workloads import parse_schedule
+
+        parse_schedule(workload_params.get("schedule", "constant:100"))
     if horizon_s is None:
-        tail = 2.5 if workload == "ping" else 0.15
-        horizon_s = start_s + packets * interval_s + tail
+        if registered:
+            horizon_s = start_s + float(workload_params["duration_s"]) + (
+                1.0 if controller else 0.15
+            )
+        else:
+            tail = 2.5 if workload == "ping" else 0.15
+            horizon_s = start_s + packets * interval_s + tail
     FailMode(fail_mode)  # validate eagerly
+    if table_capacity is not None:
+        table_capacity = int(table_capacity)
+        if table_capacity <= 0:
+            raise ValueError(f"table_capacity must be positive, got {table_capacity}")
+    from repro.dataplane.flowtable import EVICTION_POLICIES
+
+    if table_eviction not in EVICTION_POLICIES:
+        raise ValueError(f"unknown table_eviction {table_eviction!r}; "
+                         f"choose from {EVICTION_POLICIES}")
     return {
         "topology": topology,
         "controller": controller,
@@ -134,6 +176,9 @@ def fabric_config(
         "payload_len": int(payload_len),
         "start_s": float(start_s),
         "horizon_s": float(horizon_s),
+        "workload_params": workload_params,
+        "table_capacity": table_capacity,
+        "table_eviction": table_eviction,
         "trace": bool(trace),
         "trace_capacity": int(trace_capacity),
     }
@@ -378,10 +423,11 @@ class _FabricDataRegion(ShardRegion):
         self.config = config
         self.plan = plan
         self.workload: Dict[str, int] = {
-            "udp_sent": 0, "udp_received": 0,
+            "udp_sent": 0, "udp_received": 0, "packets_synthesized": 0,
         }
         self.ping_monitor = None
         self.tracer = None
+        self._drivers = []
         self._dial_instances: Dict[Tuple[str, str], int] = {}
         self._payload = b"\x00" * config["payload_len"]
         with self.ctx:
@@ -417,6 +463,8 @@ class _FabricDataRegion(ShardRegion):
             fail_mode=FailMode(config["fail_mode"]),
             include=include,
             boundary=boundary,
+            table_capacity=config["table_capacity"],
+            table_eviction=config["table_eviction"],
         )
 
         if config["controller"]:
@@ -512,7 +560,7 @@ class _FabricDataRegion(ShardRegion):
                             config["start_s"] + i * config["interval_s"],
                             self._udp_send, local[src], dst_ip,
                         )
-        else:
+        elif config["workload"] == "ping":
             monitor = self._ping_monitor()
             for src, dst in plan.pairs:
                 if src in local:
@@ -522,6 +570,25 @@ class _FabricDataRegion(ShardRegion):
                         local[src], topo.hosts[dst].ip,
                         config["packets"], config["interval_s"],
                     )
+        else:
+            from repro.workloads import DEFAULT_TICK_S, build_source, drive_source
+            from repro.workloads.sources import BENIGN_UDP_PORT, FLOOD_UDP_PORT
+
+            # Each region builds the identical source (a pure function of
+            # the config) and drives only the emitters it owns.
+            source = build_source(
+                config["workload"], topo, config["seed"],
+                config["workload_params"],
+            )
+            for host in local.values():
+                for port in (BENIGN_UDP_PORT + 1, FLOOD_UDP_PORT + 1):
+                    host.register_udp_handler(port, self._udp_received)
+            self._drivers = drive_source(
+                self.engine, local, source,
+                tick_s=float(config["workload_params"].get(
+                    "tick_s", DEFAULT_TICK_S
+                )),
+            )
 
     def _udp_send(self, host, dst_ip) -> None:
         self.workload["udp_sent"] += 1
@@ -534,10 +601,24 @@ class _FabricDataRegion(ShardRegion):
 
     def _collect(self) -> Dict[str, Any]:
         result = super()._collect()
+        self.workload["packets_synthesized"] = sum(
+            driver.emitter.emitted for driver in self._drivers
+        )
         result["workload"] = dict(self.workload)
         result["switch"] = {
             key: self.network.total_stat(key)
-            for key in ("packet_ins_sent", "flow_mods_received")
+            for key in ("packet_ins_sent", "flow_mods_received",
+                        "table_misses", "evictions_idle", "evictions_hard",
+                        "evictions_capacity", "evictions_delete")
+        }
+        result["tables"] = {
+            "occupancy_peak": max(
+                (s.flow_table.occupancy_peak
+                 for s in self.network.switches.values()), default=0
+            ),
+            "entries": sum(
+                len(s.flow_table) for s in self.network.switches.values()
+            ),
         }
         if self.ping_monitor is not None:
             results = self.ping_monitor.results
@@ -692,7 +773,15 @@ class FabricResult:
     ping_sent: int = 0
     ping_received: int = 0
     median_rtt_s: Optional[float] = None
+    packets_synthesized: int = 0
     packet_ins: int = 0
+    switch_packet_ins: int = 0
+    table_misses: int = 0
+    table_occupancy_peak: int = 0
+    evictions_idle: int = 0
+    evictions_hard: int = 0
+    evictions_capacity: int = 0
+    evictions_delete: int = 0
     flow_mods_seen: int = 0
     flow_mods_dropped: int = 0
     total_control_messages: int = 0
@@ -714,6 +803,14 @@ class FabricResult:
         if self.ping_sent:
             return self.ping_received / self.ping_sent
         return 0.0
+
+    @property
+    def packet_in_rate(self) -> float:
+        """Switch-side PACKET_IN per sim-second — the storm intensity a
+        ``packetin-flood`` workload is measured by."""
+        if self.sim_duration_s <= 0:
+            return 0.0
+        return self.switch_packet_ins / self.sim_duration_s
 
     @property
     def wall_packets_per_sec(self) -> float:
@@ -756,7 +853,16 @@ class FabricResult:
                 round(self.median_rtt_s * 1000, 4)
                 if self.median_rtt_s is not None else None
             ),
+            "packets_synthesized": self.packets_synthesized,
             "packet_ins": self.packet_ins,
+            "switch_packet_ins": self.switch_packet_ins,
+            "packet_in_rate": round(self.packet_in_rate, 2),
+            "table_misses": self.table_misses,
+            "table_occupancy_peak": self.table_occupancy_peak,
+            "evictions_idle": self.evictions_idle,
+            "evictions_hard": self.evictions_hard,
+            "evictions_capacity": self.evictions_capacity,
+            "evictions_delete": self.evictions_delete,
             "flow_mods_seen": self.flow_mods_seen,
             "flow_mods_dropped": self.flow_mods_dropped,
             "total_control_messages": self.total_control_messages,
@@ -852,6 +958,18 @@ def run_fabric_experiment(
         workload = region.get("workload") or {}
         result.packets_sent += workload.get("udp_sent", 0)
         result.packets_delivered += workload.get("udp_received", 0)
+        result.packets_synthesized += workload.get("packets_synthesized", 0)
+        switch_stats = region.get("switch") or {}
+        result.switch_packet_ins += switch_stats.get("packet_ins_sent", 0)
+        result.table_misses += switch_stats.get("table_misses", 0)
+        result.evictions_idle += switch_stats.get("evictions_idle", 0)
+        result.evictions_hard += switch_stats.get("evictions_hard", 0)
+        result.evictions_capacity += switch_stats.get("evictions_capacity", 0)
+        result.evictions_delete += switch_stats.get("evictions_delete", 0)
+        tables = region.get("tables") or {}
+        result.table_occupancy_peak = max(
+            result.table_occupancy_peak, tables.get("occupancy_peak", 0)
+        )
         ping = region.get("ping")
         if ping:
             result.ping_sent += ping["sent"]

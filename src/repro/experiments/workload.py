@@ -1,0 +1,73 @@
+"""Workload x attack campaign cells: adversarial traffic on fabrics.
+
+A *workload cell* is one fabric run driven by a registered traffic
+source from :mod:`repro.workloads` — floods, table-overflow churn,
+benign mixes — optionally composed with a registry attack on the
+control channel.  The harness is a thin veneer over
+:func:`repro.experiments.fabric.run_fabric_experiment`: the fabric
+machinery already builds/shards the topology and collects table and
+PACKET_IN metrics; this module's job is campaign ergonomics.
+
+Campaign specs keep parameters flat (the XML front-end is attribute
+based), so source parameters (``schedule``, ``keys``, ``senders``, ...)
+may arrive either inside a ``workload_params`` dict or as top-level
+cell params — :func:`run_cell` hoists the known source keys into
+``workload_params`` before delegating.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.dataplane import FailMode
+from repro.experiments.fabric import run_fabric_experiment
+from repro.workloads import source_info
+
+#: Source parameters a campaign spec may pass flat alongside the cell
+#: params.  Everything else (``shards``, ``pairs``, ``table_capacity``,
+#: ...) forwards to :func:`run_fabric_experiment` untouched.
+SOURCE_PARAM_KEYS = (
+    "schedule", "senders", "duration_s", "tick_s",
+    "keys", "spoof_macs", "flows", "udp_ratio", "icmp_ratio", "syn_ratio",
+)
+
+
+def run_cell(
+    controller: str = "none",
+    attack: Optional[str] = None,
+    fail_mode: str = FailMode.SECURE.value,
+    seed: int = 0,
+    attack_params: Optional[Dict[str, Any]] = None,
+    topology: str = "fat-tree-k4",
+    workload: str = "benign-mix",
+    workload_params: Optional[Dict[str, Any]] = None,
+    trace=None,
+    **params,
+) -> Dict[str, Any]:
+    """Campaign entry point: one workload cell -> metrics dict.
+
+    ``workload`` must name a registered traffic source (``repro
+    workload list``); ``topology`` is a generated-fabric descriptor.
+    Flat source parameters are hoisted into ``workload_params`` (an
+    explicit ``workload_params`` entry wins over its flat twin).
+    """
+    source_info(workload)  # fail fast on unknown source names
+    merged = dict(workload_params or {})
+    for key in SOURCE_PARAM_KEYS:
+        if key in params:
+            merged.setdefault(key, params.pop(key))
+    result = run_fabric_experiment(
+        topology=topology,
+        controller=controller,
+        attack=attack,
+        fail_mode=fail_mode,
+        seed=seed,
+        attack_params=attack_params,
+        workload=workload,
+        workload_params=merged,
+        trace=trace,
+        **params,
+    )
+    record = result.record()
+    record["experiment"] = "workload"
+    return record

@@ -99,6 +99,8 @@ def summarize(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     deque_ops: Dict[str, int] = {}
     flow_installs: Dict[str, int] = {}
     flow_evictions: Dict[str, int] = {}
+    eviction_reasons: Dict[str, int] = {}
+    occupancy_peak = 0
     monitors: Dict[str, int] = {}
     t_first: Optional[float] = None
     t_last: Optional[float] = None
@@ -151,25 +153,39 @@ def summarize(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
         elif kind == "flow_install":
             name = str(event.get("switch"))
             flow_installs[name] = flow_installs.get(name, 0) + 1
+            size = event.get("size")
+            if isinstance(size, int):
+                occupancy_peak = max(occupancy_peak, size)
         elif kind == "flow_evict":
             name = str(event.get("switch"))
             flow_evictions[name] = flow_evictions.get(name, 0) + 1
+            reason = str(event.get("reason"))
+            eviction_reasons[reason] = eviction_reasons.get(reason, 0) + 1
+            size = event.get("size")
+            if isinstance(size, int):
+                occupancy_peak = max(occupancy_peak, size)
         elif kind == "monitor":
             name = str(event.get("monitor"))
             monitors[name] = monitors.get(name, 0) + 1
 
+    packet_ins = messages_by_type.get("PACKET_IN", 0)
+    span = (t_last - t_first) if (t_first is not None and t_last > t_first) \
+        else 0.0
     return {
         "events": len(events),
         "t_first": t_first,
         "t_last": t_last,
         "by_kind": by_kind,
         "messages_by_type": messages_by_type,
+        "packet_in_rate": (packet_ins / span) if span else None,
         "rules": [rules[key] for key in sorted(rules)],
         "transitions": transitions,
         "drops_by_type": drops,
         "deque_ops": deque_ops,
         "flow_installs": flow_installs,
         "flow_evictions": flow_evictions,
+        "eviction_reasons": eviction_reasons,
+        "table_occupancy_peak": occupancy_peak,
         "monitors": monitors,
     }
 
@@ -188,6 +204,10 @@ def render_summary(summary: Dict[str, Any]) -> str:
             for name, count in sorted(summary["messages_by_type"].items())
         )
         lines.append(f"messages interposed: {counted}")
+    if summary.get("packet_in_rate"):
+        lines.append(
+            f"PACKET_IN rate: {summary['packet_in_rate']:.1f}/s over the "
+            f"traced span")
     if summary["drops_by_type"]:
         counted = ", ".join(
             f"{name} x{count}"
@@ -231,6 +251,13 @@ def render_summary(summary: Dict[str, Any]) -> str:
     if summary["flow_evictions"]:
         extras.append("flow evictions: " + ", ".join(
             f"{k} x{v}" for k, v in sorted(summary["flow_evictions"].items())))
+    if summary.get("eviction_reasons"):
+        extras.append("evictions by reason: " + ", ".join(
+            f"{k} x{v}" for k, v in sorted(summary["eviction_reasons"].items())))
+    if summary.get("table_occupancy_peak"):
+        extras.append(
+            f"table occupancy peak: {summary['table_occupancy_peak']} "
+            f"entr{'y' if summary['table_occupancy_peak'] == 1 else 'ies'}")
     if summary["deque_ops"]:
         extras.append("deque ops: " + ", ".join(
             f"{k} x{v}" for k, v in sorted(summary["deque_ops"].items())))

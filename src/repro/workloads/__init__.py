@@ -1,0 +1,55 @@
+"""High-rate adversarial workloads: seed-deterministic traffic generators.
+
+See docs/WORKLOADS.md.  Public surface:
+
+* :class:`FrameTemplate` — pre-packed frames with per-packet field
+  patching through the FastFrame lane (``repro.workloads.frames``);
+* rate schedules + ``parse_schedule`` (``repro.workloads.schedule``);
+* the :class:`TrafficSource`/:class:`HostEmitter` interface, registry
+  (``register_source``/``build_source``/``list_sources``), and the
+  batch-tick :func:`drive_source` driver (``repro.workloads.base``);
+* the built-in sources — ``benign-mix``, ``packetin-flood``,
+  ``table-overflow``, ``arp-poison`` (``repro.workloads.sources``).
+"""
+
+from repro.workloads.base import (
+    DEFAULT_TICK_S,
+    EmitterDriver,
+    HostEmitter,
+    TrafficSource,
+    build_source,
+    drive_source,
+    list_sources,
+    register_source,
+    source_info,
+    source_names,
+)
+from repro.workloads.frames import FrameTemplate
+from repro.workloads.schedule import (
+    BurstRate,
+    ConstantRate,
+    OnOffRate,
+    RampRate,
+    RateSchedule,
+    parse_schedule,
+)
+
+__all__ = [
+    "DEFAULT_TICK_S",
+    "EmitterDriver",
+    "HostEmitter",
+    "TrafficSource",
+    "build_source",
+    "drive_source",
+    "list_sources",
+    "register_source",
+    "source_info",
+    "source_names",
+    "FrameTemplate",
+    "BurstRate",
+    "ConstantRate",
+    "OnOffRate",
+    "RampRate",
+    "RateSchedule",
+    "parse_schedule",
+]

@@ -1,0 +1,154 @@
+"""Deterministic packet-rate schedules for traffic sources.
+
+A schedule answers one question: *how many packets are due by sim-time
+``t``?*  Sources drive their generators from :meth:`count_between`, so a
+batch tick of any width emits exactly the packets the schedule owes for
+that window — no per-packet events, no drift, and the packet count for a
+window is a pure function of ``(schedule, t0, t1)``.  That purity is what
+keeps sharded and inline fabric runs byte-identical: a region ticking a
+source on its private engine computes the same counts at the same
+sim-times regardless of which process hosts it.
+
+String forms (CLI ``--schedule`` / campaign params)::
+
+    constant:RATE                 RATE pps forever
+    ramp:START:END:DURATION       linear START->END pps over DURATION s,
+                                  then END pps
+    burst:PEAK:BASE:PERIOD:DUTY   PEAK pps for the first DUTY fraction of
+                                  each PERIOD, BASE pps for the rest
+    onoff:RATE:ON:OFF             RATE pps for ON seconds, silent for OFF
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class RateSchedule:
+    """Cumulative-count interface every schedule implements."""
+
+    def cumulative(self, t: float) -> int:
+        """Packets owed in ``[0, t)``; non-decreasing in ``t``."""
+        raise NotImplementedError
+
+    def count_between(self, t0: float, t1: float) -> int:
+        """Packets due in ``[t0, t1)`` — what one batch tick emits."""
+        return max(0, self.cumulative(t1) - self.cumulative(t0))
+
+
+class ConstantRate(RateSchedule):
+    def __init__(self, pps: float) -> None:
+        if pps < 0:
+            raise ValueError(f"negative rate {pps!r}")
+        self.pps = float(pps)
+
+    def cumulative(self, t: float) -> int:
+        if t <= 0:
+            return 0
+        return int(math.floor(self.pps * t))
+
+    def __repr__(self) -> str:
+        return f"constant:{self.pps:g}"
+
+
+class RampRate(RateSchedule):
+    """Linear ramp from ``start_pps`` to ``end_pps`` over ``duration`` s."""
+
+    def __init__(self, start_pps: float, end_pps: float, duration: float) -> None:
+        if duration <= 0:
+            raise ValueError(f"ramp duration must be positive, got {duration!r}")
+        if start_pps < 0 or end_pps < 0:
+            raise ValueError("ramp rates must be non-negative")
+        self.start_pps = float(start_pps)
+        self.end_pps = float(end_pps)
+        self.duration = float(duration)
+
+    def cumulative(self, t: float) -> int:
+        if t <= 0:
+            return 0
+        d = self.duration
+        slope = (self.end_pps - self.start_pps) / d
+        if t <= d:
+            area = self.start_pps * t + slope * t * t / 2.0
+        else:
+            area = (self.start_pps * d + slope * d * d / 2.0
+                    + self.end_pps * (t - d))
+        return int(math.floor(area))
+
+    def __repr__(self) -> str:
+        return f"ramp:{self.start_pps:g}:{self.end_pps:g}:{self.duration:g}"
+
+
+class BurstRate(RateSchedule):
+    """Periodic bursts: PEAK pps for ``duty * period``, BASE pps after."""
+
+    def __init__(self, peak_pps: float, base_pps: float, period: float,
+                 duty: float) -> None:
+        if period <= 0:
+            raise ValueError(f"burst period must be positive, got {period!r}")
+        if not 0.0 < duty <= 1.0:
+            raise ValueError(f"burst duty must be in (0, 1], got {duty!r}")
+        if peak_pps < 0 or base_pps < 0:
+            raise ValueError("burst rates must be non-negative")
+        self.peak_pps = float(peak_pps)
+        self.base_pps = float(base_pps)
+        self.period = float(period)
+        self.duty = float(duty)
+
+    def cumulative(self, t: float) -> int:
+        if t <= 0:
+            return 0
+        on = self.period * self.duty
+        per_period = self.peak_pps * on + self.base_pps * (self.period - on)
+        full, into = divmod(t, self.period)
+        area = per_period * full
+        area += self.peak_pps * min(into, on)
+        if into > on:
+            area += self.base_pps * (into - on)
+        return int(math.floor(area))
+
+    def __repr__(self) -> str:
+        return (f"burst:{self.peak_pps:g}:{self.base_pps:g}"
+                f":{self.period:g}:{self.duty:g}")
+
+
+class OnOffRate(BurstRate):
+    """RATE pps for ``on_s`` seconds, silence for ``off_s``, repeating."""
+
+    def __init__(self, pps: float, on_s: float, off_s: float) -> None:
+        if on_s <= 0 or off_s < 0:
+            raise ValueError("on period must be positive, off non-negative")
+        super().__init__(pps, 0.0, on_s + off_s, on_s / (on_s + off_s))
+        self.on_s = float(on_s)
+        self.off_s = float(off_s)
+
+    def __repr__(self) -> str:
+        return f"onoff:{self.peak_pps:g}:{self.on_s:g}:{self.off_s:g}"
+
+
+def parse_schedule(spec) -> RateSchedule:
+    """Parse a schedule string (see module docstring); passes through
+    :class:`RateSchedule` instances unchanged."""
+    if isinstance(spec, RateSchedule):
+        return spec
+    if isinstance(spec, (int, float)):
+        return ConstantRate(float(spec))
+    parts = str(spec).split(":")
+    kind, args = parts[0], parts[1:]
+    try:
+        values = [float(a) for a in args]
+        if kind == "constant" and len(values) == 1:
+            return ConstantRate(values[0])
+        if kind == "ramp" and len(values) == 3:
+            return RampRate(*values)
+        if kind == "burst" and len(values) == 4:
+            return BurstRate(*values)
+        if kind == "onoff" and len(values) == 3:
+            return OnOffRate(*values)
+    except ValueError as exc:
+        raise ValueError(f"bad schedule spec {spec!r}: {exc}") from None
+    raise ValueError(
+        f"bad schedule spec {spec!r}; expected constant:RATE, "
+        f"ramp:START:END:DURATION, burst:PEAK:BASE:PERIOD:DUTY, "
+        f"or onoff:RATE:ON:OFF"
+    )

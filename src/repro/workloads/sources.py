@@ -1,0 +1,241 @@
+"""Built-in traffic sources: benign mixes and adversarial floods.
+
+Every builder is a pure function of ``(topology, seed, params)``.  Hosts
+sort by name and sender ``i`` targets host ``i + n/2`` — the same pairing
+rule as :func:`repro.experiments.fabric.workload_pairs`, so controllerless
+fabric runs (whose proactive routes cover exactly those pairs) forward
+this traffic without any extra setup.
+
+Sources
+=======
+
+``benign-mix``
+    Background traffic: UDP datagrams, ICMP echo requests, and
+    TCP-handshake-style SYNs at configurable ratios, cycling a bounded
+    pool of distinct port pairs (steady flow-table reuse, realistic
+    cache behaviour).
+
+``packetin-flood``
+    Spoofed-MAC host flood.  Every packet (or every ``spoof_macs``-th,
+    cyclically) carries a fresh locally-administered source MAC, so a
+    full-granularity learning controller never sees a matching entry:
+    each packet is a table miss, a buffered frame, and a PACKET_IN.
+
+``table-overflow``
+    Distinct-flow-key churn: sweeps ``keys`` source ports against one
+    destination, cyclically.  With ``keys`` above the switch's table
+    capacity the revisit always misses — a sustained install/evict storm
+    (see "An Inference Attack Model for Flow Table Capacity and Usage").
+
+``arp-poison``
+    Packet injection: spoofed ARP replies claiming the impersonated
+    host's IP resolves to the attacker's MAC, cycled over the victim
+    hosts, which opportunistically learn the mapping and divert their
+    traffic to the attacker.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.sim.rng import SeededRng
+from repro.workloads.base import (
+    HostEmitter,
+    TrafficSource,
+    register_source,
+    schedule_param,
+)
+from repro.workloads.frames import FrameTemplate
+
+#: Port bases; benign and attack flows stay in disjoint ranges so report
+#: columns can be attributed by inspection.
+BENIGN_UDP_PORT = 41000
+BENIGN_SYN_PORT = 42000
+FLOOD_UDP_PORT = 43000
+OVERFLOW_PORT_BASE = 20000
+
+
+def _host_pairs(topology, params: Dict[str, Any]) -> List[Tuple[str, str]]:
+    """Sender ``i`` -> far host ``i + n/2`` over name-sorted hosts."""
+    hosts = sorted(topology.hosts)
+    half = len(hosts) // 2
+    if half == 0:
+        raise ValueError("topology has fewer than two hosts")
+    senders = int(params.get("senders", min(4, half)))
+    return [(hosts[i], hosts[i + half]) for i in range(min(senders, half))]
+
+
+def _window(params: Dict[str, Any]) -> Tuple[float, float]:
+    return (float(params.get("start_s", 0.0)),
+            float(params.get("duration_s", 1.0)))
+
+
+@register_source(
+    "benign-mix",
+    description="UDP/ICMP/TCP-SYN background traffic at configurable ratios",
+)
+def build_benign_mix(topology, seed: int, params: Dict[str, Any]) -> TrafficSource:
+    pairs = _host_pairs(topology, params)
+    start_s, duration_s = _window(params)
+    flows = max(1, int(params.get("flows", 16)))
+    udp_w = float(params.get("udp_ratio", 0.6))
+    icmp_w = float(params.get("icmp_ratio", 0.2))
+    syn_w = float(params.get("syn_ratio", 0.2))
+    total = udp_w + icmp_w + syn_w
+    if total <= 0:
+        raise ValueError("benign-mix ratios sum to zero")
+    udp_cut, icmp_cut = udp_w / total, (udp_w + icmp_w) / total
+
+    emitters = []
+    for src, dst in pairs:
+        s, d = topology.hosts[src], topology.hosts[dst]
+        rng = SeededRng(seed).child(f"workload/benign-mix/{src}")
+        udp_t = FrameTemplate.udp(s.mac, d.mac, s.ip, d.ip,
+                                  BENIGN_UDP_PORT, BENIGN_UDP_PORT + 1)
+        icmp_t = FrameTemplate.icmp_echo(s.mac, d.mac, s.ip, d.ip)
+        syn_t = FrameTemplate.tcp_syn(s.mac, d.mac, s.ip, d.ip,
+                                      BENIGN_SYN_PORT, 80)
+        state = {"udp": 0, "icmp": 0, "syn": 0}
+
+        def next_frame(rng=rng, udp_t=udp_t, icmp_t=icmp_t, syn_t=syn_t,
+                       state=state):
+            roll = rng.random()
+            if roll < udp_cut:
+                udp_t.set_tp_src(BENIGN_UDP_PORT + state["udp"] % flows)
+                state["udp"] += 1
+                return udp_t.emit()
+            if roll < icmp_cut:
+                state["icmp"] += 1
+                icmp_t.set_icmp_seq(state["icmp"] & 0xFFFF)
+                return icmp_t.emit()
+            syn_t.set_tp_src(BENIGN_SYN_PORT + state["syn"] % flows)
+            state["syn"] += 1
+            return syn_t.emit()
+
+        emitters.append(HostEmitter(
+            src, schedule_param(params, "constant:400"), next_frame,
+            start_s=start_s, duration_s=duration_s,
+        ))
+    return TrafficSource("benign-mix", emitters)
+
+
+@register_source(
+    "packetin-flood",
+    description="spoofed-MAC host flood provoking a PACKET_IN storm",
+    needs_controller=True,
+)
+def build_packetin_flood(topology, seed: int, params: Dict[str, Any]) -> TrafficSource:
+    pairs = _host_pairs(topology, params)
+    start_s, duration_s = _window(params)
+    # 0 = a fresh spoofed MAC every packet; N > 0 cycles a pool of N.
+    spoof_macs = int(params.get("spoof_macs", 0))
+
+    emitters = []
+    for src, dst in pairs:
+        s, d = topology.hosts[src], topology.hosts[dst]
+        rng = SeededRng(seed).child(f"workload/packetin-flood/{src}")
+        template = FrameTemplate.udp(s.mac, d.mac, s.ip, d.ip,
+                                     FLOOD_UDP_PORT, FLOOD_UDP_PORT + 1)
+        # Locally-administered unicast (0x02 first octet): never collides
+        # with topology MACs, never broadcast/multicast.
+        pool = [
+            (0x02 << 40) | rng.randint(0, (1 << 40) - 1)
+            for _ in range(spoof_macs)
+        ]
+        state = {"i": 0}
+
+        def next_frame(rng=rng, template=template, pool=pool, state=state):
+            if pool:
+                mac = pool[state["i"] % len(pool)]
+                state["i"] += 1
+            else:
+                mac = (0x02 << 40) | rng.randint(0, (1 << 40) - 1)
+            template.set_dl_src(mac)
+            return template.emit()
+
+        emitters.append(HostEmitter(
+            src, schedule_param(params, "constant:2000"), next_frame,
+            start_s=start_s, duration_s=duration_s,
+        ))
+    return TrafficSource("packetin-flood", emitters)
+
+
+@register_source(
+    "table-overflow",
+    description="distinct-flow-key sweep driving flow-table eviction churn",
+    needs_controller=True,
+)
+def build_table_overflow(topology, seed: int, params: Dict[str, Any]) -> TrafficSource:
+    pairs = _host_pairs(topology, params)
+    start_s, duration_s = _window(params)
+    keys = int(params.get("keys", 2048))
+    if not 1 <= keys <= 40000:
+        raise ValueError(f"keys must be in [1, 40000], got {keys}")
+
+    emitters = []
+    for src, dst in pairs:
+        s, d = topology.hosts[src], topology.hosts[dst]
+        template = FrameTemplate.udp(s.mac, d.mac, s.ip, d.ip,
+                                     OVERFLOW_PORT_BASE, FLOOD_UDP_PORT + 1)
+        state = {"i": 0}
+
+        def next_frame(template=template, state=state):
+            # Cyclic sweep: once capacity < keys, every revisit has been
+            # evicted in the meantime — a permanent miss/install/evict
+            # cycle rather than a one-shot fill.
+            template.set_tp_src(OVERFLOW_PORT_BASE + state["i"] % keys)
+            state["i"] += 1
+            return template.emit()
+
+        emitters.append(HostEmitter(
+            src, schedule_param(params, "constant:2000"), next_frame,
+            start_s=start_s, duration_s=duration_s,
+        ))
+    return TrafficSource("table-overflow", emitters)
+
+
+@register_source(
+    "arp-poison",
+    description="spoofed ARP replies poisoning victim hosts' ARP caches",
+)
+def build_arp_poison(topology, seed: int, params: Dict[str, Any]) -> TrafficSource:
+    pairs = _host_pairs(topology, params)
+    start_s, duration_s = _window(params)
+    pair_hosts = [name for pair in pairs for name in pair]
+
+    emitters = []
+    for attacker, impersonated in pairs:
+        a = topology.hosts[attacker]
+        imp = topology.hosts[impersonated]
+        victims = [
+            topology.hosts[name] for name in pair_hosts
+            if name not in (attacker, impersonated)
+        ]
+        if not victims:
+            continue
+        # Gratuitous-reply poisoning: "impersonated's IP is at the
+        # attacker's MAC", unicast to each victim in turn.
+        template = FrameTemplate.arp(
+            a.mac, victims[0].mac,
+            sender_mac=a.mac, sender_ip=imp.ip,
+            target_mac=victims[0].mac, target_ip=victims[0].ip,
+        )
+        state = {"i": 0}
+
+        def next_frame(template=template, victims=victims, state=state):
+            victim = victims[state["i"] % len(victims)]
+            state["i"] += 1
+            template.set_dl_dst(victim.mac)
+            template.set_arp_target(victim.mac, victim.ip)
+            return template.emit()
+
+        emitters.append(HostEmitter(
+            attacker, schedule_param(params, "constant:50"), next_frame,
+            start_s=start_s, duration_s=duration_s,
+        ))
+    if not emitters:
+        raise ValueError(
+            "arp-poison needs at least two sender pairs (senders >= 2) "
+            "so every attacker has a victim"
+        )
+    return TrafficSource("arp-poison", emitters)

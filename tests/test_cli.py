@@ -502,3 +502,50 @@ def test_fabric_run_with_controller_and_attack(capsys):
     out = capsys.readouterr().out
     assert "flow-mods seen" in out
     assert "dropped" in out
+
+
+def test_workload_list_command(capsys):
+    assert main(["workload", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("benign-mix", "packetin-flood", "table-overflow",
+                 "arp-poison"):
+        assert name in out
+    assert "[needs controller]" in out
+
+
+def test_workload_list_json(capsys):
+    import json
+
+    assert main(["workload", "list", "--json"]) == 0
+    sources = json.loads(capsys.readouterr().out)
+    assert {s["name"] for s in sources} >= {"benign-mix", "table-overflow"}
+
+
+def test_workload_run_overflow_command(capsys):
+    assert main(["workload", "run", "table-overflow",
+                 "--controller", "floodlight",
+                 "--schedule", "constant:800", "--keys", "128",
+                 "--senders", "2", "--duration", "0.3",
+                 "--table-capacity", "32", "--table-eviction", "lru"]) == 0
+    out = capsys.readouterr().out
+    assert "table-overflow on fat-tree-k4" in out
+    assert "occupancy peak 32" in out
+    assert "capacity x" in out
+    assert "PACKET_INs" in out
+
+
+def test_workload_run_json_record(capsys):
+    import json
+
+    assert main(["workload", "run", "benign-mix",
+                 "--schedule", "constant:200", "--senders", "2",
+                 "--duration", "0.3", "--json"]) == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["experiment"] == "workload"
+    assert record["metrics"]["workload"] == "benign-mix"
+    assert record["metrics"]["packets_synthesized"] == 2 * 60
+
+
+def test_workload_run_rejects_controllerless_floods(capsys):
+    with pytest.raises(ValueError, match="needs a controller"):
+        main(["workload", "run", "packetin-flood", "--senders", "2"])

@@ -1,0 +1,97 @@
+"""Rate schedules: cumulative counts, window batching, parsing."""
+
+import pytest
+
+from repro.workloads import (
+    BurstRate,
+    ConstantRate,
+    OnOffRate,
+    RampRate,
+    parse_schedule,
+)
+
+
+def _ticks(schedule, duration, tick):
+    """Sum count_between over consecutive ticks covering [0, duration)."""
+    total, t0 = 0, 0.0
+    k = 0
+    while t0 < duration:
+        t1 = min((k + 1) * tick, duration)
+        total += schedule.count_between(k * tick, t1)
+        t0, k = t1, k + 1
+    return total
+
+
+def test_constant_rate_owes_floor_of_area():
+    schedule = ConstantRate(400)
+    assert schedule.cumulative(1.0) == 400
+    assert schedule.cumulative(0.25) == 100
+    assert schedule.cumulative(0.0) == 0
+    assert schedule.cumulative(-1.0) == 0
+
+
+def test_batched_ticks_emit_exactly_the_cumulative_total():
+    # Whatever the tick width, the batches sum to cumulative(duration):
+    # no drift, no double counting.
+    for schedule in (ConstantRate(333), RampRate(0, 1000, 0.7),
+                     BurstRate(2000, 100, 0.2, 0.3), OnOffRate(500, 0.1, 0.3)):
+        expected = schedule.cumulative(1.0)
+        for tick in (0.005, 0.017, 0.25, 1.0):
+            assert _ticks(schedule, 1.0, tick) == expected
+
+
+def test_ramp_is_the_trapezoid_integral_then_the_end_rate():
+    ramp = RampRate(0, 1000, 1.0)
+    assert ramp.cumulative(1.0) == 500  # triangle: 1000 * 1 / 2
+    assert ramp.cumulative(0.5) == 125  # 1000/2 * 0.25
+    # Past the ramp the end rate applies.
+    assert ramp.cumulative(2.0) == 1500
+
+
+def test_burst_alternates_peak_and_base():
+    burst = BurstRate(peak_pps=1000, base_pps=100, period=1.0, duty=0.25)
+    assert burst.cumulative(0.25) == 250
+    assert burst.cumulative(1.0) == 250 + 75
+    assert burst.cumulative(2.0) == 2 * 325
+
+
+def test_onoff_is_silent_in_the_off_phase():
+    onoff = OnOffRate(1000, on_s=0.25, off_s=0.75)
+    assert onoff.cumulative(0.25) == 250
+    assert onoff.count_between(0.25, 1.0) == 0
+    assert onoff.count_between(1.0, 1.25) == 250
+
+
+def test_cumulative_is_monotone():
+    for schedule in (ConstantRate(777), RampRate(500, 0, 0.4),
+                     BurstRate(900, 0, 0.1, 0.5), OnOffRate(100, 0.2, 0.2)):
+        previous = 0
+        for i in range(200):
+            current = schedule.cumulative(i * 0.013)
+            assert current >= previous
+            previous = current
+
+
+def test_parse_schedule_strings():
+    assert isinstance(parse_schedule("constant:400"), ConstantRate)
+    ramp = parse_schedule("ramp:100:900:2")
+    assert (ramp.start_pps, ramp.end_pps, ramp.duration) == (100, 900, 2)
+    burst = parse_schedule("burst:2000:200:0.2:0.4")
+    assert (burst.peak_pps, burst.base_pps) == (2000, 200)
+    onoff = parse_schedule("onoff:500:0.1:0.4")
+    assert (onoff.on_s, onoff.off_s) == (0.1, 0.4)
+
+
+def test_parse_schedule_passthrough_and_numbers():
+    schedule = ConstantRate(7)
+    assert parse_schedule(schedule) is schedule
+    assert parse_schedule(250).cumulative(1.0) == 250
+
+
+@pytest.mark.parametrize("bad", [
+    "constant", "constant:a", "ramp:1:2", "burst:1:2:3", "warp:9",
+    "constant:-5", "ramp:0:100:0", "burst:1:1:1:0", "onoff:5:0:1",
+])
+def test_parse_schedule_rejects_malformed_specs(bad):
+    with pytest.raises(ValueError):
+        parse_schedule(bad)
