@@ -69,16 +69,18 @@ def reset_run_state() -> None:
 _reset_run_state = reset_run_state
 
 
-def _worker_loop(conn, peer_queues=None, peer_index=None) -> None:
+def _worker_loop(conn, peer_queues=None, peer_index=None,
+                 mesh_matrix=None) -> None:
     """Persistent worker: execute descriptors until told to shut down.
 
     Two task shapes share the pipe: legacy ``(descriptor, attempt,
     trace_enabled)`` tuples run one campaign cell to completion, and
-    ``{"op": "shard_*"}`` dicts drive one epoch-stepped slice of a
-    sharded simulation (see :mod:`repro.sim.shard`).  ``peer_queues``
-    (one queue per pool worker, this worker reading ``peer_index``'s)
-    lets shard workers exchange cross-region messages directly instead
-    of routing them through the coordinator.
+    ``{"op": "shard_*"}`` dicts drive a slice of a sharded simulation
+    (see :mod:`repro.sim.shard`).  ``mesh_matrix`` (inherited pipe fds,
+    fork start method only) gives shard workers a direct peer-to-peer
+    fast lane for the SPMD barrier loop; ``peer_queues`` (one queue per
+    pool worker, this worker reading ``peer_index``'s) is the fallback
+    exchange for epoch-stepped execution without a mesh.
     """
     from repro.campaign.executors import execute_descriptor
 
@@ -95,7 +97,8 @@ def _worker_loop(conn, peer_queues=None, peer_index=None) -> None:
             if shard_session is None:
                 from repro.sim.shard import ShardWorkerSession
 
-                shard_session = ShardWorkerSession(peer_queues, peer_index)
+                shard_session = ShardWorkerSession(peer_queues, peer_index,
+                                                   mesh_matrix)
             try:
                 reply = shard_session.handle(task)
             except BaseException:
@@ -450,16 +453,24 @@ class ShardWorkerPool:
         # non-blocking, so a burst of large batches cannot deadlock two
         # workers putting into each other's filled pipes.
         self._queues = [ctx.Queue() for _ in range(workers)]
+        # The pipe mesh (fork only) must exist before any worker forks so
+        # every child inherits the full fd matrix; each worker closes the
+        # fds it does not own, and the parent closes its copies below.
+        from repro.sim.mesh import close_mesh, create_mesh
+
+        mesh_matrix = create_mesh(workers, ctx.get_start_method())
+        self.has_mesh = mesh_matrix is not None
         for index in range(workers):
             parent_conn, child_conn = ctx.Pipe(duplex=True)
             process = ctx.Process(
                 target=_worker_loop,
-                args=(child_conn, self._queues, index),
+                args=(child_conn, self._queues, index, mesh_matrix),
                 daemon=True,
             )
             process.start()
             child_conn.close()
             self._slots.append((process, parent_conn))
+        close_mesh(mesh_matrix)
 
     @property
     def workers(self) -> int:
@@ -504,6 +515,27 @@ class ShardWorkerPool:
         per-worker ``{"next_time", "min_arrival", "sent"}``."""
         return self._call_all([
             {"op": "shard_epoch", "until": until} for _ in self._slots
+        ])
+
+    def run_barrier(
+        self,
+        lookahead: float,
+        horizon: float,
+        adaptive: bool = False,
+        promise: Optional[float] = None,
+        codec: bool = True,
+    ) -> List[dict]:
+        """Run the whole SPMD barrier loop inside the workers.
+
+        One task and one reply per worker for the entire simulation;
+        batches travel over the pipe mesh and every worker derives the
+        identical epoch schedule from exchanged control words.  Returns
+        per-worker ``{"epochs", "epochs_skipped", "epochs_widened",
+        "sent", "exchange_bytes", "exchange_blobs"}``."""
+        return self._call_all([
+            {"op": "shard_run", "lookahead": lookahead, "horizon": horizon,
+             "adaptive": adaptive, "promise": promise, "codec": codec}
+            for _ in self._slots
         ])
 
     def collect(self) -> List[dict]:

@@ -260,8 +260,17 @@ def _cmd_fabric_run(args: argparse.Namespace) -> int:
         print(f"control: {result.packet_ins} packet-ins, "
               f"{result.flow_mods_seen} flow-mods seen, "
               f"{result.flow_mods_dropped} dropped")
-    print(f"events: {result.processed_events} across {result.epochs} epochs, "
+    print(f"events: {result.processed_events} across {result.epochs} epochs "
+          f"({result.epochs_skipped} skipped, {result.epochs_widened} widened), "
           f"{result.cross_shard_messages} cross-shard messages")
+    if result.shards > 1:
+        per_msg = (result.exchange_bytes / result.cross_shard_messages
+                   if result.cross_shard_messages else 0.0)
+        print(f"exchange: {result.exchange_bytes} bytes in "
+              f"{result.exchange_blobs} blobs ({per_msg:.1f} B/message)")
+        worker_cpu = ", ".join(f"{cpu:.2f}" for cpu in result.worker_cpu_s)
+        print(f"cpu: coordinator {result.coordinator_cpu_s:.2f}s, "
+              f"workers [{worker_cpu}]s")
     print(f"wall {result.wall_s:.2f}s, "
           f"{result.wall_packets_per_sec:.0f} pkt/s wall, "
           f"{result.capacity_packets_per_sec:.0f} pkt/s capacity")

@@ -31,6 +31,7 @@ pins this down.
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import zlib
 from dataclasses import dataclass, field
@@ -91,6 +92,8 @@ def fabric_config(
     table_eviction: str = "refuse",
     trace: bool = False,
     trace_capacity: int = 262_144,
+    adaptive_lookahead: bool = True,
+    exchange_codec: bool = True,
 ) -> Dict[str, Any]:
     """Normalize experiment arguments into the picklable config dict that
     shard workers rebuild their regions from.
@@ -181,6 +184,10 @@ def fabric_config(
         "table_eviction": table_eviction,
         "trace": bool(trace),
         "trace_capacity": int(trace_capacity),
+        # Cross-shard fast-lane switches (see docs/PERFORMANCE.md): both
+        # change only how the barrier executes, never the results.
+        "adaptive_lookahead": bool(adaptive_lookahead),
+        "exchange_codec": bool(exchange_codec),
     }
 
 
@@ -369,6 +376,34 @@ class FabricPlan:
     weights: Dict[int, int]
     pairs: List[Tuple[str, str]]
     cut: int
+    #: Minimum boundary-channel latency — the adaptive barrier's safe
+    #: widening promise (``inf`` when nothing crosses a region boundary).
+    promise: float = FABRIC_LINK_LATENCY
+    _routes: Optional[Dict[str, List[Tuple[Any, int]]]] = field(
+        default=None, repr=False, compare=False)
+
+    def proactive_route_tables(self) -> Dict[str, List[Tuple[Any, int]]]:
+        """Per-switch proactive routes, computed once per plan.
+
+        Every region built from this plan shares the object, so a worker
+        holding N regions pays one BFS/ECMP pass instead of N.
+        """
+        if self._routes is None:
+            self._routes = proactive_routes(self.fabric.topology, self.pairs)
+        return self._routes
+
+
+def _boundary_promise(
+    fabric: Fabric, owner: Dict[str, int], has_controller: bool
+) -> float:
+    """The smallest latency of any channel that crosses a region cut."""
+    promise = math.inf
+    for link in fabric.topology.links:
+        if owner.get(link.a) != owner.get(link.b):
+            promise = min(promise, link.latency_s)
+    if has_controller:
+        promise = min(promise, FABRIC_CONTROL_LATENCY)
+    return promise
 
 
 def plan_fabric(config: Dict[str, Any]) -> FabricPlan:
@@ -400,6 +435,7 @@ def plan_fabric(config: Dict[str, Any]) -> FabricPlan:
         weights=weights,
         pairs=workload_pairs(fabric, config["pairs"]),
         cut=cut_links(fabric.topology, partition),
+        promise=_boundary_promise(fabric, owner, bool(config["controller"])),
     )
 
 
@@ -489,7 +525,7 @@ class _FabricDataRegion(ShardRegion):
         self.network.start()
 
     def _preinstall_routes(self) -> None:
-        routes = proactive_routes(self.plan.fabric.topology, self.plan.pairs)
+        routes = self.plan.proactive_route_tables()
         for name in sorted(self.network.switches):
             switch = self.network.switches[name]
             for dst_mac, out_port in routes[name]:
@@ -787,6 +823,10 @@ class FabricResult:
     total_control_messages: int = 0
     cross_shard_messages: int = 0
     epochs: int = 0
+    epochs_skipped: int = 0
+    epochs_widened: int = 0
+    exchange_bytes: int = 0
+    exchange_blobs: int = 0
     processed_events: int = 0
     sim_duration_s: float = 0.0
     wall_s: float = 0.0
@@ -868,9 +908,15 @@ class FabricResult:
             "total_control_messages": self.total_control_messages,
             "cross_shard_messages": self.cross_shard_messages,
             "epochs": self.epochs,
+            "epochs_skipped": self.epochs_skipped,
+            "epochs_widened": self.epochs_widened,
+            "exchange_bytes": self.exchange_bytes,
+            "exchange_blobs": self.exchange_blobs,
             "processed_events": self.processed_events,
             "sim_duration_s": round(self.sim_duration_s, 6),
             "wall_s": round(self.wall_s, 4),
+            "coordinator_cpu_s": round(self.coordinator_cpu_s, 4),
+            "worker_cpu_s": [round(cpu, 4) for cpu in self.worker_cpu_s],
             "wall_packets_per_sec": round(self.wall_packets_per_sec, 2),
             "capacity_packets_per_sec": round(self.capacity_packets_per_sec, 2),
         }
@@ -924,6 +970,9 @@ def run_fabric_experiment(
         lookahead=plan.lookahead,
         horizon=config["horizon_s"],
         shards=shards,
+        adaptive=config.get("adaptive_lookahead", True),
+        codec=config.get("exchange_codec", True),
+        promise=plan.promise,
     )
     payload = sim.run()
 
@@ -940,6 +989,10 @@ def run_fabric_experiment(
         hosts=plan.fabric.host_count,
         cut_links=plan.cut,
         epochs=payload["epochs"],
+        epochs_skipped=payload["epochs_skipped"],
+        epochs_widened=payload["epochs_widened"],
+        exchange_bytes=payload["exchange_bytes"],
+        exchange_blobs=payload["exchange_blobs"],
         sim_duration_s=config["horizon_s"],
         wall_s=payload["wall_s"],
         coordinator_cpu_s=payload["coordinator_cpu_s"],

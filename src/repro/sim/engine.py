@@ -5,7 +5,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
-from repro.sim.events import Event
+from repro.sim.events import Event, MESSAGE_PRIORITY
 
 
 class SimulationError(Exception):
@@ -21,6 +21,13 @@ class SimulationEngine:
     sequence number.  This mirrors the paper's single-threaded, centralized
     runtime injector, which "imposes a total ordering on messages seen by
     the runtime injector" (Section VI-C).
+
+    The heap holds flat ``(time, priority, seq, event)`` entries rather than
+    ``Event`` objects, so every sift during push/pop compares native tuples
+    in C instead of invoking ``Event.__lt__``.  Sequence numbers are unique
+    within a priority band (monotone integers for local events, message-key
+    tuples in the :data:`MESSAGE_PRIORITY` band), so the trailing event
+    object is never reached by a comparison.
     """
 
     #: Tombstone compaction thresholds: compact when the heap holds at
@@ -41,12 +48,17 @@ class SimulationEngine:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: List[Event] = []
+        self._queue: List[Tuple[float, int, Any, Event]] = []
         self._running = False
         self._processed = 0
         self._live = 0
         self._compact_min = self.COMPACT_MIN_QUEUE
         self.heap_compactions = 0
+        #: Tombstones physically removed from the heap so far, whether by a
+        #: compaction sweep or popped at the head by step/run/_peek.  Along
+        #: with ``_live`` this keeps ``pending_events`` exact at all times:
+        #: heap_size == pending_events + (tombstones created - swept).
+        self.heap_tombstones_swept = 0
         #: Sharded execution bookkeeping (see :mod:`repro.sim.shard`).  A
         #: standalone engine is its own single shard; a region engine run
         #: under a ShardedSimulation is stamped with its place in the
@@ -92,9 +104,11 @@ class SimulationEngine:
         heap operation with dead weight.
         """
         queue = self._queue
-        queue[:] = [event for event in queue if not event.cancelled]
+        before = len(queue)
+        queue[:] = [entry for entry in queue if not entry[3].cancelled]
         heapq.heapify(queue)
         self.heap_compactions += 1
+        self.heap_tombstones_swept += before - len(queue)
         # Scale the floor with the surviving population (and let it decay
         # back toward the static minimum as the simulation empties out).
         self._compact_min = max(self.COMPACT_MIN_QUEUE, 2 * self._live)
@@ -130,15 +144,43 @@ class SimulationEngine:
             )
         event = Event(time, callback, args, priority=priority)
         event._engine = self
-        heapq.heappush(self._queue, event)
+        heapq.heappush(self._queue, (event.time, priority, event.seq, event))
+        self._live += 1
+        return event
+
+    def schedule_message(
+        self,
+        time: float,
+        seq: Any,
+        callback: Callable[..., Any],
+        *args: Any,
+    ) -> Event:
+        """Schedule a cross-shard message delivery with a canonical key.
+
+        The event sorts in the :data:`MESSAGE_PRIORITY` band under ``seq``
+        (a message-identity tuple such as ``(channel, sender_seq)``) and
+        does **not** consume the engine's event sequence counter.  Region
+        execution therefore produces identical event orderings no matter
+        how the barrier grouped deliveries into epochs — the invariant that
+        lets adaptive lookahead stay byte-identical to fixed-width epochs.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot deliver at t={time!r} before current time t={self._now!r}"
+            )
+        event = Event(time, callback, args, priority=MESSAGE_PRIORITY, seq=seq)
+        event._engine = self
+        heapq.heappush(self._queue, (event.time, MESSAGE_PRIORITY, seq, event))
         self._live += 1
         return event
 
     def step(self) -> Optional[Event]:
         """Fire the single next non-cancelled event; return it (or None)."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            event = heapq.heappop(queue)[3]
             if event.cancelled:
+                self.heap_tombstones_swept += 1
                 continue
             self._live -= 1
             event._engine = None  # late cancel() must not re-decrement
@@ -160,27 +202,40 @@ class SimulationEngine:
             raise SimulationError("engine is already running (re-entrant run())")
         self._running = True
         queue = self._queue
+        heappop = heapq.heappop
+        limit = until if until is not None else float("inf")
+        budget = max_events if max_events is not None else (1 << 62)
         fired = 0
         try:
-            # Single pop loop — each live event is popped exactly once,
-            # instead of the peek-then-step pattern that sifted the heap
-            # head twice per event.
             while queue:
-                if max_events is not None and fired >= max_events:
+                entry = queue[0]
+                t = entry[0]
+                if t > limit or fired >= budget:
+                    # Beyond the horizon (or out of budget): leave the head
+                    # in place — the heap is only ever popped for events
+                    # that actually fire.
                     break
-                event = heapq.heappop(queue)
-                if event.cancelled:
-                    continue
-                if until is not None and event.time > until:
-                    # Beyond the horizon: put it back for the next run().
-                    heapq.heappush(queue, event)
-                    break
-                self._live -= 1
-                event._engine = None  # late cancel() must not re-decrement
-                self._now = event.time
-                self._processed += 1
-                event.fire()
-                fired += 1
+                # Batch every due event at this timestamp: time is monotone
+                # within the batch, so the horizon needs no re-test.
+                self._now = t
+                while True:
+                    heappop(queue)
+                    event = entry[3]
+                    if event.cancelled:
+                        self.heap_tombstones_swept += 1
+                    else:
+                        self._live -= 1
+                        event._engine = None  # late cancel() must not re-decrement
+                        self._processed += 1
+                        event.callback(*event.args)
+                        fired += 1
+                        if fired >= budget:
+                            break
+                    if not queue:
+                        break
+                    entry = queue[0]
+                    if entry[0] != t:
+                        break
             if until is not None and until > self._now:
                 self._now = until
         finally:
@@ -188,12 +243,21 @@ class SimulationEngine:
         return fired
 
     def _peek(self) -> Optional[Event]:
-        """Return the next live event without firing it (drops cancelled)."""
-        while self._queue:
-            if self._queue[0].cancelled:
-                heapq.heappop(self._queue)
+        """Return the next live event without firing it (drops cancelled).
+
+        Tombstones popped here are credited to ``heap_tombstones_swept``,
+        the same ledger the compaction sweep uses, so ``pending_events``
+        and the heap-size metrics stay exact regardless of which path
+        removed a cancelled entry.
+        """
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if entry[3].cancelled:
+                heapq.heappop(queue)
+                self.heap_tombstones_swept += 1
                 continue
-            return self._queue[0]
+            return entry[3]
         return None
 
     def next_event_time(self) -> Optional[float]:
@@ -222,6 +286,7 @@ class SimulationEngine:
             "heap_size": len(self._queue),
             "heap_tombstones": len(self._queue) - self._live,
             "heap_compactions": self.heap_compactions,
+            "heap_tombstones_swept": self.heap_tombstones_swept,
             "shards": self.shards,
             "shard_id": self.shard_id,
             "cross_shard_messages": self.cross_shard_messages,

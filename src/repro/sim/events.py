@@ -10,18 +10,31 @@ class EventCancelled(Exception):
     """Raised when interacting with an event that has been cancelled."""
 
 
+#: Priority band reserved for cross-shard message dispatch events.  All
+#: locally scheduled events use small priorities (0 by convention); dispatch
+#: events scheduled by :meth:`SimulationEngine.schedule_message` sort after
+#: every local event at the same instant and carry tuple sequence keys that
+#: are pure functions of the message identity — never drawn from the
+#: region's event counter.  Keeping the bands disjoint means integer and
+#: tuple sequence numbers are never compared against each other, and region
+#: execution cannot observe how the barrier windowed its message deliveries.
+MESSAGE_PRIORITY = 1 << 30
+
+
 class Event:
     """A scheduled callback at a point in simulated time.
 
     Events are ordered by ``(time, priority, seq)``.  The monotonically
     increasing sequence number guarantees a deterministic total order even
     for events scheduled at exactly the same simulated instant, which is
-    essential for reproducible attack traces.
+    essential for reproducible attack traces.  The key is precomputed once
+    at construction (``self.key``) so heap maintenance compares native
+    tuples instead of calling back into Python per comparison.
     """
 
     _seq_counter = itertools.count()
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "_engine")
+    __slots__ = ("time", "priority", "seq", "key", "callback", "args", "cancelled", "_engine")
 
     def __init__(
         self,
@@ -29,12 +42,16 @@ class Event:
         callback: Callable[..., Any],
         args: Tuple[Any, ...] = (),
         priority: int = 0,
+        seq: Any = None,
     ) -> None:
         if time < 0:
             raise ValueError(f"event time must be non-negative, got {time!r}")
         self.time = float(time)
         self.priority = priority
-        self.seq = next(Event._seq_counter)
+        if seq is None:
+            seq = next(Event._seq_counter)
+        self.seq = seq
+        self.key = (self.time, priority, seq)
         self.callback = callback
         self.args = args
         self.cancelled = False
@@ -53,11 +70,11 @@ class Event:
             raise EventCancelled(f"event {self!r} was cancelled")
         self.callback(*self.args)
 
-    def sort_key(self) -> Tuple[float, int, int]:
-        return (self.time, self.priority, self.seq)
+    def sort_key(self) -> Tuple[float, int, Any]:
+        return self.key
 
     def __lt__(self, other: "Event") -> bool:
-        return self.sort_key() < other.sort_key()
+        return self.key < other.key
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         name = getattr(self.callback, "__name__", repr(self.callback))

@@ -20,35 +20,63 @@ nondeterminism is region-local:
 * each region has a private event heap and private sequence counters
   (:class:`RegionContext`), so event tie-breaking never depends on what
   other regions did;
-* cross-region messages carry a ``(arrival, channel, seq)`` key and are
-  sorted before delivery, so the receiving heap ingests them in one
-  deterministic order;
+* cross-region messages are delivered through
+  :meth:`~repro.sim.engine.SimulationEngine.schedule_message` with a
+  canonical ``(arrival, MESSAGE_PRIORITY, (channel, seq))`` heap key that
+  is a pure function of the message identity — delivery never draws the
+  region's event-sequence counter, so region execution is *windowing
+  invariant*: it cannot observe how the barrier grouped deliveries into
+  epochs;
 * conservative barriers: every boundary channel has latency >= the
-  lookahead ``L``, and epochs are ``L`` wide, so a message generated in
-  epoch ``k`` can only arrive in epoch ``k+1`` or later — no region ever
-  needs to roll back.
+  lookahead ``L``, and every epoch ends at least ``L`` before any message
+  generated inside it can arrive — no region ever needs to roll back.
 
 Consequently a run's results (metrics, traces) are byte-identical whether
 its regions execute inline in one process or spread over any number of
-pool workers.
+pool workers, with fixed or adaptive epoch boundaries, and with either
+exchange wire format.
 
-Epoch fast-forward
+Barrier schedule
+----------------
+
+:class:`BarrierSchedule` computes epoch boundaries from global barrier
+state (the earliest local event any region holds and the earliest
+in-flight message arrival).  In **fixed** mode epochs advance one
+lookahead-quantum grid slot at a time, fast-forwarding over empty slots.
+In **adaptive** mode each epoch widens to ``wake + promise``, where the
+*promise* is the minimum boundary-channel latency: when every region is
+quiescent until ``wake``, no boundary channel can emit anything arriving
+before ``wake + promise``, so the barrier is provably safe and sparse
+phases (liveness timers, ping intervals, drain tails) collapse into far
+fewer rounds.  Windowing invariance makes both modes byte-identical.
+
+Exchange fast lane
 ------------------
 
-At every barrier the coordinator knows each region's next event time and
-all undelivered message arrivals; the next epoch jumps directly to the
-earliest of these instead of grinding through empty ``L``-wide slots, so
-sparse stretches (liveness timers, ping intervals) cost one barrier per
-occupied epoch, not one per lookahead quantum.
+Pooled execution runs the whole barrier loop **inside** the workers
+(``shard_run``): every worker computes the identical schedule from
+exchanged control words and ships its message batches peer-to-peer over
+:class:`~repro.sim.mesh.MeshEndpoint` pipes as single packed blobs
+(:mod:`repro.sim.codec`), so the coordinator's only involvement is one
+task/reply per run — nothing serial remains on the critical path.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
+import struct
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dataplane.link import _Direction
+from repro.netlib import fastframe
+from repro.sim.codec import (
+    BatchDecoder,
+    BatchEncoder,
+    pickle_batch,
+    unpickle_batch,
+)
 from repro.sim.engine import SimulationEngine
 
 #: A cross-region message: (arrival_time, channel, seq, op, payload).
@@ -72,9 +100,25 @@ class RegionContext:
     region observes depend only on that region's own history.
     """
 
-    def __init__(self) -> None:
-        from repro.netlib import fastframe
+    #: Lazily bound targets of the swap — resolving the imports once per
+    #: process instead of on every enter/exit keeps the per-epoch context
+    #: switch down to a handful of attribute assignments.
+    _targets: Optional[tuple] = None
 
+    @classmethod
+    def _resolve_targets(cls) -> tuple:
+        if cls._targets is None:
+            from repro.core.lang.properties import InterposedMessage
+            from repro.dataplane.flowtable import FlowEntry
+            from repro.dataplane.host import Host
+            from repro.openflow import messages as of_messages
+            from repro.sim.events import Event
+
+            cls._targets = (
+                Event, FlowEntry, Host, InterposedMessage, of_messages)
+        return cls._targets
+
+    def __init__(self) -> None:
         self.event_seq = itertools.count()
         self.flow_order = itertools.count()
         self.icmp_id = itertools.count(1)
@@ -86,13 +130,8 @@ class RegionContext:
         self._saved: Optional[tuple] = None
 
     def __enter__(self) -> "RegionContext":
-        from repro.core.lang.properties import InterposedMessage
-        from repro.dataplane.flowtable import FlowEntry
-        from repro.dataplane.host import Host
-        from repro.netlib import fastframe
-        from repro.openflow import messages as of_messages
-        from repro.sim.events import Event
-
+        Event, FlowEntry, Host, InterposedMessage, of_messages = (
+            self._resolve_targets())
         if self._saved is not None:
             raise RuntimeError("RegionContext is not re-entrant")
         self._saved = (
@@ -116,13 +155,8 @@ class RegionContext:
         return self
 
     def __exit__(self, *exc_info) -> None:
-        from repro.core.lang.properties import InterposedMessage
-        from repro.dataplane.flowtable import FlowEntry
-        from repro.dataplane.host import Host
-        from repro.netlib import fastframe
-        from repro.openflow import messages as of_messages
-        from repro.sim.events import Event
-
+        Event, FlowEntry, Host, InterposedMessage, of_messages = (
+            self._resolve_targets())
         # xids are a plain module int, so read the advanced value back.
         self.xid_next = of_messages._xid_next
         (
@@ -149,7 +183,10 @@ class BoundaryTx(_Direction):
     drop-tail queue) byte for byte, but the computed arrival becomes a
     cross-region message instead of a local delivery; a local no-op at
     the arrival instant keeps the queue-occupancy dynamics identical to
-    an unsharded link.
+    an unsharded link.  Payloads are flattened to plain ``bytes`` at the
+    boundary — the receiving region re-interns them into its own
+    FastFrame pool at dispatch, so every execution mode (inline, pooled,
+    either codec) observes the identical pool history.
     """
 
     __slots__ = ("emit", "chan")
@@ -173,7 +210,7 @@ class BoundaryTx(_Direction):
         raise AssertionError("boundary direction delivers remotely")
 
     def _schedule_arrival(self, arrival: float, data: bytes) -> None:
-        self.emit(self.chan, arrival, OP_FRAME, data)
+        self.emit(self.chan, arrival, OP_FRAME, bytes(data))
         self.engine.schedule_at(arrival, self._depart)
 
     def _depart(self) -> None:
@@ -313,20 +350,31 @@ class ShardRegion:
     def deliver(self, messages: Sequence[ShardMessage]) -> None:
         """Schedule a barrier's worth of inbound messages.
 
-        Sorting by the full ``(arrival, chan, seq)`` key before scheduling
-        fixes the event-sequence assignment, which is what makes delivery
-        deterministic regardless of how the coordinator batched them.
+        Delivery goes through ``schedule_message``: the heap key is the
+        canonical ``(arrival, MESSAGE_PRIORITY, (chan, seq))`` — a pure
+        function of the message, drawing nothing from the region's event
+        counter.  Neither the batch order nor how the barrier windowed
+        the deliveries can influence region execution, so no pre-sort is
+        needed.
         """
         with self.ctx:
-            for message in sorted(messages):
-                arrival, chan, _seq, op, payload = message
-                self.messages_received += 1
-                self.engine.schedule_at(arrival, self._dispatch, chan, op,
-                                        payload)
+            self._deliver_locked(messages)
+
+    def _deliver_locked(self, messages: Sequence[ShardMessage]) -> None:
+        engine = self.engine
+        dispatch = self._dispatch
+        for arrival, chan, seq, op, payload in messages:
+            self.messages_received += 1
+            engine.schedule_message(arrival, (chan, seq), dispatch,
+                                    chan, op, payload)
 
     def _dispatch(self, chan: str, op: str, payload: bytes) -> None:
         if op == OP_FRAME:
-            self.link_sinks[chan].deliver(payload)
+            # Re-intern into this region's pool: repeated payloads (the
+            # steady state of any flow) resolve to the same warm FastFrame
+            # and are never parsed twice.
+            frame, _ = fastframe.intern(payload)
+            self.link_sinks[chan].deliver(frame)
             return
         if op == OP_OPEN:
             self.control_opened(chan)
@@ -347,14 +395,24 @@ class ShardRegion:
 
     # -- execution ----------------------------------------------------- #
 
-    def run_until(self, until: float) -> Tuple[List[Tuple[int, ShardMessage]], Optional[float]]:
-        """Advance this region's clock to ``until``; drain the outbox."""
+    def run_epoch(
+        self,
+        until: float,
+        messages: Optional[Sequence[ShardMessage]] = None,
+    ) -> Tuple[List[Tuple[int, ShardMessage]], Optional[float]]:
+        """Deliver ``messages`` and advance to ``until`` in one context."""
         with self.ctx:
+            if messages:
+                self._deliver_locked(messages)
             self.engine.run(until=until)
             out = self.outbox
             self.outbox = []
             next_time = self.engine.next_event_time()
         return out, next_time
+
+    def run_until(self, until: float) -> Tuple[List[Tuple[int, ShardMessage]], Optional[float]]:
+        """Advance this region's clock to ``until``; drain the outbox."""
+        return self.run_epoch(until)
 
     def collect(self) -> Dict[str, Any]:
         """Region results (metrics, workload counters, trace events)."""
@@ -363,6 +421,132 @@ class ShardRegion:
 
     def _collect(self) -> Dict[str, Any]:
         return {"engine": self.engine.metrics()}
+
+
+# --------------------------------------------------------------------- #
+# Barrier schedule
+# --------------------------------------------------------------------- #
+
+class BarrierSchedule:
+    """Deterministic epoch-boundary calculator.
+
+    A pure function of the global barrier state fed to :meth:`advance`
+    (earliest pending local event, earliest in-flight arrival), so the
+    inline coordinator and every SPMD worker compute the identical
+    boundary sequence independently.
+
+    Fixed mode reproduces the classic grid: epochs end on multiples of
+    the lookahead ``L``, fast-forwarding over empty slots.  Adaptive mode
+    ends each epoch at ``wake + promise`` instead (clamped to the
+    horizon): since no region fires an event before ``wake``, no boundary
+    channel can emit a message arriving before ``wake + promise``, which
+    keeps the no-rollback guarantee while widening epochs well past one
+    grid slot whenever regions are quiescent.
+
+    A message can arrive *exactly on* an epoch boundary (latency equal to
+    the promise).  It is delivered at the next barrier and its dispatch
+    event fires at its arrival time with the canonical message key, after
+    every local event of that instant — the identical order the grid
+    produces — so widening never changes results.  The one edge case is
+    an arrival landing exactly on the horizon: :meth:`advance` answers
+    with a *drain round* (another epoch at the horizon) instead of
+    terminating, so the delivery is never dropped.  Fixed-grid arrivals
+    are strictly beyond ``previous boundary + L`` and can never trigger
+    the drain.
+    """
+
+    __slots__ = ("lookahead", "horizon", "adaptive", "promise",
+                 "epochs", "epochs_skipped", "epochs_widened",
+                 "_k", "_until")
+
+    def __init__(
+        self,
+        lookahead: float,
+        horizon: float,
+        adaptive: bool = False,
+        promise: Optional[float] = None,
+    ) -> None:
+        if lookahead <= 0:
+            raise ValueError(f"lookahead must be positive, got {lookahead!r}")
+        self.lookahead = float(lookahead)
+        self.horizon = float(horizon)
+        self.adaptive = bool(adaptive)
+        # The promise may never undercut the lookahead (boundary channels
+        # all have latency >= L); math.inf means "no boundary channels at
+        # all" and lets the schedule jump straight to the horizon.
+        if promise is None:
+            self.promise = self.lookahead
+        else:
+            self.promise = max(float(promise), self.lookahead)
+        self.epochs = 0
+        self.epochs_skipped = 0
+        self.epochs_widened = 0
+        self._k = 0
+        self._until = min(self.lookahead, self.horizon)
+
+    @property
+    def until(self) -> float:
+        """The boundary of the epoch to run next."""
+        return self._until
+
+    def advance(
+        self,
+        next_time: Optional[float],
+        pending_arrival: Optional[float],
+    ) -> bool:
+        """Account the epoch just run; compute the next boundary.
+
+        ``next_time`` is the earliest local event still pending in any
+        region; ``pending_arrival`` the earliest arrival among messages
+        exchanged this epoch (delivered at the next barrier).  Returns
+        False when the simulation is complete.
+        """
+        self.epochs += 1
+        horizon = self.horizon
+        if self._until >= horizon:
+            # Drain round: an exchange can still land a delivery exactly
+            # on the horizon (see class docstring); run one more epoch at
+            # the horizon so it fires.  Otherwise we are done.
+            return pending_arrival is not None and pending_arrival <= horizon
+        wake = next_time
+        if pending_arrival is not None and (wake is None or pending_arrival < wake):
+            wake = pending_arrival
+        lookahead = self.lookahead
+        if wake is None:
+            # Globally idle with nothing in flight: jump to the end so
+            # every clock lands on the horizon.
+            k_next = max(self._k + 1, int(horizon / lookahead))
+            self.epochs_skipped += max(0, k_next - self._k - 1)
+            self._k = k_next
+            self._until = min((k_next + 1) * lookahead, horizon)
+            return True
+        if not self.adaptive:
+            # The epoch whose (k+1)*L boundary first covers `wake`.
+            k_next = max(self._k + 1, -int(-wake / lookahead) - 1)
+            self.epochs_skipped += max(0, k_next - self._k - 1)
+            self._k = k_next
+            self._until = min((k_next + 1) * lookahead, horizon)
+            return True
+        promise = self.promise
+        target = horizon if math.isinf(promise) else min(horizon, wake + promise)
+        if target <= self._until:  # pragma: no cover - defensive clamp
+            target = min(horizon, self._until + lookahead)
+        grid_k = max(self._k + 1, -int(-wake / lookahead) - 1)
+        grid_until = min((grid_k + 1) * lookahead, horizon)
+        if target > grid_until:
+            self.epochs_widened += 1
+        k_next = max(grid_k, -int(-target / lookahead) - 1)
+        self.epochs_skipped += max(0, k_next - self._k - 1)
+        self._k = k_next
+        self._until = target
+        return True
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "epochs": self.epochs,
+            "epochs_skipped": self.epochs_skipped,
+            "epochs_widened": self.epochs_widened,
+        }
 
 
 # --------------------------------------------------------------------- #
@@ -378,18 +562,35 @@ def _build_regions(config: Dict[str, Any], rids: Sequence[int]) -> Dict[int, Sha
     return {region.rid: region for region in build_fabric_regions(config, rids)}
 
 
+#: SPMD control word exchanged alongside each batch blob: the sender's
+#: earliest pending local event time and earliest outbound arrival
+#: (``inf`` encodes "none").
+_CONTROL = struct.Struct("<dd")
+
+
+def _pack_optional(value: Optional[float]) -> float:
+    return math.inf if value is None else value
+
+
+def _unpack_optional(value: float) -> Optional[float]:
+    return None if math.isinf(value) else value
+
+
 class ShardWorkerSession:
     """Per-process state behind the pool's ``shard_*`` tasks.
 
-    Lives inside a pool worker; the coordinator drives it with
-    ``shard_init`` / ``shard_epoch`` / ``shard_collect`` messages.  When
-    the pool wires peer queues, cross-shard messages travel directly
-    between workers at each barrier and the coordinator only sees tiny
-    control replies; without queues (legacy / single worker) the
-    coordinator routes messages through the epoch replies instead.
+    Lives inside a pool worker.  ``shard_init`` builds this worker's
+    regions; ``shard_run`` executes the **entire** barrier loop SPMD-style
+    (batches travel peer-to-peer over the pipe mesh, every worker derives
+    the identical epoch schedule from exchanged control words, and the
+    coordinator sees exactly one reply per run); ``shard_collect``
+    returns results.  The per-epoch ops (``shard_epoch``) remain as the
+    queue-routed fallback for pools without a mesh (non-fork start
+    methods) and for single-worker pools driven epoch by epoch.
     """
 
-    def __init__(self, peer_queues=None, peer_index: Optional[int] = None) -> None:
+    def __init__(self, peer_queues=None, peer_index: Optional[int] = None,
+                 mesh_matrix=None) -> None:
         self.regions: Dict[int, ShardRegion] = {}
         self.cpu_s = 0.0
         self._peers = list(peer_queues) if peer_queues else None
@@ -398,6 +599,11 @@ class ShardWorkerSession:
         self._round = 0
         self._local_inbox: Dict[int, List[ShardMessage]] = {}
         self._deferred: Dict[Tuple[int, int], Dict[int, List[ShardMessage]]] = {}
+        self._mesh = None
+        if mesh_matrix is not None and peer_index is not None:
+            from repro.sim.mesh import MeshEndpoint
+
+            self._mesh = MeshEndpoint(peer_index, mesh_matrix)
 
     def handle(self, task: Dict[str, Any]) -> Dict[str, Any]:
         op = task["op"]
@@ -417,6 +623,11 @@ class ShardWorkerSession:
             self._deferred = {}
             self.cpu_s += time.process_time() - started
             return {"status": "ok", "rids": sorted(self.regions)}
+        if op == "shard_run":
+            started = time.process_time()
+            reply = self._spmd_run(task)
+            self.cpu_s += time.process_time() - started
+            return reply
         if op == "shard_epoch":
             started = time.process_time()
             if self._peers is not None and len(self._peers) > 1:
@@ -437,8 +648,88 @@ class ShardWorkerSession:
             return {"status": "ok", "regions": results, "cpu_s": self.cpu_s}
         raise ValueError(f"unknown shard op {op!r}")
 
+    # -- SPMD barrier loop --------------------------------------------- #
+
+    def _spmd_run(self, task: Dict[str, Any]) -> Dict[str, Any]:
+        """Run every barrier of the simulation without coordinator turns.
+
+        Each round: run this worker's regions to the current boundary,
+        group the outbox by owning worker, send one control word plus one
+        batch blob to every peer, fold the peers' control words into the
+        global barrier state, and advance the shared schedule.  All
+        workers see the same control information, so all compute the same
+        boundary sequence — lock-step without a conductor.
+        """
+        schedule = BarrierSchedule(
+            task["lookahead"], task["horizon"],
+            adaptive=task.get("adaptive", False),
+            promise=task.get("promise"),
+        )
+        use_codec = task.get("codec", True)
+        mesh = self._mesh
+        peers = mesh.peers if mesh is not None else []
+        encoders = {peer: BatchEncoder() for peer in peers}
+        decoders = {peer: BatchDecoder() for peer in peers}
+        inbox: Dict[int, List[ShardMessage]] = {}
+        sent_total = 0
+        exchange_bytes = 0
+        exchange_blobs = 0
+        while True:
+            outbox, next_time = run_region_epoch(
+                self.regions, schedule.until, inbox)
+            inbox = {}
+            grouped: Dict[int, Dict[int, List[ShardMessage]]] = {
+                peer: {} for peer in peers}
+            min_arrival: Optional[float] = None
+            for dest, message in outbox:
+                owner = self._owner.get(dest, self._index)
+                target = inbox if owner == self._index else grouped[owner]
+                target.setdefault(dest, []).append(message)
+                if min_arrival is None or message[0] < min_arrival:
+                    min_arrival = message[0]
+            control = _CONTROL.pack(
+                _pack_optional(next_time), _pack_optional(min_arrival))
+            for peer in peers:
+                batch = grouped[peer]
+                blob = (encoders[peer].encode(batch) if use_codec
+                        else pickle_batch(batch))
+                mesh.send(peer, control + blob)
+                exchange_bytes += _CONTROL.size + len(blob)
+                if batch:
+                    exchange_blobs += 1
+            agg_next = next_time
+            agg_arrival = min_arrival
+            for peer in peers:
+                frame = mesh.recv(peer)
+                peer_next, peer_arrival = _CONTROL.unpack_from(frame, 0)
+                blob = frame[_CONTROL.size:]
+                batch = (decoders[peer].decode(blob) if use_codec
+                         else unpickle_batch(blob))
+                for rid, messages in batch.items():
+                    inbox.setdefault(rid, []).extend(messages)
+                peer_next = _unpack_optional(peer_next)
+                peer_arrival = _unpack_optional(peer_arrival)
+                if peer_next is not None and (
+                        agg_next is None or peer_next < agg_next):
+                    agg_next = peer_next
+                if peer_arrival is not None and (
+                        agg_arrival is None or peer_arrival < agg_arrival):
+                    agg_arrival = peer_arrival
+            if mesh is not None:
+                mesh.flush_all()
+            sent_total += len(outbox)
+            if not schedule.advance(agg_next, agg_arrival):
+                break
+        reply = {"status": "ok", "sent": sent_total,
+                 "exchange_bytes": exchange_bytes,
+                 "exchange_blobs": exchange_blobs}
+        reply.update(schedule.counters())
+        return reply
+
+    # -- legacy queue-routed epoch ------------------------------------- #
+
     def _peer_epoch(self, until: float) -> Dict[str, Any]:
-        """One barrier with peer-to-peer message exchange.
+        """One barrier with queue-based peer-to-peer message exchange.
 
         Every worker puts exactly one (possibly empty) batch per round on
         every other worker's queue, so collecting one batch per peer for
@@ -446,9 +737,9 @@ class ShardWorkerSession:
         asynchronous (a feeder thread flushes them), so a fast peer's
         round ``r+1`` batch can arrive before a slow peer's round ``r``
         one — ahead-of-round batches are parked in ``_deferred`` until
-        their round comes up.  ``deliver`` re-sorts by the total key
-        ``(t, chan, seq)``, so neither the sender interleaving nor the
-        merge order can leak into results.
+        their round comes up.  Delivery keys are canonical per message,
+        so neither the sender interleaving nor the merge order can leak
+        into results.
         """
         inbox = self._local_inbox
         self._local_inbox = {}
@@ -506,10 +797,7 @@ def run_region_epoch(
     next_time: Optional[float] = None
     for rid in sorted(regions):
         region = regions[rid]
-        messages = inbox.get(rid)
-        if messages:
-            region.deliver(messages)
-        out, region_next = region.run_until(until)
+        out, region_next = region.run_epoch(until, inbox.get(rid))
         outbox.extend(out)
         if region_next is not None:
             next_time = region_next if next_time is None else min(next_time, region_next)
@@ -541,7 +829,9 @@ class ShardedSimulation:
 
     ``shards <= 1`` executes every region inline (no IPC); ``shards > 1``
     spreads regions over a persistent pool of worker processes (the
-    campaign runner's worker loop) and exchanges messages at each barrier.
+    campaign runner's worker loop).  When the pool has a pipe mesh the
+    whole barrier loop runs SPMD inside the workers; otherwise the
+    coordinator drives per-epoch tasks over the legacy queue exchange.
     """
 
     def __init__(
@@ -552,6 +842,9 @@ class ShardedSimulation:
         lookahead: float,
         horizon: float,
         shards: int = 1,
+        adaptive: bool = False,
+        codec: bool = True,
+        promise: Optional[float] = None,
     ) -> None:
         if lookahead <= 0:
             raise ValueError(f"lookahead must be positive, got {lookahead!r}")
@@ -561,8 +854,20 @@ class ShardedSimulation:
         self.lookahead = float(lookahead)
         self.horizon = float(horizon)
         self.shards = max(1, int(shards))
+        self.adaptive = bool(adaptive)
+        self.codec = bool(codec)
+        self.promise = promise
         self.epochs = 0
         self.messages = 0
+        self.epochs_skipped = 0
+        self.epochs_widened = 0
+        self.exchange_bytes = 0
+        self.exchange_blobs = 0
+        self._last_payload: Optional[Dict[str, Any]] = None
+
+    def _schedule(self) -> BarrierSchedule:
+        return BarrierSchedule(self.lookahead, self.horizon,
+                               adaptive=self.adaptive, promise=self.promise)
 
     def run(self) -> Dict[str, Any]:
         wall_started = time.perf_counter()
@@ -577,9 +882,33 @@ class ShardedSimulation:
         payload["messages"] = self.messages
         payload["shards"] = self.shards
         payload["regions_count"] = len(self.region_ids)
+        payload["epochs_skipped"] = self.epochs_skipped
+        payload["epochs_widened"] = self.epochs_widened
+        payload["exchange_bytes"] = self.exchange_bytes
+        payload["exchange_blobs"] = self.exchange_blobs
+        self._last_payload = payload
         return payload
 
-    # -- barrier loop shared by both executors ------------------------- #
+    def metrics(self) -> Dict[str, Any]:
+        """Exchange/barrier observability for the completed run."""
+        payload = self._last_payload or {}
+        return {
+            "shards": self.shards,
+            "regions": len(self.region_ids),
+            "epochs": self.epochs,
+            "epochs_skipped": self.epochs_skipped,
+            "epochs_widened": self.epochs_widened,
+            "messages": self.messages,
+            "exchange_bytes": self.exchange_bytes,
+            "exchange_blobs": self.exchange_blobs,
+            "adaptive_lookahead": self.adaptive,
+            "exchange_codec": self.codec,
+            "wall_s": payload.get("wall_s"),
+            "coordinator_cpu_s": payload.get("coordinator_cpu_s"),
+            "worker_cpu_s": list(payload.get("worker_cpu_s") or []),
+        }
+
+    # -- barrier loop shared by the coordinator-driven executors ------- #
 
     def _barrier_loop(
         self,
@@ -595,27 +924,20 @@ class ShardedSimulation:
         local event any region still holds, the earliest arrival among
         the messages produced this epoch, and how many were produced.
         """
-        lookahead = self.lookahead
-        horizon = self.horizon
+        schedule = self._schedule()
         inbox: Dict[int, List[ShardMessage]] = {}
-        k = 0
         while True:
-            until = min((k + 1) * lookahead, horizon)
-            inbox, next_time, pending_arrival, sent = epoch(until, inbox)
-            self.epochs += 1
+            inbox, next_time, pending_arrival, sent = epoch(
+                schedule.until, inbox)
             self.messages += sent
-            if until >= horizon:
+            if not schedule.advance(next_time, pending_arrival):
                 break
-            wake = next_time
-            if pending_arrival is not None and (wake is None or pending_arrival < wake):
-                wake = pending_arrival
-            if wake is None:
-                # Globally idle with nothing in flight: jump to the end so
-                # every clock lands on the horizon.
-                k = max(k + 1, int(horizon / lookahead))
-                continue
-            # The epoch whose (k+1)*L boundary first covers `wake`.
-            k = max(k + 1, -int(-wake / lookahead) - 1)
+        self._note_schedule(schedule)
+
+    def _note_schedule(self, schedule: BarrierSchedule) -> None:
+        self.epochs = schedule.epochs
+        self.epochs_skipped = schedule.epochs_skipped
+        self.epochs_widened = schedule.epochs_widened
 
     # -- inline -------------------------------------------------------- #
 
@@ -646,29 +968,10 @@ class ShardedSimulation:
         pool = ShardWorkerPool(len(assignment))
         try:
             pool.init(self.config, assignment)
-
-            def epoch(until, inbox):
-                # Workers exchange messages peer-to-peer; the replies
-                # carry only barrier control data.
-                replies = pool.epoch(until)
-                next_time: Optional[float] = None
-                pending_arrival: Optional[float] = None
-                sent = 0
-                for reply in replies:
-                    worker_next = reply["next_time"]
-                    if worker_next is not None and (
-                        next_time is None or worker_next < next_time
-                    ):
-                        next_time = worker_next
-                    arrival = reply["min_arrival"]
-                    if arrival is not None and (
-                        pending_arrival is None or arrival < pending_arrival
-                    ):
-                        pending_arrival = arrival
-                    sent += reply["sent"]
-                return {}, next_time, pending_arrival, sent
-
-            self._barrier_loop(epoch)
+            if pool.has_mesh or len(assignment) == 1:
+                self._run_spmd(pool)
+            else:
+                self._run_stepped(pool)
             collected = pool.collect()
             results: Dict[int, Dict[str, Any]] = {}
             worker_cpu = []
@@ -682,3 +985,45 @@ class ShardedSimulation:
             }
         finally:
             pool.shutdown()
+
+    def _run_spmd(self, pool) -> None:
+        """One task per worker; the barrier loop runs inside the pool."""
+        replies = pool.run_barrier(
+            lookahead=self.lookahead, horizon=self.horizon,
+            adaptive=self.adaptive, promise=self.promise, codec=self.codec)
+        epochs = {reply["epochs"] for reply in replies}
+        if len(epochs) != 1:  # pragma: no cover - protocol invariant
+            raise RuntimeError(
+                f"shard workers disagreed on the epoch count: {sorted(epochs)}"
+            )
+        first = replies[0]
+        self.epochs = first["epochs"]
+        self.epochs_skipped = first["epochs_skipped"]
+        self.epochs_widened = first["epochs_widened"]
+        self.messages = sum(reply["sent"] for reply in replies)
+        self.exchange_bytes = sum(reply["exchange_bytes"] for reply in replies)
+        self.exchange_blobs = sum(reply["exchange_blobs"] for reply in replies)
+
+    def _run_stepped(self, pool) -> None:
+        """Legacy fallback: coordinator-driven epochs over queue exchange."""
+
+        def epoch(until, inbox):
+            replies = pool.epoch(until)
+            next_time: Optional[float] = None
+            pending_arrival: Optional[float] = None
+            sent = 0
+            for reply in replies:
+                worker_next = reply["next_time"]
+                if worker_next is not None and (
+                    next_time is None or worker_next < next_time
+                ):
+                    next_time = worker_next
+                arrival = reply["min_arrival"]
+                if arrival is not None and (
+                    pending_arrival is None or arrival < pending_arrival
+                ):
+                    pending_arrival = arrival
+                sent += reply["sent"]
+            return {}, next_time, pending_arrival, sent
+
+        self._barrier_loop(epoch)

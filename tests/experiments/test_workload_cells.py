@@ -88,7 +88,8 @@ def test_workload_runs_are_shard_invariant():
     inline_metrics, pooled_metrics = inline.record(), pooled.record()
     for metrics in (inline_metrics, pooled_metrics):
         for key in ("shards", "wall_s", "wall_packets_per_sec",
-                    "capacity_packets_per_sec"):
+                    "capacity_packets_per_sec", "coordinator_cpu_s",
+                    "worker_cpu_s", "exchange_bytes", "exchange_blobs"):
             metrics.pop(key)
     assert inline_metrics == pooled_metrics
     assert inline.packets_synthesized > 0

@@ -2,15 +2,38 @@
 
 The same fabric run must produce byte-identical merged trace exports and
 identical metrics whether its regions execute inline in one process or
-spread across any number of pool workers.  Suppression and interruption
-attacks are both exercised — the injector, proxies, and control-plane
-boundary channels all sit on the sharded path.
+spread across any number of pool workers — and regardless of which
+exchange fast-lane features are enabled.  The full A/B matrix is
+(codec on/off) x (adaptive lookahead on/off) x (1/2/4 shards):
+the packed codec must be a pure wire-format change, and adaptive
+epoch widening must never reorder deliveries.
+
+Suppression and interruption attacks are both exercised — the injector,
+proxies, and control-plane boundary channels all sit on the sharded path.
 """
+
+import itertools
+import os
 
 import pytest
 
 from repro.campaign import reset_run_state
 from repro.experiments.fabric import run_fabric_experiment
+
+#: ``record()`` keys that legitimately differ between executions of the
+#: same scenario: timing, CPU accounting, and the wire-level exchange
+#: counters (inline runs exchange nothing; blob sizes depend on the
+#: worker assignment).
+EXECUTION_KEYS = (
+    "shards", "wall_s", "wall_packets_per_sec", "capacity_packets_per_sec",
+    "coordinator_cpu_s", "worker_cpu_s", "exchange_bytes", "exchange_blobs",
+)
+
+#: Additionally schedule-dependent: epoch counts differ between fixed
+#: and adaptive barrier schedules (that is the point of widening).
+SCHEDULE_KEYS = ("epochs", "epochs_skipped", "epochs_widened")
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0", "false")
 
 
 def _run(shards, **kwargs):
@@ -21,12 +44,47 @@ def _run(shards, **kwargs):
     )
 
 
-def _comparable(result):
+def _comparable(result, across_schedules=False):
     metrics = result.record()
-    for key in ("shards", "wall_s", "wall_packets_per_sec",
-                "capacity_packets_per_sec"):
+    for key in EXECUTION_KEYS:
         metrics.pop(key)
+    if across_schedules:
+        for key in SCHEDULE_KEYS:
+            metrics.pop(key)
     return metrics
+
+
+def test_fast_lane_matrix_is_byte_identical():
+    """Every (codec, adaptive, shards) combination replays the same run."""
+    shard_counts = (1, 2) if QUICK else (1, 2, 4)
+    reference = None
+    epochs_by_mode = {}
+    for shards, adaptive, codec in itertools.product(
+        shard_counts, (True, False), (True, False)
+    ):
+        result = _run(shards, adaptive_lookahead=adaptive,
+                      exchange_codec=codec)
+        tag = f"shards={shards} adaptive={adaptive} codec={codec}"
+        assert result.trace_events > 0, tag
+        if reference is None:
+            reference = result
+        else:
+            assert result.trace_jsonl == reference.trace_jsonl, tag
+            assert (_comparable(result, across_schedules=True)
+                    == _comparable(reference, across_schedules=True)), tag
+        # Epoch counts depend only on the schedule mode, never on the
+        # shard count or wire format.
+        epochs = epochs_by_mode.setdefault(adaptive, result.epochs)
+        assert result.epochs == epochs, tag
+
+
+def test_adaptive_lookahead_actually_widens_epochs():
+    adaptive = _run(2, adaptive_lookahead=True)
+    fixed = _run(2, adaptive_lookahead=False)
+    assert adaptive.trace_jsonl == fixed.trace_jsonl
+    assert adaptive.epochs_widened > 0
+    assert fixed.epochs_widened == 0
+    assert adaptive.epochs < fixed.epochs
 
 
 def test_suppression_attack_is_shard_invariant():
@@ -80,3 +138,12 @@ def test_rerun_same_config_is_byte_identical():
     first = _run(2)
     second = _run(2)
     assert first.trace_jsonl == second.trace_jsonl
+
+
+def test_exchange_counters_are_populated_on_pooled_runs():
+    pooled = _run(2)
+    assert pooled.exchange_bytes > 0
+    assert pooled.exchange_blobs > 0
+    assert pooled.cross_shard_messages > 0
+    inline = _run(1)
+    assert inline.exchange_bytes == inline.exchange_blobs == 0
