@@ -112,6 +112,11 @@ def _aggregate_cell(cell: CellSummary,
         metrics["evictions_hard"] = _mean(series("evictions_hard"))
         metrics["flow_mods_seen"] = _mean(series("flow_mods_seen"))
         metrics["median_rtt_ms"] = _mean(series("median_rtt_ms"))
+        # Defense-plane scores (PR 9): present only when the cell ran
+        # with detectors; None-valued scores are filtered out below.
+        metrics["detect_precision"] = _mean(series("detect_precision"))
+        metrics["detect_recall"] = _mean(series("detect_recall"))
+        metrics["detect_latency_s"] = _mean(series("detect_latency_s"))
     else:  # unknown harness: surface whatever numeric metrics exist
         for name in sorted({k for p in payloads for k in p}):
             values = series(name)
@@ -133,6 +138,11 @@ def _compute_deltas(cell: CellSummary, baseline: CellSummary) -> None:
         if base_thr:
             deltas["throughput_delta_pct"] = round(
                 100.0 * (cell_thr - base_thr) / base_thr, 2)
+        elif cell_thr:
+            # Zero-throughput baseline: a percentage is undefined, not an
+            # error — surface the Fig. 11 asterisk instead of dividing.
+            deltas["throughput_delta_pct"] = None
+            deltas["throughput_unbounded"] = True
     base_rtt = baseline.metrics.get("median_rtt_ms")
     cell_rtt = cell.metrics.get("median_rtt_ms")
     if isinstance(base_rtt, (int, float)):
@@ -140,6 +150,9 @@ def _compute_deltas(cell: CellSummary, baseline: CellSummary) -> None:
             deltas["rtt_delta_ms"] = round(cell_rtt - base_rtt, 4)
             if base_rtt:
                 deltas["rtt_ratio"] = round(cell_rtt / base_rtt, 3)
+            elif cell_rtt:
+                deltas["rtt_ratio"] = None
+                deltas["rtt_unbounded"] = True
         elif cell.n_ok:
             # Every attacked seed lost all pings: Fig. 11's asterisk.
             deltas["rtt_delta_ms"] = None
@@ -218,11 +231,12 @@ class CampaignReport:
             loss = m.get("ping_loss")
             dthr = d.get("throughput_delta_pct")
             drtt = d.get("rtt_delta_ms")
+            dthr_none = "inf*" if d.get("throughput_unbounded") else "-"
             lines.append(
                 f"{cell.attack or 'baseline':<22} {cell.controller:<11} "
                 f"{cell.fail_mode:<10} {len(cell.seeds):>5} "
                 f"{_num(thr, '{:.2f}'):>9} "
-                f"{_num(dthr, '{:+.1f}%', blank=cell.is_baseline):>8} "
+                f"{_num(dthr, '{:+.1f}%', blank=cell.is_baseline, none=dthr_none):>8} "
                 f"{_num(rtt, '{:.2f}', none='inf*'):>8} "
                 f"{_num(drtt, '{:+.2f}', blank=cell.is_baseline, none='inf*'):>8} "
                 f"{_num(loss, '{:.0%}'):>5} "
@@ -252,11 +266,16 @@ class CampaignReport:
                          cells: List[CellSummary]) -> List[str]:
         header = (f"{'attack':<22} {'controller':<11} {'fail':<10} "
                   f"{'seeds':>5} {'synth':>8} {'pktin/s':>9} "
-                  f"{'occ pk':>7} {'ev cap':>8} {'ev idle':>8} {'deliv':>6}")
+                  f"{'occ pk':>7} {'ev cap':>8} {'ev idle':>8} {'deliv':>6} "
+                  f"{'prec':>6} {'recall':>6} {'lat s':>7}")
         lines = [f"{experiment} harness (flow-table / PACKET_IN pressure)",
                  header, "-" * len(header)]
         for cell in cells:
             m = cell.metrics
+            # A cell whose detectors ran but never fired on an active
+            # window has unbounded detection latency: the inf* asterisk.
+            lat_none = ("inf*" if m.get("detect_recall") is not None
+                        and m.get("detect_latency_s") is None else "-")
             lines.append(
                 f"{cell.attack or 'baseline':<22} {cell.controller:<11} "
                 f"{cell.fail_mode:<10} {len(cell.seeds):>5} "
@@ -265,7 +284,10 @@ class CampaignReport:
                 f"{_num(m.get('table_occupancy_peak'), '{:.0f}'):>7} "
                 f"{_num(m.get('evictions_capacity'), '{:.0f}'):>8} "
                 f"{_num(m.get('evictions_idle'), '{:.0f}'):>8} "
-                f"{_num(m.get('delivery_rate'), '{:.0%}'):>6}"
+                f"{_num(m.get('delivery_rate'), '{:.0%}'):>6} "
+                f"{_num(m.get('detect_precision'), '{:.2f}'):>6} "
+                f"{_num(m.get('detect_recall'), '{:.2f}'):>6} "
+                f"{_num(m.get('detect_latency_s'), '{:.3f}', none=lat_none):>7}"
             )
         return lines
 

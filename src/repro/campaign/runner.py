@@ -45,6 +45,12 @@ def reset_run_state() -> None:
     one process) must do the same before each run or frame contents
     (ICMP identifiers, ephemeral ports, OpenFlow xids, event tie-breaks)
     would depend on how many runs the process executed before this one.
+
+    Per-object statistics (e.g. ``FlowTable`` occupancy peaks and
+    eviction counters) are NOT process-global: every run builds fresh
+    networks, so they cannot leak between cells.  A harness pooling a
+    network across runs must additionally call each table's
+    ``reset_stats()``.
     """
     import itertools
 

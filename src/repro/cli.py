@@ -292,7 +292,9 @@ def _cmd_workload_list(args: argparse.Namespace) -> int:
     width = max(len(s["name"]) for s in sources)
     for source in sources:
         needs = " [needs controller]" if source["needs_controller"] else ""
-        print(f"{source['name']:<{width}}  {source['description']}{needs}")
+        adversarial = " [adversarial]" if source.get("adversarial") else ""
+        print(f"{source['name']:<{width}}  "
+              f"{source['description']}{needs}{adversarial}")
     return 0
 
 
@@ -363,6 +365,77 @@ def _cmd_workload_run(args: argparse.Namespace) -> int:
           + (f", evictions: {counted}" if counted else ", no evictions"))
     print(f"wall {result.wall_s:.2f}s, "
           f"{result.processed_events} events across {result.epochs} epochs")
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# Defense plane
+# ---------------------------------------------------------------------- #
+
+
+def _cmd_detect_list(args: argparse.Namespace) -> int:
+    from repro.defense import list_detectors
+
+    detectors = list_detectors()
+    if args.json:
+        print(json.dumps(detectors, indent=2, sort_keys=True))
+        return 0
+    width = max(len(d["name"]) for d in detectors)
+    for detector in detectors:
+        extra = ""
+        if detector["requires"]:
+            state = "available" if detector["available"] else "missing"
+            extra = f" [optional: {detector['requires']} {state}]"
+        print(f"{detector['name']:<{width}}  {detector['description']}{extra}")
+    return 0
+
+
+def _cmd_detect_run(args: argparse.Namespace) -> int:
+    from repro.experiments.fabric import run_fabric_experiment
+    from repro.obs import render_detections
+
+    workload_params = {}
+    if args.schedule:
+        workload_params["schedule"] = args.schedule
+    if args.senders is not None:
+        workload_params["senders"] = args.senders
+    if args.duration is not None:
+        workload_params["duration_s"] = args.duration
+    detector_params = {}
+    if args.threshold_pps is not None:
+        detector_params["threshold_pps"] = args.threshold_pps
+    if args.ratio is not None:
+        detector_params["ratio"] = args.ratio
+    started = time.time()
+    result = run_fabric_experiment(
+        topology=args.topology,
+        controller=None if args.controller == "none" else args.controller,
+        fail_mode=args.fail_mode,
+        seed=args.seed,
+        shards=args.shards,
+        workload=args.source,
+        workload_params=workload_params,
+        table_capacity=args.table_capacity,
+        table_eviction=args.table_eviction,
+        detectors=args.detectors,
+        detector_params=detector_params,
+    )
+    metrics = dict(result.record(), experiment="workload")
+    if args.json:
+        _print_run_record("detect", None, args.controller, args.fail_mode,
+                          args.seed,
+                          {"topology": args.topology,
+                           "workload": args.source,
+                           "detectors": args.detectors,
+                           "shards": args.shards},
+                          metrics, time.time() - started)
+        return 0
+    print(f"{args.source} on {result.fabric}: {result.switches} switches / "
+          f"{result.hosts} hosts on {result.shards} shard(s), "
+          f"{result.sim_duration_s:.2f}s sim")
+    print(f"sketch digest: {result.sketch_digest}")
+    print(render_detections(result.detections,
+                            metrics.get("sketch_summary")))
     return 0
 
 
@@ -766,6 +839,52 @@ def build_parser() -> argparse.ArgumentParser:
     workload_run.add_argument("--json", action="store_true",
                               help="emit the run record as JSON")
     workload_run.set_defaults(handler=_cmd_workload_run)
+
+    detect = subparsers.add_parser(
+        "detect",
+        help="run sketch-fed detectors against adversarial workloads")
+    detect_sub = detect.add_subparsers(dest="detect_command", required=True)
+
+    detect_list = detect_sub.add_parser(
+        "list", help="list the registered detectors")
+    detect_list.add_argument("--json", action="store_true",
+                             help="emit the detector table as JSON")
+    detect_list.set_defaults(handler=_cmd_detect_list)
+
+    detect_run = detect_sub.add_parser(
+        "run", help="score detectors on one workload run with known "
+                    "attack ground truth")
+    detect_run.add_argument("source",
+                            help="traffic source name (see `workload list`)")
+    detect_run.add_argument("--detectors", default="pktin-rate,newkey-ratio",
+                            help="comma-separated detector names "
+                                 "(see `detect list`)")
+    detect_run.add_argument("--topology", default="fat-tree-k4",
+                            help="fabric descriptor (default fat-tree-k4)")
+    detect_run.add_argument("--controller", default="pox",
+                            choices=("none",) + CONTROLLERS)
+    detect_run.add_argument("--fail-mode", default="secure",
+                            choices=("secure", "insecure"))
+    detect_run.add_argument("--seed", type=int, default=0)
+    detect_run.add_argument("--shards", type=int, default=1,
+                            help="worker processes executing the regions")
+    detect_run.add_argument("--schedule", default=None,
+                            help="rate schedule (see `workload run`)")
+    detect_run.add_argument("--senders", type=int, default=None,
+                            help="sending hosts (default: fabric pairs)")
+    detect_run.add_argument("--duration", type=float, default=None,
+                            help="emission window in simulated seconds")
+    detect_run.add_argument("--threshold-pps", type=float, default=None,
+                            help="pktin-rate alarm threshold (PACKET_IN/s)")
+    detect_run.add_argument("--ratio", type=float, default=None,
+                            help="newkey-ratio alarm threshold in (0,1]")
+    detect_run.add_argument("--table-capacity", type=int, default=None,
+                            help="bound every switch flow table")
+    detect_run.add_argument("--table-eviction", default="refuse",
+                            choices=("refuse", "lru", "fifo"))
+    detect_run.add_argument("--json", action="store_true",
+                            help="emit the run record as JSON")
+    detect_run.set_defaults(handler=_cmd_detect_run)
 
     campaign = subparsers.add_parser(
         "campaign",

@@ -161,6 +161,22 @@ class FlowTable:
     def __len__(self) -> int:
         return len(self.entries)
 
+    def reset_stats(self) -> None:
+        """Zero the cumulative counters (``occupancy_peak``,
+        ``capacity_evictions``, lookup stats) without touching entries.
+
+        Campaign workers rebuild every :class:`FlowTable` per run, so
+        run records never inherit a previous run's peaks — but any
+        harness that *does* pool a network across runs must call this
+        alongside :func:`repro.campaign.runner.reset_run_state`, which
+        only resets process-global counters, not per-table stats.
+        """
+        self.lookups = 0
+        self.matched = 0
+        self.lookup_fast_hits = 0
+        self.capacity_evictions = 0
+        self.occupancy_peak = 0
+
     # ------------------------------------------------------------------ #
     # Index maintenance
     # ------------------------------------------------------------------ #

@@ -187,6 +187,9 @@ class OpenFlowSwitch:
             "control_messages_sent": 0,
         }
         self.tracer = None
+        # Optional defense-plane tap (repro.defense.tap.SketchTap); shared
+        # by every switch in a shard region, wired the same way as tracer.
+        self.sketches = None
         self._started = False
 
     # ------------------------------------------------------------------ #
@@ -678,6 +681,8 @@ class OpenFlowSwitch:
         fields, cached = fastframe.flow_key(data, port_no)
         if cached:
             self.stats["flowkey_cache_hits"] += 1
+        if self.sketches is not None:
+            self.sketches.on_frame(self.name, port_no, fields, self.engine.now)
         entry = self.flow_table.lookup(fields)
         if entry is not None:
             self.stats["flow_matches"] += 1
@@ -696,6 +701,8 @@ class OpenFlowSwitch:
         buffer_id = self._buffer_packet(data, in_port)
         packet_in_data = data[: self.miss_send_len] if self.miss_send_len else b""
         self.stats["packet_ins_sent"] += 1
+        if self.sketches is not None:
+            self.sketches.on_packet_in(self.engine.now)
         self._send(
             PacketIn(
                 buffer_id,
@@ -754,6 +761,8 @@ class OpenFlowSwitch:
         elif port == Port.CONTROLLER:
             if self.connected:
                 self.stats["packet_ins_sent"] += 1
+                if self.sketches is not None:
+                    self.sketches.on_packet_in(self.engine.now)
                 self._send(PacketIn(OFP_NO_BUFFER, len(data), in_port, 1, data))
         elif port == Port.TABLE:
             self.frame_received(in_port, data)

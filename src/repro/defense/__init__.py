@@ -1,0 +1,73 @@
+"""Defense plane: streaming sketch telemetry and scored detectors.
+
+The package has three layers, matching ISSUE 9's tentpole:
+
+- :mod:`repro.defense.sketches` — allocation-free streaming summaries
+  (count-min, heavy hitters, bucketed port-rate EWMAs, PACKET_IN
+  inter-arrival moments, sparse window series);
+- :mod:`repro.defense.tap` — the per-region :class:`SketchTap` fed from
+  the switch hot path, plus deterministic merge/digest helpers;
+- :mod:`repro.defense.detectors` / :mod:`repro.defense.scoring` — the
+  registered ``Detector`` interface and ground-truth precision /
+  recall / detection-latency scoring.
+"""
+
+from repro.defense.sketches import (
+    CountMinSketch,
+    InterArrival,
+    PortRates,
+    TopKeys,
+    WindowSeries,
+    fold_key,
+    normalize_key,
+    row_indices,
+)
+from repro.defense.tap import (
+    DEFAULT_WINDOW_S,
+    SketchTap,
+    merge_taps,
+    sketch_digest,
+    sketch_summary,
+)
+from repro.defense.detectors import (
+    Detector,
+    build_detector,
+    detector_info,
+    detector_names,
+    feature_windows,
+    list_detectors,
+    register_detector,
+)
+from repro.defense.scoring import (
+    attack_window,
+    evaluate_detectors,
+    score_flags,
+    truth_labels,
+)
+
+__all__ = [
+    "CountMinSketch",
+    "DEFAULT_WINDOW_S",
+    "Detector",
+    "InterArrival",
+    "PortRates",
+    "SketchTap",
+    "TopKeys",
+    "WindowSeries",
+    "attack_window",
+    "build_detector",
+    "detector_info",
+    "detector_names",
+    "evaluate_detectors",
+    "feature_windows",
+    "fold_key",
+    "list_detectors",
+    "merge_taps",
+    "normalize_key",
+    "register_detector",
+    "row_indices",
+    "score_flags",
+    "sketch_digest",
+    "sketch_summary",
+    "truth_labels",
+]

@@ -1,0 +1,235 @@
+"""Detectors over sketch telemetry, with a registry mirroring
+``register_attack``/``register_source``.
+
+A detector consumes the *feature windows* derived from a merged sketch
+payload (:func:`feature_windows`) — one dict per fixed-width sim-time
+window carrying frame counts, PACKET_IN counts, and the count-min
+new-key counts — and returns one boolean flag per window: "attack
+traffic active here".  Scoring against ground truth lives in
+:mod:`repro.defense.scoring`.
+
+Built-ins:
+
+``pktin-rate``
+    Threshold on the per-window PACKET_IN rate.  The storm signature of
+    ``packetin-flood`` (and any reactive-setup saturation attack).
+
+``newkey-ratio``
+    Sketch-ratio detector: the fraction of frames in a window whose flow
+    key was *new* to the count-min sketch.  Spoofed floods and
+    table-overflow sweeps push this toward 1.0; steady benign flows
+    re-use keys and stay near 0.
+
+``iforest``
+    Optional scikit-learn IsolationForest adapter over the window
+    feature vectors.  Import-guarded: registering is free, *building* it
+    without scikit-learn installed raises a clear error, and
+    ``list_detectors`` reports availability.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from typing import Any, Callable, Dict, List, Optional
+
+
+def feature_windows(payload: Dict[str, Any],
+                    horizon_s: float) -> List[Dict[str, Any]]:
+    """Fixed-width windows over ``[0, horizon_s)`` with sketch counts.
+
+    Every window in the horizon appears (zero-filled when silent), so
+    detector flags and ground-truth labels align index-for-index.
+    """
+    window_s = float(payload["window_s"])
+    count = max(1, int(horizon_s / window_s + 0.5))
+    frames = dict(payload["frames"]["buckets"])
+    new_keys = dict(payload["new_keys"]["buckets"])
+    packet_ins = dict(payload["packet_ins"]["buckets"])
+    windows = []
+    for idx in range(count):
+        n_frames = frames.get(idx, 0)
+        n_pktin = packet_ins.get(idx, 0)
+        n_new = new_keys.get(idx, 0)
+        windows.append({
+            "index": idx,
+            "t0": idx * window_s,
+            "t1": (idx + 1) * window_s,
+            "frames": n_frames,
+            "new_keys": n_new,
+            "packet_ins": n_pktin,
+            "pktin_rate": n_pktin / window_s,
+            "newkey_ratio": (n_new / n_frames) if n_frames else 0.0,
+        })
+    return windows
+
+
+class Detector:
+    """One configured detector: window features in, per-window flags out."""
+
+    name = "detector"
+
+    def flags(self, windows: List[Dict[str, Any]]) -> List[bool]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+
+class DetectorInfo:
+    __slots__ = ("name", "builder", "description", "requires")
+
+    def __init__(self, name: str, builder: Callable[..., Detector],
+                 description: str, requires: Optional[str]) -> None:
+        self.name = name
+        self.builder = builder
+        self.description = description
+        self.requires = requires  # an importable module name, or None
+
+    @property
+    def available(self) -> bool:
+        if self.requires is None:
+            return True
+        return importlib.util.find_spec(self.requires) is not None
+
+
+_DETECTORS: Dict[str, DetectorInfo] = {}
+
+
+def register_detector(name: str, *, description: str = "",
+                      requires: Optional[str] = None):
+    """Decorator: register ``builder(params) -> Detector`` under ``name``."""
+
+    def decorate(builder):
+        if name in _DETECTORS:
+            raise ValueError(f"detector {name!r} already registered")
+        _DETECTORS[name] = DetectorInfo(name, builder, description, requires)
+        return builder
+
+    return decorate
+
+
+def detector_info(name: str) -> DetectorInfo:
+    try:
+        return _DETECTORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown detector {name!r}; available: {sorted(_DETECTORS)}"
+        ) from None
+
+
+def detector_names() -> List[str]:
+    return sorted(_DETECTORS)
+
+
+def list_detectors() -> List[Dict[str, Any]]:
+    return [
+        {
+            "name": info.name,
+            "description": info.description,
+            "requires": info.requires,
+            "available": info.available,
+        }
+        for _, info in sorted(_DETECTORS.items())
+    ]
+
+
+def build_detector(name: str,
+                   params: Optional[Dict[str, Any]] = None) -> Detector:
+    info = detector_info(name)
+    if not info.available:
+        raise RuntimeError(
+            f"detector {name!r} needs the optional dependency "
+            f"{info.requires!r}, which is not installed"
+        )
+    return info.builder(dict(params or {}))
+
+
+# --------------------------------------------------------------------- #
+# Built-ins
+# --------------------------------------------------------------------- #
+
+@register_detector(
+    "pktin-rate",
+    description="threshold on the per-window PACKET_IN rate (storms)",
+)
+def _build_pktin_rate(params: Dict[str, Any]) -> Detector:
+    threshold = float(params.get("threshold_pps", 200.0))
+    if threshold <= 0:
+        raise ValueError(f"threshold_pps must be positive, got {threshold!r}")
+
+    class PktInRate(Detector):
+        name = "pktin-rate"
+
+        def flags(self, windows):
+            return [w["pktin_rate"] >= threshold for w in windows]
+
+        def describe(self):
+            return f"pktin-rate >= {threshold:g}/s"
+
+    return PktInRate()
+
+
+@register_detector(
+    "newkey-ratio",
+    description="sketch ratio: fraction of frames with count-min-new "
+                "flow keys (spoofed floods, overflow sweeps)",
+)
+def _build_newkey_ratio(params: Dict[str, Any]) -> Detector:
+    ratio = float(params.get("ratio", 0.5))
+    min_frames = int(params.get("min_frames", 8))
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError(f"ratio must be in (0, 1], got {ratio!r}")
+    if min_frames < 1:
+        raise ValueError(f"min_frames must be >= 1, got {min_frames!r}")
+
+    class NewKeyRatio(Detector):
+        name = "newkey-ratio"
+
+        def flags(self, windows):
+            return [
+                w["frames"] >= min_frames and w["newkey_ratio"] >= ratio
+                for w in windows
+            ]
+
+        def describe(self):
+            return (f"newkey-ratio >= {ratio:g} "
+                    f"(min {min_frames} frames/window)")
+
+    return NewKeyRatio()
+
+
+@register_detector(
+    "iforest",
+    description="IsolationForest over window feature vectors "
+                "(optional scikit-learn adapter)",
+    requires="sklearn",
+)
+def _build_iforest(params: Dict[str, Any]) -> Detector:
+    # Import inside the builder: registration must never require sklearn.
+    from sklearn.ensemble import IsolationForest  # pragma: no cover
+
+    contamination = float(params.get("contamination", 0.25))
+    seed = int(params.get("seed", 0))
+
+    class IForest(Detector):  # pragma: no cover - needs sklearn
+        name = "iforest"
+
+        def flags(self, windows):
+            if not windows:
+                return []
+            rows = [[w["frames"], w["packet_ins"], w["new_keys"]]
+                    for w in windows]
+            model = IsolationForest(
+                contamination=contamination, random_state=seed
+            )
+            verdicts = model.fit_predict(rows)
+            return [v == -1 for v in verdicts]
+
+        def describe(self):
+            return f"IsolationForest(contamination={contamination:g})"
+
+    return IForest()

@@ -1,0 +1,121 @@
+"""Ground-truth labelling and detector scoring.
+
+Workload cells know exactly when attack traffic runs: registered sources
+carry ``start_s``/``duration_s`` in their workload params, and the source
+registry marks which sources are adversarial.  That yields one boolean
+label per detection window — "attack traffic active during any part of
+this window" — against which detector flags score as a straight binary
+classification plus a latency: sim-seconds from attack start to the
+start of the first correctly-flagged active window.
+
+All ratios are guarded: a run with no active windows has undefined
+recall (``None``), a detector that never fires has undefined precision
+(``None``), and the report layer renders those with the existing
+``inf*`` / ``-`` conventions instead of dividing by zero.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.defense.detectors import Detector, build_detector, feature_windows
+
+
+def attack_window(params: Dict[str, Any],
+                  *, adversarial: bool) -> Optional[Tuple[float, float]]:
+    """The ``[start, stop)`` sim-time span of attack traffic, or ``None``
+    for benign sources (whole run inactive)."""
+    if not adversarial:
+        return None
+    start = float(params.get("start_s", 0.05))
+    duration = float(params.get("duration_s", 0.25))
+    return (start, start + duration)
+
+
+def truth_labels(windows: Sequence[Dict[str, Any]],
+                 span: Optional[Tuple[float, float]]) -> List[bool]:
+    """One label per window: does ``[t0, t1)`` overlap the attack span?"""
+    if span is None:
+        return [False] * len(windows)
+    start, stop = span
+    return [w["t0"] < stop and w["t1"] > start for w in windows]
+
+
+def score_flags(flags: Sequence[bool], labels: Sequence[bool],
+                windows: Sequence[Dict[str, Any]],
+                span: Optional[Tuple[float, float]]) -> Dict[str, Any]:
+    """Precision / recall / detection latency for one detector run.
+
+    Undefined ratios come back as ``None`` (never a ZeroDivisionError):
+    precision when the detector never fired, recall when ground truth has
+    no active window.
+    """
+    if len(flags) != len(labels):
+        raise ValueError(
+            f"flag/label length mismatch: {len(flags)} vs {len(labels)}"
+        )
+    tp = fp = fn = tn = 0
+    first_hit_t = None
+    for flag, label, window in zip(flags, labels, windows):
+        if flag and label:
+            tp += 1
+            if first_hit_t is None:
+                # An online detector sees a window's counts when the
+                # window closes, so the alarm time is t1, not t0.
+                first_hit_t = window["t1"]
+        elif flag:
+            fp += 1
+        elif label:
+            fn += 1
+        else:
+            tn += 1
+    flagged = tp + fp
+    active = tp + fn
+    precision = tp / flagged if flagged else None
+    recall = tp / active if active else None
+    latency = None
+    if first_hit_t is not None and span is not None:
+        latency = max(0.0, first_hit_t - span[0])
+    return {
+        "tp": tp,
+        "fp": fp,
+        "fn": fn,
+        "tn": tn,
+        "windows": len(flags),
+        "active_windows": active,
+        "flagged_windows": flagged,
+        "precision": precision,
+        "recall": recall,
+        "detection_latency_s": latency,
+    }
+
+
+def evaluate_detectors(
+    payload: Optional[Dict[str, Any]],
+    *,
+    horizon_s: float,
+    detectors: Sequence[str],
+    detector_params: Optional[Dict[str, Any]] = None,
+    attack_span: Optional[Tuple[float, float]] = None,
+) -> List[Dict[str, Any]]:
+    """Run each named detector over a merged tap payload and score it.
+
+    Returns one record per detector: name, configuration string, and the
+    :func:`score_flags` fields.  An empty/missing payload yields empty
+    feature windows and all-``None`` scores rather than raising.
+    """
+    results: List[Dict[str, Any]] = []
+    if not detectors:
+        return results
+    if payload is not None:
+        windows = feature_windows(payload, horizon_s)
+    else:
+        windows = []
+    labels = truth_labels(windows, attack_span)
+    for name in detectors:
+        detector: Detector = build_detector(name, detector_params)
+        flags = detector.flags(windows)
+        record = {"detector": name, "config": detector.describe()}
+        record.update(score_flags(flags, labels, windows, attack_span))
+        results.append(record)
+    return results

@@ -94,6 +94,10 @@ def fabric_config(
     trace_capacity: int = 262_144,
     adaptive_lookahead: bool = True,
     exchange_codec: bool = True,
+    sketch: bool = False,
+    sketch_window_s: Optional[float] = None,
+    detectors: Optional[Any] = None,
+    detector_params: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Normalize experiment arguments into the picklable config dict that
     shard workers rebuild their regions from.
@@ -164,6 +168,25 @@ def fabric_config(
     if table_eviction not in EVICTION_POLICIES:
         raise ValueError(f"unknown table_eviction {table_eviction!r}; "
                          f"choose from {EVICTION_POLICIES}")
+    # Defense plane: detectors imply sketch telemetry; names may arrive
+    # as a comma-separated string (XML campaign params) or a sequence.
+    if isinstance(detectors, str):
+        detectors = [d.strip() for d in detectors.split(",") if d.strip()]
+    detectors = list(detectors or [])
+    if detectors:
+        from repro.defense import detector_info
+
+        for name in detectors:
+            detector_info(name)  # validate eagerly
+        sketch = True
+    if sketch_window_s is None:
+        from repro.defense.tap import DEFAULT_WINDOW_S
+
+        sketch_window_s = DEFAULT_WINDOW_S
+    elif sketch_window_s <= 0:
+        raise ValueError(
+            f"sketch_window_s must be positive, got {sketch_window_s}"
+        )
     return {
         "topology": topology,
         "controller": controller,
@@ -188,6 +211,10 @@ def fabric_config(
         # change only how the barrier executes, never the results.
         "adaptive_lookahead": bool(adaptive_lookahead),
         "exchange_codec": bool(exchange_codec),
+        "sketch": bool(sketch),
+        "sketch_window_s": float(sketch_window_s),
+        "detectors": detectors,
+        "detector_params": dict(detector_params or {}),
     }
 
 
@@ -463,6 +490,7 @@ class _FabricDataRegion(ShardRegion):
         }
         self.ping_monitor = None
         self.tracer = None
+        self.sketch_tap = None
         self._drivers = []
         self._dial_instances: Dict[Tuple[str, str], int] = {}
         self._payload = b"\x00" * config["payload_len"]
@@ -509,6 +537,15 @@ class _FabricDataRegion(ShardRegion):
                 switch.set_connect_factory(self._boundary_dialer(name))
         else:
             self._preinstall_routes()
+
+        if config.get("sketch"):
+            from repro.defense.tap import SketchTap
+
+            # One tap per region, shared by its switches; payloads merge
+            # deterministically at collection in sorted-region order.
+            self.sketch_tap = SketchTap(window_s=config["sketch_window_s"])
+            for switch in self.network.switches.values():
+                switch.sketches = self.sketch_tap
 
         if config["trace"]:
             from repro.obs import TraceCollector, wire_run
@@ -667,6 +704,8 @@ class _FabricDataRegion(ShardRegion):
             result["trace"] = [
                 dict(event, region=self.rid) for event in self.tracer.events()
             ]
+        if self.sketch_tap is not None:
+            result["sketch"] = self.sketch_tap.collect()
         return result
 
 
@@ -835,6 +874,9 @@ class FabricResult:
     region_metrics: List[Dict[str, Any]] = field(default_factory=list)
     trace_jsonl: Optional[str] = None
     trace_events: int = 0
+    sketch: Optional[Dict[str, Any]] = None
+    sketch_digest: Optional[str] = None
+    detections: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def delivery_rate(self) -> float:
@@ -871,7 +913,7 @@ class FabricResult:
 
     def record(self) -> Dict[str, Any]:
         """The campaign ResultStore metrics payload for this run."""
-        return {
+        payload = {
             "experiment": "fabric",
             "topology": self.fabric,
             "controller": self.controller,
@@ -920,6 +962,20 @@ class FabricResult:
             "wall_packets_per_sec": round(self.wall_packets_per_sec, 2),
             "capacity_packets_per_sec": round(self.capacity_packets_per_sec, 2),
         }
+        if self.sketch_digest is not None:
+            from repro.defense.tap import sketch_summary
+
+            payload["sketch_digest"] = self.sketch_digest
+            payload["sketch_summary"] = sketch_summary(self.sketch)
+        if self.detections:
+            payload["detections"] = self.detections
+            # Flatten the first detector's scores so the report layer's
+            # numeric-metric aggregation picks them up as columns.
+            first = self.detections[0]
+            payload["detect_precision"] = first["precision"]
+            payload["detect_recall"] = first["recall"]
+            payload["detect_latency_s"] = first["detection_latency_s"]
+        return payload
 
 
 def _median(values: List[float]) -> Optional[float]:
@@ -1000,6 +1056,7 @@ def run_fabric_experiment(
     )
     rtts: List[float] = []
     trace_events: List[Dict[str, Any]] = []
+    sketch_parts: List[Dict[str, Any]] = []
     for rid in sorted(payload["regions"]):
         region = payload["regions"][rid]
         engine_metrics = region["engine"]
@@ -1035,7 +1092,36 @@ def run_fabric_experiment(
             result.flow_mods_dropped += control["flow_mods_dropped"]
             result.total_control_messages += control["total_messages"]
         trace_events.extend(region.get("trace") or [])
+        sketch = region.get("sketch")
+        if sketch:
+            sketch_parts.append(sketch)
     result.median_rtt_s = _median(rtts)
+
+    if config.get("sketch"):
+        from repro.defense import (
+            attack_window, evaluate_detectors, merge_taps, sketch_digest,
+        )
+
+        result.sketch = merge_taps(sketch_parts)
+        result.sketch_digest = sketch_digest(result.sketch)
+        if config["detectors"]:
+            from repro.workloads import source_info, source_names
+
+            workload = config["workload"]
+            if workload in source_names():
+                span = attack_window(
+                    config["workload_params"],
+                    adversarial=source_info(workload).adversarial,
+                )
+            else:
+                span = None  # built-in udp/ping traffic is benign
+            result.detections = evaluate_detectors(
+                result.sketch,
+                horizon_s=config["horizon_s"],
+                detectors=config["detectors"],
+                detector_params=config["detector_params"],
+                attack_span=span,
+            )
 
     if config["trace"]:
         from repro.obs import event_to_json

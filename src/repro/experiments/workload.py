@@ -31,6 +31,13 @@ SOURCE_PARAM_KEYS = (
     "keys", "spoof_macs", "flows", "udp_ratio", "icmp_ratio", "syn_ratio",
 )
 
+#: Detector parameters a campaign spec may likewise pass flat; hoisted
+#: into ``detector_params`` (``detectors`` itself forwards directly —
+#: ``fabric_config`` splits comma-separated names).
+DETECTOR_PARAM_KEYS = (
+    "threshold_pps", "ratio", "min_frames", "contamination",
+)
+
 
 def run_cell(
     controller: str = "none",
@@ -56,6 +63,12 @@ def run_cell(
     for key in SOURCE_PARAM_KEYS:
         if key in params:
             merged.setdefault(key, params.pop(key))
+    detector_params = dict(params.pop("detector_params", None) or {})
+    for key in DETECTOR_PARAM_KEYS:
+        if key in params:
+            detector_params.setdefault(key, params.pop(key))
+    if detector_params:
+        params["detector_params"] = detector_params
     result = run_fabric_experiment(
         topology=topology,
         controller=controller,

@@ -3,7 +3,12 @@
 See ``docs/OBSERVABILITY.md`` for the event schema and workflow.
 """
 
-from repro.obs.render import render_summary, render_timeline, summarize
+from repro.obs.render import (
+    render_detections,
+    render_summary,
+    render_timeline,
+    summarize,
+)
 from repro.obs.trace import (
     DEFAULT_CAPACITY,
     TraceCollector,
@@ -17,6 +22,7 @@ __all__ = [
     "TraceCollector",
     "event_to_json",
     "load_events",
+    "render_detections",
     "render_summary",
     "render_timeline",
     "summarize",

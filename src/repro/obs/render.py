@@ -268,3 +268,43 @@ def render_summary(summary: Dict[str, Any]) -> str:
         lines.append("")
         lines.extend(extras)
     return "\n".join(lines)
+
+
+def render_detections(detections: List[Dict[str, Any]],
+                      summary: Optional[Dict[str, Any]] = None) -> str:
+    """Human rendering of a run's detector scores (``repro detect run``).
+
+    ``detections`` is the list produced by
+    :func:`repro.defense.evaluate_detectors`; ``summary`` optionally adds
+    the :func:`repro.defense.sketch_summary` headline numbers.
+    """
+
+    def score(value: Optional[float], fmt: str = "{:.2f}") -> str:
+        return fmt.format(value) if value is not None else "-"
+
+    lines: List[str] = []
+    if summary:
+        gap = summary.get("pktin_mean_gap_s")
+        lines.append(
+            f"sketch: {summary.get('frames', 0)} frame(s), "
+            f"{summary.get('packet_ins', 0)} PACKET_IN(s)"
+            + (f", mean PACKET_IN gap {gap * 1000:.3f} ms" if gap else "")
+        )
+        busiest = summary.get("busiest_port")
+        if busiest:
+            lines.append(
+                f"busiest port: {busiest} "
+                f"({summary.get('busiest_port_frames', 0)} frames)"
+            )
+    header = (f"{'detector':<14} {'prec':>6} {'recall':>6} {'lat s':>7} "
+              f"{'tp':>5} {'fp':>5} {'fn':>5} {'windows':>8}  config")
+    lines += [header, "-" * len(header)]
+    for d in detections:
+        lines.append(
+            f"{d['detector']:<14} {score(d['precision']):>6} "
+            f"{score(d['recall']):>6} "
+            f"{score(d['detection_latency_s'], '{:.3f}'):>7} "
+            f"{d['tp']:>5} {d['fp']:>5} {d['fn']:>5} {d['windows']:>8}  "
+            f"{d['config']}"
+        )
+    return "\n".join(lines)

@@ -137,29 +137,37 @@ def drive_source(engine, hosts: Dict[str, Any], source: TrafficSource,
 # --------------------------------------------------------------------- #
 
 class SourceInfo:
-    __slots__ = ("name", "builder", "description", "needs_controller")
+    __slots__ = ("name", "builder", "description", "needs_controller",
+                 "adversarial")
 
     def __init__(self, name: str, builder, description: str,
-                 needs_controller: bool) -> None:
+                 needs_controller: bool, adversarial: bool) -> None:
         self.name = name
         self.builder = builder
         self.description = description
         self.needs_controller = needs_controller
+        self.adversarial = adversarial
 
 
 _SOURCES: Dict[str, SourceInfo] = {}
 
 
 def register_source(name: str, *, description: str = "",
-                    needs_controller: bool = False):
+                    needs_controller: bool = False,
+                    adversarial: bool = False):
     """Decorator: register ``builder(topology, seed, params) ->
-    TrafficSource`` under ``name``."""
+    TrafficSource`` under ``name``.
+
+    ``adversarial`` marks attack traffic: the defense plane uses the
+    source's ``start_s``/``duration_s`` as detection ground truth, while
+    benign sources label every window inactive.
+    """
 
     def decorate(builder):
         if name in _SOURCES:
             raise ValueError(f"traffic source {name!r} already registered")
         _SOURCES[name] = SourceInfo(name, builder, description,
-                                    needs_controller)
+                                    needs_controller, adversarial)
         return builder
 
     return decorate
@@ -191,6 +199,7 @@ def list_sources() -> List[Dict[str, Any]]:
             "name": info.name,
             "description": info.description,
             "needs_controller": info.needs_controller,
+            "adversarial": info.adversarial,
         }
         for _, info in sorted(_SOURCES.items())
     ]

@@ -24,6 +24,13 @@ from __future__ import annotations
 import math
 
 
+def _finite(name: str, value: float) -> float:
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value
+
+
 class RateSchedule:
     """Cumulative-count interface every schedule implements."""
 
@@ -38,9 +45,10 @@ class RateSchedule:
 
 class ConstantRate(RateSchedule):
     def __init__(self, pps: float) -> None:
-        if pps < 0:
-            raise ValueError(f"negative rate {pps!r}")
-        self.pps = float(pps)
+        pps = _finite("rate", pps)
+        if pps <= 0:
+            raise ValueError(f"rate must be positive, got {pps!r}")
+        self.pps = pps
 
     def cumulative(self, t: float) -> int:
         if t <= 0:
@@ -55,13 +63,20 @@ class RampRate(RateSchedule):
     """Linear ramp from ``start_pps`` to ``end_pps`` over ``duration`` s."""
 
     def __init__(self, start_pps: float, end_pps: float, duration: float) -> None:
+        start_pps = _finite("ramp start rate", start_pps)
+        end_pps = _finite("ramp end rate", end_pps)
+        duration = _finite("ramp duration", duration)
         if duration <= 0:
             raise ValueError(f"ramp duration must be positive, got {duration!r}")
         if start_pps < 0 or end_pps < 0:
-            raise ValueError("ramp rates must be non-negative")
-        self.start_pps = float(start_pps)
-        self.end_pps = float(end_pps)
-        self.duration = float(duration)
+            raise ValueError(
+                f"ramp rates must be non-negative, "
+                f"got {start_pps!r}->{end_pps!r}")
+        if start_pps == 0 and end_pps == 0:
+            raise ValueError("ramp needs a positive start or end rate")
+        self.start_pps = start_pps
+        self.end_pps = end_pps
+        self.duration = duration
 
     def cumulative(self, t: float) -> int:
         if t <= 0:
@@ -84,16 +99,24 @@ class BurstRate(RateSchedule):
 
     def __init__(self, peak_pps: float, base_pps: float, period: float,
                  duty: float) -> None:
+        peak_pps = _finite("burst peak rate", peak_pps)
+        base_pps = _finite("burst base rate", base_pps)
+        period = _finite("burst period", period)
+        duty = _finite("burst duty", duty)
         if period <= 0:
             raise ValueError(f"burst period must be positive, got {period!r}")
         if not 0.0 < duty <= 1.0:
             raise ValueError(f"burst duty must be in (0, 1], got {duty!r}")
-        if peak_pps < 0 or base_pps < 0:
-            raise ValueError("burst rates must be non-negative")
-        self.peak_pps = float(peak_pps)
-        self.base_pps = float(base_pps)
-        self.period = float(period)
-        self.duty = float(duty)
+        if peak_pps <= 0:
+            raise ValueError(
+                f"burst peak rate must be positive, got {peak_pps!r}")
+        if base_pps < 0:
+            raise ValueError(
+                f"burst base rate must be non-negative, got {base_pps!r}")
+        self.peak_pps = peak_pps
+        self.base_pps = base_pps
+        self.period = period
+        self.duty = duty
 
     def cumulative(self, t: float) -> int:
         if t <= 0:
@@ -116,8 +139,12 @@ class OnOffRate(BurstRate):
     """RATE pps for ``on_s`` seconds, silence for ``off_s``, repeating."""
 
     def __init__(self, pps: float, on_s: float, off_s: float) -> None:
+        on_s = _finite("on period", on_s)
+        off_s = _finite("off period", off_s)
         if on_s <= 0 or off_s < 0:
-            raise ValueError("on period must be positive, off non-negative")
+            raise ValueError(
+                f"on period must be positive and off non-negative, "
+                f"got on={on_s!r} off={off_s!r}")
         super().__init__(pps, 0.0, on_s + off_s, on_s / (on_s + off_s))
         self.on_s = float(on_s)
         self.off_s = float(off_s)

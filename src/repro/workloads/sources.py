@@ -123,6 +123,7 @@ def build_benign_mix(topology, seed: int, params: Dict[str, Any]) -> TrafficSour
     "packetin-flood",
     description="spoofed-MAC host flood provoking a PACKET_IN storm",
     needs_controller=True,
+    adversarial=True,
 )
 def build_packetin_flood(topology, seed: int, params: Dict[str, Any]) -> TrafficSource:
     pairs = _host_pairs(topology, params)
@@ -164,6 +165,7 @@ def build_packetin_flood(topology, seed: int, params: Dict[str, Any]) -> Traffic
     "table-overflow",
     description="distinct-flow-key sweep driving flow-table eviction churn",
     needs_controller=True,
+    adversarial=True,
 )
 def build_table_overflow(topology, seed: int, params: Dict[str, Any]) -> TrafficSource:
     pairs = _host_pairs(topology, params)
@@ -197,6 +199,7 @@ def build_table_overflow(topology, seed: int, params: Dict[str, Any]) -> Traffic
 @register_source(
     "arp-poison",
     description="spoofed ARP replies poisoning victim hosts' ARP caches",
+    adversarial=True,
 )
 def build_arp_poison(topology, seed: int, params: Dict[str, Any]) -> TrafficSource:
     pairs = _host_pairs(topology, params)

@@ -1,0 +1,138 @@
+"""Report-layer guards (zero baselines) and defense-plane columns."""
+
+from repro.campaign import CampaignSpec, build_report, make_record
+
+
+def suppression_spec(**overrides):
+    return CampaignSpec.from_dict({
+        "name": "guards",
+        "attacks": ["passthrough", "flow-mod-suppression"],
+        "controllers": ["pox"],
+        "seeds": [1],
+        "baseline": "passthrough",
+        **overrides,
+    })
+
+
+def workload_spec():
+    return CampaignSpec.from_dict({
+        "name": "detect",
+        "experiment": "workload",
+        "attacks": ["passthrough", "stochastic-drop"],
+        "controllers": ["pox"],
+        "seeds": [1, 2],
+        "baseline": "passthrough",
+    })
+
+
+def ok_record(descriptor, metrics):
+    return make_record(descriptor.to_dict(), "ok", metrics, campaign="x")
+
+
+def suppression_metrics(throughput, rtt):
+    return {
+        "throughput_mbps": throughput, "median_rtt_ms": rtt,
+        "avg_rtt_ms": rtt, "ping_loss": 0.0, "packet_ins": 1,
+        "flow_mods_dropped": 0, "denial_of_service": False,
+        "unauthorized_access": False,
+    }
+
+
+def test_zero_throughput_baseline_does_not_divide():
+    """A passthrough baseline that moved zero bytes must not raise, and
+    the attacked cell's percentage shows the inf* convention."""
+    spec = suppression_spec()
+    records = []
+    for descriptor in spec.expand():
+        if descriptor.attack == "passthrough":
+            records.append(ok_record(descriptor, suppression_metrics(0.0, 0.0)))
+        else:
+            records.append(ok_record(descriptor, suppression_metrics(40.0, 3.0)))
+    report = build_report(spec, records)  # no ZeroDivisionError
+    attacked = next(c for c in report.cells
+                    if c.attack == "flow-mod-suppression")
+    assert attacked.deltas["throughput_delta_mbps"] == 40.0
+    assert attacked.deltas["throughput_delta_pct"] is None
+    assert attacked.deltas["throughput_unbounded"] is True
+    assert attacked.deltas["rtt_ratio"] is None
+    assert attacked.deltas["rtt_unbounded"] is True
+    rendered = report.render()
+    assert "inf*" in rendered
+
+
+def test_zero_on_zero_baseline_stays_silent():
+    """Both cells at zero: deltas are plain zeros, no unbounded flag."""
+    spec = suppression_spec()
+    records = [ok_record(d, suppression_metrics(0.0, 0.0))
+               for d in spec.expand()]
+    report = build_report(spec, records)
+    attacked = next(c for c in report.cells
+                    if c.attack == "flow-mod-suppression")
+    assert attacked.deltas.get("throughput_unbounded") is None
+    assert attacked.deltas.get("throughput_delta_mbps") == 0.0
+
+
+def workload_metrics(detect=None):
+    metrics = {
+        "packets_synthesized": 300, "packets_delivered": 60,
+        "delivery_rate": 0.2, "packet_in_rate": 800.0,
+        "table_occupancy_peak": 300, "evictions_capacity": 0,
+        "evictions_idle": 0, "evictions_hard": 0, "flow_mods_seen": 1000,
+        "median_rtt_ms": None,
+    }
+    if detect is not None:
+        metrics.update(detect)
+    return metrics
+
+
+def test_detect_columns_aggregate_and_render():
+    spec = workload_spec()
+    records = []
+    for descriptor in spec.expand():
+        if descriptor.attack == "passthrough":
+            records.append(ok_record(descriptor, workload_metrics()))
+        else:
+            records.append(ok_record(descriptor, workload_metrics({
+                "detect_precision": 1.0 if descriptor.seed == 1 else 0.8,
+                "detect_recall": 1.0,
+                "detect_latency_s": 0.05,
+                "detections": [{"detector": "pktin-rate"}],
+            })))
+    report = build_report(spec, records)
+    attacked = next(c for c in report.cells
+                    if c.attack == "stochastic-drop")
+    assert attacked.metrics["detect_precision"] == 0.9
+    assert attacked.metrics["detect_recall"] == 1.0
+    assert attacked.metrics["detect_latency_s"] == 0.05
+    baseline = next(c for c in report.cells if c.attack == "passthrough")
+    assert "detect_precision" not in baseline.metrics
+    rendered = report.render()
+    assert "prec" in rendered and "recall" in rendered and "lat s" in rendered
+    assert "0.90" in rendered  # the averaged precision column
+
+
+def test_detector_that_never_fires_renders_unbounded_latency():
+    spec = workload_spec()
+    records = []
+    for descriptor in spec.expand():
+        detect = None
+        if descriptor.attack != "passthrough":
+            detect = {"detect_precision": None, "detect_recall": 0.0,
+                      "detect_latency_s": None}
+        records.append(ok_record(descriptor, workload_metrics(detect)))
+    report = build_report(spec, records)
+    attacked = next(c for c in report.cells
+                    if c.attack == "stochastic-drop")
+    assert attacked.metrics["detect_recall"] == 0.0
+    assert "detect_latency_s" not in attacked.metrics
+    assert "inf*" in report.render()
+
+
+def test_empty_detector_payloads_do_not_break_aggregation():
+    """Workload cells with no detect metrics at all (detectors off)."""
+    spec = workload_spec()
+    records = [ok_record(d, workload_metrics()) for d in spec.expand()]
+    report = build_report(spec, records)
+    for cell in report.cells:
+        assert "detect_precision" not in cell.metrics
+    assert "inf*" not in report.render()

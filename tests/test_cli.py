@@ -549,3 +549,67 @@ def test_workload_run_json_record(capsys):
 def test_workload_run_rejects_controllerless_floods(capsys):
     with pytest.raises(ValueError, match="needs a controller"):
         main(["workload", "run", "packetin-flood", "--senders", "2"])
+
+
+def test_workload_list_tags_adversarial_sources(capsys):
+    assert main(["workload", "list"]) == 0
+    out = capsys.readouterr().out
+    flood_line = next(l for l in out.splitlines() if "packetin-flood" in l)
+    benign_line = next(l for l in out.splitlines() if "benign-mix" in l)
+    assert "[adversarial]" in flood_line
+    assert "[adversarial]" not in benign_line
+
+
+def test_detect_list_command(capsys):
+    assert main(["detect", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "pktin-rate" in out
+    assert "newkey-ratio" in out
+    assert "iforest" in out and "[optional: sklearn" in out
+
+
+def test_detect_list_json(capsys):
+    import json
+
+    assert main(["detect", "list", "--json"]) == 0
+    detectors = json.loads(capsys.readouterr().out)
+    names = {d["name"] for d in detectors}
+    assert names >= {"pktin-rate", "newkey-ratio", "iforest"}
+    iforest = next(d for d in detectors if d["name"] == "iforest")
+    assert iforest["requires"] == "sklearn"
+    assert isinstance(iforest["available"], bool)
+
+
+def test_detect_run_command(capsys):
+    assert main(["detect", "run", "packetin-flood",
+                 "--detectors", "pktin-rate",
+                 "--schedule", "constant:500", "--senders", "2",
+                 "--duration", "0.3", "--threshold-pps", "1200"]) == 0
+    out = capsys.readouterr().out
+    assert "sketch digest:" in out
+    assert "pktin-rate" in out
+    assert "prec" in out and "recall" in out
+
+
+def test_detect_run_json_record(capsys):
+    import json
+
+    assert main(["detect", "run", "packetin-flood",
+                 "--detectors", "pktin-rate",
+                 "--schedule", "constant:500", "--senders", "2",
+                 "--duration", "0.3", "--threshold-pps", "1200",
+                 "--json"]) == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["experiment"] == "detect"
+    metrics = record["metrics"]
+    assert metrics["sketch_digest"]
+    assert metrics["detect_precision"] == 1.0
+    assert metrics["detect_recall"] == 1.0
+    assert metrics["detect_latency_s"] is not None
+    assert metrics["detections"][0]["detector"] == "pktin-rate"
+
+
+def test_detect_run_rejects_unknown_detector():
+    with pytest.raises(KeyError, match="unknown detector"):
+        main(["detect", "run", "packetin-flood",
+              "--detectors", "space-laser", "--senders", "2"])

@@ -95,3 +95,35 @@ def test_parse_schedule_passthrough_and_numbers():
 def test_parse_schedule_rejects_malformed_specs(bad):
     with pytest.raises(ValueError):
         parse_schedule(bad)
+
+
+@pytest.mark.parametrize("bad,match", [
+    ("constant:0", "rate must be positive"),          # zero rate
+    ("constant:-10", "rate must be positive"),        # negative rate
+    ("constant:nan", "must be finite"),               # silent NaN
+    ("constant:inf", "must be finite"),               # silent infinity
+    ("ramp:100:900:0", "duration must be positive"),  # zero-length ramp
+    ("ramp:-1:900:2", "non-negative"),                # negative ramp rate
+    ("ramp:0:0:2", "positive start or end"),          # all-zero ramp
+    ("ramp:100:900:nan", "must be finite"),
+    ("burst:0:0:1:0.5", "peak rate must be positive"),
+    ("burst:100:-1:1:0.5", "base rate must be non-negative"),
+    ("burst:100:0:1:1.5", "duty must be in"),         # duty > 1
+    ("burst:100:0:1:0", "duty must be in"),           # duty == 0
+    ("burst:100:0:1:-0.5", "duty must be in"),        # duty < 0
+    ("burst:100:0:0:0.5", "period must be positive"),
+    ("onoff:0:0.1:0.4", "peak rate must be positive"),
+    ("onoff:500:0:0.4", "on period must be positive"),
+    ("onoff:500:0.1:-1", "off non-negative"),
+])
+def test_each_malformed_spec_rejected_with_a_clear_message(bad, match):
+    with pytest.raises(ValueError, match=match):
+        parse_schedule(bad)
+
+
+def test_valid_edge_specs_still_accepted():
+    # Documented-legal edges: ramp from silence, burst with a zero base,
+    # on/off with no off phase.
+    assert parse_schedule("ramp:0:1000:1").cumulative(1.0) == 500
+    assert parse_schedule("burst:100:0:1:0.5").cumulative(1.0) == 50
+    assert parse_schedule("onoff:100:0.5:0").cumulative(1.0) == 100
