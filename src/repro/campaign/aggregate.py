@@ -1,0 +1,246 @@
+"""Incremental per-cell aggregation over streaming campaign records.
+
+``report.py`` rebuilds its tables from a full ledger read — fine for a
+CLI invocation, wrong for a long-lived scheduler folding a record every
+few milliseconds.  This module keeps per-cell aggregates (count, mean,
+min/max, p50/p95) updated in O(1) per record via a small fixed-size
+merging digest, so ``repro campaign serve`` can print distributional
+summaries without ever re-reading the store.
+
+The digest is the classic streaming-histogram construction (Ben-Haim &
+Ben-Tov): keep at most ``capacity`` (value, weight) centroids sorted by
+value; on overflow merge the closest adjacent pair.  Quantile queries
+interpolate across centroid midpoints.  With the default capacity of 64
+the p50/p95 of typical campaign metric distributions land well inside
+the error budget of a progress report, and the whole digest serialises
+to a few hundred bytes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+#: Default centroid budget per metric digest.
+DIGEST_CAPACITY = 64
+
+#: Metrics that are counters/identifiers rather than distributions —
+#: folding them into digests would only add noise to the output.
+_SKIP_METRICS = frozenset({"seed", "attempt", "pid", "worker_pid"})
+
+
+class QuantileDigest:
+    """Fixed-size streaming quantile sketch (mergeable, deterministic)."""
+
+    __slots__ = ("capacity", "count", "_centroids", "_min", "_max", "_sum")
+
+    def __init__(self, capacity: int = DIGEST_CAPACITY) -> None:
+        if capacity < 2:
+            raise ValueError(f"digest capacity must be >= 2, got {capacity}")
+        self.capacity = int(capacity)
+        self.count = 0
+        self._centroids: List[Tuple[float, int]] = []  # sorted by value
+        self._min = 0.0
+        self._max = 0.0
+        self._sum = 0.0
+
+    def add(self, value: float, weight: int = 1) -> None:
+        value = float(value)
+        if self.count == 0:
+            self._min = self._max = value
+        else:
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+        self.count += weight
+        self._sum += value * weight
+        index = bisect.bisect_left(self._centroids, (value, 0))
+        if (index < len(self._centroids)
+                and self._centroids[index][0] == value):
+            old = self._centroids[index]
+            self._centroids[index] = (value, old[1] + weight)
+        else:
+            self._centroids.insert(index, (value, weight))
+            self._shrink()
+
+    def merge(self, other: "QuantileDigest") -> None:
+        for value, weight in other._centroids:
+            self.add(value, weight)
+
+    def _shrink(self) -> None:
+        while len(self._centroids) > self.capacity:
+            best = 1
+            best_gap = self._centroids[1][0] - self._centroids[0][0]
+            for i in range(2, len(self._centroids)):
+                gap = self._centroids[i][0] - self._centroids[i - 1][0]
+                if gap < best_gap:
+                    best_gap = gap
+                    best = i
+            (v1, w1) = self._centroids[best - 1]
+            (v2, w2) = self._centroids[best]
+            weight = w1 + w2
+            merged = (v1 * w1 + v2 * w2) / weight
+            self._centroids[best - 1:best + 1] = [(merged, weight)]
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self.count if self.count else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        return self._max
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0 <= q <= 1)."""
+        if self.count == 0:
+            return 0.0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        target = q * self.count
+        cumulative = 0.0
+        previous_value = self._min
+        previous_cum = 0.0
+        for value, weight in self._centroids:
+            centre = cumulative + weight / 2.0
+            if target <= centre:
+                if centre == previous_cum:
+                    return value
+                frac = (target - previous_cum) / (centre - previous_cum)
+                return previous_value + frac * (value - previous_value)
+            previous_value = value
+            previous_cum = centre
+            cumulative += weight
+        return self._max
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 6),
+            "min": round(self._min, 6),
+            "max": round(self._max, 6),
+            "p50": round(self.quantile(0.5), 6),
+            "p95": round(self.quantile(0.95), 6),
+        }
+
+
+def cell_key(record: Dict[str, object]) -> Tuple[str, ...]:
+    """The aggregation cell a record belongs to (one report table row)."""
+    return tuple(
+        str(record.get(field) or "-")
+        for field in ("campaign", "experiment", "attack", "controller",
+                      "topology", "fail_mode")
+    )
+
+
+class CellAggregate:
+    """Streaming aggregates for one campaign cell."""
+
+    __slots__ = ("key", "ok", "failed", "retried", "digests")
+
+    def __init__(self, key: Tuple[str, ...]) -> None:
+        self.key = key
+        self.ok = 0
+        self.failed = 0
+        self.retried = 0
+        self.digests: Dict[str, QuantileDigest] = {}
+
+    def fold(self, record: Dict[str, object]) -> None:
+        status = record.get("status")
+        if status == "retried":
+            self.retried += 1
+            return
+        if status == "failed":
+            self.failed += 1
+            return
+        if status != "ok":
+            return
+        self.ok += 1
+        self._observe("wall_duration_s", record.get("wall_duration_s"))
+        metrics = record.get("metrics")
+        if isinstance(metrics, dict):
+            for name, value in metrics.items():
+                if name in _SKIP_METRICS:
+                    continue
+                self._observe(name, value)
+
+    def _observe(self, name: str, value: object) -> None:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return
+        digest = self.digests.get(name)
+        if digest is None:
+            digest = self.digests[name] = QuantileDigest()
+        digest.add(float(value))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cell": {
+                "campaign": self.key[0],
+                "experiment": self.key[1],
+                "attack": self.key[2],
+                "controller": self.key[3],
+                "topology": self.key[4],
+                "fail_mode": self.key[5],
+            },
+            "ok": self.ok,
+            "failed": self.failed,
+            "retried": self.retried,
+            "metrics": {
+                name: digest.to_dict()
+                for name, digest in sorted(self.digests.items())
+            },
+        }
+
+
+class CampaignAggregator:
+    """Folds a stream of run records into per-cell aggregates."""
+
+    def __init__(self) -> None:
+        self.records_seen = 0
+        self._cells: Dict[Tuple[str, ...], CellAggregate] = {}
+
+    def fold(self, record: Dict[str, object]) -> None:
+        self.records_seen += 1
+        key = cell_key(record)
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = self._cells[key] = CellAggregate(key)
+        cell.fold(record)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def cells(self) -> List[CellAggregate]:
+        return [self._cells[key] for key in sorted(self._cells)]
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "records": self.records_seen,
+            "cells": [cell.to_dict() for cell in self.cells()],
+        }
+
+    def render(self, metric: Optional[str] = None) -> str:
+        """Human-readable per-cell table (one line per cell).
+
+        ``metric`` picks the digest column; default is wall duration,
+        which every ok record carries.
+        """
+        metric = metric or "wall_duration_s"
+        lines = [
+            f"{'cell':<52} {'ok':>5} {'fail':>5} {'retry':>5} "
+            f"{'mean':>9} {'p50':>9} {'p95':>9}  ({metric})"
+        ]
+        for cell in self.cells():
+            label = "/".join(part for part in cell.key if part != "-")
+            digest = cell.digests.get(metric)
+            if digest is not None and digest.count:
+                stats = (f"{digest.mean:>9.4f} {digest.quantile(0.5):>9.4f} "
+                         f"{digest.quantile(0.95):>9.4f}")
+            else:
+                stats = f"{'-':>9} {'-':>9} {'-':>9}"
+            lines.append(
+                f"{label:<52} {cell.ok:>5} {cell.failed:>5} "
+                f"{cell.retried:>5} {stats}")
+        return "\n".join(lines)

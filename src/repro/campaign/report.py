@@ -38,6 +38,9 @@ class CellSummary:
     metrics: Dict[str, object] = field(default_factory=dict)
     deltas: Dict[str, object] = field(default_factory=dict)
     is_baseline: bool = False
+    #: Optional per-cell streaming digests (``build_report(digests=True)``):
+    #: count/mean/p50/p95 per numeric metric plus attempt accounting.
+    digests: Dict[str, object] = field(default_factory=dict)
 
     @property
     def key(self) -> CellKey:
@@ -58,6 +61,9 @@ class CellSummary:
             "is_baseline": self.is_baseline,
             "metrics": self.metrics,
             "deltas": self.deltas,
+            # Omitted entirely when digests were not requested, so the
+            # default JSON output stays byte-identical.
+            **({"digests": self.digests} if self.digests else {}),
         }
 
 
@@ -205,7 +211,28 @@ class CampaignReport:
             lines.append("")
             lines.extend(self._render_experiment(
                 experiment, by_experiment[experiment]))
+        if any(cell.digests for cell in self.cells):
+            lines.append("")
+            lines.extend(self._render_digests())
         return "\n".join(lines)
+
+    def _render_digests(self) -> List[str]:
+        lines = ["metric digests (count / mean / p50 / p95)"]
+        for cell in self.cells:
+            if not cell.digests:
+                continue
+            label = (f"{cell.attack or 'baseline'}/{cell.controller}"
+                     f"/{cell.topology}/{cell.fail_mode}")
+            lines.append(
+                f"  {label} (ok={cell.digests.get('ok', 0)}, "
+                f"retried={cell.digests.get('retried', 0)}):")
+            metrics = cell.digests.get("metrics") or {}
+            for name, digest in metrics.items():
+                lines.append(
+                    f"    {name:<28} n={digest['count']:<6} "
+                    f"mean={digest['mean']:<12g} p50={digest['p50']:<12g} "
+                    f"p95={digest['p95']:g}")
+        return lines
 
     def _render_experiment(self, experiment: str,
                            cells: List[CellSummary]) -> List[str]:
@@ -316,24 +343,45 @@ def _num(value, fmt: str, blank: bool = False, none: str = "-") -> str:
 
 
 def build_report(spec: CampaignSpec,
-                 records: Iterable[Dict[str, object]]) -> CampaignReport:
+                 records: Iterable[Dict[str, object]],
+                 digests: bool = False) -> CampaignReport:
     """Aggregate store records for ``spec`` into a :class:`CampaignReport`.
 
     Records are matched to the spec's expanded matrix by run ID, so stale
-    records from other specs sharing the store are ignored.
+    records from other specs sharing the store are ignored.  ``retried``
+    audit records count toward neither completion nor failure — only the
+    final ``ok``/``failed`` record per attempt chain does.
+
+    With ``digests=True`` each cell additionally carries streaming
+    count/mean/p50/p95 digests per numeric metric (the same aggregates
+    ``repro campaign serve`` maintains incrementally), rendered as an
+    extra section and included in ``to_dict()``.
     """
+    from repro.campaign.aggregate import CellAggregate
+
     descriptors = spec.expand()
     wanted = {d.run_id: d for d in descriptors}
     latest: Dict[str, Dict[str, object]] = {}
     failed_ids = set()
+    aggregates: Dict[CellKey, CellAggregate] = {}
     for record in records:
         run_id = record.get("run_id")
         if run_id not in wanted:
             continue
+        if digests:
+            d = wanted[run_id]
+            key = (d.experiment, d.attack, d.controller, d.topology,
+                   d.fail_mode)
+            aggregate = aggregates.get(key)
+            if aggregate is None:
+                aggregate = aggregates[key] = CellAggregate(
+                    (spec.name, d.experiment, str(d.attack or "-"),
+                     d.controller, d.topology, d.fail_mode))
+            aggregate.fold(record)
         if record.get("status") == "ok":
             latest[run_id] = record
             failed_ids.discard(run_id)
-        elif run_id not in latest:
+        elif record.get("status") == "failed" and run_id not in latest:
             failed_ids.add(run_id)
 
     cells: Dict[CellKey, CellSummary] = {}
@@ -364,6 +412,17 @@ def build_report(spec: CampaignSpec,
 
     for key, cell in cells.items():
         _aggregate_cell(cell, cell_records[key])
+        aggregate = aggregates.get(key)
+        if aggregate is not None:
+            cell.digests = {
+                "ok": aggregate.ok,
+                "failed": aggregate.failed,
+                "retried": aggregate.retried,
+                "metrics": {
+                    name: digest.to_dict()
+                    for name, digest in sorted(aggregate.digests.items())
+                },
+            }
 
     # Baseline-relative deltas: match on (controller, topology, fail_mode).
     baselines = {

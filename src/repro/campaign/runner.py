@@ -16,6 +16,12 @@ Fault semantics are unchanged from the process-per-run model:
   run it was executing, which is retried up to ``retries`` extra
   attempts — on a replacement worker;
 * the parent is the only writer to the result store.
+
+The pool loop itself lives in :mod:`repro.campaign.scheduler`;
+``CampaignRunner`` is the one-shot facade over it, and this module keeps
+the process-level primitives (``_worker_loop``, ``reset_run_state``,
+``ShardWorkerPool``) that both the scheduler and the sharded simulator
+share.
 """
 
 from __future__ import annotations
@@ -26,8 +32,8 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.campaign.spec import CampaignSpec, RunDescriptor
-from repro.campaign.store import ResultStore, make_record
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
 
 #: How often the scheduler polls its active workers (seconds).
 _POLL_INTERVAL_S = 0.01
@@ -144,29 +150,6 @@ def _worker_loop(conn, peer_queues=None, peer_index=None,
 
 
 @dataclass
-class _Task:
-    descriptor: RunDescriptor
-    attempt: int
-    last_error: Optional[str] = None
-
-
-@dataclass
-class _WorkerSlot:
-    """One pooled worker process and the task it is executing (if any)."""
-
-    process: multiprocessing.Process
-    conn: object
-    runs_done: int = 0
-    task: Optional[_Task] = None
-    started_at: float = 0.0
-    deadline: float = 0.0
-
-    @property
-    def busy(self) -> bool:
-        return self.task is not None
-
-
-@dataclass
 class CampaignSummary:
     """What one ``run_campaign`` invocation did."""
 
@@ -202,7 +185,13 @@ class CampaignSummary:
 
 
 class CampaignRunner:
-    """Schedules a spec's pending runs over a persistent process pool."""
+    """Schedules a spec's pending runs over a persistent process pool.
+
+    One-shot facade over :class:`~repro.campaign.scheduler.
+    CampaignScheduler`: ``run()`` submits the spec as a single job,
+    drains it, and shuts the pool down.  Service users (multiple specs,
+    streaming, aggregation) drive the scheduler directly.
+    """
 
     def __init__(
         self,
@@ -232,208 +221,25 @@ class CampaignRunner:
     # ------------------------------------------------------------------ #
 
     def run(self) -> CampaignSummary:
+        from repro.campaign.scheduler import CampaignScheduler
+
         started = time.time()
-        descriptors = self.spec.expand()
-        completed = self.store.completed_ids()
-        pending = [d for d in descriptors if d.run_id not in completed]
-        summary = CampaignSummary(
-            campaign=self.spec.name,
-            total=len(descriptors),
-            skipped=len(descriptors) - len(pending),
+        scheduler = CampaignScheduler(
+            self.store, workers=self.workers, mp_context=self._ctx,
+            progress=self._progress,
         )
-        if summary.skipped:
-            self._progress(
-                f"resume: skipping {summary.skipped} completed run(s)")
-        if self.preflight and pending:
-            pending = self._preflight(pending, summary)
-        queue: List[_Task] = [
-            _Task(d, attempt=1) for d in reversed(pending)
-        ]  # pop() preserves matrix order
-        slots: List[_WorkerSlot] = []
         try:
-            while queue or any(slot.busy for slot in slots):
-                self._assign(queue, slots, summary)
-                time.sleep(_POLL_INTERVAL_S)
-                for slot in list(slots):
-                    outcome = self._poll(slot)
-                    if outcome is None:
-                        continue
-                    if not slot.process.is_alive():
-                        slots.remove(slot)  # replaced lazily by _assign
-                    retry = self._settle(slot, outcome, summary)
-                    if retry is not None:
-                        queue.append(retry)  # next pop(): retries run first
+            job = scheduler.submit(
+                self.spec, timeout_s=self.timeout_s, retries=self.retries,
+                trace=self.trace, preflight=self.preflight)
+            scheduler.run_until_idle()
         finally:
-            self._shutdown(slots, summary)
+            scheduler.shutdown()
+        summary = job.summary
+        summary.processes_spawned = scheduler.processes_spawned
+        summary.worker_runs = dict(scheduler.worker_runs)
         summary.duration_s = time.time() - started
-        self._progress(summary.render())
         return summary
-
-    def _preflight(self, pending: List[RunDescriptor],
-                   summary: CampaignSummary) -> List[RunDescriptor]:
-        """Lint pending cells; record and drop the rejects before any
-        worker process exists."""
-        from repro.campaign.preflight import partition_pending, rejection_error
-
-        runnable, rejected = partition_pending(pending)
-        for descriptor, report in rejected:
-            error = rejection_error(report)
-            summary.executed += 1
-            summary.failed += 1
-            summary.lint_rejected += 1
-            summary.failed_run_ids.append(descriptor.run_id)
-            self.store.append(make_record(
-                descriptor.to_dict(), "failed", None,
-                attempts=0, duration_s=0.0, error=error,
-                campaign=self.spec.name,
-            ))
-            self._progress(
-                f"run {descriptor.run_id} [{descriptor.label()}] "
-                f"REJECTED by lint pre-flight: {report.errors[0].render()}")
-        return runnable
-
-    def _assign(self, queue: List[_Task], slots: List[_WorkerSlot],
-                summary: CampaignSummary) -> None:
-        """Hand queued tasks to idle workers, spawning up to the cap."""
-        while queue:
-            slot = next((s for s in slots if not s.busy), None)
-            if slot is None:
-                if len(slots) >= self.workers:
-                    return
-                slot = self._spawn(summary)
-                slots.append(slot)
-            task = queue.pop()
-            try:
-                slot.conn.send((task.descriptor.identity(), task.attempt,
-                                self.trace))
-            except (BrokenPipeError, OSError):
-                # The idle worker died between runs; replace it and retry
-                # the hand-off on a fresh one.
-                slots.remove(slot)
-                queue.append(task)
-                continue
-            now = time.time()
-            slot.task = task
-            slot.started_at = now
-            slot.deadline = now + self.timeout_s
-            self._progress(
-                f"run {task.descriptor.run_id} [{task.descriptor.label()}] "
-                f"attempt {task.attempt} started (pid {slot.process.pid})")
-
-    def _spawn(self, summary: CampaignSummary) -> _WorkerSlot:
-        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-        process = self._ctx.Process(
-            target=_worker_loop, args=(child_conn,), daemon=True,
-        )
-        process.start()
-        child_conn.close()  # parent keeps only its own end
-        summary.processes_spawned += 1
-        return _WorkerSlot(process=process, conn=parent_conn)
-
-    def _poll(self, slot: _WorkerSlot) -> Optional[Dict[str, object]]:
-        """None while running; otherwise this attempt's outcome dict."""
-        if not slot.busy:
-            return None
-        # Results are honoured before liveness: a worker that reported
-        # and then exited still completed its run.
-        try:
-            if slot.conn.poll():
-                return slot.conn.recv()
-        except (EOFError, OSError):
-            pass
-        if not slot.process.is_alive():
-            slot.process.join()
-            return {"status": "error",
-                    "error": f"worker crashed "
-                             f"(exit code {slot.process.exitcode})"}
-        if time.time() >= slot.deadline:
-            slot.process.terminate()
-            slot.process.join()
-            return {"status": "error",
-                    "error": f"timeout after {self.timeout_s:.1f}s"}
-        return None
-
-    def _settle(self, slot: _WorkerSlot, outcome: Dict[str, object],
-                summary: CampaignSummary) -> Optional[_Task]:
-        """Record a finished attempt; return the retry task if any."""
-        task = slot.task
-        slot.task = None
-        duration = time.time() - slot.started_at
-        descriptor = task.descriptor
-        worker_key = str(slot.process.pid)
-        if outcome.get("status") == "ok":
-            slot.runs_done = int(
-                outcome.get("worker_runs") or slot.runs_done + 1)
-            summary.worker_runs[worker_key] = slot.runs_done
-            summary.executed += 1
-            summary.succeeded += 1
-            summary.retries_used += task.attempt - 1
-            trace_info = None
-            trace_jsonl = outcome.get("trace_jsonl")
-            if isinstance(trace_jsonl, str):
-                # Only the parent touches the store directory: workers
-                # ship trace JSONL back over the pipe like any result.
-                path = self.store.write_trace(descriptor.run_id, trace_jsonl)
-                trace_info = {"path": str(path),
-                              "events": int(outcome.get("trace_events") or 0)}
-            self.store.append(make_record(
-                descriptor.to_dict(), "ok", outcome.get("metrics"),
-                attempts=task.attempt, duration_s=duration,
-                campaign=self.spec.name,
-                worker={"pid": slot.process.pid,
-                        "runs_executed": slot.runs_done},
-                trace=trace_info,
-            ))
-            self._progress(
-                f"run {descriptor.run_id} ok "
-                f"(attempt {task.attempt}, {duration:.2f}s)")
-            return None
-        if "worker_runs" in outcome:
-            slot.runs_done = int(outcome["worker_runs"])
-            summary.worker_runs[worker_key] = slot.runs_done
-        error = str(outcome.get("error") or "unknown failure").strip()
-        if task.attempt <= self.retries:
-            self._progress(
-                f"run {descriptor.run_id} attempt {task.attempt} failed "
-                f"({error.splitlines()[-1]}); retrying")
-            return _Task(descriptor, task.attempt + 1, last_error=error)
-        summary.executed += 1
-        summary.failed += 1
-        summary.retries_used += task.attempt - 1
-        summary.failed_run_ids.append(descriptor.run_id)
-        self.store.append(make_record(
-            descriptor.to_dict(), "failed", None,
-            attempts=task.attempt, duration_s=duration, error=error,
-            campaign=self.spec.name,
-            worker={"pid": slot.process.pid,
-                    "runs_executed": slot.runs_done},
-        ))
-        self._progress(
-            f"run {descriptor.run_id} FAILED after {task.attempt} "
-            f"attempt(s): {error.splitlines()[-1]}")
-        return None
-
-    def _shutdown(self, slots: List[_WorkerSlot],
-                  summary: CampaignSummary) -> None:
-        """Stop every worker: graceful for idle ones, terminate the rest."""
-        for slot in slots:
-            if not slot.busy and slot.process.is_alive():
-                try:
-                    slot.conn.send(None)
-                except (BrokenPipeError, OSError):
-                    pass
-        deadline = time.time() + _SHUTDOWN_GRACE_S
-        for slot in slots:
-            if slot.busy and slot.process.is_alive():
-                # Interrupted mid-run: don't leak the worker.
-                slot.process.terminate()
-            slot.process.join(timeout=max(0.0, deadline - time.time()))
-            if slot.process.is_alive():
-                slot.process.terminate()
-                slot.process.join()
-            if slot.process.pid is not None and slot.runs_done:
-                summary.worker_runs.setdefault(
-                    str(slot.process.pid), slot.runs_done)
 
 
 class ShardWorkerPool:

@@ -1,0 +1,558 @@
+"""Sharded, compacting result store for service-scale campaigns.
+
+A :class:`ShardedResultStore` keeps the same record schema and reader
+contract as the single-file :class:`~repro.campaign.store.ResultStore`
+but fans appends out across ``<store>.d/shard-NN.jsonl`` by run-ID hash.
+All records for one run land in one shard (the hash is a pure function
+of the run ID), which preserves the per-run ordering invariant the
+resume and report layers depend on: within a run, later records always
+read after earlier ones.
+
+Layout under ``<store>.d/``::
+
+    manifest.json     shard count + compaction generation (round-trips)
+    shard-NN.jsonl    the ledger, hashed by run ID
+    index.json        checkpoint: per-shard byte offsets + completed IDs
+    archive/          audit tail rewritten out of the shards by compact()
+    traces/           per-run trace exports
+
+A legacy single-file ledger at ``<store>`` itself is read through
+transparently (its records sort before every shard record, which is
+correct: once the sharded layout exists all new appends go to shards).
+``compact()`` migrates the legacy file into the shards and parks the
+original under ``archive/``.
+
+Resume cost: ``completed_ids()`` reads only bytes appended since the
+last ``checkpoint()``, so resuming a fully-completed matrix is O(new
+records) instead of O(ledger).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Union
+
+from repro.campaign.store import ResultStore, _JsonlTail, iter_jsonl
+
+#: Schema tags for the layout's metadata files.
+MANIFEST_SCHEMA = "attain.campaign.store.v1"
+INDEX_SCHEMA = "attain.campaign.index.v1"
+
+#: Default shard fan-out.  Wide enough that compaction rewrites stay
+#: small relative to the ledger, small enough that a resume's directory
+#: scan is negligible.
+DEFAULT_SHARDS = 8
+
+#: Auto-compaction policy (mirrors the simulator's heap tombstone
+#: sweep): rewrite once superseded records both clear an absolute floor
+#: and outnumber the live ones.
+_COMPACT_MIN_SUPERSEDED = 64
+_COMPACT_RATIO = 0.5
+
+#: Key for the legacy single-file ledger in the checkpoint offsets map.
+_LEGACY_KEY = "__legacy__"
+
+
+def shard_for(run_id: str, shards: int) -> int:
+    """Deterministic shard index for a run ID (16-hex sha256 prefix)."""
+    try:
+        return int(run_id[:8], 16) % shards
+    except (TypeError, ValueError):
+        return 0
+
+
+def shard_name(index: int) -> str:
+    return f"shard-{index:02d}.jsonl"
+
+
+class _ShardView:
+    """One source file's slice of the in-memory index."""
+
+    __slots__ = ("name", "tail", "count", "latest", "ok", "superseded")
+
+    def __init__(self, name: str, path: Path) -> None:
+        self.name = name
+        self.tail = _JsonlTail(path)
+        self.count = 0
+        # ``ok`` is move-to-end ordered, same contract as ResultStore.
+        self.latest: Dict[str, Dict[str, object]] = {}
+        self.ok: Dict[str, Dict[str, object]] = {}
+        self.superseded = 0
+
+    @property
+    def path(self) -> Path:
+        return self.tail.path
+
+    def reset(self) -> None:
+        self.tail.reset()
+        self.count = 0
+        self.latest.clear()
+        self.ok.clear()
+        self.superseded = 0
+
+
+class ShardedResultStore:
+    """Drop-in ``ResultStore`` replacement that shards the ledger.
+
+    ``path`` is the *logical* store path (the same value a single-file
+    store would use); the shard directory lives beside it at
+    ``<path>.d``.  Opening an existing directory adopts its manifest's
+    shard count, so the fan-out round-trips without callers having to
+    remember it.
+    """
+
+    def __init__(self, path, shards: Optional[int] = None) -> None:
+        self.path = Path(path)
+        self.root = self.path.with_name(self.path.name + ".d")
+        manifest = self._read_manifest()
+        if manifest is not None:
+            self.shards = int(manifest.get("shards") or DEFAULT_SHARDS)
+        else:
+            self.shards = int(shards or DEFAULT_SHARDS)
+        if self.shards < 1:
+            raise ValueError(f"need at least one shard, got {self.shards!r}")
+        self._legacy = _ShardView(_LEGACY_KEY, self.path)
+        self._views = [
+            _ShardView(shard_name(i), self.root / shard_name(i))
+            for i in range(self.shards)
+        ]
+        self._completed: Set[str] = set()
+        self._count = 0
+        # False while ``_completed`` is checkpoint-seeded but the
+        # latest/ok maps have not been built from a full scan yet.
+        self._full = False
+        self._seeded = self._load_checkpoint()
+
+    # ------------------------------------------------------------------ #
+    # Layout metadata
+    # ------------------------------------------------------------------ #
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / "index.json"
+
+    @property
+    def archive_dir(self) -> Path:
+        return self.root / "archive"
+
+    @property
+    def events_path(self) -> Path:
+        """Where a scheduler streams this store's follow-mode tail."""
+        return self.root / "events.jsonl"
+
+    def _read_manifest(self) -> Optional[Dict[str, object]]:
+        try:
+            data = json.loads(
+                (self.path.with_name(self.path.name + ".d") / "manifest.json")
+                .read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    def _write_manifest(self, compactions: Optional[int] = None) -> None:
+        previous = self._read_manifest() or {}
+        payload = {
+            "schema": MANIFEST_SCHEMA,
+            "shards": self.shards,
+            "compactions": (
+                int(previous.get("compactions") or 0)
+                if compactions is None else compactions
+            ),
+        }
+        self._atomic_write(self.manifest_path, json.dumps(payload, sort_keys=True))
+
+    def _ensure_layout(self) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        if not self.manifest_path.exists():
+            self._write_manifest()
+
+    @staticmethod
+    def _atomic_write(path: Path, text: str) -> None:
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(text + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint (persisted resume index)
+    # ------------------------------------------------------------------ #
+
+    def _load_checkpoint(self) -> bool:
+        """Seed ``_completed`` + tail offsets from ``index.json``.
+
+        Returns True when the checkpoint was adopted.  A checkpoint is
+        rejected wholesale if the manifest shard count changed or any
+        file shrank below its recorded offset — the subsequent full
+        rebuild is always correct, just slower.
+        """
+        try:
+            data = json.loads(self.index_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return False
+        if not isinstance(data, dict) or data.get("shards") != self.shards:
+            return False
+        offsets = data.get("offsets")
+        prints = data.get("prints")
+        completed = data.get("completed")
+        if (not isinstance(offsets, dict) or not isinstance(prints, dict)
+                or not isinstance(completed, list)):
+            return False
+        views = {view.name: view for view in self._all_views()}
+        staged = []
+        for name, offset in offsets.items():
+            view = views.get(name)
+            fingerprint = prints.get(name)
+            if (view is None or not isinstance(offset, int) or offset < 0
+                    or not isinstance(fingerprint, str)):
+                return False
+            if view.tail.size() < offset:
+                return False
+            try:
+                staged.append((view, offset, bytes.fromhex(fingerprint)))
+            except ValueError:
+                return False
+        for view, offset, fingerprint in staged:
+            view.tail.offset = offset
+            view.tail.fingerprint = fingerprint
+        self._completed = {r for r in completed if isinstance(r, str)}
+        self._count = int(data.get("records") or 0)
+        return True
+
+    def checkpoint(self) -> Path:
+        """Persist the resume index so the *next* open is O(new records)."""
+        self._refresh(full=False)
+        self._ensure_layout()
+        payload = {
+            "schema": INDEX_SCHEMA,
+            "shards": self.shards,
+            "offsets": {v.name: v.tail.offset for v in self._all_views()},
+            "prints": {v.name: v.tail.fingerprint.hex()
+                       for v in self._all_views()},
+            "completed": sorted(self._completed),
+            "records": self._count,
+        }
+        self._atomic_write(self.index_path, json.dumps(payload, sort_keys=True))
+        return self.index_path
+
+    # ------------------------------------------------------------------ #
+    # Incremental index
+    # ------------------------------------------------------------------ #
+
+    def _all_views(self) -> List[_ShardView]:
+        return [self._legacy] + self._views
+
+    def _fold(self, view: _ShardView, record: Dict[str, object]) -> None:
+        view.count += 1
+        self._count += 1
+        run_id = record.get("run_id")
+        if not isinstance(run_id, str):
+            view.superseded += 1  # junk line: compaction will archive it
+            return
+        if run_id in view.latest:
+            view.superseded += 1
+        view.latest[run_id] = record
+        if record.get("status") == "ok":
+            self._completed.add(run_id)
+            view.ok.pop(run_id, None)
+            view.ok[run_id] = record
+
+    def _rebuild(self) -> None:
+        self._completed.clear()
+        self._count = 0
+        self._full = True
+        for view in self._all_views():
+            view.reset()
+            for record in view.tail.read_new():
+                self._fold(view, record)
+
+    def _refresh(self, full: bool) -> None:
+        if any(view.tail.invalidated() for view in self._all_views()):
+            self._rebuild()
+            return
+        if full and not self._full:
+            # The checkpoint only persists completed IDs; the first call
+            # needing latest/ok maps pays one full scan, then stays
+            # incremental.
+            self._rebuild()
+            return
+        if self._full:
+            for view in self._all_views():
+                for record in view.tail.read_new():
+                    self._fold(view, record)
+        else:
+            for view in self._all_views():
+                for record in view.tail.read_new():
+                    self._count += 1
+                    run_id = record.get("run_id")
+                    if record.get("status") == "ok" and isinstance(run_id, str):
+                        self._completed.add(run_id)
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+
+    def heal(self) -> bool:
+        """Newline-terminate torn final lines, per shard (and legacy)."""
+        healed = False
+        for view in self._all_views():
+            if not view.path.exists():
+                continue
+            with view.path.open("a+b") as handle:
+                healed = ResultStore._terminate_tail(handle) or healed
+        return healed
+
+    def append(self, record: Dict[str, object]) -> Dict[str, object]:
+        """Append one record to its run's shard; returns the payload."""
+        payload = dict(record)
+        payload.setdefault("recorded_at", round(time.time(), 3))
+        run_id = payload.get("run_id")
+        index = shard_for(run_id if isinstance(run_id, str) else "", self.shards)
+        self._ensure_layout()
+        with self._views[index].path.open("a+b") as handle:
+            ResultStore._terminate_tail(handle)
+            line = json.dumps(payload, sort_keys=True) + "\n"
+            handle.write(line.encode("utf-8"))
+            handle.flush()
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Trace artifacts
+    # ------------------------------------------------------------------ #
+
+    @property
+    def traces_dir(self) -> Path:
+        return self.root / "traces"
+
+    def trace_path(self, run_id: str) -> Path:
+        return self.traces_dir / f"{run_id}.jsonl"
+
+    def write_trace(self, run_id: str, jsonl: str) -> Path:
+        path = self.trace_path(run_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if jsonl and not jsonl.endswith("\n"):
+            jsonl += "\n"
+        path.write_text(jsonl, encoding="utf-8")
+        return path
+
+    # ------------------------------------------------------------------ #
+    # Reading (ResultStore contract)
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        self._refresh(full=True)
+        return self._count
+
+    def records(self) -> Iterator[Dict[str, object]]:
+        """Every record in shard-major file order (legacy ledger first)."""
+        yield from iter_jsonl(self.path)
+        for view in self._views:
+            yield from iter_jsonl(view.path)
+
+    def latest_by_run(self) -> Dict[str, Dict[str, object]]:
+        """The last record per run ID across legacy + shards."""
+        self._refresh(full=True)
+        latest = dict(self._legacy.latest)
+        for view in self._views:
+            latest.update(view.latest)  # a run lives in exactly one shard
+        return latest
+
+    def completed_ids(self) -> Set[str]:
+        """Run IDs with at least one ok record — O(new records) when a
+        checkpoint exists."""
+        self._refresh(full=False)
+        return set(self._completed)
+
+    def ok_records(self) -> List[Dict[str, object]]:
+        """Latest ok record per run, in shard-major file order.
+
+        A legacy run re-executed after sharding emits at its shard
+        position (the newer record); legacy-only runs keep their legacy
+        order ahead of every shard.
+        """
+        self._refresh(full=True)
+        shard_ok: Set[str] = set()
+        for view in self._views:
+            shard_ok.update(view.ok)
+        out = [
+            record for run_id, record in self._legacy.ok.items()
+            if run_id not in shard_ok
+        ]
+        for view in self._views:
+            out.extend(view.ok.values())
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Compaction
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> Dict[str, int]:
+        """Ledger shape: record/run/superseded counts and byte sizes."""
+        self._refresh(full=True)
+        runs: Set[str] = set()
+        superseded = 0
+        for view in self._all_views():
+            runs.update(view.latest)
+            superseded += view.superseded
+        return {
+            "shards": self.shards,
+            "records": self._count,
+            "runs": len(runs),
+            "completed": len(self._completed),
+            "superseded": superseded,
+            "bytes": sum(v.tail.size() for v in self._views),
+            "legacy_bytes": self._legacy.tail.size(),
+        }
+
+    def maybe_compact(self) -> Optional[Dict[str, int]]:
+        """Compact when superseded records pass the tombstone policy."""
+        stats = self.stats()
+        stale = stats["superseded"]
+        if stale < _COMPACT_MIN_SUPERSEDED:
+            return None
+        if stale <= stats["records"] * _COMPACT_RATIO:
+            return None
+        return self.compact()
+
+    def compact(self) -> Dict[str, int]:
+        """Rewrite every shard to its minimal resume-equivalent form.
+
+        Per run the rewrite keeps (at most) two records: the latest ok
+        record and, if different, the final record — exactly the set
+        that reproduces ``completed_ids``/``latest_by_run``/
+        ``ok_records`` for that run.  Everything else (retried audit
+        records, superseded attempts, torn fragments) moves to an
+        ``archive/compact-NNNN.jsonl`` audit file.  The legacy
+        single-file ledger is migrated into the shards and parked under
+        ``archive/`` as part of the same pass.
+        """
+        self._ensure_layout()
+        self.heal()
+        legacy_lines = self._raw_lines(self.path)
+        archive: List[str] = []
+        kept_total = 0
+        archived_total = 0
+        migrated = len(legacy_lines)
+        for index, view in enumerate(self._views):
+            stream = [
+                (line, record) for line, record in legacy_lines
+                if record is not None
+                and shard_for(str(record.get("run_id")), self.shards) == index
+            ]
+            stream.extend(self._raw_lines(view.path))
+            keep = self._keep_set(stream)
+            new_lines: List[str] = []
+            for position, (line, record) in enumerate(stream):
+                if position in keep:
+                    new_lines.append(line)
+                else:
+                    archive.append(line)
+            kept_total += len(new_lines)
+            archived_total += len(stream) - len(new_lines)
+            tmp = view.path.with_name(view.path.name + ".tmp")
+            with tmp.open("wb") as handle:
+                for line in new_lines:
+                    handle.write(line.encode("utf-8") + b"\n")
+                handle.flush()
+            os.replace(tmp, view.path)
+        # Unparseable legacy lines have no shard; archive them outright.
+        archive.extend(
+            line for line, record in legacy_lines if record is None)
+        manifest = self._read_manifest() or {}
+        generation = int(manifest.get("compactions") or 0) + 1
+        if archive:
+            self.archive_dir.mkdir(parents=True, exist_ok=True)
+            archive_path = self.archive_dir / f"compact-{generation:04d}.jsonl"
+            with archive_path.open("a", encoding="utf-8") as handle:
+                for line in archive:
+                    handle.write(line + "\n")
+        if self.path.exists():
+            self.archive_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(
+                self.path,
+                self.archive_dir / f"legacy-{generation:04d}-{self.path.name}")
+        self._write_manifest(compactions=generation)
+        self._rebuild()
+        self.checkpoint()
+        return {
+            "kept": kept_total,
+            "archived": archived_total + sum(
+                1 for _line, record in legacy_lines if record is None),
+            "migrated": migrated,
+            "generation": generation,
+        }
+
+    @staticmethod
+    def _raw_lines(path: Path):
+        """(raw line, parsed record|None) pairs, preserving exact bytes."""
+        out = []
+        if not path.exists():
+            return out
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.rstrip("\n")
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    record = None
+                if not isinstance(record, dict):
+                    record = None
+                out.append((line, record))
+        return out
+
+    @staticmethod
+    def _keep_set(stream) -> Set[int]:
+        """Positions to keep: latest ok + final record per run."""
+        latest_ok: Dict[str, int] = {}
+        final: Dict[str, int] = {}
+        for position, (_line, record) in enumerate(stream):
+            if record is None:
+                continue
+            run_id = record.get("run_id")
+            if not isinstance(run_id, str):
+                continue
+            final[run_id] = position
+            if record.get("status") == "ok":
+                latest_ok[run_id] = position
+        keep = set(latest_ok.values())
+        keep.update(final.values())
+        return keep
+
+
+#: Either store flavour — everything downstream of the runner takes this.
+AnyResultStore = Union[ResultStore, ShardedResultStore]
+
+
+def is_sharded_path(path) -> bool:
+    """True when ``path`` names (or sits beside) a sharded store layout."""
+    p = Path(path)
+    if p.name.endswith(".d"):
+        return (p / "manifest.json").exists()
+    return (p.with_name(p.name + ".d") / "manifest.json").exists()
+
+
+def open_store(path, sharded: Optional[bool] = None,
+               shards: Optional[int] = None) -> AnyResultStore:
+    """Open the right store flavour for ``path``.
+
+    ``sharded=None`` auto-detects: an existing ``<path>.d/manifest.json``
+    opens sharded, anything else opens the plain single-file store.
+    Passing the ``.d`` directory itself also works (handy for ``repro
+    campaign watch``).  ``sharded=True`` creates the sharded layout on
+    first append; ``sharded=False`` forces the legacy single file.
+    """
+    p = Path(path)
+    if p.name.endswith(".d"):
+        return ShardedResultStore(p.with_name(p.name[:-2]), shards=shards)
+    if sharded is None:
+        sharded = (p.with_name(p.name + ".d") / "manifest.json").exists()
+    if sharded:
+        return ShardedResultStore(p, shards=shards)
+    return ResultStore(p)

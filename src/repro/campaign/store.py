@@ -8,7 +8,15 @@ line from a run that was killed mid-write.
 ``completed_ids`` is what makes campaigns resumable: re-running a spec
 skips every run whose ID already has an ``"ok"`` record.  Failed records
 stay in the file as an audit trail but do not mark the run complete, so
-a resume retries them.
+a resume retries them.  ``"retried"`` records are pure audit (where the
+wall-clock of a flaky run went) and never mark a run complete either.
+
+Reads are incremental: the store keeps an in-memory index (completed
+IDs, latest record per run, latest-ok per run) fed by a byte-offset
+tail, so repeated ``completed_ids()``/``latest_by_run()`` calls cost
+O(new records) instead of re-parsing the whole ledger.  A file that
+shrinks under the index (rewritten by an external tool) invalidates the
+tail and triggers a full rebuild.
 """
 
 from __future__ import annotations
@@ -21,6 +29,10 @@ from typing import Dict, Iterator, List, Optional, Set
 #: Schema tag stamped on every record (also emitted by the CLI ``--json``
 #: modes, so single-shot runs and campaign runs share one format).
 RECORD_SCHEMA = "attain.campaign.run.v1"
+
+#: Statuses that mark a run as done for resume purposes.  ``"failed"``
+#: and ``"retried"`` records are audit trail only.
+_OK = "ok"
 
 
 def make_record(
@@ -81,14 +93,144 @@ def make_record(
     return record
 
 
+def iter_jsonl(path: Path) -> Iterator[Dict[str, object]]:
+    """Yield every parseable dict record in ``path``; skip torn lines."""
+    if not path.exists():
+        return
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write from an interrupted run
+            if isinstance(record, dict):
+                yield record
+
+
+#: Bytes of consumed suffix remembered to detect in-place rewrites.
+_TAIL_FINGERPRINT = 32
+
+
+class _JsonlTail:
+    """Incremental reader over one append-only JSONL file.
+
+    Tracks a byte offset and parses only the complete (newline
+    terminated) lines appended since the previous call, so derived
+    indexes cost O(new records) to refresh.  A torn final line is left
+    unconsumed — once ``_terminate_tail`` heals it the fragment reads as
+    one unparseable line and is skipped.
+
+    Rewrites are detected two ways: a file smaller than the offset, and
+    a fingerprint mismatch on the last consumed bytes (catches a file
+    rewritten to a similar-or-larger size, e.g. a truncate-then-append
+    interleaving).  Either invalidates the tail so the caller rebuilds
+    derived state from scratch.
+    """
+
+    __slots__ = ("path", "offset", "fingerprint")
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self.offset = 0
+        self.fingerprint = b""
+
+    def size(self) -> int:
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
+
+    def invalidated(self) -> bool:
+        if self.size() < self.offset:
+            return True
+        if self.offset == 0:
+            return False
+        start = max(0, self.offset - _TAIL_FINGERPRINT)
+        try:
+            with self.path.open("rb") as handle:
+                handle.seek(start)
+                return handle.read(self.offset - start) != self.fingerprint
+        except OSError:
+            return True
+
+    def reset(self) -> None:
+        self.offset = 0
+        self.fingerprint = b""
+
+    def read_new(self) -> Iterator[Dict[str, object]]:
+        try:
+            handle = self.path.open("rb")
+        except OSError:
+            return
+        with handle:
+            handle.seek(self.offset)
+            while True:
+                line = handle.readline()
+                if not line or not line.endswith(b"\n"):
+                    break  # torn tail: stays unconsumed until healed
+                self.offset += len(line)
+                text = line.strip()
+                if not text:
+                    continue
+                try:
+                    record = json.loads(text)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    yield record
+            start = max(0, self.offset - _TAIL_FINGERPRINT)
+            handle.seek(start)
+            self.fingerprint = handle.read(self.offset - start)
+
+
 class ResultStore:
     """The campaign's JSONL ledger."""
 
     def __init__(self, path) -> None:
         self.path = Path(path)
+        self._tail = _JsonlTail(self.path)
+        self._count = 0
+        self._completed: Set[str] = set()
+        self._latest: Dict[str, Dict[str, object]] = {}
+        # Insertion order tracks the *latest* ok occurrence per run:
+        # ``_fold`` re-inserts on every ok record (move-to-end), which is
+        # what makes ``ok_records`` honour its file-order contract.
+        self._ok: Dict[str, Dict[str, object]] = {}
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.records())
+        self._refresh()
+        return self._count
+
+    # ------------------------------------------------------------------ #
+    # Incremental index
+    # ------------------------------------------------------------------ #
+
+    def _refresh(self) -> None:
+        """Fold records appended since the last read into the index."""
+        if self._tail.invalidated():
+            self._tail.reset()
+            self._count = 0
+            self._completed.clear()
+            self._latest.clear()
+            self._ok.clear()
+        for record in self._tail.read_new():
+            self._fold(record)
+
+    def _fold(self, record: Dict[str, object]) -> None:
+        self._count += 1
+        run_id = record.get("run_id")
+        if not isinstance(run_id, str):
+            return
+        self._latest[run_id] = record
+        if record.get("status") == _OK:
+            self._completed.add(run_id)
+            # Re-insert so dict order follows the latest ok occurrence's
+            # position in the file, not the first one's.
+            self._ok.pop(run_id, None)
+            self._ok[run_id] = record
 
     # ------------------------------------------------------------------ #
     # Writing
@@ -120,8 +262,12 @@ class ResultStore:
         with self.path.open("a+b") as handle:
             return self._terminate_tail(handle)
 
-    def append(self, record: Dict[str, object]) -> None:
-        """Append one record (adds a wall-clock ``recorded_at`` stamp)."""
+    def append(self, record: Dict[str, object]) -> Dict[str, object]:
+        """Append one record (adds a wall-clock ``recorded_at`` stamp).
+
+        Returns the payload as written, so streaming callers can fan the
+        exact durable record out to subscribers.
+        """
         payload = dict(record)
         payload.setdefault("recorded_at", round(time.time(), 3))
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -130,6 +276,7 @@ class ResultStore:
             line = json.dumps(payload, sort_keys=True) + "\n"
             handle.write(line.encode("utf-8"))
             handle.flush()
+        return payload
 
     # ------------------------------------------------------------------ #
     # Trace artifacts
@@ -158,43 +305,24 @@ class ResultStore:
 
     def records(self) -> Iterator[Dict[str, object]]:
         """Yield every parseable record; skip torn/corrupt lines."""
-        if not self.path.exists():
-            return
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn write from an interrupted run
-                if isinstance(record, dict):
-                    yield record
+        yield from iter_jsonl(self.path)
 
     def latest_by_run(self) -> Dict[str, Dict[str, object]]:
         """The last record per run ID (later attempts supersede earlier)."""
-        latest: Dict[str, Dict[str, object]] = {}
-        for record in self.records():
-            run_id = record.get("run_id")
-            if isinstance(run_id, str):
-                latest[run_id] = record
-        return latest
+        self._refresh()
+        return dict(self._latest)
 
     def completed_ids(self) -> Set[str]:
         """Run IDs with at least one successful record."""
-        done: Set[str] = set()
-        for record in self.records():
-            if record.get("status") == "ok" and isinstance(
-                    record.get("run_id"), str):
-                done.add(record["run_id"])
-        return done
+        self._refresh()
+        return set(self._completed)
 
     def ok_records(self) -> List[Dict[str, object]]:
-        """The latest successful record per run ID, in file order."""
-        latest_ok: Dict[str, Dict[str, object]] = {}
-        for record in self.records():
-            run_id = record.get("run_id")
-            if record.get("status") == "ok" and isinstance(run_id, str):
-                latest_ok[run_id] = record
-        return list(latest_ok.values())
+        """The latest successful record per run ID, in file order.
+
+        "File order" follows the position of the *latest* ok record per
+        run: a run re-executed after later runs moves to the end, as the
+        ledger says it should.
+        """
+        self._refresh()
+        return list(self._ok.values())

@@ -444,14 +444,18 @@ def _cmd_detect_run(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------- #
 
 
-def _campaign_store(args: argparse.Namespace):
+def _campaign_store(args: argparse.Namespace, default_sharded=None):
     from pathlib import Path
 
-    from repro.campaign import ResultStore
+    from repro.campaign import open_store
 
+    sharded = getattr(args, "sharded", None)
+    if sharded is None:
+        sharded = default_sharded  # None: auto-detect an existing layout
     if args.store:
-        return ResultStore(args.store)
-    return ResultStore(Path(args.spec).with_suffix(".results.jsonl"))
+        return open_store(args.store, sharded=sharded)
+    return open_store(Path(args.spec).with_suffix(".results.jsonl"),
+                      sharded=sharded)
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
@@ -538,12 +542,171 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
 
     spec = load_spec(args.spec)
     store = _campaign_store(args)
-    report = build_report(spec, store.records())
+    report = build_report(spec, store.records(),
+                          digests=bool(getattr(args, "digests", False)))
     if args.json:
         print(json.dumps(report.to_dict(), sort_keys=True))
     else:
         print(report.render())
     return 0 if not report.missing_runs and not report.failed_runs else 1
+
+
+def _cmd_campaign_serve(args: argparse.Namespace) -> int:
+    import os
+    import signal
+    from pathlib import Path
+
+    from repro.campaign import (
+        CampaignAggregator,
+        CampaignScheduler,
+        load_spec,
+        open_store,
+        stream_path_for,
+    )
+
+    if args.store:
+        store_path = Path(args.store)
+    elif args.specs:
+        store_path = Path(args.specs[0]).with_suffix(".results.jsonl")
+    else:
+        print("campaign serve: pass at least one spec or --store "
+              "(required with --inbox-only serving)", file=sys.stderr)
+        return 2
+    # Service mode defaults to the sharded layout; a pre-existing plain
+    # ledger at the same path is read through and migrated on compact.
+    sharded = args.sharded if args.sharded is not None else True
+    store = open_store(store_path, sharded=sharded, shards=args.shards)
+    progress = None if args.quiet else (
+        lambda line: print(line, file=sys.stderr, flush=True))
+    workers = args.workers if args.workers is not None \
+        else (os.cpu_count() or 1)
+    aggregator = CampaignAggregator()
+    scheduler = CampaignScheduler(
+        store, workers=workers, progress=progress,
+        aggregator=aggregator, stream_path=stream_path_for(store),
+        trace=bool(args.trace), preflight=not args.no_preflight,
+    )
+    stopping = {"flag": False}
+
+    def _request_stop(signum, frame):
+        stopping["flag"] = True
+
+    restore = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            restore.append((signum, signal.signal(signum, _request_stop)))
+        except (ValueError, OSError):  # non-main thread: keep defaults
+            pass
+    idle_exit_s = args.idle_exit
+    if idle_exit_s is None and not args.inbox:
+        idle_exit_s = 0.0  # no inbox to wait on: exit once drained
+    try:
+        for spec_path in args.specs:
+            scheduler.submit(load_spec(spec_path), timeout_s=args.timeout,
+                             retries=args.retries)
+        jobs = scheduler.serve(inbox=args.inbox, idle_exit_s=idle_exit_s,
+                               stop=lambda: stopping["flag"])
+    finally:
+        for signum, handler in restore:
+            signal.signal(signum, handler)
+    if args.json:
+        print(json.dumps({
+            "store": str(store.path),
+            "stream": str(stream_path_for(store)),
+            "jobs": [{
+                "campaign": job.summary.campaign,
+                "total": job.summary.total,
+                "skipped": job.summary.skipped,
+                "executed": job.summary.executed,
+                "succeeded": job.summary.succeeded,
+                "failed": job.summary.failed,
+                "retries_used": job.summary.retries_used,
+                "duration_s": round(job.summary.duration_s, 3),
+                "processes_spawned": job.summary.processes_spawned,
+                "done": job.done,
+            } for job in jobs],
+            "processes_spawned": scheduler.processes_spawned,
+            "stream_seconds": round(scheduler.stream_seconds, 4),
+            "aggregate": aggregator.snapshot(),
+        }, sort_keys=True))
+    else:
+        for job in jobs:
+            print(job.summary.render())
+        if aggregator.records_seen:
+            print(aggregator.render())
+    return 1 if any(job.summary.failed for job in jobs) else 0
+
+
+def _cmd_campaign_watch(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    path = Path(args.path)
+    if path.is_dir():
+        tail_path = path / "events.jsonl"
+    elif path.name == "events.jsonl" or path.name.endswith(".events.jsonl"):
+        tail_path = path
+    else:
+        from repro.campaign import open_store, stream_path_for
+
+        tail_path = stream_path_for(open_store(path))
+    deadline = time.time() + args.timeout if args.timeout else None
+    offset = 0
+    if not args.from_start and tail_path.exists():
+        offset = tail_path.stat().st_size
+    seen = 0
+    pending = b""
+    while True:
+        if tail_path.exists():
+            size = tail_path.stat().st_size
+            if size < offset:  # stream rotated/compacted away: restart
+                offset = 0
+                pending = b""
+            if size > offset:
+                with tail_path.open("rb") as handle:
+                    handle.seek(offset)
+                    chunk = handle.read()
+                offset += len(chunk)
+                pending += chunk
+                while b"\n" in pending:
+                    line, pending = pending.split(b"\n", 1)
+                    text = line.decode("utf-8", "replace").strip()
+                    if not text:
+                        continue
+                    print(text, flush=True)
+                    seen += 1
+                    if args.count and seen >= args.count:
+                        return 0
+        if deadline is not None and time.time() >= deadline:
+            return 1 if args.count and seen < args.count else 0
+        time.sleep(0.1)
+
+
+def _cmd_campaign_submit(args: argparse.Namespace) -> int:
+    import os
+    from pathlib import Path
+
+    from repro.campaign import load_spec
+
+    source = Path(args.spec)
+    spec = load_spec(source)  # validate before spooling
+    inbox = Path(args.inbox)
+    inbox.mkdir(parents=True, exist_ok=True)
+    target = inbox / source.name
+    serial = 1
+    while target.exists():
+        target = inbox / f"{source.stem}.{serial}{source.suffix}"
+        serial += 1
+    # Write-then-rename so the serving scheduler never reads a partial
+    # spec file; the .part suffix keeps the scanner away meanwhile.
+    part = target.with_name(target.name + ".part")
+    part.write_bytes(source.read_bytes())
+    os.replace(part, target)
+    if args.json:
+        print(json.dumps({"campaign": spec.name, "spooled": str(target)},
+                         sort_keys=True))
+    else:
+        print(f"submitted campaign {spec.name} -> {target}")
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -898,6 +1061,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--store",
                          help="result store JSONL path "
                               "(default: <spec>.results.jsonl)")
+        sub.add_argument("--sharded", action=argparse.BooleanOptionalAction,
+                         default=None,
+                         help="use the sharded <store>.d layout (default: "
+                              "auto-detect an existing one)")
         sub.add_argument("--json", action="store_true",
                          help="machine-readable output")
 
@@ -930,7 +1097,76 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_report = campaign_sub.add_parser(
         "report", help="aggregate the store into security metrics")
     _common_campaign_args(campaign_report)
+    campaign_report.add_argument("--digests", action="store_true",
+                                 help="add per-cell count/mean/p50/p95 "
+                                      "digests for every numeric metric")
     campaign_report.set_defaults(handler=_cmd_campaign_report)
+
+    campaign_serve = campaign_sub.add_parser(
+        "serve", help="long-lived scheduler: run specs, accept more via an "
+                      "inbox, stream records as they complete")
+    campaign_serve.add_argument("specs", nargs="*",
+                                help="campaign spec files to submit at start")
+    campaign_serve.add_argument("--store",
+                                help="result store path (default: "
+                                     "<first spec>.results.jsonl)")
+    campaign_serve.add_argument("--sharded",
+                                action=argparse.BooleanOptionalAction,
+                                default=None,
+                                help="sharded <store>.d layout "
+                                     "(default for serve: on)")
+    campaign_serve.add_argument("--shards", type=int, default=None,
+                                help="shard fan-out when creating a new "
+                                     "sharded store (default: 8)")
+    campaign_serve.add_argument("--inbox", metavar="DIR",
+                                help="spool directory scanned for new spec "
+                                     "files while serving")
+    campaign_serve.add_argument("--workers", type=int, default=None,
+                                help="parallel worker processes "
+                                     "(default: os.cpu_count())")
+    campaign_serve.add_argument("--idle-exit", type=float, default=None,
+                                help="exit after this many idle seconds "
+                                     "(default: serve forever with --inbox, "
+                                     "exit when drained without)")
+    campaign_serve.add_argument("--timeout", type=float, default=None,
+                                help="per-run wall-clock timeout (seconds)")
+    campaign_serve.add_argument("--retries", type=int, default=None,
+                                help="extra attempts after a worker failure")
+    campaign_serve.add_argument("--trace", action="store_true",
+                                help="collect per-run control-plane traces")
+    campaign_serve.add_argument("--no-preflight", action="store_true",
+                                help="skip the lint pre-flight")
+    campaign_serve.add_argument("--quiet", action="store_true",
+                                help="suppress per-run progress on stderr")
+    campaign_serve.add_argument("--json", action="store_true",
+                                help="machine-readable job + aggregate "
+                                     "summary on exit")
+    campaign_serve.set_defaults(handler=_cmd_campaign_serve)
+
+    campaign_watch = campaign_sub.add_parser(
+        "watch", help="follow a serving campaign's streamed records "
+                      "(tail -f over the events JSONL)")
+    campaign_watch.add_argument("path",
+                                help="store path, <store>.d directory, or "
+                                     "events JSONL file")
+    campaign_watch.add_argument("--count", type=int, default=None,
+                                help="exit 0 after N records (exit 1 if the "
+                                     "timeout expires first)")
+    campaign_watch.add_argument("--timeout", type=float, default=None,
+                                help="give up after this many seconds")
+    campaign_watch.add_argument("--from-start", action="store_true",
+                                help="replay the stream from the beginning "
+                                     "instead of only new records")
+    campaign_watch.set_defaults(handler=_cmd_campaign_watch)
+
+    campaign_submit = campaign_sub.add_parser(
+        "submit", help="spool a spec file into a serving scheduler's inbox")
+    campaign_submit.add_argument("spec", help="campaign spec file to submit")
+    campaign_submit.add_argument("--inbox", required=True, metavar="DIR",
+                                 help="the serve --inbox directory")
+    campaign_submit.add_argument("--json", action="store_true",
+                                 help="machine-readable output")
+    campaign_submit.set_defaults(handler=_cmd_campaign_submit)
 
     trace = subparsers.add_parser(
         "trace", help="render an exported control-plane trace "

@@ -1,0 +1,170 @@
+"""Streaming per-cell aggregation: digest accuracy, fold semantics,
+and the report layer's opt-in digest attachment."""
+
+import json
+import random
+
+import pytest
+
+from repro.campaign import (
+    CampaignAggregator,
+    CampaignSpec,
+    CellAggregate,
+    QuantileDigest,
+    build_report,
+    make_record,
+)
+from repro.campaign.aggregate import cell_key
+
+
+def spec():
+    return CampaignSpec.from_dict({
+        "name": "agg",
+        "experiment": "selfcheck",
+        "attacks": [None],
+        "controllers": ["x"],
+        "seeds": [0, 1, 2],
+    })
+
+
+def record_for(descriptor, status="ok", metrics=None, **kwargs):
+    return make_record(descriptor.to_dict(), status, metrics,
+                       campaign="agg", **kwargs)
+
+
+def test_digest_is_exact_below_capacity():
+    digest = QuantileDigest(capacity=64)
+    values = [float(v) for v in range(1, 21)]
+    for value in values:
+        digest.add(value)
+    assert digest.count == 20
+    assert digest.mean == pytest.approx(sum(values) / 20)
+    assert digest.minimum == 1.0
+    assert digest.maximum == 20.0
+    # With every point its own centroid the quantiles interpolate the
+    # true empirical distribution.
+    assert digest.quantile(0.0) == 1.0
+    assert digest.quantile(1.0) == 20.0
+    assert digest.quantile(0.5) == pytest.approx(10.5, abs=0.5)
+
+
+def test_digest_stays_bounded_and_accurate_past_capacity():
+    rng = random.Random(7)
+    values = [rng.gauss(100.0, 15.0) for _ in range(10_000)]
+    digest = QuantileDigest(capacity=64)
+    for value in values:
+        digest.add(value)
+    assert len(digest._centroids) <= 64
+    assert digest.count == 10_000
+    assert digest.mean == pytest.approx(sum(values) / len(values))
+    assert digest.minimum == min(values)
+    assert digest.maximum == max(values)
+    ordered = sorted(values)
+    for q in (0.5, 0.95):
+        exact = ordered[int(q * (len(ordered) - 1))]
+        spread = digest.maximum - digest.minimum
+        assert digest.quantile(q) == pytest.approx(exact, abs=0.02 * spread)
+
+
+def test_digest_is_deterministic_and_mergeable():
+    values = [float(v % 97) for v in range(500)]
+    first, second = QuantileDigest(), QuantileDigest()
+    for value in values:
+        first.add(value)
+        second.add(value)
+    assert first.to_dict() == second.to_dict()
+    # Merging two halves preserves the exact moments.
+    left, right = QuantileDigest(), QuantileDigest()
+    for value in values[:250]:
+        left.add(value)
+    for value in values[250:]:
+        right.add(value)
+    left.merge(right)
+    assert left.count == 500
+    assert left.mean == pytest.approx(first.mean)
+    assert left.minimum == first.minimum
+    assert left.maximum == first.maximum
+
+
+def test_digest_rejects_degenerate_parameters():
+    with pytest.raises(ValueError, match="capacity"):
+        QuantileDigest(capacity=1)
+    digest = QuantileDigest()
+    assert digest.quantile(0.5) == 0.0  # empty digest: harmless zero
+    digest.add(3.0)
+    with pytest.raises(ValueError, match="quantile"):
+        digest.quantile(1.5)
+
+
+def test_cell_fold_counts_statuses_and_skips_noise_metrics():
+    descriptor = spec().expand()[0]
+    cell = CellAggregate(cell_key(record_for(descriptor)))
+    cell.fold(record_for(descriptor, "retried", None, error="flake"))
+    cell.fold(record_for(descriptor, "failed", None, error="boom"))
+    cell.fold(record_for(descriptor, "ok", {
+        "throughput_mbps": 9.5, "seed": 7, "pid": 1234,
+        "denial_of_service": False,  # bool: not a distribution
+    }, duration_s=0.25))
+    assert (cell.ok, cell.failed, cell.retried) == (1, 1, 1)
+    assert set(cell.digests) == {"wall_duration_s", "throughput_mbps"}
+    assert cell.digests["wall_duration_s"].mean == pytest.approx(0.25)
+    payload = cell.to_dict()
+    assert payload["cell"]["campaign"] == "agg"
+    assert payload["metrics"]["throughput_mbps"]["count"] == 1
+
+
+def test_aggregator_groups_by_cell_and_renders():
+    aggregator = CampaignAggregator()
+    for descriptor in spec().expand():
+        aggregator.fold(record_for(descriptor, "ok",
+                                   {"throughput_mbps": 5.0},
+                                   duration_s=0.1))
+    assert aggregator.records_seen == 3
+    # All three seeds share one cell (same campaign/attack/controller).
+    assert len(aggregator) == 1
+    (cell,) = aggregator.cells()
+    assert cell.ok == 3
+    snapshot = aggregator.snapshot()
+    assert snapshot["records"] == 3
+    assert snapshot["cells"][0]["ok"] == 3
+    table = aggregator.render(metric="throughput_mbps")
+    assert "throughput_mbps" in table
+    assert len(table.splitlines()) == 2  # header + one cell row
+
+
+def test_report_digests_are_opt_in_and_default_output_is_unchanged():
+    campaign = spec()
+    records = [record_for(d, "ok", {"throughput_mbps": float(i + 1)},
+                          duration_s=0.1 * (i + 1))
+               for i, d in enumerate(campaign.expand())]
+    plain = build_report(campaign, list(records))
+    with_digests = build_report(campaign, list(records), digests=True)
+    # Opt-out (the default) is byte-identical to the pre-digest report.
+    assert "digests" not in json.dumps(plain.to_dict())
+    for cell in with_digests.cells:
+        assert cell.digests["ok"] == 3
+        assert cell.digests["metrics"]["throughput_mbps"]["count"] == 3
+    # The digest section only renders when digests were requested.
+    assert "metric digests" not in plain.render()
+    assert "metric digests" in with_digests.render()
+    # Everything else in the two reports agrees.
+    stripped = with_digests.to_dict()
+    for cell in stripped["cells"]:
+        cell.pop("digests", None)
+    assert stripped == plain.to_dict()
+
+
+def test_report_failed_ids_ignore_retried_audit_records():
+    campaign = spec()
+    ok_run, flaky_run, bad_run = campaign.expand()
+    records = [
+        record_for(ok_run, "ok", {"throughput_mbps": 1.0}),
+        # Flaky: retried audit then success — not a failure.
+        record_for(flaky_run, "retried", None, error="flake"),
+        record_for(flaky_run, "ok", {"throughput_mbps": 2.0}),
+        # Genuine failure after exhausting retries.
+        record_for(bad_run, "failed", None, error="boom"),
+    ]
+    report = build_report(campaign, records)
+    assert report.failed_runs == 1
+    assert report.ok_runs == 2

@@ -96,12 +96,20 @@ def test_retry_budget_exhaustion_records_failure(tmp_path):
     assert summary.failed == 1 and summary.succeeded == 0
     assert not summary.complete
     assert summary.failed_run_ids == [spec.expand()[0].run_id]
-    (record,) = list(store.records())
-    assert record["status"] == "failed"
-    assert record["attempts"] == 2  # initial + 1 retry
-    assert "selfcheck: requested failure" in record["error"]
-    # Failures do not mark the run complete: a resume would retry it.
+    # Every attempt leaves a record: the retried attempt as audit, the
+    # exhausted one as the final failure.
+    retried, failed = list(store.records())
+    assert retried["status"] == "retried"
+    assert retried["attempts"] == 1
+    assert retried["duration_s"] >= 0.0
+    assert "selfcheck: requested failure" in retried["error"]
+    assert failed["status"] == "failed"
+    assert failed["attempts"] == 2  # initial + 1 retry
+    assert "selfcheck: requested failure" in failed["error"]
+    # Neither failures nor retry audit records mark the run complete: a
+    # resume would retry it, and ok_records ignores both.
     assert store.completed_ids() == set()
+    assert store.ok_records() == []
 
 
 def test_hung_worker_is_killed_at_the_timeout(tmp_path):

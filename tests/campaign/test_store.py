@@ -58,6 +58,41 @@ def test_latest_record_per_run_wins(tmp_path):
     assert store.latest_by_run()[run.run_id] is not None
 
 
+def test_ok_records_follow_latest_ok_position(tmp_path):
+    """An out-of-order re-run moves to the end of ``ok_records``: the
+    ordering contract is the *latest* ok record's file position, not
+    where the run first appeared."""
+    store = ResultStore(tmp_path / "runs.jsonl")
+    first, second, third = (descriptor(seed=s) for s in (1, 2, 3))
+    store.append(make_record(first.to_dict(), "ok", {"v": 1.0}))
+    store.append(make_record(second.to_dict(), "ok", {"v": 2.0}))
+    store.append(make_record(third.to_dict(), "ok", {"v": 3.0}))
+    # Re-run the first run after the others completed.
+    store.append(make_record(first.to_dict(), "ok", {"v": 9.0}))
+    ordered = store.ok_records()
+    assert [r["run_id"] for r in ordered] == [
+        second.run_id, third.run_id, first.run_id]
+    assert ordered[-1]["metrics"] == {"v": 9.0}  # and it is the re-run
+
+
+def test_index_picks_up_external_appends_incrementally(tmp_path):
+    """Two handles on one ledger: records appended through one store
+    object surface through the other without a rebuild (the tail reads
+    only the new bytes), and a truncation still forces a safe rebuild."""
+    path = tmp_path / "runs.jsonl"
+    reader, writer = ResultStore(path), ResultStore(path)
+    writer.append(make_record(descriptor(seed=1).to_dict(), "ok", {}))
+    assert reader.completed_ids() == {descriptor(seed=1).run_id}
+    offset_before = reader._tail.offset
+    writer.append(make_record(descriptor(seed=2).to_dict(), "ok", {}))
+    assert len(reader.completed_ids()) == 2
+    assert reader._tail.offset > offset_before  # consumed, not re-read
+    # External truncation invalidates the tail and rebuilds cleanly.
+    lines = path.read_text().splitlines()
+    path.write_text(lines[0] + "\n")
+    assert reader.completed_ids() == {descriptor(seed=1).run_id}
+
+
 def test_missing_file_reads_empty(tmp_path):
     store = ResultStore(tmp_path / "never-written.jsonl")
     assert list(store.records()) == []
